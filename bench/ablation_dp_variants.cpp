@@ -1,0 +1,113 @@
+// Ablation: DP realisations compared on identical bisection probes.
+//
+// Questions this answers (DESIGN.md experiment index):
+//  * how much work does the paper-faithful O(sigma)-scan-per-level variant
+//    waste versus pre-bucketing the levels once?
+//  * how much smaller is the top-down (memoised) state set than the full
+//    table the bottom-up/parallel variants fill?
+//  * what do fork-join-per-level (executor) vs persistent-threads+barrier
+//    (SPMD) cost in wall time at various thread counts?
+#include <iostream>
+
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table_printer.hpp"
+
+using namespace pcmax;
+
+namespace {
+
+struct VariantSpec {
+  std::string label;
+  DpEngine engine;
+  unsigned threads;
+  DpKernel kernel = DpKernel::kGlobalConfigs;
+  unsigned speculation = 1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Ablation of the DP engine variants of the (parallel) PTAS.");
+  cli.add_int("m", 20, "number of machines");
+  cli.add_int("n", 100, "number of jobs");
+  cli.add_int("trials", 3, "instances per family");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int m = static_cast<int>(cli.get_int("m"));
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double epsilon = cli.get_double("epsilon");
+
+  const std::vector<VariantSpec> variants = {
+      // Kernel ablation: the paper's per-entry configuration re-enumeration
+      // (Alg. 3 Line 17) vs this library's precomputed global config set.
+      {"bottom-up, paper kernel", DpEngine::kBottomUp, 1,
+       DpKernel::kPerEntryEnum},
+      {"bottom-up, global kernel", DpEngine::kBottomUp, 1},
+      // State-coverage ablation: memoised top-down touches only reachable
+      // entries, the others fill the whole table.
+      {"top-down (seq)", DpEngine::kTopDown, 1},
+      // Parallelisation-strategy ablation (real threads).
+      {"scan/level x2", DpEngine::kParallelScan, 2},
+      {"bucketed x2", DpEngine::kParallelBucketed, 2},
+      {"spmd x2", DpEngine::kSpmd, 2},
+      {"scan/level x4", DpEngine::kParallelScan, 4},
+      {"bucketed x4", DpEngine::kParallelBucketed, 4},
+      {"spmd x4", DpEngine::kSpmd, 4},
+      // Search-strategy extension: speculative multisection over targets.
+      {"bottom-up, 4-way specul.", DpEngine::kBottomUp, 1,
+       DpKernel::kGlobalConfigs, 4},
+  };
+
+  std::cout << "=== DP-variant ablation: m=" << m << ", n=" << n
+            << ", eps=" << epsilon << ", trials=" << trials << " ===\n"
+            << "entries/scans are summed over all bisection probes; times are\n"
+            << "measured wall clock on this machine (thread counts are real\n"
+            << "threads, which only help if physical cores are available).\n\n";
+
+  for (const InstanceFamily family : speedup_families()) {
+    TablePrinter table(
+        {"variant", "seconds", "entries", "config scans", "makespan"});
+    for (const VariantSpec& variant : variants) {
+      RunningStats seconds;
+      RunningStats entries;
+      RunningStats scans;
+      RunningStats makespan;
+      for (int trial = 0; trial < trials; ++trial) {
+        const Instance instance = generate_instance(
+            family, m, n, seed, static_cast<std::uint64_t>(trial));
+        PtasOptions options;
+        options.epsilon = epsilon;
+        options.engine = variant.engine;
+        options.spmd_threads = variant.threads;
+        options.kernel = variant.kernel;
+        options.speculation = variant.speculation;
+        std::unique_ptr<Executor> executor;
+        if (variant.engine == DpEngine::kParallelScan ||
+            variant.engine == DpEngine::kParallelBucketed) {
+          executor = std::make_unique<ThreadPoolExecutor>(variant.threads);
+          options.executor = executor.get();
+        }
+        PtasSolver solver(options);
+        const SolverResult result = solver.solve(instance);
+        seconds.add(result.seconds);
+        entries.add(result.stats.at("entries_computed"));
+        scans.add(result.stats.at("config_scans"));
+        makespan.add(static_cast<double>(result.makespan));
+      }
+      table.add_row({variant.label, TablePrinter::fmt(seconds.mean(), 4),
+                     TablePrinter::fmt(entries.mean(), 0),
+                     TablePrinter::fmt(scans.mean(), 0),
+                     TablePrinter::fmt(makespan.mean(), 1)});
+    }
+    std::cout << family_name(family) << ":\n" << table.to_string() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the DP kernels: state-space encode/
+// decode, level computation, configuration enumeration, and full DP fills.
+#include <benchmark/benchmark.h>
+
+#include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_parallel.hpp"
+#include "algo/ptas/dp_sequential.hpp"
+#include "core/bounds.hpp"
+#include "core/instance_gen.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+constexpr std::size_t kBig = std::size_t{1} << 32;
+
+/// A mid-size rounded fixture: 4 classes, 10 long jobs, sigma = 324.
+RoundedInstance fixture_rounded() {
+  RoundedInstance rounded;
+  rounded.params = RoundingParams::make(40, 4);
+  rounded.class_index = {3, 4, 5, 6};
+  rounded.class_size = {9, 12, 15, 18};
+  rounded.class_count = {2, 2, 3, 2};
+  rounded.class_jobs = {{0, 1}, {2, 3}, {4, 5, 6}, {7, 8}};
+  rounded.total_long_jobs = 9;
+  return rounded;
+}
+
+void BM_StateSpaceDecode(benchmark::State& state) {
+  const StateSpace space({5, 5, 5, 5}, kBig);
+  std::vector<int> digits(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    space.decode(i, digits);
+    benchmark::DoNotOptimize(digits.data());
+    i = (i + 97) % space.size();
+  }
+}
+BENCHMARK(BM_StateSpaceDecode);
+
+void BM_StateSpaceEncode(benchmark::State& state) {
+  const StateSpace space({5, 5, 5, 5}, kBig);
+  const std::vector<int> digits{3, 1, 4, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.encode(digits));
+  }
+}
+BENCHMARK(BM_StateSpaceEncode);
+
+void BM_LevelHistogram(benchmark::State& state) {
+  const StateSpace space({8, 8, 8, 8}, kBig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.level_histogram());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_LevelHistogram);
+
+void BM_ConfigEnumeration(benchmark::State& state) {
+  const RoundedInstance rounded = fixture_rounded();
+  const StateSpace space(rounded.class_count, kBig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_configs(rounded, space, kBig));
+  }
+}
+BENCHMARK(BM_ConfigEnumeration);
+
+void BM_DpBottomUp(benchmark::State& state) {
+  const RoundedInstance rounded = fixture_rounded();
+  const StateSpace space(rounded.class_count, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp_bottom_up(rounded, space, configs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_DpBottomUp);
+
+void BM_DpTopDown(benchmark::State& state) {
+  const RoundedInstance rounded = fixture_rounded();
+  const StateSpace space(rounded.class_count, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp_top_down(rounded, space, configs));
+  }
+}
+BENCHMARK(BM_DpTopDown);
+
+void BM_DpParallelBucketed(benchmark::State& state) {
+  const RoundedInstance rounded = fixture_rounded();
+  const StateSpace space(rounded.class_count, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  ThreadPoolExecutor executor(static_cast<unsigned>(state.range(0)));
+  ParallelDpOptions options;
+  options.executor = &executor;
+  options.variant = ParallelDpVariant::kBucketed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp_parallel(rounded, space, configs, options));
+  }
+}
+BENCHMARK(BM_DpParallelBucketed)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DpParallelScan(benchmark::State& state) {
+  const RoundedInstance rounded = fixture_rounded();
+  const StateSpace space(rounded.class_count, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  ThreadPoolExecutor executor(static_cast<unsigned>(state.range(0)));
+  ParallelDpOptions options;
+  options.executor = &executor;
+  options.variant = ParallelDpVariant::kScanPerLevel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp_parallel(rounded, space, configs, options));
+  }
+}
+BENCHMARK(BM_DpParallelScan)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Robustness under processing-time uncertainty (extension beyond the paper):
+// schedules are planned with estimated times and executed with perturbed
+// ones on the discrete-event simulator. Reported per algorithm: the mean
+// and worst realised-makespan inflation across noise levels.
+#include <iostream>
+
+#include "algo/ldm.hpp"
+#include "algo/lpt.hpp"
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "sim/robustness.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+using namespace pcmax;
+
+int main(int argc, char** argv) {
+  CliParser cli("Realised-makespan inflation under multiplicative time noise.");
+  cli.add_int("m", 8, "machines");
+  cli.add_int("n", 40, "jobs");
+  cli.add_int("instances", 3, "instances per family");
+  cli.add_int("trials", 25, "noise draws per schedule");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int m = static_cast<int>(cli.get_int("m"));
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int instances = static_cast<int>(cli.get_int("instances"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "=== robustness: m=" << m << ", n=" << n << ", " << trials
+            << " noise draws x " << instances << " instances ===\n"
+            << "cell = mean realised/nominal makespan (worst in brackets)\n\n";
+
+  for (const double delta : {0.05, 0.2, 0.4}) {
+    TablePrinter table({"family", "LPT", "LDM", "PTAS eps=0.3"});
+    for (const InstanceFamily family :
+         {InstanceFamily::kUniform1To100, InstanceFamily::kUniform1To10N,
+          InstanceFamily::kUniformMTo2M1}) {
+      LptSolver lpt;
+      LdmSolver ldm;
+      PtasOptions ptas_options;
+      ptas_options.epsilon = cli.get_double("epsilon");
+      PtasSolver ptas(ptas_options);
+      std::vector<Solver*> solvers{&lpt, &ldm, &ptas};
+
+      std::vector<RunningStats> mean_inflation(solvers.size());
+      std::vector<double> worst(solvers.size(), 0.0);
+      for (int i = 0; i < instances; ++i) {
+        const Instance instance =
+            generate_instance(family, m, n, seed, static_cast<std::uint64_t>(i));
+        NoiseModel noise;
+        noise.delta = delta;
+        noise.seed = seed + static_cast<std::uint64_t>(i);
+        for (std::size_t s = 0; s < solvers.size(); ++s) {
+          const SolverResult r = solvers[s]->solve(instance);
+          const RobustnessReport report =
+              analyze_robustness(instance, r.schedule, noise, trials);
+          mean_inflation[s].add(report.mean_inflation);
+          worst[s] = std::max(worst[s], report.worst_inflation);
+        }
+      }
+
+      std::vector<std::string> row{family_name(family)};
+      for (std::size_t s = 0; s < solvers.size(); ++s) {
+        row.push_back(TablePrinter::fmt(mean_inflation[s].mean(), 3) + " (" +
+                      TablePrinter::fmt(worst[s], 3) + ")");
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "noise delta = " << delta << ":\n" << table.to_string() << "\n";
+  }
+  std::cout << "Tightly balanced schedules (PTAS/LDM) and greedy ones (LPT)\n"
+               "inflate similarly in the mean — the noise band, not the\n"
+               "planner, dominates realised makespans. Guarantees on the\n"
+               "nominal makespan survive scaled by (1+delta).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Structural scaling analysis (paper Section IV, made quantitative):
+// for every instance family and size of the evaluation, the work, span and
+// parallelism of the PTAS's DP probes, and the Brent-style speedup bound at
+// the paper's core counts — the ceiling any implementation of Algorithm 3
+// (including the authors') can reach on those instances.
+#include <iostream>
+
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "harness/scaling.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+using namespace pcmax;
+
+int main(int argc, char** argv) {
+  CliParser cli("Work/span analysis of the parallel DP across the paper's "
+                "instance sizes (Section IV).");
+  cli.add_int("trials", 3, "instances per configuration");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const struct {
+    int machines;
+    int jobs;
+  } sizes[] = {{20, 100}, {10, 50}, {10, 30}};
+
+  for (const auto& size : sizes) {
+    std::cout << "=== m=" << size.machines << ", n=" << size.jobs << " ===\n";
+    TablePrinter table({"family", "DP work", "levels", "parallelism",
+                        "bound @4", "bound @8", "bound @16", "bound @inf"});
+    for (const InstanceFamily family : speedup_families()) {
+      RunningStats work;
+      RunningStats levels;
+      RunningStats parallelism;
+      RunningStats bound4;
+      RunningStats bound8;
+      RunningStats bound16;
+      for (int trial = 0; trial < trials; ++trial) {
+        const Instance instance =
+            generate_instance(family, size.machines, size.jobs, seed,
+                              static_cast<std::uint64_t>(trial));
+        PtasOptions options;
+        options.epsilon = cli.get_double("epsilon");
+        options.keep_trace = true;
+        const PtasResult run = PtasSolver(options).solve_with_trace(instance);
+        const RunShape shape = analyze_run_shape(run.bisection);
+        work.add(static_cast<double>(shape.total_work));
+        levels.add(static_cast<double>(shape.total_levels));
+        parallelism.add(shape.parallelism);
+        bound4.add(shape.speedup_bound(4));
+        bound8.add(shape.speedup_bound(8));
+        bound16.add(shape.speedup_bound(16));
+      }
+      table.add_row({family_name(family), TablePrinter::fmt(work.mean(), 0),
+                     TablePrinter::fmt(levels.mean(), 0),
+                     TablePrinter::fmt(parallelism.mean(), 1),
+                     TablePrinter::fmt(bound4.mean(), 2),
+                     TablePrinter::fmt(bound8.mean(), 2),
+                     TablePrinter::fmt(bound16.mean(), 2),
+                     TablePrinter::fmt(parallelism.mean(), 2)});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+  std::cout << "Reading: 'bound @P' is work/rounds(P) — the best speedup the\n"
+               "level-synchronised sweep admits on P cores; '@inf' is the\n"
+               "structural parallelism (work/span). Families whose bound @16\n"
+               "is far above 16 scale linearly at the paper's core counts;\n"
+               "narrow tables flatten exactly as the paper observes.\n";
+  return 0;
+}

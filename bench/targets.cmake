@@ -1,0 +1,39 @@
+# Figure/table reproduction harnesses (plain executables with CLI flags) and
+# google-benchmark microbenchmarks. All default flag values are sized so that
+# `for b in build/bench/*; do $b; done` completes in minutes.
+function(pcmax_add_bench name)
+  if(NOT EXISTS ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+    message(STATUS "skipping ${name} (source not written yet)")
+    return()
+  endif()
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
+    pcmax_parallel pcmax_util)
+endfunction()
+
+function(pcmax_add_micro name)
+  if(NOT EXISTS ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+    message(STATUS "skipping ${name} (source not written yet)")
+    return()
+  endif()
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
+    pcmax_parallel pcmax_util benchmark::benchmark benchmark::benchmark_main)
+endfunction()
+
+pcmax_add_bench(table1_dp_example)
+pcmax_add_bench(fig2_speedup_m20_n100)
+pcmax_add_bench(fig3_speedup_m10_n50)
+pcmax_add_bench(fig4_speedup_m10_n30)
+pcmax_add_bench(fig5_approx_ratios)
+pcmax_add_bench(ablation_dp_variants)
+pcmax_add_bench(scaling_analysis)
+pcmax_add_bench(baselines_shootout)
+pcmax_add_bench(robustness_analysis)
+pcmax_add_bench(epsilon_sweep)
+pcmax_add_micro(micro_dp)
+pcmax_add_micro(micro_parallel)

@@ -1,0 +1,43 @@
+// Local-search improvement for P || C_max schedules.
+//
+// A polish pass usable after any constructive heuristic: repeatedly try to
+// reduce the makespan by (a) moving one job off a critical machine, or
+// (b) swapping a job on a critical machine with a shorter job elsewhere.
+// Terminates at a local optimum of the move+swap neighbourhood, so the
+// result is never worse than the input schedule. Classic complement to LPT
+// (this is not in the paper; it is the natural "practical" baseline a
+// production library ships alongside it).
+#pragma once
+
+#include <cstdint>
+
+#include "core/solver.hpp"
+
+namespace pcmax {
+
+/// Statistics of one local-search run.
+struct LocalSearchStats {
+  std::uint64_t moves = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Improves `schedule` in place until move+swap local optimality or until
+/// `max_rounds` passes. Returns the statistics of the run.
+LocalSearchStats improve_schedule(const Instance& instance, Schedule& schedule,
+                                  std::uint64_t max_rounds = 10'000);
+
+/// A solver decorator: runs an inner heuristic, then polishes its schedule.
+class LocalSearchSolver final : public Solver {
+ public:
+  /// Wraps `inner` (non-owning; must outlive this solver).
+  explicit LocalSearchSolver(Solver& inner);
+
+  [[nodiscard]] std::string name() const override;
+  SolverResult solve(const Instance& instance) override;
+
+ private:
+  Solver& inner_;
+};
+
+}  // namespace pcmax

@@ -1,0 +1,63 @@
+#include "algo/ptas/bisection.hpp"
+
+#include "core/bounds.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pcmax {
+
+DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
+                     const DpBackendFn& dp, const DpLimits& limits) {
+  const RoundingParams params = RoundingParams::make(target, k);
+  const JobPartition partition = partition_jobs(instance, params);
+  RoundedInstance rounded = round_long_jobs(instance, partition, params);
+  std::vector<int> counts = rounded.class_count;
+  StateSpace space(std::move(counts), limits.max_table_entries);
+  ConfigSet configs = enumerate_configs(rounded, space, limits.max_configs);
+  DpRun run = dp(rounded, space, configs);
+  return DpAtTarget{std::move(rounded), std::move(space), std::move(configs),
+                    std::move(run)};
+}
+
+BisectionResult bisect_target_makespan(const Instance& instance, int k,
+                                       const DpBackendFn& dp,
+                                       const DpLimits& limits) {
+  BisectionResult result;
+  result.lb0 = makespan_lower_bound(instance);
+  result.ub0 = makespan_upper_bound(instance);
+
+  Time lb = result.lb0;
+  Time ub = result.ub0;
+  while (lb < ub) {
+    const Time target = lb + (ub - lb) / 2;
+    Stopwatch sw;
+    const DpAtTarget at = run_dp_at(instance, target, k, dp, limits);
+    const double seconds = sw.elapsed_seconds();
+
+    const bool feasible =
+        at.run.machines_needed != DpTable::kInfeasible &&
+        at.run.machines_needed <= instance.machines();
+
+    BisectionIteration iteration;
+    iteration.target = target;
+    iteration.feasible = feasible;
+    iteration.counts = at.rounded.class_count;
+    iteration.table_size = at.space.size();
+    iteration.config_count = at.configs.count();
+    iteration.entries_computed = at.run.stats.entries_computed;
+    iteration.config_scans = at.run.stats.config_scans;
+    iteration.dp_seconds = seconds;
+    result.trace.push_back(std::move(iteration));
+
+    if (feasible) {
+      ub = target;  // a schedule within T exists (paper Line 28)
+    } else {
+      lb = target + 1;  // no schedule of length T exists (paper Line 30)
+    }
+  }
+  PCMAX_CHECK(lb == ub, "bisection must close the interval");
+  result.t_star = lb;
+  return result;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,67 @@
+// Bisection search on the target makespan (paper Alg. 1, Lines 5-30).
+//
+// The driver probes candidate makespans T in [LB, UB]; for each T it rounds
+// the long jobs, runs a DP backend, and keeps T feasible iff the DP needs at
+// most m machines. It records a per-iteration trace that the experiment
+// harness replays on the simulated multicore (see src/harness/simmachine).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_sequential.hpp"
+#include "algo/ptas/rounding.hpp"
+#include "algo/ptas/state_space.hpp"
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// A DP strategy: bottom-up, top-down, or one of the parallel variants,
+/// already bound to its executor/thread configuration.
+using DpBackendFn = std::function<DpRun(const RoundedInstance&, const StateSpace&,
+                                        const ConfigSet&)>;
+
+/// Resource limits for one DP construction.
+struct DpLimits {
+  std::size_t max_table_entries = std::size_t{1} << 26;  ///< ~64M entries
+  std::size_t max_configs = std::size_t{1} << 22;
+};
+
+/// Everything produced by one DP probe at a fixed target T.
+struct DpAtTarget {
+  RoundedInstance rounded;
+  StateSpace space;
+  ConfigSet configs;
+  DpRun run;
+};
+
+/// Rounds, enumerates configurations, and runs `dp` at target makespan T.
+DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
+                     const DpBackendFn& dp, const DpLimits& limits);
+
+/// Trace entry for one bisection probe.
+struct BisectionIteration {
+  Time target = 0;             ///< probed makespan T
+  bool feasible = false;       ///< DP needed <= m machines
+  std::vector<int> counts;     ///< DP vector N (occupied classes only)
+  std::size_t table_size = 0;  ///< sigma
+  std::size_t config_count = 0;
+  std::uint64_t entries_computed = 0;
+  std::uint64_t config_scans = 0;
+  double dp_seconds = 0.0;     ///< wall time of the DP probe
+};
+
+/// Result of the bisection search.
+struct BisectionResult {
+  Time t_star = 0;  ///< smallest DP-feasible target found (LB == UB)
+  Time lb0 = 0;     ///< initial lower bound, Eq. (1)
+  Time ub0 = 0;     ///< initial upper bound, Eq. (2)
+  std::vector<BisectionIteration> trace;
+};
+
+/// Runs the bisection loop of Algorithm 1 with the supplied DP backend.
+BisectionResult bisect_target_makespan(const Instance& instance, int k,
+                                       const DpBackendFn& dp, const DpLimits& limits);
+
+}  // namespace pcmax

@@ -1,0 +1,62 @@
+#include "algo/ptas/config_enum.hpp"
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+namespace {
+
+/// Depth-first enumeration over dimensions with remaining-capacity pruning.
+void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
+                   std::size_t max_configs, int dim, Time remaining,
+                   std::vector<int>& current, ConfigSet& out) {
+  if (dim == rounded.dims()) {
+    bool all_zero = true;
+    for (int s : current) {
+      if (s != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) return;  // the zero config means "no assignment" (paper §II)
+    if (out.count() >= max_configs) {
+      throw ResourceLimitError(
+          "machine-configuration set exceeds the configured budget of " +
+          std::to_string(max_configs));
+    }
+    out.digits.insert(out.digits.end(), current.begin(), current.end());
+    out.offsets.push_back(space.encode(current));
+    out.weights.push_back(rounded.params.target - remaining);
+    return;
+  }
+  const Time size = rounded.class_size[static_cast<std::size_t>(dim)];
+  const int limit = rounded.class_count[static_cast<std::size_t>(dim)];
+  for (int s = 0; s <= limit && static_cast<Time>(s) * size <= remaining; ++s) {
+    current[static_cast<std::size_t>(dim)] = s;
+    enumerate_rec(rounded, space, max_configs, dim + 1,
+                  remaining - static_cast<Time>(s) * size, current, out);
+  }
+  current[static_cast<std::size_t>(dim)] = 0;
+}
+
+}  // namespace
+
+ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& space,
+                            std::size_t max_configs) {
+  PCMAX_REQUIRE(max_configs >= 1, "max_configs must be positive");
+  ConfigSet out;
+  out.dims = rounded.dims();
+  std::vector<int> current(static_cast<std::size_t>(rounded.dims()), 0);
+  enumerate_rec(rounded, space, max_configs, 0, rounded.params.target, current, out);
+  return out;
+}
+
+bool config_fits(std::span<const int> s, std::span<const int> v) {
+  PCMAX_CHECK(s.size() == v.size(), "dimension mismatch");
+  for (std::size_t d = 0; d < s.size(); ++d) {
+    if (s[d] > v[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,93 @@
+// Machine-configuration enumeration (paper Eq. 3 and Alg. 2, Line 3).
+//
+// A machine configuration assigns s_i jobs of each rounded size class to a
+// single machine subject to the capacity constraint
+//     sum_i class_size_i * s_i <= T.
+// The DP enumerates the global set C = { s : s <= N, s feasible, s != 0 }
+// once; a table entry v then ranges over C_v = { s in C : s <= v }, which we
+// test with a componentwise comparison per entry. Because flat indices are
+// linear in the digits, encode(v - s) = encode(v) - offset(s), so each
+// config carries its precomputed index offset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algo/ptas/rounding.hpp"
+#include "algo/ptas/state_space.hpp"
+
+namespace pcmax {
+
+/// The global configuration set, stored structure-of-arrays: config c
+/// occupies digits [c*dims, (c+1)*dims) of `digits`.
+struct ConfigSet {
+  int dims = 0;
+  std::vector<int> digits;           ///< s vectors, flattened
+  std::vector<std::size_t> offsets;  ///< encoded index offset per config
+  std::vector<Time> weights;         ///< total rounded time per config
+
+  /// Number of configurations (the zero config is excluded).
+  [[nodiscard]] std::size_t count() const { return offsets.size(); }
+
+  /// Digits of configuration `c`.
+  [[nodiscard]] std::span<const int> config(std::size_t c) const {
+    return std::span<const int>(digits).subspan(c * static_cast<std::size_t>(dims),
+                                                static_cast<std::size_t>(dims));
+  }
+};
+
+/// Enumerates all non-zero configurations s <= N with weight <= T for the
+/// rounded instance, depth-first with capacity pruning.
+/// Throws ResourceLimitError if more than `max_configs` would be produced.
+ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& space,
+                            std::size_t max_configs);
+
+/// True iff s <= v componentwise. `s` and `v` must have equal size.
+bool config_fits(std::span<const int> s, std::span<const int> v);
+
+/// Paper-faithful per-entry enumeration (Alg. 3 Line 17): visits the encoded
+/// offset of every non-zero configuration s <= v with weight <= T, in
+/// lexicographic order of s — the same order enumerate_configs produces, so
+/// argmin tie-breaks agree between the two kernels. Returns the number of
+/// configurations visited.
+template <typename Visitor>
+std::uint64_t for_each_config_within(const RoundedInstance& rounded,
+                                     const StateSpace& space,
+                                     std::span<const int> v, Visitor&& visit) {
+  const int dims = rounded.dims();
+  const std::span<const std::size_t> strides = space.strides();
+  std::uint64_t count = 0;
+  // Iterative DFS as a mixed-radix odometer with capacity pruning: advance
+  // dimension d over 0..min(v_d, capacity/size_d).
+  std::vector<int> s(static_cast<std::size_t>(dims), 0);
+  int depth = 0;
+  Time remaining = rounded.params.target;
+  std::size_t offset = 0;
+
+  // Recursive lambda kept simple: dims is tiny (<= k^2) and configs hold at
+  // most ~k jobs, so the stack depth and fan-out are small.
+  auto rec = [&](auto&& self, int d) -> void {
+    if (d == dims) {
+      if (offset != 0) {  // exclude the zero configuration
+        ++count;
+        visit(offset);
+      }
+      return;
+    }
+    const Time size = rounded.class_size[static_cast<std::size_t>(d)];
+    const int limit = v[static_cast<std::size_t>(d)];
+    for (int x = 0; x <= limit && static_cast<Time>(x) * size <= remaining; ++x) {
+      remaining -= static_cast<Time>(x) * size;
+      offset += static_cast<std::size_t>(x) * strides[static_cast<std::size_t>(d)];
+      self(self, d + 1);
+      offset -= static_cast<std::size_t>(x) * strides[static_cast<std::size_t>(d)];
+      remaining += static_cast<Time>(x) * size;
+    }
+  };
+  rec(rec, depth);
+  return count;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,223 @@
+#include "algo/ptas/dp_parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "parallel/barrier.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::string parallel_dp_variant_name(ParallelDpVariant variant) {
+  switch (variant) {
+    case ParallelDpVariant::kScanPerLevel: return "scan-per-level";
+    case ParallelDpVariant::kBucketed: return "bucketed";
+    case ParallelDpVariant::kSpmd: return "spmd";
+  }
+  throw InvalidArgumentError("unknown parallel DP variant");
+}
+
+std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor) {
+  std::vector<std::int32_t> levels(space.size());
+  const auto counts = space.counts();
+  executor.parallel_for_ranges(
+      space.size(),
+      [&](std::size_t begin, std::size_t end, unsigned /*worker*/) {
+        // Decode the first index of the range, then advance the digit
+        // odometer so the whole contiguous range costs O(1) per entry.
+        std::vector<int> digits(static_cast<std::size_t>(space.dims()));
+        space.decode(begin, digits);
+        int level = 0;
+        for (int d : digits) level += d;
+        for (std::size_t i = begin; i < end; ++i) {
+          levels[i] = level;
+          for (std::size_t d = digits.size(); d-- > 0;) {
+            if (digits[d] < counts[d]) {
+              ++digits[d];
+              ++level;
+              break;
+            }
+            level -= digits[d];
+            digits[d] = 0;
+          }
+        }
+      },
+      LoopSchedule::kStatic, /*chunk=*/1);
+  return levels;
+}
+
+LevelIndex build_level_index(const StateSpace& space,
+                             const std::vector<std::int32_t>& levels) {
+  PCMAX_CHECK(levels.size() == space.size(), "level array has wrong size");
+  const auto level_count = static_cast<std::size_t>(space.max_level()) + 1;
+  LevelIndex index;
+  index.level_begin.assign(level_count + 1, 0);
+  for (std::int32_t l : levels) {
+    ++index.level_begin[static_cast<std::size_t>(l) + 1];
+  }
+  for (std::size_t l = 1; l <= level_count; ++l) {
+    index.level_begin[l] += index.level_begin[l - 1];
+  }
+  index.order.resize(space.size());
+  std::vector<std::size_t> cursor(index.level_begin.begin(),
+                                  index.level_begin.end() - 1);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    index.order[cursor[static_cast<std::size_t>(levels[i])]++] = i;
+  }
+  return index;
+}
+
+namespace {
+
+/// Per-worker counters on separate cache lines to avoid false sharing.
+struct alignas(64) WorkerCounters {
+  std::uint64_t entries = 0;
+  std::uint64_t scans = 0;
+};
+
+/// Computes one table entry given its flat index (shared by all variants).
+/// `digits` is the caller's scratch buffer for this worker.
+inline void process_index(std::size_t index, const RoundedInstance& rounded,
+                          const StateSpace& space, const ConfigSet& configs,
+                          DpKernel kernel, DpTable& table,
+                          std::vector<int>& digits, WorkerCounters& counters) {
+  if (index == 0) {
+    table.set(0, 0, DpTable::kNoChoice);  // OPT(0,...,0) = 0
+    ++counters.entries;
+    return;
+  }
+  space.decode(index, digits);
+  const EntryResult entry =
+      kernel == DpKernel::kGlobalConfigs
+          ? compute_entry(index, digits, configs, table.values_data(),
+                          counters.scans)
+          : compute_entry_enumerated(index, digits, rounded, space,
+                                     table.values_data(), counters.scans);
+  table.set(index, entry.value, entry.choice);
+  ++counters.entries;
+}
+
+void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
+                        const ConfigSet& configs, DpKernel kernel,
+                        Executor& executor, LoopSchedule schedule, DpRun& run) {
+  const std::vector<std::int32_t> levels = compute_levels(space, executor);
+  const unsigned workers = executor.concurrency();
+  std::vector<WorkerCounters> counters(workers);
+  std::vector<std::vector<int>> scratch(
+      workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
+
+  for (int level = 0; level <= space.max_level(); ++level) {
+    executor.parallel_for_ranges(
+        space.size(),
+        [&](std::size_t begin, std::size_t end, unsigned worker) {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (levels[i] != level) continue;  // paper Line 12
+            process_index(i, rounded, space, configs, kernel, run.table,
+                          scratch[worker], counters[worker]);
+          }
+        },
+        schedule, /*chunk=*/64);
+  }
+  for (const auto& c : counters) {
+    run.stats.entries_computed += c.entries;
+    run.stats.config_scans += c.scans;
+  }
+}
+
+void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, DpKernel kernel, Executor& executor,
+                  LoopSchedule schedule, DpRun& run) {
+  const std::vector<std::int32_t> levels = compute_levels(space, executor);
+  const LevelIndex index = build_level_index(space, levels);
+  const unsigned workers = executor.concurrency();
+  std::vector<WorkerCounters> counters(workers);
+  std::vector<std::vector<int>> scratch(
+      workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
+
+  for (int level = 0; level <= space.max_level(); ++level) {
+    const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
+    const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+    executor.parallel_for_ranges(
+        end - begin,
+        [&](std::size_t slot_begin, std::size_t slot_end, unsigned worker) {
+          for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
+            process_index(index.order[begin + slot], rounded, space, configs,
+                          kernel, run.table, scratch[worker], counters[worker]);
+          }
+        },
+        schedule, /*chunk=*/16);
+  }
+  for (const auto& c : counters) {
+    run.stats.entries_computed += c.entries;
+    run.stats.config_scans += c.scans;
+  }
+}
+
+void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
+              const ConfigSet& configs, DpKernel kernel, unsigned num_threads,
+              DpRun& run) {
+  SequentialExecutor seq;
+  const std::vector<std::int32_t> levels = compute_levels(space, seq);
+  const LevelIndex index = build_level_index(space, levels);
+
+  Barrier barrier(num_threads);
+  std::vector<WorkerCounters> counters(num_threads);
+
+  auto worker_fn = [&](unsigned worker) {
+    std::vector<int> digits(static_cast<std::size_t>(space.dims()));
+    for (int level = 0; level <= space.max_level(); ++level) {
+      const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
+      const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+      // Round-robin slotting of this level's entries across the P threads.
+      for (std::size_t slot = begin + worker; slot < end; slot += num_threads) {
+        process_index(index.order[slot], rounded, space, configs, kernel,
+                      run.table, digits, counters[worker]);
+      }
+      barrier.arrive_and_wait();  // level boundary
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned w = 1; w < num_threads; ++w) threads.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (auto& t : threads) t.join();
+
+  for (const auto& c : counters) {
+    run.stats.entries_computed += c.entries;
+    run.stats.config_scans += c.scans;
+  }
+}
+
+}  // namespace
+
+DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, const ParallelDpOptions& options) {
+  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+  run.stats.table_size = space.size();
+  run.stats.config_count = configs.count();
+  run.stats.levels = space.max_level() + 1;
+
+  switch (options.variant) {
+    case ParallelDpVariant::kScanPerLevel:
+      PCMAX_REQUIRE(options.executor != nullptr,
+                    "scan-per-level variant needs an executor");
+      run_scan_per_level(rounded, space, configs, options.kernel,
+                         *options.executor, options.schedule, run);
+      break;
+    case ParallelDpVariant::kBucketed:
+      PCMAX_REQUIRE(options.executor != nullptr, "bucketed variant needs an executor");
+      run_bucketed(rounded, space, configs, options.kernel, *options.executor,
+                   options.schedule, run);
+      break;
+    case ParallelDpVariant::kSpmd:
+      PCMAX_REQUIRE(options.spmd_threads >= 1, "spmd needs at least one thread");
+      run_spmd(rounded, space, configs, options.kernel, options.spmd_threads, run);
+      break;
+  }
+
+  run.machines_needed = run.table.value(space.size() - 1);
+  return run;
+}
+
+}  // namespace pcmax

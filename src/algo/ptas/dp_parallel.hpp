@@ -1,0 +1,74 @@
+// Parallel DP — the paper's core contribution (Algorithm 3).
+//
+// Entries on the same anti-diagonal (equal digit sum d(v)) are mutually
+// independent, so the table is swept level-by-level: level l is processed by
+// P workers in parallel, and a synchronisation point separates consecutive
+// levels. Three realisations are provided:
+//
+//  * kScanPerLevel — paper-faithful: first compute the level array D in
+//    parallel (Alg. 3 Lines 4-8), then for every level scan all sigma
+//    entries and process those with d_i == l (Lines 10-25). The scan costs
+//    O(sigma) per level on top of the useful work.
+//  * kBucketed — compute D in parallel, counting-sort indices into per-level
+//    buckets once, then each level's parallel loop touches only its own
+//    entries. Same results, no per-level scan (ablation:
+//    bench/ablation_dp_variants quantifies the difference).
+//  * kSpmd — persistent threads with a barrier between levels over the
+//    bucketed order, eliminating the per-level fork/join of the executor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/ptas/dp_sequential.hpp"
+#include "parallel/executor.hpp"
+
+namespace pcmax {
+
+/// Parallelisation strategy for the level sweep.
+enum class ParallelDpVariant {
+  kScanPerLevel,
+  kBucketed,
+  kSpmd,
+};
+
+/// Human-readable variant name for reports.
+std::string parallel_dp_variant_name(ParallelDpVariant variant);
+
+/// Options of one parallel DP run.
+struct ParallelDpOptions {
+  /// Executor running the parallel loops (kScanPerLevel/kBucketed); must
+  /// stay alive for the duration of the call. Ignored by kSpmd.
+  Executor* executor = nullptr;
+  ParallelDpVariant variant = ParallelDpVariant::kBucketed;
+  /// Iteration-assignment strategy inside a level (paper: round-robin).
+  LoopSchedule schedule = LoopSchedule::kRoundRobin;
+  /// Thread count for the kSpmd variant.
+  unsigned spmd_threads = 1;
+  /// Per-entry kernel: optimised global-config scan or paper-faithful
+  /// per-entry configuration enumeration (Alg. 3 Line 17).
+  DpKernel kernel = DpKernel::kGlobalConfigs;
+};
+
+/// Computes the anti-diagonal level d(v) of every entry, in parallel
+/// (paper Alg. 3 Lines 4-8). Exposed for tests and benches.
+std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor);
+
+/// Indices grouped by level: entries of level l are
+/// order[level_begin[l] .. level_begin[l+1]).
+struct LevelIndex {
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> level_begin;  ///< size max_level + 2
+};
+
+/// Counting-sorts entry indices by level.
+LevelIndex build_level_index(const StateSpace& space,
+                             const std::vector<std::int32_t>& levels);
+
+/// Runs the level-synchronised parallel DP. Produces a table identical to
+/// dp_bottom_up (values and argmin choices are deterministic because the
+/// argmin takes the lowest config id, independent of worker interleaving).
+DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, const ParallelDpOptions& options);
+
+}  // namespace pcmax

@@ -1,0 +1,126 @@
+#include "algo/ptas/dp_sequential.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
+                   const ConfigSet& configs, DpKernel kernel) {
+  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+  run.stats.table_size = space.size();
+  run.stats.config_count = configs.count();
+  run.stats.levels = space.max_level() + 1;
+
+  run.table.set(0, 0, DpTable::kNoChoice);  // OPT(0,...,0) = 0
+  ++run.stats.entries_computed;
+
+  // Odometer-maintained digits avoid a decode per entry.
+  std::vector<int> digits(static_cast<std::size_t>(space.dims()), 0);
+  const auto counts = space.counts();
+  for (std::size_t index = 1; index < space.size(); ++index) {
+    // Increment the mixed-radix odometer (last digit fastest).
+    for (std::size_t d = digits.size(); d-- > 0;) {
+      if (digits[d] < counts[d]) {
+        ++digits[d];
+        break;
+      }
+      digits[d] = 0;
+    }
+    const EntryResult entry =
+        kernel == DpKernel::kGlobalConfigs
+            ? compute_entry(index, digits, configs, run.table.values_data(),
+                            run.stats.config_scans)
+            : compute_entry_enumerated(index, digits, rounded, space,
+                                       run.table.values_data(),
+                                       run.stats.config_scans);
+    run.table.set(index, entry.value, entry.choice);
+    ++run.stats.entries_computed;
+  }
+
+  run.machines_needed = run.table.value(space.size() - 1);
+  return run;
+}
+
+namespace {
+
+/// Iterative depth-first evaluation with an explicit stack; only reachable
+/// states are computed. A state is pushed once, its uncomputed predecessors
+/// are pushed above it, and it is finalised when all predecessors are ready.
+class TopDownEvaluator {
+ public:
+  TopDownEvaluator(const StateSpace& space, const ConfigSet& configs, DpRun& run)
+      : space_(space), configs_(configs), run_(run) {}
+
+  void evaluate(std::size_t root) {
+    if (run_.table.value(root) != DpTable::kUnset) return;
+    stack_.push_back(root);
+    std::vector<int> digits(static_cast<std::size_t>(space_.dims()));
+    while (!stack_.empty()) {
+      const std::size_t index = stack_.back();
+      if (run_.table.value(index) != DpTable::kUnset) {
+        stack_.pop_back();
+        continue;
+      }
+      if (index == 0) {
+        run_.table.set(0, 0, DpTable::kNoChoice);
+        ++run_.stats.entries_computed;
+        stack_.pop_back();
+        continue;
+      }
+      space_.decode(index, digits);
+      // First pass: push any unready predecessors; if none, finalise.
+      bool ready = true;
+      const auto dims = static_cast<std::size_t>(configs_.dims);
+      for (std::size_t c = 0; c < configs_.count(); ++c) {
+        const int* s = configs_.digits.data() + c * dims;
+        bool fits = true;
+        for (std::size_t d = 0; d < dims; ++d) {
+          if (s[d] > digits[d]) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) continue;
+        const std::size_t predecessor = index - configs_.offsets[c];
+        if (run_.table.value(predecessor) == DpTable::kUnset) {
+          if (ready) ready = false;
+          stack_.push_back(predecessor);
+        }
+      }
+      if (!ready) continue;
+      const EntryResult entry = compute_entry(index, digits, configs_,
+                                              run_.table.values_data(),
+                                              run_.stats.config_scans);
+      run_.table.set(index, entry.value, entry.choice);
+      ++run_.stats.entries_computed;
+      stack_.pop_back();
+    }
+  }
+
+ private:
+  const StateSpace& space_;
+  const ConfigSet& configs_;
+  DpRun& run_;
+  std::vector<std::size_t> stack_;
+};
+
+}  // namespace
+
+DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs) {
+  (void)rounded;
+  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+  run.stats.table_size = space.size();
+  run.stats.config_count = configs.count();
+  run.stats.levels = space.max_level() + 1;
+
+  TopDownEvaluator evaluator(space, configs, run);
+  evaluator.evaluate(space.size() - 1);
+
+  run.machines_needed = run.table.value(space.size() - 1);
+  return run;
+}
+
+}  // namespace pcmax

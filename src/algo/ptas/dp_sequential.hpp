@@ -1,0 +1,39 @@
+// Sequential realisations of the DP (paper Algorithm 2).
+//
+// Two equivalent strategies:
+//  * bottom-up — fills every entry in row-major (= topological) order; this
+//    is the sequential counterpart of the parallel sweep and the fair
+//    baseline for speedup measurements (identical total work);
+//  * top-down — memoised recursion from OPT(N), as the paper presents
+//    Algorithm 2; it touches only states reachable from N by subtracting
+//    configurations, which on sparse instances can be far fewer than sigma
+//    (quantified by bench/ablation_dp_variants).
+#pragma once
+
+#include "algo/ptas/dp_table.hpp"
+#include "algo/ptas/rounding.hpp"
+#include "algo/ptas/state_space.hpp"
+
+namespace pcmax {
+
+/// Result of one DP run: OPT(N) plus the table for reconstruction.
+struct DpRun {
+  DpTable table;
+  std::int32_t machines_needed = DpTable::kInfeasible;  ///< OPT(N)
+  DpStats stats;
+};
+
+/// Bottom-up fill of the whole table in row-major order. `kernel` selects
+/// the optimised global-config scan or the paper-faithful per-entry
+/// enumeration (identical results either way).
+DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
+                   const ConfigSet& configs,
+                   DpKernel kernel = DpKernel::kGlobalConfigs);
+
+/// Top-down memoised evaluation of OPT(N); only reachable entries are set.
+/// Always uses the global-config kernel (the readiness scan needs the
+/// config list anyway).
+DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs);
+
+}  // namespace pcmax

@@ -1,0 +1,14 @@
+#include "algo/ptas/dp_table.hpp"
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+DpTable::DpTable(std::size_t size)
+    : values_(size, kUnset), choices_(size, kNoChoice) {
+  // Choices store encoded offsets, which are < size; keep them in int32.
+  PCMAX_REQUIRE(size < static_cast<std::size_t>(kInfeasible),
+                "DP table too large for the int32 choice encoding");
+}
+
+}  // namespace pcmax

@@ -1,0 +1,149 @@
+// The DP table of Algorithm 2/3 and the shared per-entry kernel.
+//
+// Entry v holds OPT(v): the minimum number of machines that schedule the
+// rounded long jobs given by count vector v with makespan at most T
+// (paper Eq. 4). Alongside each value the table stores the argmin
+// configuration id, which the reconstruction step walks backwards from N to
+// recover the actual machine assignment (paper Alg. 1, Line 26).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/state_space.hpp"
+
+namespace pcmax {
+
+/// Flat storage of OPT values and argmin configuration choices.
+class DpTable {
+ public:
+  /// Value of an entry that has not been computed yet.
+  static constexpr std::int32_t kUnset = -1;
+  /// Value of an entry no configuration sequence can reach. With valid
+  /// rounding every single-job config fits (c*u <= t <= T), so reachable
+  /// tables never contain this; it exists for defensive completeness.
+  static constexpr std::int32_t kInfeasible = INT32_MAX;
+  /// Choice value meaning "no configuration chosen" (origin or infeasible).
+  /// Otherwise the choice of entry v is the *encoded offset* of the argmin
+  /// configuration s (i.e. encode(s)), so the reconstruction walk computes
+  /// the predecessor index as `index - choice` and recovers s by decoding
+  /// the offset — independent of which DP kernel filled the table.
+  static constexpr std::int32_t kNoChoice = -1;
+
+  /// Allocates a table with `size` unset entries (size must fit in the
+  /// int32 choice encoding).
+  explicit DpTable(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  [[nodiscard]] std::int32_t value(std::size_t index) const { return values_[index]; }
+  [[nodiscard]] std::int32_t choice(std::size_t index) const { return choices_[index]; }
+
+  void set(std::size_t index, std::int32_t value, std::int32_t choice) {
+    values_[index] = value;
+    choices_[index] = choice;
+  }
+
+  /// Raw value array for hot loops (read-only view of computed entries).
+  [[nodiscard]] const std::int32_t* values_data() const { return values_.data(); }
+
+ private:
+  std::vector<std::int32_t> values_;
+  std::vector<std::int32_t> choices_;
+};
+
+/// Statistics of one DP execution.
+struct DpStats {
+  std::uint64_t entries_computed = 0;  ///< table entries evaluated
+  std::uint64_t config_scans = 0;      ///< config candidates inspected
+  std::size_t table_size = 0;          ///< sigma
+  std::size_t config_count = 0;        ///< |C|
+  int levels = 0;                      ///< n' + 1 anti-diagonals
+};
+
+/// Computed value/choice pair for one entry.
+struct EntryResult {
+  std::int32_t value;
+  std::int32_t choice;
+};
+
+/// Which configuration-enumeration strategy the DP kernels use per entry.
+enum class DpKernel {
+  /// Scan the globally precomputed set C once per entry, skipping configs
+  /// that do not fit v. This repo's optimised kernel.
+  kGlobalConfigs,
+  /// Re-enumerate C_v per entry, exactly as paper Algorithm 3 Line 17
+  /// ("C_{v^i} <- all machine configurations of vector v^i"). Much more
+  /// per-entry work — this is the cost profile the paper measured, and the
+  /// profile the speedup figures replay.
+  kPerEntryEnum,
+};
+
+/// Evaluates the recurrence for entry `index` with digits `v` against the
+/// global config set: OPT(v) = 1 + min over { s in C : s <= v } of OPT(v-s).
+/// Entry 0 (v = 0) must be handled by the caller (OPT = 0). All predecessor
+/// entries must already be computed. `scans` is incremented by the number of
+/// configurations inspected.
+inline EntryResult compute_entry(std::size_t index, std::span<const int> v,
+                                 const ConfigSet& configs,
+                                 const std::int32_t* values,
+                                 std::uint64_t& scans) {
+  std::int32_t best = DpTable::kInfeasible;
+  std::int32_t best_choice = DpTable::kNoChoice;
+  const auto dims = static_cast<std::size_t>(configs.dims);
+  const int* digits = configs.digits.data();
+  const std::size_t* offsets = configs.offsets.data();
+  const std::size_t count = configs.count();
+  scans += count;
+  for (std::size_t c = 0; c < count; ++c) {
+    const int* s = digits + c * dims;
+    bool fits = true;
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (s[d] > v[d]) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+    const std::int32_t predecessor = values[index - offsets[c]];
+    assert(predecessor != DpTable::kUnset &&
+           "DP ordering violated: predecessor not computed");
+    if (predecessor < best) {
+      best = predecessor;
+      best_choice = static_cast<std::int32_t>(offsets[c]);
+    }
+  }
+  if (best == DpTable::kInfeasible) return {DpTable::kInfeasible, DpTable::kNoChoice};
+  return {best + 1, best_choice};
+}
+
+/// Paper-faithful variant of compute_entry: re-enumerates C_v for this entry
+/// (Alg. 3 Lines 17-19) instead of scanning a precomputed global set. The
+/// two kernels produce identical values and identical argmin choices (both
+/// iterate fitting configurations in lexicographic order of s).
+inline EntryResult compute_entry_enumerated(std::size_t index,
+                                            std::span<const int> v,
+                                            const RoundedInstance& rounded,
+                                            const StateSpace& space,
+                                            const std::int32_t* values,
+                                            std::uint64_t& scans) {
+  std::int32_t best = DpTable::kInfeasible;
+  std::int32_t best_choice = DpTable::kNoChoice;
+  scans += for_each_config_within(rounded, space, v, [&](std::size_t offset) {
+    const std::int32_t predecessor = values[index - offset];
+    assert(predecessor != DpTable::kUnset &&
+           "DP ordering violated: predecessor not computed");
+    if (predecessor < best) {
+      best = predecessor;
+      best_choice = static_cast<std::int32_t>(offset);
+    }
+  });
+  if (best == DpTable::kInfeasible) return {DpTable::kInfeasible, DpTable::kNoChoice};
+  return {best + 1, best_choice};
+}
+
+}  // namespace pcmax

@@ -1,0 +1,49 @@
+// Speculative multisection search on the target makespan — an extension
+// beyond the paper.
+//
+// The paper parallelises only the DP and keeps the bisection sequential
+// (Section III, last paragraph). When the DP of a single probe is too small
+// to occupy all cores, an alternative is to parallelise *across probes*:
+// split [LB, UB] at `ways` interior points, run the `ways` DP probes
+// concurrently (each on its own thread), and narrow the interval to one of
+// the ways+1 segments — log_{ways+1} rounds instead of log_2.
+//
+// Soundness matches the bisection's: an infeasible probe at T proves
+// OPT > T (rounded jobs are no larger than originals), and a feasible probe
+// yields a schedule within (1 + 1/k)·T. Because rounded feasibility need
+// not be monotone in T between probe points, multisection may settle on a
+// slightly different T* than bisection — both are valid: T* <= OPT holds
+// for both, which is all the (1+eps) guarantee needs.
+#pragma once
+
+#include "algo/ptas/bisection.hpp"
+
+namespace pcmax {
+
+/// One multisection round: the probed targets and their outcomes.
+struct MultisectionRound {
+  std::vector<BisectionIteration> probes;  ///< one per concurrent target
+};
+
+/// Result of the multisection search.
+struct MultisectionResult {
+  Time t_star = 0;
+  Time lb0 = 0;
+  Time ub0 = 0;
+  std::vector<MultisectionRound> rounds;
+
+  /// Flattens the rounds into a bisection-style trace (for the simulator).
+  [[nodiscard]] BisectionResult as_bisection() const;
+};
+
+/// Runs the multisection search with `ways` concurrent probes per round
+/// (ways = 1 degenerates to exactly the bisection). Each probe runs the
+/// supplied DP backend on its own std::thread; the backend must therefore
+/// be safe to run concurrently with itself (all provided backends are —
+/// sequential ones trivially, and distinct probes never share tables).
+MultisectionResult multisect_target_makespan(const Instance& instance, int k,
+                                             const DpBackendFn& dp,
+                                             const DpLimits& limits,
+                                             unsigned ways);
+
+}  // namespace pcmax

@@ -1,0 +1,174 @@
+#include "algo/ptas/ptas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/ptas/multisection.hpp"
+#include "algo/ptas/reconstruct.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pcmax {
+
+int accuracy_k(double epsilon) {
+  PCMAX_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+  const double inv = 1.0 / epsilon;
+  PCMAX_REQUIRE(inv < 64.0, "epsilon too small: k = ceil(1/eps) must stay below 64");
+  return std::max(1, static_cast<int>(std::ceil(inv)));
+}
+
+std::string dp_engine_name(DpEngine engine) {
+  switch (engine) {
+    case DpEngine::kBottomUp: return "bottom-up";
+    case DpEngine::kTopDown: return "top-down";
+    case DpEngine::kParallelScan: return "parallel-scan";
+    case DpEngine::kParallelBucketed: return "parallel-bucketed";
+    case DpEngine::kSpmd: return "spmd";
+  }
+  throw InvalidArgumentError("unknown DP engine");
+}
+
+PtasSolver::PtasSolver(PtasOptions options)
+    : options_(std::move(options)), k_(accuracy_k(options_.epsilon)) {
+  const bool needs_executor = options_.engine == DpEngine::kParallelScan ||
+                              options_.engine == DpEngine::kParallelBucketed;
+  PCMAX_REQUIRE(!needs_executor || options_.executor != nullptr,
+                "parallel DP engines require an executor");
+  PCMAX_REQUIRE(options_.engine != DpEngine::kSpmd || options_.spmd_threads >= 1,
+                "spmd engine needs at least one thread");
+}
+
+std::string PtasSolver::name() const {
+  switch (options_.engine) {
+    case DpEngine::kBottomUp:
+    case DpEngine::kTopDown:
+      return "PTAS";
+    default:
+      return "ParallelPTAS";
+  }
+}
+
+DpBackendFn PtasSolver::make_backend() const {
+  switch (options_.engine) {
+    case DpEngine::kBottomUp: {
+      const DpKernel kernel = options_.kernel;
+      return [kernel](const RoundedInstance& rounded, const StateSpace& space,
+                      const ConfigSet& configs) {
+        return dp_bottom_up(rounded, space, configs, kernel);
+      };
+    }
+    case DpEngine::kTopDown:
+      return [](const RoundedInstance& rounded, const StateSpace& space,
+                const ConfigSet& configs) {
+        return dp_top_down(rounded, space, configs);
+      };
+    case DpEngine::kParallelScan:
+    case DpEngine::kParallelBucketed: {
+      ParallelDpOptions dp_options;
+      dp_options.executor = options_.executor;
+      dp_options.variant = options_.engine == DpEngine::kParallelScan
+                               ? ParallelDpVariant::kScanPerLevel
+                               : ParallelDpVariant::kBucketed;
+      dp_options.schedule = options_.schedule;
+      dp_options.kernel = options_.kernel;
+      return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
+                          const ConfigSet& configs) {
+        return dp_parallel(rounded, space, configs, dp_options);
+      };
+    }
+    case DpEngine::kSpmd: {
+      ParallelDpOptions dp_options;
+      dp_options.variant = ParallelDpVariant::kSpmd;
+      dp_options.spmd_threads = options_.spmd_threads;
+      dp_options.kernel = options_.kernel;
+      return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
+                          const ConfigSet& configs) {
+        return dp_parallel(rounded, space, configs, dp_options);
+      };
+    }
+  }
+  throw InvalidArgumentError("unknown DP engine");
+}
+
+PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
+  Stopwatch sw;
+  const DpBackendFn backend = make_backend();
+
+  // Search for the target makespan: the paper's bisection (Alg. 1
+  // Lines 5-30), or the speculative multisection extension.
+  BisectionResult bisection =
+      options_.speculation <= 1
+          ? bisect_target_makespan(instance, k_, backend, options_.limits)
+          : multisect_target_makespan(instance, k_, backend, options_.limits,
+                                      options_.speculation)
+                .as_bisection();
+
+  // Re-run the DP at the final target and reconstruct (Lines 26, 31-51).
+  // The final T* equals the last feasible probe, so this probe is feasible
+  // by the bisection invariant (UB is only ever lowered to feasible values).
+  Stopwatch probe_clock;
+  const DpAtTarget at =
+      run_dp_at(instance, bisection.t_star, k_, backend, options_.limits);
+  const double final_probe_seconds = probe_clock.elapsed_seconds();
+  Schedule schedule = reconstruct_full_schedule(instance, at);
+
+  // Record the reconstruction probe in the trace: it is DP work that the
+  // parallel algorithm parallelises exactly like the bisection probes, so
+  // the simulated-multicore replay must see it.
+  {
+    BisectionIteration final_probe;
+    final_probe.target = bisection.t_star;
+    final_probe.feasible = true;
+    final_probe.counts = at.rounded.class_count;
+    final_probe.table_size = at.space.size();
+    final_probe.config_count = at.configs.count();
+    final_probe.entries_computed = at.run.stats.entries_computed;
+    final_probe.config_scans = at.run.stats.config_scans;
+    final_probe.dp_seconds = final_probe_seconds;
+    bisection.trace.push_back(std::move(final_probe));
+  }
+
+  PtasResult result;
+  result.schedule = std::move(schedule);
+  result.makespan = result.schedule.makespan(instance);
+  result.seconds = sw.elapsed_seconds();
+
+  // Aggregate statistics over all probes (including the reconstruction one).
+  double dp_seconds = 0.0;
+  std::uint64_t entries = 0;
+  std::uint64_t scans = 0;
+  std::size_t max_table = at.space.size();
+  for (const BisectionIteration& it : bisection.trace) {
+    dp_seconds += it.dp_seconds;
+    entries += it.entries_computed;
+    scans += it.config_scans;
+    max_table = std::max(max_table, it.table_size);
+  }
+  result.stats["k"] = k_;
+  // The last trace entry is the reconstruction probe, not a bisection step.
+  result.stats["iterations"] = static_cast<double>(bisection.trace.size() - 1);
+  result.stats["t_star"] = static_cast<double>(bisection.t_star);
+  result.stats["lb0"] = static_cast<double>(bisection.lb0);
+  result.stats["ub0"] = static_cast<double>(bisection.ub0);
+  result.stats["dp_seconds"] = dp_seconds;
+  result.stats["entries_computed"] = static_cast<double>(entries);
+  result.stats["config_scans"] = static_cast<double>(scans);
+  result.stats["max_table_size"] = static_cast<double>(max_table);
+  result.stats["final_long_jobs"] = static_cast<double>(at.rounded.total_long_jobs);
+  result.stats["final_levels"] = static_cast<double>(at.space.max_level() + 1);
+
+  if (options_.keep_trace) {
+    result.bisection = std::move(bisection);
+  } else {
+    result.bisection.t_star = bisection.t_star;
+    result.bisection.lb0 = bisection.lb0;
+    result.bisection.ub0 = bisection.ub0;
+  }
+  return result;
+}
+
+SolverResult PtasSolver::solve(const Instance& instance) {
+  return solve_with_trace(instance);
+}
+
+}  // namespace pcmax

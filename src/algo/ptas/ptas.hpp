@@ -1,0 +1,96 @@
+// Public facade of the (parallel) Hochbaum-Shmoys PTAS.
+//
+// PtasSolver implements paper Algorithm 1; the choice of DP engine turns it
+// into the sequential PTAS (kBottomUp/kTopDown) or the paper's parallel
+// approximation algorithm (the parallel engines replace Algorithm 2 with
+// Algorithm 3, everything else unchanged — paper §III, last paragraph).
+//
+// Guarantee: makespan <= (1 + 1/k) * OPT with k = ceil(1/epsilon), i.e. a
+// (1+epsilon)-approximation, identical for sequential and parallel engines.
+#pragma once
+
+#include <memory>
+
+#include "algo/ptas/bisection.hpp"
+#include "algo/ptas/dp_parallel.hpp"
+#include "core/solver.hpp"
+#include "parallel/executor.hpp"
+
+namespace pcmax {
+
+/// Which DP realisation drives the bisection probes.
+enum class DpEngine {
+  kBottomUp,          ///< sequential full-table fill (speedup baseline)
+  kTopDown,           ///< sequential memoised recursion (paper Alg. 2 as written)
+  kParallelScan,      ///< Algorithm 3, paper-faithful scan per level
+  kParallelBucketed,  ///< Algorithm 3 with pre-bucketed levels
+  kSpmd,              ///< Algorithm 3 with persistent threads + barrier
+};
+
+/// Human-readable engine name.
+std::string dp_engine_name(DpEngine engine);
+
+/// Options of the PTAS solver.
+struct PtasOptions {
+  /// Relative error epsilon > 0; the paper's experiments use 0.3.
+  double epsilon = 0.3;
+  DpEngine engine = DpEngine::kBottomUp;
+  /// Executor for the parallel engines; non-owning, must outlive the solver.
+  /// Ignored by sequential engines and by kSpmd.
+  Executor* executor = nullptr;
+  /// Per-level iteration assignment (paper: round-robin).
+  LoopSchedule schedule = LoopSchedule::kRoundRobin;
+  /// Thread count for the kSpmd engine.
+  unsigned spmd_threads = 1;
+  /// Per-entry kernel. kGlobalConfigs (default) scans a precomputed global
+  /// configuration set — this library's optimisation. kPerEntryEnum
+  /// re-enumerates C_v per entry exactly as the paper's Algorithm 3 does,
+  /// reproducing the cost profile behind the paper's speedup figures.
+  /// Ignored by kTopDown (global only). Results are identical either way.
+  DpKernel kernel = DpKernel::kGlobalConfigs;
+  /// Resource budgets for each DP probe.
+  DpLimits limits;
+  /// Concurrent probes per search round (extension beyond the paper):
+  /// 1 = the paper's sequential bisection; w > 1 = speculative multisection
+  /// probing w targets in parallel, shrinking the search to
+  /// log_{w+1}(UB-LB) rounds. Combine with a sequential DP engine to
+  /// parallelise across probes instead of within them.
+  unsigned speculation = 1;
+  /// When true, the per-iteration bisection trace is copied into the result
+  /// (used by the simulated-multicore harness).
+  bool keep_trace = false;
+};
+
+/// Result extension carrying the bisection trace when requested.
+struct PtasResult : SolverResult {
+  BisectionResult bisection;
+};
+
+/// The (parallel) PTAS solver.
+class PtasSolver final : public Solver {
+ public:
+  explicit PtasSolver(PtasOptions options);
+
+  [[nodiscard]] std::string name() const override;
+  SolverResult solve(const Instance& instance) override;
+
+  /// Like solve(), but returns the extended result with the trace.
+  PtasResult solve_with_trace(const Instance& instance);
+
+  /// k = ceil(1/epsilon) for the configured epsilon.
+  [[nodiscard]] int k() const { return k_; }
+
+  /// The options this solver was built with.
+  [[nodiscard]] const PtasOptions& options() const { return options_; }
+
+ private:
+  DpBackendFn make_backend() const;
+
+  PtasOptions options_;
+  int k_;
+};
+
+/// k = ceil(1/epsilon); throws InvalidArgumentError unless epsilon > 0.
+int accuracy_k(double epsilon);
+
+}  // namespace pcmax

@@ -1,0 +1,67 @@
+#include "algo/ptas/reconstruct.hpp"
+
+#include <vector>
+
+#include "algo/lpt.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Schedule reconstruct_long_schedule(const Instance& instance, const DpAtTarget& at) {
+  const std::int32_t needed = at.run.machines_needed;
+  PCMAX_CHECK(needed != DpTable::kInfeasible, "cannot reconstruct an infeasible run");
+  PCMAX_CHECK(needed <= instance.machines(),
+              "DP needs more machines than the instance has");
+
+  Schedule schedule(instance.machines());
+  const auto dims = static_cast<std::size_t>(at.rounded.dims());
+  // Cursor into each class's job list; any job of the class is a valid
+  // stand-in for its rounded size (paper Lines 34-39 pick the first match).
+  std::vector<std::size_t> cursor(dims, 0);
+  std::vector<int> s(dims);  // decoded configuration of the current machine
+
+  std::size_t index = at.space.size() - 1;  // start from OPT(N)
+  int machine = 0;
+  while (index != 0) {
+    const std::int32_t choice = at.run.table.choice(index);
+    PCMAX_CHECK(choice != DpTable::kNoChoice, "feasible entry lacks a choice");
+    PCMAX_CHECK(machine < instance.machines(), "walk used too many machines");
+    // The choice stores encode(s); decoding it recovers the configuration.
+    const auto offset = static_cast<std::size_t>(choice);
+    at.space.decode(offset, s);
+    for (std::size_t d = 0; d < dims; ++d) {
+      for (int taken = 0; taken < s[d]; ++taken) {
+        PCMAX_CHECK(cursor[d] < at.rounded.class_jobs[d].size(),
+                    "class ran out of jobs during reconstruction");
+        schedule.assign(machine, at.rounded.class_jobs[d][cursor[d]++]);
+      }
+    }
+    index -= offset;
+    ++machine;
+  }
+  PCMAX_CHECK(machine == needed, "walk length disagrees with OPT(N)");
+  for (std::size_t d = 0; d < dims; ++d) {
+    PCMAX_CHECK(cursor[d] == at.rounded.class_jobs[d].size(),
+                "reconstruction left long jobs unassigned");
+  }
+  return schedule;
+}
+
+Schedule reconstruct_full_schedule(const Instance& instance, const DpAtTarget& at) {
+  Schedule schedule = reconstruct_long_schedule(instance, at);
+
+  // The short jobs are exactly the jobs not in any rounded class.
+  std::vector<char> is_long(static_cast<std::size_t>(instance.jobs()), 0);
+  for (const auto& jobs : at.rounded.class_jobs) {
+    for (int job : jobs) is_long[static_cast<std::size_t>(job)] = 1;
+  }
+  std::vector<int> short_jobs;
+  for (int j = 0; j < instance.jobs(); ++j) {
+    if (!is_long[static_cast<std::size_t>(j)]) short_jobs.push_back(j);
+  }
+
+  lpt_onto(instance, short_jobs, schedule);  // paper Lines 41-51
+  return schedule;
+}
+
+}  // namespace pcmax

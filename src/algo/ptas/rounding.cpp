@@ -1,0 +1,60 @@
+#include "algo/ptas/rounding.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+RoundingParams RoundingParams::make(Time target, int k) {
+  PCMAX_REQUIRE(target >= 1, "target makespan must be positive");
+  PCMAX_REQUIRE(k >= 1, "k must be at least 1");
+  const auto k2 = static_cast<Time>(k) * k;
+  RoundingParams params;
+  params.target = target;
+  params.k = k;
+  params.unit = (target + k2 - 1) / k2;  // ceil(T / k^2)
+  return params;
+}
+
+JobPartition partition_jobs(const Instance& instance, const RoundingParams& params) {
+  JobPartition partition;
+  for (int j = 0; j < instance.jobs(); ++j) {
+    if (params.is_long(instance.time(j))) {
+      partition.long_jobs.push_back(j);
+    } else {
+      partition.short_jobs.push_back(j);
+    }
+  }
+  return partition;
+}
+
+RoundedInstance round_long_jobs(const Instance& instance,
+                                const JobPartition& partition,
+                                const RoundingParams& params) {
+  // Bucket long jobs by class; std::map keeps dims ascending by class index.
+  std::map<int, std::vector<int>> buckets;
+  const auto k2 = static_cast<Time>(params.k) * params.k;
+  for (int job : partition.long_jobs) {
+    const Time t = instance.time(job);
+    PCMAX_CHECK(t <= params.target,
+                "long job exceeds target makespan; bisection must keep T >= max t");
+    const int c = params.class_of(t);
+    PCMAX_CHECK(c >= 1 && static_cast<Time>(c) <= k2,
+                "rounded class out of [1, k^2]");
+    buckets[c].push_back(job);
+  }
+
+  RoundedInstance rounded;
+  rounded.params = params;
+  for (auto& [c, jobs] : buckets) {
+    rounded.class_index.push_back(c);
+    rounded.class_size.push_back(params.rounded_size(c));
+    rounded.class_count.push_back(static_cast<int>(jobs.size()));
+    rounded.total_long_jobs += static_cast<int>(jobs.size());
+    rounded.class_jobs.push_back(std::move(jobs));
+  }
+  return rounded;
+}
+
+}  // namespace pcmax

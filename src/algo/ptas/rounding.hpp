@@ -1,0 +1,66 @@
+// Long/short partition and processing-time rounding (paper Alg. 1, Lines 9-24).
+//
+// Given a target makespan T and k = ceil(1/eps):
+//   * a job is *long* iff t > T/k (equivalently t*k > T), otherwise *short*;
+//   * long jobs are rounded down to multiples of the unit u = ceil(T/k^2):
+//     a long job of time t falls in class c = floor(t/u) with rounded size
+//     c*u. Because the bisection keeps T >= max_j t_j, c always lies in
+//     [1, k^2], and c*u <= t <= T so every class fits on one machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// Rounding parameters derived from (T, eps).
+struct RoundingParams {
+  Time target = 0;  ///< the candidate makespan T
+  int k = 0;        ///< ceil(1/eps)
+  Time unit = 0;    ///< u = ceil(T/k^2)
+
+  /// Computes params for a target makespan and accuracy k (>= 1).
+  static RoundingParams make(Time target, int k);
+
+  /// True iff a job of time `t` is long at this target (t > T/k).
+  [[nodiscard]] bool is_long(Time t) const { return t * k > target; }
+
+  /// Class index c = floor(t/u) of a long job.
+  [[nodiscard]] int class_of(Time t) const { return static_cast<int>(t / unit); }
+
+  /// Rounded size of class `c`.
+  [[nodiscard]] Time rounded_size(int c) const { return static_cast<Time>(c) * unit; }
+};
+
+/// Job indices split into long and short at a given target.
+struct JobPartition {
+  std::vector<int> long_jobs;
+  std::vector<int> short_jobs;
+};
+
+/// Partitions all jobs of `instance` by the T/k threshold.
+JobPartition partition_jobs(const Instance& instance, const RoundingParams& params);
+
+/// The rounded long-job instance the DP runs on: only the *occupied* size
+/// classes are kept (classes with zero jobs contribute nothing to the DP
+/// table and would only inflate its dimensionality).
+struct RoundedInstance {
+  RoundingParams params;
+  std::vector<int> class_index;            ///< occupied class c per dim, ascending
+  std::vector<Time> class_size;            ///< rounded size c*u per dim
+  std::vector<int> class_count;            ///< the DP vector N: jobs per dim
+  std::vector<std::vector<int>> class_jobs;///< original long-job ids per dim
+  int total_long_jobs = 0;                 ///< n' = sum of class_count
+
+  /// Number of occupied size classes (DP dimensionality).
+  [[nodiscard]] int dims() const { return static_cast<int>(class_index.size()); }
+};
+
+/// Rounds the long jobs of `partition` down to class multiples (Lines 15-24).
+RoundedInstance round_long_jobs(const Instance& instance,
+                                const JobPartition& partition,
+                                const RoundingParams& params);
+
+}  // namespace pcmax

@@ -1,0 +1,84 @@
+#include "algo/ptas/state_space.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+StateSpace::StateSpace(std::vector<int> counts, std::size_t max_entries)
+    : counts_(std::move(counts)) {
+  PCMAX_REQUIRE(max_entries >= 1, "max_entries must be positive");
+  strides_.resize(counts_.size());
+  std::size_t size = 1;
+  int levels = 0;
+  // Row-major: last dimension has stride 1.
+  for (std::size_t d = counts_.size(); d-- > 0;) {
+    PCMAX_REQUIRE(counts_[d] >= 0, "class counts must be non-negative");
+    strides_[d] = size;
+    const auto radix = static_cast<std::size_t>(counts_[d]) + 1;
+    if (size > max_entries / radix) {
+      throw ResourceLimitError(
+          "DP table would exceed the configured entry budget of " +
+          std::to_string(max_entries) + " entries");
+    }
+    size *= radix;
+    levels += counts_[d];
+  }
+  size_ = size;
+  max_level_ = levels;
+}
+
+void StateSpace::decode(std::size_t index, std::span<int> out) const {
+  PCMAX_CHECK(index < size_, "index out of range");
+  PCMAX_CHECK(out.size() == counts_.size(), "output span has wrong size");
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    const std::size_t digit = index / strides_[d];
+    out[d] = static_cast<int>(digit);
+    index -= digit * strides_[d];
+  }
+}
+
+std::size_t StateSpace::encode(std::span<const int> v) const {
+  PCMAX_CHECK(v.size() == counts_.size(), "vector has wrong dimensionality");
+  std::size_t index = 0;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    PCMAX_CHECK(v[d] >= 0 && v[d] <= counts_[d], "digit out of range");
+    index += static_cast<std::size_t>(v[d]) * strides_[d];
+  }
+  return index;
+}
+
+int StateSpace::level_of(std::size_t index) const {
+  PCMAX_CHECK(index < size_, "index out of range");
+  int level = 0;
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    const std::size_t digit = index / strides_[d];
+    level += static_cast<int>(digit);
+    index -= digit * strides_[d];
+  }
+  return level;
+}
+
+std::vector<std::size_t> StateSpace::level_histogram() const {
+  std::vector<std::size_t> histogram(static_cast<std::size_t>(max_level_) + 1, 0);
+  // Incremental digit-sum scan: odometer increment keeps this O(sigma).
+  std::vector<int> digits(counts_.size(), 0);
+  int level = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    ++histogram[static_cast<std::size_t>(level)];
+    // Increment the mixed-radix odometer (last digit fastest).
+    for (std::size_t d = counts_.size(); d-- > 0;) {
+      if (digits[d] < counts_[d]) {
+        ++digits[d];
+        ++level;
+        break;
+      }
+      level -= digits[d];
+      digits[d] = 0;
+    }
+  }
+  return histogram;
+}
+
+}  // namespace pcmax

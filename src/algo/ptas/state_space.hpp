@@ -1,0 +1,60 @@
+// The DP-table index space: all vectors v with 0 <= v_i <= n_i, laid out in
+// row-major order (paper §III, array V). Row-major order is lexicographic
+// order of the vectors, which is a topological order of the DP dependency
+// DAG (v - s < v lexicographically whenever s != 0, s <= v), so sequential
+// bottom-up fills are safe; the anti-diagonal level of an entry is the digit
+// sum d(v) = sum_i v_i used by the parallel sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// Mixed-radix bijection between DP-table vectors and flat indices.
+class StateSpace {
+ public:
+  /// Builds the space for count vector N = `counts` (each >= 0).
+  /// Throws ResourceLimitError if the table would exceed `max_entries`.
+  StateSpace(std::vector<int> counts, std::size_t max_entries);
+
+  /// Total number of entries sigma = prod (n_i + 1).
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Dimensionality (number of occupied size classes).
+  [[nodiscard]] int dims() const { return static_cast<int>(counts_.size()); }
+
+  /// The count vector N.
+  [[nodiscard]] std::span<const int> counts() const { return counts_; }
+
+  /// Row-major strides; stride of the last dimension is 1.
+  [[nodiscard]] std::span<const std::size_t> strides() const { return strides_; }
+
+  /// Writes the digits of `index` into `out` (size dims()).
+  void decode(std::size_t index, std::span<int> out) const;
+
+  /// Flat index of digit vector `v` (each v_i in [0, n_i]).
+  [[nodiscard]] std::size_t encode(std::span<const int> v) const;
+
+  /// Anti-diagonal level d(v) = digit sum of `index`.
+  [[nodiscard]] int level_of(std::size_t index) const;
+
+  /// Largest level n' = sum_i n_i (the number of long jobs).
+  [[nodiscard]] int max_level() const { return max_level_; }
+
+  /// Number of entries on each level, computed by one pass over the space.
+  /// (Exposed for the bucketed parallel DP and for tests; size max_level()+1.)
+  [[nodiscard]] std::vector<std::size_t> level_histogram() const;
+
+ private:
+  std::vector<int> counts_;
+  std::vector<std::size_t> strides_;
+  std::size_t size_;
+  int max_level_;
+};
+
+}  // namespace pcmax

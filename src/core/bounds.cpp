@@ -1,0 +1,20 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+namespace pcmax {
+
+namespace {
+Time ceil_div(Time a, Time b) { return (a + b - 1) / b; }
+}  // namespace
+
+Time makespan_lower_bound(const Instance& instance) {
+  return std::max(ceil_div(instance.total_time(), instance.machines()),
+                  instance.max_time());
+}
+
+Time makespan_upper_bound(const Instance& instance) {
+  return ceil_div(instance.total_time(), instance.machines()) + instance.max_time();
+}
+
+}  // namespace pcmax

@@ -1,0 +1,17 @@
+// Lower and upper bounds on the optimal makespan (paper Eq. 1 and 2).
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// LB = max( ceil(sum t_j / m), max t_j )  — Eq. (1).
+/// Any schedule has some machine loaded to at least the average load, and
+/// the longest job must run somewhere, so LB <= OPT.
+Time makespan_lower_bound(const Instance& instance);
+
+/// UB = ceil(sum t_j / m) + max t_j  — Eq. (2).
+/// List scheduling never exceeds this value, so OPT <= UB.
+Time makespan_upper_bound(const Instance& instance);
+
+}  // namespace pcmax

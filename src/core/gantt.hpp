@@ -1,0 +1,31 @@
+// ASCII Gantt-chart rendering of schedules.
+//
+// Renders one row per machine, scaled to a configurable width, with job
+// boundaries marked — handy in examples, debugging sessions and bug
+// reports. Pure formatting: no behaviour depends on this module.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace pcmax {
+
+/// Rendering options.
+struct GanttOptions {
+  int width = 72;           ///< character columns for the busiest machine
+  bool show_job_ids = true; ///< label each block with its job id when it fits
+};
+
+/// Renders `schedule` as an ASCII Gantt chart. The schedule is validated
+/// against `instance` first.
+///
+/// Example (3 machines, width 24):
+///   m0 |####j0####|##j2##|     load 17
+///   m1 |#######j1#######|      load 21
+///   m2 |###j3###|#j4#|         load 12
+std::string render_gantt(const Instance& instance, const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+}  // namespace pcmax

@@ -1,0 +1,58 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Instance::Instance(int machines, std::vector<Time> processing_times)
+    : machines_(machines), times_(std::move(processing_times)) {
+  PCMAX_REQUIRE(machines_ >= 1, "instance needs at least one machine");
+  PCMAX_REQUIRE(!times_.empty(), "instance needs at least one job");
+  Time total = 0;
+  Time maximum = 0;
+  for (Time t : times_) {
+    PCMAX_REQUIRE(t >= 1, "processing times must be positive integers");
+    PCMAX_REQUIRE(total <= std::numeric_limits<Time>::max() - t,
+                  "total processing time overflows");
+    total += t;
+    maximum = std::max(maximum, t);
+  }
+  total_time_ = total;
+  max_time_ = maximum;
+}
+
+std::string Instance::to_string() const {
+  std::ostringstream os;
+  os << machines_ << ' ' << jobs();
+  for (Time t : times_) os << ' ' << t;
+  return os.str();
+}
+
+Instance Instance::parse(const std::string& text) {
+  std::istringstream is(text);
+  int m = 0;
+  int n = 0;
+  PCMAX_REQUIRE(static_cast<bool>(is >> m >> n), "expected 'm n t_1 ... t_n'");
+  PCMAX_REQUIRE(n >= 1, "job count must be positive");
+  std::vector<Time> times;
+  times.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    Time t = 0;
+    PCMAX_REQUIRE(static_cast<bool>(is >> t), "missing processing time");
+    times.push_back(t);
+  }
+  Time extra;
+  PCMAX_REQUIRE(!(is >> extra), "trailing tokens after processing times");
+  return Instance(m, std::move(times));
+}
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance) {
+  return os << instance.to_string();
+}
+
+}  // namespace pcmax

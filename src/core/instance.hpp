@@ -1,0 +1,59 @@
+// Problem instances of P || C_max.
+//
+// An instance is m identical machines plus n jobs with positive integer
+// processing times, all released at time zero, non-preemptable (paper §I).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pcmax {
+
+/// Processing times are positive 64-bit integers, matching the paper's
+/// assumption that all t_j are positive integers.
+using Time = std::int64_t;
+
+/// An instance of the minimum-makespan scheduling problem P || C_max.
+///
+/// Immutable after construction; construction validates m >= 1, n >= 1 and
+/// every processing time >= 1, and pre-computes the total and maximum
+/// processing time (used by the LB/UB bounds of paper Eq. 1-2).
+class Instance {
+ public:
+  /// Builds and validates an instance.
+  Instance(int machines, std::vector<Time> processing_times);
+
+  /// Number of machines m.
+  [[nodiscard]] int machines() const { return machines_; }
+  /// Number of jobs n.
+  [[nodiscard]] int jobs() const { return static_cast<int>(times_.size()); }
+  /// Processing time of job `job` (0-based).
+  [[nodiscard]] Time time(int job) const { return times_[static_cast<std::size_t>(job)]; }
+  /// All processing times, in job order.
+  [[nodiscard]] std::span<const Time> times() const { return times_; }
+  /// Sum of all processing times.
+  [[nodiscard]] Time total_time() const { return total_time_; }
+  /// Largest single processing time.
+  [[nodiscard]] Time max_time() const { return max_time_; }
+
+  /// Serialises as `m n t_1 ... t_n` on one line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the `to_string` format. Throws InvalidArgumentError on bad input.
+  static Instance parse(const std::string& text);
+
+  friend bool operator==(const Instance&, const Instance&) = default;
+
+ private:
+  int machines_;
+  std::vector<Time> times_;
+  Time total_time_;
+  Time max_time_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance);
+
+}  // namespace pcmax

@@ -1,0 +1,83 @@
+#include "core/instance_gen.hpp"
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::string family_name(InstanceFamily family) {
+  switch (family) {
+    case InstanceFamily::kUniform1To100: return "U(1,100)";
+    case InstanceFamily::kUniform1To10: return "U(1,10)";
+    case InstanceFamily::kUniform1To10N: return "U(1,10n)";
+    case InstanceFamily::kUniform1To2M1: return "U(1,2m-1)";
+    case InstanceFamily::kUniformMTo2M1: return "U(m,2m-1)";
+    case InstanceFamily::kUniform95To105: return "U(95,105)";
+  }
+  throw InvalidArgumentError("unknown instance family");
+}
+
+std::vector<InstanceFamily> all_families() {
+  return {InstanceFamily::kUniform1To100,  InstanceFamily::kUniform1To10,
+          InstanceFamily::kUniform1To10N,  InstanceFamily::kUniform1To2M1,
+          InstanceFamily::kUniformMTo2M1,  InstanceFamily::kUniform95To105};
+}
+
+std::vector<InstanceFamily> speedup_families() {
+  return {InstanceFamily::kUniform1To2M1, InstanceFamily::kUniform1To100,
+          InstanceFamily::kUniform1To10, InstanceFamily::kUniform1To10N};
+}
+
+TimeRange family_range(InstanceFamily family, int machines, int jobs) {
+  PCMAX_REQUIRE(machines >= 1, "need at least one machine");
+  PCMAX_REQUIRE(jobs >= 1, "need at least one job");
+  const auto m = static_cast<Time>(machines);
+  const auto n = static_cast<Time>(jobs);
+  switch (family) {
+    case InstanceFamily::kUniform1To100: return {1, 100};
+    case InstanceFamily::kUniform1To10: return {1, 10};
+    case InstanceFamily::kUniform1To10N: return {1, 10 * n};
+    case InstanceFamily::kUniform1To2M1: return {1, std::max<Time>(1, 2 * m - 1)};
+    case InstanceFamily::kUniformMTo2M1: return {m, std::max<Time>(m, 2 * m - 1)};
+    case InstanceFamily::kUniform95To105: return {95, 105};
+  }
+  throw InvalidArgumentError("unknown instance family");
+}
+
+Instance generate_instance(InstanceFamily family, int machines, int jobs,
+                           Xoshiro256StarStar& rng) {
+  const TimeRange range = family_range(family, machines, jobs);
+  std::vector<Time> times;
+  times.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    times.push_back(uniform_int(rng, range.lo, range.hi));
+  }
+  return Instance(machines, std::move(times));
+}
+
+Instance generate_instance(InstanceFamily family, int machines, int jobs,
+                           std::uint64_t seed, std::uint64_t index) {
+  // Mix the coordinates into a unique stream seed so that instances are
+  // independent across (family, m, n, index) even for equal user seeds.
+  SplitMix64 mixer(seed);
+  std::uint64_t stream = mixer.next();
+  stream ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(family) + 1);
+  stream ^= 0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(static_cast<unsigned>(machines));
+  stream ^= 0x165667b19e3779f9ULL * static_cast<std::uint64_t>(static_cast<unsigned>(jobs));
+  stream ^= 0x27d4eb2f165667c5ULL * (index + 1);
+  Xoshiro256StarStar rng(stream);
+  return generate_instance(family, machines, jobs, rng);
+}
+
+std::vector<Instance> generate_instances(InstanceFamily family, int machines,
+                                         int jobs, std::uint64_t seed, int count) {
+  PCMAX_REQUIRE(count >= 0, "instance count must be non-negative");
+  std::vector<Instance> result;
+  result.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    result.push_back(generate_instance(family, machines, jobs, seed,
+                                       static_cast<std::uint64_t>(i)));
+  }
+  return result;
+}
+
+}  // namespace pcmax

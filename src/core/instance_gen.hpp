@@ -1,0 +1,65 @@
+// Random instance generators for the paper's experimental families (§V.A).
+//
+// The paper draws processing times from uniform distributions whose ranges
+// are fixed, machine-dependent, or job-count-dependent:
+//
+//   U(1, 100)    — the "medium" family
+//   U(1, 10)     — small processing times
+//   U(1, 10n)    — wide range, scales with the number of jobs
+//   U(1, 2m-1)   — range scales with the number of machines
+//   U(m, 2m-1)   — with n = 2m+1: near-worst-case family for LPT (§V.B)
+//   U(95, 105)   — narrow range (used for the best/worst-ratio study)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+
+/// The six uniform-distribution families used in the paper's evaluation.
+enum class InstanceFamily {
+  kUniform1To100,   ///< U(1, 100)
+  kUniform1To10,    ///< U(1, 10)
+  kUniform1To10N,   ///< U(1, 10n)
+  kUniform1To2M1,   ///< U(1, 2m-1)
+  kUniformMTo2M1,   ///< U(m, 2m-1) — LPT-adversarial when n = 2m+1
+  kUniform95To105,  ///< U(95, 105)
+};
+
+/// Short label used in reports, e.g. "U(1,100)" or "U(1,10n)".
+std::string family_name(InstanceFamily family);
+
+/// All families, in the order the paper's figures list them.
+std::vector<InstanceFamily> all_families();
+
+/// The four families of the speedup experiments (Figs. 2-4), in figure order:
+/// U(1,2m-1), U(1,100), U(1,10), U(1,10n).
+std::vector<InstanceFamily> speedup_families();
+
+/// Inclusive [lo, hi] range the family draws from for an (m, n) instance.
+struct TimeRange {
+  Time lo;
+  Time hi;
+};
+TimeRange family_range(InstanceFamily family, int machines, int jobs);
+
+/// Generates one instance of the family with `machines` machines and `jobs`
+/// jobs, drawing each processing time i.i.d. from the family's range using
+/// the supplied generator.
+Instance generate_instance(InstanceFamily family, int machines, int jobs,
+                           Xoshiro256StarStar& rng);
+
+/// Deterministic convenience overload: instance `index` of a family/size is
+/// reproducible from (family, m, n, seed, index) alone.
+Instance generate_instance(InstanceFamily family, int machines, int jobs,
+                           std::uint64_t seed, std::uint64_t index);
+
+/// Generates `count` instances (indices 0..count-1) with the overload above.
+std::vector<Instance> generate_instances(InstanceFamily family, int machines,
+                                         int jobs, std::uint64_t seed, int count);
+
+}  // namespace pcmax

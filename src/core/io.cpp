@@ -1,0 +1,101 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::vector<Instance> read_instances(std::istream& is) {
+  std::vector<Instance> instances;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      instances.push_back(Instance::parse(line));
+    } catch (const InvalidArgumentError& e) {
+      throw InvalidArgumentError("line " + std::to_string(line_number) + ": " +
+                                 e.what());
+    }
+  }
+  return instances;
+}
+
+std::vector<Instance> read_instances_file(const std::string& path) {
+  std::ifstream file(path);
+  PCMAX_REQUIRE(file.is_open(), "cannot open instance file: " + path);
+  return read_instances(file);
+}
+
+void write_instances(std::ostream& os, const std::vector<Instance>& instances) {
+  os << "# pcmax instance set: one instance per line, 'm n t_1 ... t_n'\n";
+  for (const Instance& instance : instances) {
+    os << instance.to_string() << '\n';
+  }
+}
+
+void write_instances_file(const std::string& path,
+                          const std::vector<Instance>& instances) {
+  std::ofstream file(path);
+  PCMAX_REQUIRE(file.is_open(), "cannot open file for writing: " + path);
+  write_instances(file, instances);
+  PCMAX_REQUIRE(static_cast<bool>(file), "write failed: " + path);
+}
+
+std::string schedule_to_text(const Instance& instance, const Schedule& schedule) {
+  schedule.validate(instance);
+  std::ostringstream os;
+  os << "makespan " << schedule.makespan(instance) << " machines "
+     << schedule.machines() << '\n';
+  for (int machine = 0; machine < schedule.machines(); ++machine) {
+    os << "machine " << machine << ':';
+    for (int job : schedule.jobs_on(machine)) os << ' ' << job;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Schedule schedule_from_text(const Instance& instance, const std::string& text) {
+  std::istringstream is(text);
+  std::string token;
+  Time declared_makespan = 0;
+  int machines = 0;
+  PCMAX_REQUIRE(
+      static_cast<bool>(is >> token >> declared_makespan) && token == "makespan",
+      "expected 'makespan <M>' header");
+  PCMAX_REQUIRE(static_cast<bool>(is >> token >> machines) && token == "machines",
+                "expected 'machines <m>' header");
+  PCMAX_REQUIRE(machines == instance.machines(),
+                "schedule machine count does not match the instance");
+
+  Schedule schedule(machines);
+  std::string line;
+  std::getline(is, line);  // consume the header's trailing newline
+  int expected_machine = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    int machine = -1;
+    PCMAX_REQUIRE(static_cast<bool>(ls >> token >> machine) && token == "machine",
+                  "expected 'machine <i>: ...'");
+    PCMAX_REQUIRE(machine == expected_machine, "machines out of order");
+    ++expected_machine;
+    // Strip the colon glued to the machine number by operator>>.
+    char colon = '\0';
+    if (!(ls >> colon)) colon = ':';  // "machine 3:" parsed fully above
+    PCMAX_REQUIRE(colon == ':', "expected ':' after machine index");
+    int job = -1;
+    while (ls >> job) schedule.assign(machine, job);
+  }
+  PCMAX_REQUIRE(expected_machine == machines, "missing machine lines");
+  schedule.validate(instance);
+  PCMAX_REQUIRE(schedule.makespan(instance) == declared_makespan,
+                "declared makespan does not match the assignment");
+  return schedule;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,42 @@
+// File I/O for instances, instance sets, and schedules.
+//
+// Text formats, chosen for hand-editability and diff-friendliness:
+//
+//  * instance file — one instance per line in Instance::to_string format
+//    (`m n t_1 ... t_n`); blank lines and `#` comments are skipped;
+//  * schedule file — header line `makespan M machines m`, then one line per
+//    machine: `machine i: j_1 j_2 ...` (job indices).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace pcmax {
+
+/// Reads all instances from a stream. Throws InvalidArgumentError with the
+/// 1-based line number on malformed input.
+std::vector<Instance> read_instances(std::istream& is);
+
+/// Reads all instances from a file. Throws InvalidArgumentError if the file
+/// cannot be opened.
+std::vector<Instance> read_instances_file(const std::string& path);
+
+/// Writes instances one per line, preceded by a format comment.
+void write_instances(std::ostream& os, const std::vector<Instance>& instances);
+
+/// Writes instances to a file (overwrites).
+void write_instances_file(const std::string& path,
+                          const std::vector<Instance>& instances);
+
+/// Serialises a schedule (validated against `instance` first).
+std::string schedule_to_text(const Instance& instance, const Schedule& schedule);
+
+/// Parses schedule_to_text output back into a Schedule and re-validates it
+/// against `instance`.
+Schedule schedule_from_text(const Instance& instance, const std::string& text);
+
+}  // namespace pcmax

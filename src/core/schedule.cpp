@@ -1,0 +1,109 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Schedule::Schedule(int machines) {
+  PCMAX_REQUIRE(machines >= 1, "schedule needs at least one machine");
+  jobs_of_.resize(static_cast<std::size_t>(machines));
+}
+
+Schedule Schedule::from_assignment(int machines, const std::vector<int>& assignment) {
+  Schedule schedule(machines);
+  for (std::size_t j = 0; j < assignment.size(); ++j) {
+    schedule.assign(assignment[j], static_cast<int>(j));
+  }
+  return schedule;
+}
+
+void Schedule::assign(int machine, int job) {
+  PCMAX_REQUIRE(machine >= 0 && machine < machines(), "machine index out of range");
+  PCMAX_REQUIRE(job >= 0, "job index must be non-negative");
+  jobs_of_[static_cast<std::size_t>(machine)].push_back(job);
+}
+
+int Schedule::assigned_jobs() const {
+  std::size_t count = 0;
+  for (const auto& jobs : jobs_of_) count += jobs.size();
+  return static_cast<int>(count);
+}
+
+Time Schedule::load(const Instance& instance, int machine) const {
+  PCMAX_REQUIRE(machine >= 0 && machine < machines(), "machine index out of range");
+  Time total = 0;
+  for (int job : jobs_of_[static_cast<std::size_t>(machine)]) {
+    total += instance.time(job);
+  }
+  return total;
+}
+
+std::vector<Time> Schedule::loads(const Instance& instance) const {
+  std::vector<Time> result;
+  result.reserve(jobs_of_.size());
+  for (int i = 0; i < machines(); ++i) result.push_back(load(instance, i));
+  return result;
+}
+
+Time Schedule::makespan(const Instance& instance) const {
+  Time best = 0;
+  for (int i = 0; i < machines(); ++i) best = std::max(best, load(instance, i));
+  return best;
+}
+
+void Schedule::validate(const Instance& instance) const {
+  PCMAX_REQUIRE(machines() == instance.machines(),
+                "schedule and instance disagree on machine count");
+  std::vector<char> seen(static_cast<std::size_t>(instance.jobs()), 0);
+  for (const auto& jobs : jobs_of_) {
+    for (int job : jobs) {
+      PCMAX_REQUIRE(job >= 0 && job < instance.jobs(),
+                    "job index " + std::to_string(job) + " out of range");
+      PCMAX_REQUIRE(!seen[static_cast<std::size_t>(job)],
+                    "job " + std::to_string(job) + " assigned twice");
+      seen[static_cast<std::size_t>(job)] = 1;
+    }
+  }
+  for (int j = 0; j < instance.jobs(); ++j) {
+    PCMAX_REQUIRE(seen[static_cast<std::size_t>(j)],
+                  "job " + std::to_string(j) + " is unassigned");
+  }
+}
+
+bool Schedule::is_valid(const Instance& instance) const {
+  try {
+    validate(instance);
+    return true;
+  } catch (const InvalidArgumentError&) {
+    return false;
+  }
+}
+
+std::vector<int> Schedule::assignment(const Instance& instance) const {
+  validate(instance);
+  std::vector<int> result(static_cast<std::size_t>(instance.jobs()), -1);
+  for (int machine = 0; machine < machines(); ++machine) {
+    for (int job : jobs_of_[static_cast<std::size_t>(machine)]) {
+      result[static_cast<std::size_t>(job)] = machine;
+    }
+  }
+  return result;
+}
+
+std::string Schedule::to_string(const Instance& instance) const {
+  std::ostringstream os;
+  for (int machine = 0; machine < machines(); ++machine) {
+    os << "machine " << machine << " (load " << load(instance, machine) << "):";
+    for (int job : jobs_of_[static_cast<std::size_t>(machine)]) {
+      os << " j" << job << "[" << instance.time(job) << "]";
+    }
+    os << '\n';
+  }
+  os << "makespan: " << makespan(instance) << '\n';
+  return os.str();
+}
+
+}  // namespace pcmax

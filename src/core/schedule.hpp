@@ -1,0 +1,70 @@
+// Schedules (solutions) for P || C_max and their validation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// A schedule assigns every job to exactly one machine. Because jobs are
+/// released at time zero and run non-preemptively, machine order within a
+/// machine does not affect the makespan; a schedule is therefore a partition
+/// of job indices.
+class Schedule {
+ public:
+  /// Creates an empty schedule with `machines` empty machines.
+  explicit Schedule(int machines);
+
+  /// Creates a schedule from an explicit assignment vector:
+  /// `assignment[j]` is the machine of job j.
+  static Schedule from_assignment(int machines, const std::vector<int>& assignment);
+
+  /// Appends job `job` to machine `machine`.
+  void assign(int machine, int job);
+
+  /// Number of machines.
+  [[nodiscard]] int machines() const { return static_cast<int>(jobs_of_.size()); }
+
+  /// Jobs assigned to `machine`, in assignment order.
+  [[nodiscard]] const std::vector<int>& jobs_on(int machine) const {
+    return jobs_of_[static_cast<std::size_t>(machine)];
+  }
+
+  /// Total number of assigned jobs (across all machines).
+  [[nodiscard]] int assigned_jobs() const;
+
+  /// Load (sum of processing times) of `machine` under `instance`.
+  [[nodiscard]] Time load(const Instance& instance, int machine) const;
+
+  /// All machine loads under `instance`.
+  [[nodiscard]] std::vector<Time> loads(const Instance& instance) const;
+
+  /// Makespan C_max = max machine load under `instance`.
+  [[nodiscard]] Time makespan(const Instance& instance) const;
+
+  /// Verifies the schedule is a complete, duplicate-free partition of the
+  /// instance's jobs with valid indices. Throws InvalidArgumentError
+  /// describing the first violation found.
+  void validate(const Instance& instance) const;
+
+  /// True iff `validate` would succeed.
+  [[nodiscard]] bool is_valid(const Instance& instance) const;
+
+  /// Inverse mapping: vector a with a[j] = machine of job j.
+  /// Requires a complete schedule for `instance`.
+  [[nodiscard]] std::vector<int> assignment(const Instance& instance) const;
+
+  /// Multi-line human-readable rendering with loads and makespan.
+  [[nodiscard]] std::string to_string(const Instance& instance) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<std::vector<int>> jobs_of_;
+};
+
+}  // namespace pcmax

@@ -1,0 +1,4 @@
+// Solver is an interface; this translation unit anchors its vtable.
+#include "core/solver.hpp"
+
+namespace pcmax {}  // namespace pcmax

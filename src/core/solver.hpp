@@ -1,0 +1,40 @@
+// Common solver interface and result type shared by every algorithm in the
+// library (LS, LPT, MULTIFIT, the PTAS, the exact solvers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace pcmax {
+
+/// Result of running a solver on an instance.
+struct SolverResult {
+  Schedule schedule = Schedule(1);  ///< a complete, valid schedule
+  Time makespan = 0;           ///< its makespan (cached)
+  double seconds = 0.0;        ///< wall-clock time the solve took
+  bool proven_optimal = false; ///< true iff the solver certified optimality
+
+  /// Free-form per-solver statistics (DP table sizes, B&B nodes, ...).
+  std::map<std::string, double> stats;
+};
+
+/// Abstract base class of all schedulers for P || C_max.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Short name for reports ("LS", "LPT", "PTAS", "ParallelPTAS", "IP", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solves `instance` and returns a complete schedule with statistics.
+  /// Implementations fill `seconds` with their own wall time.
+  virtual SolverResult solve(const Instance& instance) = 0;
+};
+
+}  // namespace pcmax

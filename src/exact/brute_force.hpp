@@ -1,0 +1,27 @@
+// Exhaustive optimal solver for tiny instances — the ground truth the test
+// suite checks every other solver against.
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace pcmax {
+
+/// Tries every assignment of jobs to machines (with machine-symmetry
+/// breaking and a running-makespan prune). Exponential: intended for
+/// n <= ~15 only, enforced via `max_jobs`.
+class BruteForceSolver final : public Solver {
+ public:
+  /// `max_jobs` guards against accidentally exponential calls.
+  explicit BruteForceSolver(int max_jobs = 16);
+
+  [[nodiscard]] std::string name() const override { return "BruteForce"; }
+  SolverResult solve(const Instance& instance) override;
+
+ private:
+  int max_jobs_;
+};
+
+/// Convenience: the optimal makespan of a tiny instance.
+Time brute_force_optimum(const Instance& instance);
+
+}  // namespace pcmax

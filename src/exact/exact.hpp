@@ -1,0 +1,37 @@
+// Exact optimal-makespan solver — the library's stand-in for the paper's
+// CPLEX-based "IP" comparator (DESIGN.md §2).
+//
+// Binary search on the makespan over [LB, UB]: LB from Eq. (1); the initial
+// incumbent (and UB) from LPT refined by MULTIFIT. Each probe calls the
+// branch-and-bound packing decision (exact/bin_feasibility). With unlimited
+// budgets the result is certified optimal; with budgets it degrades
+// gracefully to the best incumbent with `proven_optimal == false`.
+#pragma once
+
+#include "core/solver.hpp"
+#include "exact/bin_feasibility.hpp"
+
+namespace pcmax {
+
+/// Configuration of the exact solver.
+struct ExactSolverOptions {
+  /// Budgets applied to each feasibility probe.
+  FeasibilitySearchLimits probe_limits;
+  /// Overall wall-clock budget across all probes; once exceeded the solver
+  /// returns the incumbent without optimality proof.
+  double max_total_seconds = 300.0;
+};
+
+/// The exact solver ("IP" in the figure reproductions).
+class ExactSolver final : public Solver {
+ public:
+  explicit ExactSolver(ExactSolverOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "IP"; }
+  SolverResult solve(const Instance& instance) override;
+
+ private:
+  ExactSolverOptions options_;
+};
+
+}  // namespace pcmax

@@ -1,0 +1,45 @@
+#include "exact/lower_bounds.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Time pigeonhole_lower_bound(const Instance& instance, int group) {
+  PCMAX_REQUIRE(group >= 2, "group size must be at least 2");
+  const auto m = static_cast<std::size_t>(instance.machines());
+  const std::size_t prefix = (static_cast<std::size_t>(group) - 1) * m + 1;
+  if (static_cast<std::size_t>(instance.jobs()) < prefix) return 0;
+
+  // The g shortest of the prefix longest jobs are exactly ranks
+  // [prefix-group, prefix) in descending order.
+  std::vector<Time> times(instance.times().begin(), instance.times().end());
+  std::nth_element(times.begin(),
+                   times.begin() + static_cast<std::ptrdiff_t>(prefix) - 1,
+                   times.end(), std::greater<>());
+  std::sort(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(prefix),
+            std::greater<>());
+  Time bound = 0;
+  for (std::size_t rank = prefix - static_cast<std::size_t>(group);
+       rank < prefix; ++rank) {
+    bound += times[rank];
+  }
+  return bound;
+}
+
+Time improved_lower_bound(const Instance& instance) {
+  Time best = makespan_lower_bound(instance);
+  const int max_group =
+      instance.jobs() / instance.machines() + 1;  // beyond this the prefix
+                                                  // exceeds n and yields 0
+  for (int group = 2; group <= max_group; ++group) {
+    best = std::max(best, pigeonhole_lower_bound(instance, group));
+  }
+  return best;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,29 @@
+// Stronger combinatorial lower bounds on the optimal makespan.
+//
+// Beyond the paper's Eq. (1) bound LB1 = max(ceil(total/m), max t), two
+// classic pigeonhole bounds tighten the exact solver's initial interval:
+//
+//   LB2: with more than m jobs, two of the m+1 longest jobs share a
+//        machine, so OPT >= t_(m) + t_(m+1) (order statistics, descending);
+//   LB3: with more than 2m jobs, three of the 2m+1 longest share, so
+//        OPT >= t_(2m-1) + t_(2m) + t_(2m+1);
+//
+// generalised here to every group size g >= 2. Tighter lower bounds mean
+// fewer branch-and-bound feasibility probes and earlier optimality proofs.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// The pigeonhole bound for group size g (>= 2): if n > (g-1)*m, some
+/// machine runs at least g of the g*(m-1)+... formally: among the
+/// (g-1)*m + 1 longest jobs, one machine receives at least g of them, so
+/// OPT >= sum of the g shortest of those jobs. Returns 0 when n is too
+/// small for the bound to apply.
+Time pigeonhole_lower_bound(const Instance& instance, int group);
+
+/// max(Eq. 1 bound, pigeonhole bounds for g = 2..n/m+1).
+Time improved_lower_bound(const Instance& instance);
+
+}  // namespace pcmax

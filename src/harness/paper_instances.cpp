@@ -1,0 +1,22 @@
+#include "harness/paper_instances.hpp"
+
+namespace pcmax {
+
+std::vector<RatioInstanceSpec> ratio_instance_specs() {
+  return {
+      // LPT-adversarial: n = 2m+1 jobs from U(m, 2m-1). LPT's ratio
+      // approaches 4/3 here while the PTAS stays near optimal.
+      {"I1", InstanceFamily::kUniformMTo2M1, 10, 21},
+      {"I2", InstanceFamily::kUniformMTo2M1, 20, 41},
+      // Narrow range U(95,105): many near-identical jobs.
+      {"I3", InstanceFamily::kUniform95To105, 10, 30},
+      {"I4", InstanceFamily::kUniform95To105, 20, 50},
+      // Regular evaluation families at the paper's (m, n) sizes.
+      {"I5", InstanceFamily::kUniform1To10, 10, 30},
+      {"I6", InstanceFamily::kUniform1To100, 10, 50},
+      {"I7", InstanceFamily::kUniform1To2M1, 20, 100},
+      {"I8", InstanceFamily::kUniform1To10N, 10, 30},
+  };
+}
+
+}  // namespace pcmax

@@ -1,0 +1,31 @@
+// Instance specifications used by the approximation-ratio study
+// (paper Tables II-III and Figure 5).
+//
+// The paper selects, out of its 480 instances, those where the parallel
+// PTAS does best and worst relative to LPT/LS, and adds two special
+// families: the LPT-adversarial one (n = 2m+1, times from U(m, 2m-1) —
+// Graham's near-worst-case for LPT) and a narrow-range one (U(95, 105)).
+// The exact per-instance tables are not reproducible from the paper text,
+// so this module pins down eight concrete (family, m, n) specs covering the
+// same categories; EXPERIMENTS.md records which turn out best/worst here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance_gen.hpp"
+
+namespace pcmax {
+
+/// One row of the ratio study.
+struct RatioInstanceSpec {
+  std::string label;       ///< "I1".."I8"
+  InstanceFamily family;
+  int machines = 0;
+  int jobs = 0;
+};
+
+/// The eight specs of the ratio study (Fig. 5 a+b).
+std::vector<RatioInstanceSpec> ratio_instance_specs();
+
+}  // namespace pcmax

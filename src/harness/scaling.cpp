@@ -1,0 +1,62 @@
+#include "harness/scaling.hpp"
+
+#include <algorithm>
+
+#include "algo/ptas/state_space.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::size_t DpShape::rounds(unsigned processors) const {
+  PCMAX_REQUIRE(processors >= 1, "need at least one processor");
+  std::size_t total = 0;
+  for (std::size_t q : histogram_) {
+    total += (q + processors - 1) / processors;
+  }
+  return total;
+}
+
+double DpShape::speedup_bound(unsigned processors) const {
+  const std::size_t r = rounds(processors);
+  if (r == 0) return 1.0;
+  return static_cast<double>(work) / static_cast<double>(r);
+}
+
+DpShape analyze_dp_shape(const std::vector<int>& counts) {
+  DpShape shape;
+  const StateSpace space(counts, std::size_t{1} << 40);
+  shape.work = space.size();
+  shape.levels = space.max_level() + 1;
+  shape.histogram_ = space.level_histogram();
+  shape.widest = shape.histogram_.empty()
+                     ? 0
+                     : *std::max_element(shape.histogram_.begin(),
+                                         shape.histogram_.end());
+  shape.parallelism =
+      static_cast<double>(shape.work) / static_cast<double>(shape.levels);
+  return shape;
+}
+
+double RunShape::speedup_bound(unsigned processors) const {
+  std::size_t rounds = 0;
+  for (const DpShape& probe : probes) rounds += probe.rounds(processors);
+  if (rounds == 0) return 1.0;
+  return static_cast<double>(total_work) / static_cast<double>(rounds);
+}
+
+RunShape analyze_run_shape(const BisectionResult& trace) {
+  RunShape shape;
+  for (const BisectionIteration& iteration : trace.trace) {
+    DpShape probe = analyze_dp_shape(iteration.counts);
+    shape.total_work += probe.work;
+    shape.total_levels += probe.levels;
+    shape.probes.push_back(std::move(probe));
+  }
+  shape.parallelism = shape.total_levels == 0
+                          ? 1.0
+                          : static_cast<double>(shape.total_work) /
+                                static_cast<double>(shape.total_levels);
+  return shape;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,63 @@
+#include "harness/simmachine.hpp"
+
+#include <algorithm>
+
+#include "algo/ptas/state_space.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+double simulate_dp_iteration_seconds(const BisectionIteration& iteration,
+                                     unsigned cores, const SimMachineModel& model) {
+  PCMAX_REQUIRE(cores >= 1, "simulated machine needs at least one core");
+  PCMAX_CHECK(iteration.entries_computed == iteration.table_size,
+              "simulation requires a full-table (bottom-up) trace");
+
+  // Rebuild the level structure of this iteration's DP table. The counts
+  // vector is tiny (occupied classes only), so this is cheap relative to
+  // the DP itself.
+  StateSpace space(iteration.counts, std::max<std::size_t>(iteration.table_size, 1));
+  const std::vector<std::size_t> histogram = space.level_histogram();
+
+  const double per_entry =
+      iteration.table_size == 0
+          ? 0.0
+          : model.work_scale * iteration.dp_seconds /
+                static_cast<double>(iteration.table_size);
+
+  double seconds = 0.0;
+  for (std::size_t q : histogram) {
+    const std::size_t rounds = (q + cores - 1) / cores;  // ceil(q_l / P)
+    seconds += static_cast<double>(rounds) * per_entry;
+    seconds += model.barrier_seconds;
+  }
+  return seconds;
+}
+
+double simulate_parallel_ptas_seconds(const BisectionResult& trace,
+                                      double sequential_total_seconds,
+                                      unsigned cores, const SimMachineModel& model) {
+  double dp_sequential = 0.0;
+  double dp_simulated = 0.0;
+  for (const BisectionIteration& iteration : trace.trace) {
+    dp_sequential += iteration.dp_seconds;
+    dp_simulated += simulate_dp_iteration_seconds(iteration, cores, model);
+  }
+  const double sequential_rest =
+      std::max(0.0, sequential_total_seconds - dp_sequential);
+  return sequential_rest + dp_simulated;
+}
+
+double scaled_sequential_seconds(const BisectionResult& trace,
+                                 double sequential_total_seconds,
+                                 const SimMachineModel& model) {
+  double dp_sequential = 0.0;
+  for (const BisectionIteration& iteration : trace.trace) {
+    dp_sequential += iteration.dp_seconds;
+  }
+  const double sequential_rest =
+      std::max(0.0, sequential_total_seconds - dp_sequential);
+  return sequential_rest + model.work_scale * dp_sequential;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,61 @@
+// Simulated shared-memory multicore for speedup experiments.
+//
+// The paper measured wall-clock speedups on a 16-core machine; this
+// reproduction runs on whatever hardware is available (possibly a single
+// core), so the figure benches *replay* the parallel DP's schedule on P
+// virtual cores instead of relying on physical parallelism:
+//
+//   * a sequential bottom-up PTAS run records, per bisection iteration, the
+//     DP vector N, the table size and the measured DP seconds;
+//   * the simulator recomputes the anti-diagonal widths q_l of that
+//     iteration's table and charges ceil(q_l / P) * cost_per_entry for
+//     every level plus a per-level synchronisation cost.
+//
+// This preserves exactly the structural effects the paper reports: linear
+// scaling while q_l >> P, and the flattening when narrow levels (near the
+// table's corners) leave cores idle. See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include "algo/ptas/bisection.hpp"
+
+namespace pcmax {
+
+/// Cost model of the simulated machine.
+struct SimMachineModel {
+  /// Synchronisation cost charged per anti-diagonal level (the barrier /
+  /// parallel-for fork-join of Algorithm 3).
+  double barrier_seconds = 2e-6;
+  /// Multiplier on the measured per-entry DP cost, applied consistently to
+  /// the sequential baseline and the parallel replay. This library's DP
+  /// kernel is orders of magnitude faster than the paper's 2017
+  /// implementation (which re-generates full k^2-dimensional configuration
+  /// vectors per entry); scaling the per-entry cost back up reproduces the
+  /// paper's regime where DP work dominates synchronisation. 1.0 = measure
+  /// this implementation as-is. See EXPERIMENTS.md for the calibration.
+  double work_scale = 1.0;
+};
+
+/// Sequential PTAS seconds under the model's work_scale: the measured
+/// non-DP remainder plus the scaled DP time.
+double scaled_sequential_seconds(const BisectionResult& trace,
+                                 double sequential_total_seconds,
+                                 const SimMachineModel& model);
+
+/// Simulated seconds the DP of one bisection iteration takes on P cores.
+/// `iteration` must come from a bottom-up run (entries == table size), so
+/// the measured seconds divided by the entry count give the per-entry cost.
+double simulate_dp_iteration_seconds(const BisectionIteration& iteration,
+                                     unsigned cores, const SimMachineModel& model);
+
+/// Simulated seconds of the whole parallel PTAS on P cores:
+/// the sequential parts (partition, rounding, configuration enumeration,
+/// reconstruction, LPT tail) are kept at their measured cost, and every DP
+/// probe is replaced by its simulated parallel time.
+/// `sequential_total_seconds` is the measured wall time of the sequential
+/// PTAS whose trace is `trace`.
+double simulate_parallel_ptas_seconds(const BisectionResult& trace,
+                                      double sequential_total_seconds,
+                                      unsigned cores, const SimMachineModel& model);
+
+}  // namespace pcmax

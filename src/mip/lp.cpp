@@ -1,0 +1,272 @@
+#include "mip/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+const char* lp_status_name(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dense simplex tableau with an explicit reduced-cost row.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem, const LpOptions& options)
+      : options_(options), rows_(static_cast<int>(problem.constraints.size())) {
+    // Column layout: [structural | slack/surplus | artificial].
+    structural_ = problem.num_vars;
+    int slack_count = 0;
+    int artificial_count = 0;
+    for (const LpConstraint& con : problem.constraints) {
+      const bool negative = con.rhs < 0.0;
+      const Relation rel = negative ? flip(con.relation) : con.relation;
+      if (rel != Relation::kEqual) ++slack_count;
+      if (rel != Relation::kLessEqual) ++artificial_count;
+    }
+    cols_ = structural_ + slack_count + artificial_count;
+    a_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), 0.0);
+    rhs_.assign(static_cast<std::size_t>(rows_), 0.0);
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+    artificial_begin_ = structural_ + slack_count;
+
+    int next_slack = structural_;
+    int next_artificial = artificial_begin_;
+    for (int r = 0; r < rows_; ++r) {
+      const LpConstraint& con = problem.constraints[static_cast<std::size_t>(r)];
+      PCMAX_REQUIRE(static_cast<int>(con.coeffs.size()) == structural_,
+                    "constraint coefficient vector has wrong size");
+      const bool negative = con.rhs < 0.0;
+      const double sign = negative ? -1.0 : 1.0;
+      const Relation rel = negative ? flip(con.relation) : con.relation;
+      for (int c = 0; c < structural_; ++c) {
+        at(r, c) = sign * con.coeffs[static_cast<std::size_t>(c)];
+      }
+      rhs_[static_cast<std::size_t>(r)] = sign * con.rhs;
+      switch (rel) {
+        case Relation::kLessEqual:
+          at(r, next_slack) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          at(r, next_slack) = -1.0;
+          ++next_slack;
+          at(r, next_artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          at(r, next_artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = next_artificial++;
+          break;
+      }
+    }
+  }
+
+  /// Runs both phases. Returns the final status; on kOptimal, `solution`
+  /// receives the structural variable values and objective.
+  LpStatus solve(const LpProblem& problem, LpSolution& solution) {
+    int iterations = 0;
+
+    // Phase 1: minimise the sum of artificials.
+    std::vector<double> phase1(static_cast<std::size_t>(cols_), 0.0);
+    for (int c = artificial_begin_; c < cols_; ++c) {
+      phase1[static_cast<std::size_t>(c)] = 1.0;
+    }
+    load_objective(phase1);
+    LpStatus status = iterate(cols_, iterations);
+    solution.iterations = iterations;
+    if (status != LpStatus::kOptimal) {
+      // Phase 1 is bounded below by 0, so kUnbounded cannot happen here.
+      return status;
+    }
+    if (obj_value_ > options_.epsilon) return LpStatus::kInfeasible;
+
+    // Drive any residual artificial out of the basis (degenerate at 0), or
+    // mark its row redundant by leaving it — pivoting on any nonzero
+    // structural entry keeps the tableau valid.
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] < artificial_begin_) continue;
+      int entering = -1;
+      for (int c = 0; c < artificial_begin_; ++c) {
+        if (std::abs(at(r, c)) > options_.epsilon) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering >= 0) pivot(r, entering);
+    }
+
+    // Phase 2: the real objective, restricted to non-artificial columns.
+    std::vector<double> phase2(static_cast<std::size_t>(cols_), 0.0);
+    for (int c = 0; c < structural_; ++c) {
+      phase2[static_cast<std::size_t>(c)] = problem.objective[static_cast<std::size_t>(c)];
+    }
+    load_objective(phase2);
+    status = iterate(artificial_begin_, iterations);
+    solution.iterations = iterations;
+    if (status != LpStatus::kOptimal) return status;
+
+    solution.x.assign(static_cast<std::size_t>(structural_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const int var = basis_[static_cast<std::size_t>(r)];
+      if (var < structural_) {
+        solution.x[static_cast<std::size_t>(var)] = rhs_[static_cast<std::size_t>(r)];
+      }
+    }
+    solution.objective = obj_value_;
+    return LpStatus::kOptimal;
+  }
+
+ private:
+  static Relation flip(Relation rel) {
+    switch (rel) {
+      case Relation::kLessEqual: return Relation::kGreaterEqual;
+      case Relation::kGreaterEqual: return Relation::kLessEqual;
+      case Relation::kEqual: return Relation::kEqual;
+    }
+    return rel;
+  }
+
+  double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(c)];
+  }
+
+  /// Sets the reduced-cost row for cost vector `cost`, canonicalising it
+  /// against the current basis.
+  void load_objective(const std::vector<double>& cost) {
+    obj_ = cost;
+    obj_value_ = 0.0;
+    for (int r = 0; r < rows_; ++r) {
+      const int var = basis_[static_cast<std::size_t>(r)];
+      const double c_b = cost[static_cast<std::size_t>(var)];
+      if (c_b == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) {
+        obj_[static_cast<std::size_t>(c)] -= c_b * at(r, c);
+      }
+      obj_value_ -= c_b * rhs_[static_cast<std::size_t>(r)];
+    }
+    // obj_value_ holds -z; we keep z = -obj_value_ at the end.
+    obj_value_ = -obj_value_;
+  }
+
+  void pivot(int pivot_row, int pivot_col) {
+    const double p = at(pivot_row, pivot_col);
+    PCMAX_CHECK(std::abs(p) > options_.epsilon, "degenerate pivot element");
+    const double inv = 1.0 / p;
+    for (int c = 0; c < cols_; ++c) at(pivot_row, c) *= inv;
+    rhs_[static_cast<std::size_t>(pivot_row)] *= inv;
+    at(pivot_row, pivot_col) = 1.0;  // clean up round-off
+
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) at(r, c) -= factor * at(pivot_row, c);
+      at(r, pivot_col) = 0.0;
+      rhs_[static_cast<std::size_t>(r)] -=
+          factor * rhs_[static_cast<std::size_t>(pivot_row)];
+    }
+    const double obj_factor = obj_[static_cast<std::size_t>(pivot_col)];
+    if (obj_factor != 0.0) {
+      for (int c = 0; c < cols_; ++c) {
+        obj_[static_cast<std::size_t>(c)] -= obj_factor * at(pivot_row, c);
+      }
+      obj_[static_cast<std::size_t>(pivot_col)] = 0.0;
+      obj_value_ += obj_factor * rhs_[static_cast<std::size_t>(pivot_row)];
+    }
+    basis_[static_cast<std::size_t>(pivot_row)] = pivot_col;
+  }
+
+  /// Simplex iterations over columns [0, allowed_cols) with Bland's rule.
+  LpStatus iterate(int allowed_cols, int& iterations) {
+    while (iterations < options_.max_iterations) {
+      // Bland: entering variable = lowest index with negative reduced cost.
+      int entering = -1;
+      for (int c = 0; c < allowed_cols; ++c) {
+        if (obj_[static_cast<std::size_t>(c)] < -options_.epsilon) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering < 0) return LpStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on the smallest basis variable index.
+      int leaving = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < rows_; ++r) {
+        const double coeff = at(r, entering);
+        if (coeff <= options_.epsilon) continue;
+        const double ratio = rhs_[static_cast<std::size_t>(r)] / coeff;
+        if (leaving < 0 || ratio < best_ratio - options_.epsilon ||
+            (std::abs(ratio - best_ratio) <= options_.epsilon &&
+             basis_[static_cast<std::size_t>(r)] <
+                 basis_[static_cast<std::size_t>(leaving)])) {
+          leaving = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving < 0) return LpStatus::kUnbounded;
+
+      pivot(leaving, entering);
+      ++iterations;
+
+      // Objective value decreases weakly; the pivot keeps obj_value_ as z.
+      (void)best_ratio;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  const LpOptions options_;
+  int rows_;
+  int cols_ = 0;
+  int structural_ = 0;
+  int artificial_begin_ = 0;
+  std::vector<double> a_;
+  std::vector<double> rhs_;
+  std::vector<double> obj_;
+  double obj_value_ = 0.0;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
+  PCMAX_REQUIRE(problem.num_vars >= 1, "LP needs at least one variable");
+  PCMAX_REQUIRE(static_cast<int>(problem.objective.size()) == problem.num_vars,
+                "objective vector has wrong size");
+  LpSolution solution;
+  if (problem.constraints.empty()) {
+    // Without constraints the minimum is 0 unless some cost is negative
+    // (x unbounded above) — handle the degenerate case directly.
+    for (double c : problem.objective) {
+      if (c < 0.0) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::kOptimal;
+    solution.objective = 0.0;
+    solution.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    return solution;
+  }
+  Tableau tableau(problem, options);
+  solution.status = tableau.solve(problem, solution);
+  return solution;
+}
+
+}  // namespace pcmax

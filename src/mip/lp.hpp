@@ -1,0 +1,59 @@
+// A dense two-phase primal simplex solver for small linear programs.
+//
+// This is the LP engine under the library's MILP solver (src/mip/pcmax_ip),
+// which substitutes for the paper's CPLEX runs on small instances. It is a
+// textbook tableau implementation: slack/surplus/artificial columns, a
+// phase-1 feasibility objective, and Bland's rule (which cannot cycle) for
+// pivot selection. Problem sizes here are a few hundred columns, where the
+// dense tableau is perfectly adequate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmax {
+
+/// Relational operator of a linear constraint.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  (relation)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;  ///< dense, size = num_vars
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// min objective . x  subject to constraints and x >= 0.
+/// (Upper bounds, where needed, are expressed as explicit constraints by the
+/// model layer; the P||Cmax relaxation needs none — assignment equalities
+/// already cap every x_ij at 1.)
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< dense, size = num_vars
+  std::vector<LpConstraint> constraints;
+};
+
+/// Outcome of an LP solve.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Human-readable status name.
+const char* lp_status_name(LpStatus status);
+
+/// Solution of an LP solve.
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size num_vars when kOptimal
+  int iterations = 0;     ///< pivots across both phases
+};
+
+/// Solver options.
+struct LpOptions {
+  int max_iterations = 50'000;  ///< pivot budget across both phases
+  double epsilon = 1e-9;        ///< feasibility/pricing tolerance
+};
+
+/// Solves the LP with the two-phase primal simplex method.
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace pcmax

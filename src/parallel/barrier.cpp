@@ -1,0 +1,23 @@
+#include "parallel/barrier.hpp"
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Barrier::Barrier(std::size_t participants) : participants_(participants) {
+  PCMAX_REQUIRE(participants >= 1, "barrier needs at least one participant");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::size_t my_generation = generation_;
+  if (++waiting_ == participants_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+}  // namespace pcmax

@@ -1,0 +1,43 @@
+// A reusable generation barrier for SPMD-style parallel algorithms.
+//
+// The level-synchronised DP sweep (paper Algorithm 3) alternates compute
+// phases with synchronisation points; persistent-thread variants use this
+// barrier between anti-diagonal levels instead of forking and joining a
+// parallel region per level.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace pcmax {
+
+/// Central (mutex + condition variable) cyclic barrier.
+///
+/// `arrive_and_wait` blocks until `participants` threads have arrived, then
+/// releases all of them and resets for the next cycle. Generation counting
+/// makes the barrier safe for back-to-back reuse (a fast thread re-entering
+/// the next cycle cannot steal a slot from the current one).
+class Barrier {
+ public:
+  /// Creates a barrier for `participants` threads (must be >= 1).
+  explicit Barrier(std::size_t participants);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived at this cycle.
+  void arrive_and_wait();
+
+  /// Number of participating threads.
+  [[nodiscard]] std::size_t participants() const { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace pcmax

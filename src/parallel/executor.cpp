@@ -1,0 +1,95 @@
+#include "parallel/executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+#if defined(PCMAX_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace pcmax {
+
+void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                            LoopSchedule schedule) {
+  parallel_for_ranges(
+      n,
+      [&fn](std::size_t begin, std::size_t end, unsigned /*worker*/) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      schedule, /*chunk=*/1);
+}
+
+void SequentialExecutor::parallel_for_ranges(std::size_t n,
+                                             const ThreadPool::RangeBody& body,
+                                             LoopSchedule /*schedule*/,
+                                             std::size_t /*chunk*/) {
+  if (n > 0) body(0, n, 0);
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(unsigned num_threads) : pool_(num_threads) {}
+
+void ThreadPoolExecutor::parallel_for_ranges(std::size_t n,
+                                             const ThreadPool::RangeBody& body,
+                                             LoopSchedule schedule, std::size_t chunk) {
+  pool_.run(n, body, schedule, chunk);
+}
+
+#if defined(PCMAX_HAVE_OPENMP)
+OpenMPExecutor::OpenMPExecutor(unsigned num_threads) : num_threads_(num_threads) {
+  PCMAX_REQUIRE(num_threads >= 1, "OpenMP executor needs at least one thread");
+}
+
+void OpenMPExecutor::parallel_for_ranges(std::size_t n,
+                                         const ThreadPool::RangeBody& body,
+                                         LoopSchedule schedule, std::size_t chunk) {
+  const auto in = static_cast<std::int64_t>(n);
+  const auto c = static_cast<std::int64_t>(std::max<std::size_t>(1, chunk));
+  switch (schedule) {
+    case LoopSchedule::kStatic:
+#pragma omp parallel for num_threads(num_threads_) schedule(static)
+      for (std::int64_t i = 0; i < in; ++i) {
+        const auto w = static_cast<unsigned>(omp_get_thread_num());
+        body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
+      }
+      break;
+    case LoopSchedule::kRoundRobin:
+      // OpenMP's schedule(static, 1) is exactly the round-robin assignment.
+#pragma omp parallel for num_threads(num_threads_) schedule(static, 1)
+      for (std::int64_t i = 0; i < in; ++i) {
+        const auto w = static_cast<unsigned>(omp_get_thread_num());
+        body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
+      }
+      break;
+    case LoopSchedule::kDynamic:
+#pragma omp parallel for num_threads(num_threads_) schedule(dynamic, c)
+      for (std::int64_t i = 0; i < in; ++i) {
+        const auto w = static_cast<unsigned>(omp_get_thread_num());
+        body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
+      }
+      break;
+  }
+}
+#endif  // PCMAX_HAVE_OPENMP
+
+std::unique_ptr<Executor> make_executor(const std::string& backend,
+                                        unsigned num_threads) {
+  PCMAX_REQUIRE(num_threads >= 1, "executor needs at least one thread");
+  if (backend == "sequential") {
+    PCMAX_REQUIRE(num_threads == 1, "sequential executor is single-threaded");
+    return std::make_unique<SequentialExecutor>();
+  }
+  if (backend == "threadpool") {
+    return std::make_unique<ThreadPoolExecutor>(num_threads);
+  }
+  if (backend == "openmp") {
+#if defined(PCMAX_HAVE_OPENMP)
+    return std::make_unique<OpenMPExecutor>(num_threads);
+#else
+    throw InvalidArgumentError("pcmax was built without OpenMP support");
+#endif
+  }
+  throw InvalidArgumentError("unknown executor backend: " + backend);
+}
+
+}  // namespace pcmax

@@ -1,0 +1,94 @@
+// Executor: the abstraction algorithms program against for parallelism.
+//
+// The parallel PTAS expresses its level sweep as `parallel_for` calls; the
+// concrete executor decides how (and whether) iterations run concurrently:
+//
+//  * SequentialExecutor — inline execution; used by the sequential PTAS and
+//    as the P=1 baseline of all speedup experiments.
+//  * ThreadPoolExecutor — our own persistent pool (src/parallel/thread_pool).
+//  * OpenMPExecutor     — optional backend using `#pragma omp`, kept for
+//    comparison with the paper's OpenMP implementation (compiled only when
+//    the toolchain provides OpenMP).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pcmax {
+
+/// Interface for running data-parallel ranges.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Degree of parallelism this executor targets (>= 1).
+  [[nodiscard]] virtual unsigned concurrency() const = 0;
+
+  /// Short backend name for reports ("sequential", "threadpool", "openmp").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs `body(begin, end, worker)` over [0, n), blocking until complete.
+  /// Workers are numbered [0, concurrency()).
+  virtual void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                                   LoopSchedule schedule, std::size_t chunk) = 0;
+
+  /// Convenience: runs `fn(i)` for each i in [0, n) with a static schedule.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    LoopSchedule schedule = LoopSchedule::kStatic);
+};
+
+/// Inline, single-threaded executor.
+class SequentialExecutor final : public Executor {
+ public:
+  [[nodiscard]] unsigned concurrency() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                           LoopSchedule schedule, std::size_t chunk) override;
+};
+
+/// Executor backed by the library's own persistent thread pool.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// Creates the executor with its own pool of `num_threads` workers.
+  explicit ThreadPoolExecutor(unsigned num_threads);
+
+  [[nodiscard]] unsigned concurrency() const override { return pool_.size(); }
+  [[nodiscard]] std::string name() const override { return "threadpool"; }
+  void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                           LoopSchedule schedule, std::size_t chunk) override;
+
+  /// Direct access to the underlying pool (e.g. for SPMD algorithms).
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+};
+
+#if defined(PCMAX_HAVE_OPENMP)
+/// Executor backed by OpenMP worksharing, mirroring the paper's
+/// implementation substrate.
+class OpenMPExecutor final : public Executor {
+ public:
+  explicit OpenMPExecutor(unsigned num_threads);
+
+  [[nodiscard]] unsigned concurrency() const override { return num_threads_; }
+  [[nodiscard]] std::string name() const override { return "openmp"; }
+  void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                           LoopSchedule schedule, std::size_t chunk) override;
+
+ private:
+  unsigned num_threads_;
+};
+#endif  // PCMAX_HAVE_OPENMP
+
+/// Creates an executor by backend name: "sequential", "threadpool", or
+/// "openmp" (if compiled in). Throws InvalidArgumentError for unknown names
+/// or an unavailable backend.
+std::unique_ptr<Executor> make_executor(const std::string& backend,
+                                        unsigned num_threads);
+
+}  // namespace pcmax

@@ -1,0 +1,142 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+/// Descriptor of one fork-join episode, shared read-only by workers except
+/// for the dynamic-claim cursor and the first captured exception.
+struct ThreadPool::Region {
+  std::size_t n = 0;
+  const RangeBody* body = nullptr;
+  LoopSchedule schedule = LoopSchedule::kStatic;
+  std::size_t chunk = 1;
+  mutable std::atomic<std::size_t> next{0};  // kDynamic claim cursor
+  mutable std::mutex error_mutex;
+  mutable std::exception_ptr error;
+
+  void capture_exception() const {
+    std::lock_guard lock(error_mutex);
+    if (!error) error = std::current_exception();
+  }
+};
+
+ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
+  PCMAX_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  threads_.reserve(num_threads - 1);
+  for (unsigned w = 1; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    const Region* region = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutting_down_ || epoch_ != seen_epoch; });
+      if (shutting_down_) return;
+      seen_epoch = epoch_;
+      region = region_;
+    }
+    work_on(*region, worker);
+    {
+      std::lock_guard lock(mutex_);
+      if (--still_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work_on(const Region& region, unsigned worker) {
+  try {
+    const std::size_t n = region.n;
+    const unsigned P = num_threads_;
+    switch (region.schedule) {
+      case LoopSchedule::kStatic: {
+        const std::size_t begin = n * worker / P;
+        const std::size_t end = n * (worker + 1) / P;
+        if (begin < end) (*region.body)(begin, end, worker);
+        break;
+      }
+      case LoopSchedule::kRoundRobin: {
+        // Strided singleton ranges: iteration i goes to worker i mod P,
+        // mirroring the paper's round-robin "parallel for" semantics.
+        for (std::size_t i = worker; i < n; i += P) {
+          (*region.body)(i, i + 1, worker);
+        }
+        break;
+      }
+      case LoopSchedule::kDynamic: {
+        const std::size_t chunk = std::max<std::size_t>(1, region.chunk);
+        for (;;) {
+          const std::size_t begin =
+              region.next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= n) break;
+          (*region.body)(begin, std::min(begin + chunk, n), worker);
+        }
+        break;
+      }
+    }
+  } catch (...) {
+    region.capture_exception();
+  }
+}
+
+void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule,
+                     std::size_t chunk) {
+  PCMAX_REQUIRE(chunk >= 1, "dynamic chunk must be at least 1");
+  if (n == 0) return;
+
+  Region region;
+  region.n = n;
+  region.body = &body;
+  region.schedule = schedule;
+  region.chunk = chunk;
+
+  if (num_threads_ == 1) {
+    work_on(region, 0);
+    if (region.error) std::rethrow_exception(region.error);
+    return;
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    // Concurrent external callers are serialised: wait until the pool is
+    // idle before installing the next region. (Calling run() from *inside*
+    // a worker body would self-deadlock here and is not supported.)
+    idle_cv_.wait(lock, [&] { return region_ == nullptr; });
+    region_ = &region;
+    still_running_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  work_on(region, 0);  // the caller is worker 0
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return still_running_ == 0; });
+    region_ = nullptr;
+  }
+  idle_cv_.notify_one();
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace pcmax

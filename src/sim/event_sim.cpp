@@ -1,0 +1,102 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+double SimResult::utilisation(int machine) const {
+  PCMAX_REQUIRE(machine >= 0 &&
+                    machine < static_cast<int>(machine_busy.size()),
+                "machine index out of range");
+  if (makespan == 0) return 1.0;
+  return static_cast<double>(machine_busy[static_cast<std::size_t>(machine)]) /
+         static_cast<double>(makespan);
+}
+
+double SimResult::mean_utilisation() const {
+  if (machine_busy.empty()) return 1.0;
+  double total = 0.0;
+  for (int machine = 0; machine < static_cast<int>(machine_busy.size());
+       ++machine) {
+    total += utilisation(machine);
+  }
+  return total / static_cast<double>(machine_busy.size());
+}
+
+SimResult simulate_schedule(const Instance& instance, const Schedule& schedule) {
+  return simulate_schedule(instance, schedule, instance.times());
+}
+
+SimResult simulate_schedule(const Instance& instance, const Schedule& schedule,
+                            std::span<const Time> actual) {
+  schedule.validate(instance);
+  PCMAX_REQUIRE(actual.size() == static_cast<std::size_t>(instance.jobs()),
+                "actual-times vector has wrong size");
+  for (Time t : actual) {
+    PCMAX_REQUIRE(t >= 1, "actual processing times must be positive");
+  }
+
+  SimResult result;
+  result.completion.assign(static_cast<std::size_t>(instance.jobs()), 0);
+  result.machine_busy.assign(static_cast<std::size_t>(schedule.machines()), 0);
+
+  // Event-queue execution: each machine owns a cursor into its job list;
+  // the priority queue dispenses the next event in global time order.
+  struct Pending {
+    Time at;
+    SimEvent::Kind kind;
+    int machine;
+    int job;
+  };
+  auto later = [](const Pending& a, const Pending& b) {
+    if (a.at != b.at) return a.at > b.at;
+    // Finishes precede starts at equal times (a machine frees its slot
+    // before the log shows the next job starting).
+    if (a.kind != b.kind) return a.kind == SimEvent::Kind::kStart;
+    if (a.machine != b.machine) return a.machine > b.machine;
+    return a.job > b.job;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> queue(later);
+
+  // Seed: every machine starts its first job at time zero.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(schedule.machines()), 0);
+  for (int machine = 0; machine < schedule.machines(); ++machine) {
+    if (!schedule.jobs_on(machine).empty()) {
+      queue.push(Pending{0, SimEvent::Kind::kStart, machine,
+                         schedule.jobs_on(machine).front()});
+    }
+  }
+
+  while (!queue.empty()) {
+    const Pending next = queue.top();
+    queue.pop();
+    result.events.push_back(SimEvent{next.at, next.kind, next.machine, next.job});
+
+    const auto machine_index = static_cast<std::size_t>(next.machine);
+    const Time duration = actual[static_cast<std::size_t>(next.job)];
+    if (next.kind == SimEvent::Kind::kStart) {
+      queue.push(Pending{next.at + duration, SimEvent::Kind::kFinish,
+                         next.machine, next.job});
+    } else {
+      result.completion[static_cast<std::size_t>(next.job)] = next.at;
+      result.machine_busy[machine_index] += duration;
+      result.makespan = std::max(result.makespan, next.at);
+      // Start the machine's next job, if any.
+      const auto& jobs = schedule.jobs_on(next.machine);
+      if (++cursor[machine_index] < jobs.size()) {
+        queue.push(Pending{next.at, SimEvent::Kind::kStart, next.machine,
+                           jobs[cursor[machine_index]]});
+      }
+    }
+  }
+
+  PCMAX_CHECK(result.events.size() ==
+                  2 * static_cast<std::size_t>(instance.jobs()),
+              "every job must start and finish exactly once");
+  return result;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,58 @@
+// Discrete-event execution simulator for schedules.
+//
+// Executes a schedule on m simulated machines: every machine runs its
+// assigned jobs back-to-back from time zero (the P || C_max model — no
+// release dates, no preemption), while a global event queue interleaves the
+// start/finish events in time order. The simulator serves three purposes:
+//
+//  * end-to-end validation — the simulated completion time must equal the
+//    analytically computed makespan (the test suite asserts this for every
+//    solver), and per-job completion times C_j are produced explicitly;
+//  * what-if execution — actual processing times may differ from the
+//    estimates the schedule was built from (see sim/robustness);
+//  * timelines — per-machine busy/idle accounting for reports and examples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace pcmax {
+
+/// One simulation event: job started or finished on a machine.
+struct SimEvent {
+  enum class Kind { kStart, kFinish };
+  Time at = 0;
+  Kind kind = Kind::kStart;
+  int machine = 0;
+  int job = 0;
+};
+
+/// Result of simulating one schedule execution.
+struct SimResult {
+  Time makespan = 0;                   ///< latest finish event
+  std::vector<Time> completion;        ///< C_j per job
+  std::vector<Time> machine_busy;      ///< busy time per machine
+  std::vector<SimEvent> events;        ///< start/finish log, time-ordered
+                                       ///< (ties: finish before start,
+                                       ///< then machine, then job)
+
+  /// Machine utilisation in [0,1]: busy / makespan (1 when makespan is 0).
+  [[nodiscard]] double utilisation(int machine) const;
+  /// Mean utilisation across machines.
+  [[nodiscard]] double mean_utilisation() const;
+};
+
+/// Simulates `schedule` with the instance's nominal processing times.
+/// The schedule is validated first.
+SimResult simulate_schedule(const Instance& instance, const Schedule& schedule);
+
+/// Simulates with explicit *actual* processing times (`actual[j]` replaces
+/// `instance.time(j)`; each must be >= 1). The schedule is validated against
+/// the nominal instance — it was planned with the estimates, after all.
+SimResult simulate_schedule(const Instance& instance, const Schedule& schedule,
+                            std::span<const Time> actual);
+
+}  // namespace pcmax

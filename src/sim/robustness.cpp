@@ -1,0 +1,50 @@
+#include "sim/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::vector<Time> perturb_times(const Instance& instance, const NoiseModel& noise,
+                                std::uint64_t trial) {
+  PCMAX_REQUIRE(noise.delta >= 0.0 && noise.delta < 1.0,
+                "noise delta must lie in [0, 1)");
+  SplitMix64 mixer(noise.seed);
+  Xoshiro256StarStar rng(mixer.next() ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
+
+  std::vector<Time> actual;
+  actual.reserve(static_cast<std::size_t>(instance.jobs()));
+  for (Time t : instance.times()) {
+    const double factor = 1.0 - noise.delta + 2.0 * noise.delta * uniform_real01(rng);
+    const Time scaled = std::llround(static_cast<double>(t) * factor);
+    actual.push_back(std::max<Time>(1, scaled));
+  }
+  return actual;
+}
+
+RobustnessReport analyze_robustness(const Instance& instance,
+                                    const Schedule& schedule,
+                                    const NoiseModel& noise, int trials) {
+  PCMAX_REQUIRE(trials >= 1, "need at least one trial");
+  schedule.validate(instance);
+
+  RobustnessReport report;
+  report.nominal_makespan = schedule.makespan(instance);
+  const auto nominal = static_cast<double>(report.nominal_makespan);
+
+  double worst = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::vector<Time> actual =
+        perturb_times(instance, noise, static_cast<std::uint64_t>(trial));
+    const SimResult sim = simulate_schedule(instance, schedule, actual);
+    report.realised_makespan.add(static_cast<double>(sim.makespan));
+    worst = std::max(worst, static_cast<double>(sim.makespan) / nominal);
+  }
+  report.mean_inflation = report.realised_makespan.mean() / nominal;
+  report.worst_inflation = worst;
+  return report;
+}
+
+}  // namespace pcmax

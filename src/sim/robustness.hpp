@@ -1,0 +1,46 @@
+// Robustness analysis: how a schedule degrades when actual processing times
+// deviate from the estimates it was planned with.
+//
+// In practice job times are estimates; a schedule whose makespan guarantee
+// only holds for exact times is fragile. This module perturbs every
+// processing time by an independent multiplicative factor drawn uniformly
+// from [1-delta, 1+delta], replays the schedule on the event simulator, and
+// summarises the realised makespans over many trials. Used by
+// bench/robustness_analysis to compare how LPT, LDM and the PTAS degrade.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pcmax {
+
+/// Noise model: multiplicative uniform perturbation.
+struct NoiseModel {
+  double delta = 0.2;       ///< times scale by U(1-delta, 1+delta)
+  std::uint64_t seed = 1;
+};
+
+/// Draws one vector of actual times for `instance` under `noise`
+/// (always >= 1). The `trial` index selects an independent stream.
+std::vector<Time> perturb_times(const Instance& instance, const NoiseModel& noise,
+                                std::uint64_t trial);
+
+/// Summary of realised makespans across trials.
+struct RobustnessReport {
+  RunningStats realised_makespan;  ///< distribution over trials
+  Time nominal_makespan = 0;       ///< planned makespan (exact times)
+  double mean_inflation = 0.0;     ///< mean realised / nominal
+  double worst_inflation = 0.0;    ///< max realised / nominal
+};
+
+/// Replays `schedule` under `trials` independent perturbations.
+RobustnessReport analyze_robustness(const Instance& instance,
+                                    const Schedule& schedule,
+                                    const NoiseModel& noise, int trials);
+
+}  // namespace pcmax

@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+namespace pcmax::detail {
+
+void throw_invalid_argument(const char* func, const std::string& msg) {
+  throw InvalidArgumentError(std::string(func) + ": " + msg);
+}
+
+void throw_internal(const char* func, const std::string& msg) {
+  throw InternalError(std::string("internal invariant violated in ") + func + ": " + msg);
+}
+
+}  // namespace pcmax::detail

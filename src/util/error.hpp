@@ -1,0 +1,58 @@
+// Error types shared across the pcmax library.
+//
+// The library reports contract violations and resource-limit overruns with
+// typed exceptions so callers (tests, benches, downstream users) can
+// distinguish "you passed a malformed instance" from "this instance exceeds
+// the configured memory budget".
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pcmax {
+
+/// Base class of all exceptions thrown by the pcmax library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input violates a documented precondition
+/// (e.g. zero machines, negative processing time, epsilon <= 0).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an algorithm would exceed a configured resource budget,
+/// e.g. the PTAS dynamic-programming table would not fit in memory.
+class ResourceLimitError : public Error {
+ public:
+  explicit ResourceLimitError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails. Seeing this is a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* func, const std::string& msg);
+[[noreturn]] void throw_internal(const char* func, const std::string& msg);
+}  // namespace detail
+
+/// Validates a user-facing precondition; throws InvalidArgumentError on
+/// failure. `func` should be the public entry point being validated.
+#define PCMAX_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) ::pcmax::detail::throw_invalid_argument(__func__, (msg)); \
+  } while (false)
+
+/// Checks an internal invariant; throws InternalError on failure.
+#define PCMAX_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) ::pcmax::detail::throw_internal(__func__, (msg));   \
+  } while (false)
+
+}  // namespace pcmax

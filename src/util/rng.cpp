@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+namespace pcmax {
+
+void Xoshiro256StarStar::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+std::int64_t uniform_int(Xoshiro256StarStar& rng, std::int64_t lo, std::int64_t hi) {
+  PCMAX_REQUIRE(lo <= hi, "empty range for uniform_int");
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range: every draw is valid
+    return static_cast<std::int64_t>(rng.next());
+  }
+  // Lemire's unbiased bounded generation: draw 64 bits, take the high part
+  // of the 128-bit product, reject the small biased region of the low part.
+  std::uint64_t x = rng.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = rng.next();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(static_cast<std::uint64_t>(m >> 64));
+}
+
+}  // namespace pcmax

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms,
+// so the library ships its own small generators instead of relying on the
+// implementation-defined distributions of <random>:
+//
+//  * SplitMix64  — used to expand a single user seed into generator state.
+//  * Xoshiro256StarStar — the workhorse generator (Blackman & Vigna).
+//  * uniform_int — unbiased bounded integers via Lemire rejection sampling.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+/// SplitMix64: tiny, fast generator mainly used for seeding.
+/// Passes BigCrush when used directly; its main role here is turning one
+/// 64-bit seed into the 256-bit state of Xoshiro256StarStar.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — all-purpose 64-bit generator with 256-bit state.
+/// Reference implementation by David Blackman and Sebastiano Vigna
+/// (public domain); re-implemented here for hermetic reproducibility.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by iterating SplitMix64, per the authors'
+  /// recommendation (avoids the all-zero state for every seed).
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9f58d3f1a4c2e7b5ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface, so the generator also works with
+  // standard-library algorithms such as std::shuffle.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  /// Equivalent to 2^128 calls to next(); used to derive independent
+  /// streams for parallel workers from a common seed.
+  void jump();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Draws an integer uniformly from [lo, hi] (inclusive) without modulo bias,
+/// using Lemire's multiply-shift rejection method.
+std::int64_t uniform_int(Xoshiro256StarStar& rng, std::int64_t lo, std::int64_t hi);
+
+/// Draws a double uniformly from [0, 1) with 53 bits of precision.
+inline double uniform_real01(Xoshiro256StarStar& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace pcmax

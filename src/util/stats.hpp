@@ -1,0 +1,60 @@
+// Streaming and batch summary statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pcmax {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = kInf;
+  double max_ = -kInf;
+};
+
+/// Arithmetic mean of a sample; 0 when empty.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 with fewer than two observations.
+double stddev(std::span<const double> xs);
+
+/// Median (average of middle pair for even sizes); 0 when empty.
+/// The input is copied; the original order is preserved.
+double median(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive inputs, 0 when empty.
+double geometric_mean(std::span<const double> xs);
+
+/// p-th percentile via linear interpolation, p in [0,100]; 0 when empty.
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace pcmax

@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this translation unit exists so the target has
+// a stable archive member and the header stays self-checked by compilation.
+#include "util/stopwatch.hpp"

@@ -1,0 +1,44 @@
+// Wall-clock timing for experiments and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pcmax {
+
+/// Monotonic wall-clock stopwatch. Started on construction; `elapsed_*`
+/// may be called repeatedly; `restart` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction / last restart.
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Times a callable and returns its wall-clock duration in seconds.
+/// The callable's result, if any, is discarded; use this for side-effecting
+/// work or wrap the call site to keep the result.
+template <typename F>
+double time_seconds(F&& f) {
+  Stopwatch sw;
+  f();
+  return sw.elapsed_seconds();
+}
+
+}  // namespace pcmax

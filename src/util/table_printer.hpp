@@ -1,0 +1,45 @@
+// Console table and CSV rendering for benches and examples.
+//
+// The figure-reproduction benches print paper-style rows; TablePrinter keeps
+// them aligned and can emit the same data as CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcmax {
+
+/// Collects rows of strings and renders them as an aligned ASCII table
+/// or as CSV. Column count is fixed by the header row.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` fractional digits (fixed notation)
+  /// — convenience for building rows.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Renders an aligned ASCII table with a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders RFC-4180-style CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the ASCII rendering to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcmax

@@ -1,0 +1,141 @@
+// Tests for the extra heuristic solvers: LDM (Karmarkar-Karp differencing)
+// and simulated annealing.
+#include <gtest/gtest.h>
+
+#include "algo/annealing.hpp"
+#include "algo/ldm.hpp"
+#include "algo/lpt.hpp"
+#include "core/bounds.hpp"
+#include "core/instance_gen.hpp"
+#include "exact/brute_force.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+// ----------------------------------------------------------------- LDM ----
+
+TEST(Ldm, TwoMachineDifferencingExample) {
+  // {6,5,4,3,2}: differencing cancels perfectly — 6-5=1, 4-3=1, 2-1=1,
+  // 1-1=0 — giving the exact split {6,4} vs {5,3,2} = 10/10.
+  const Instance instance(2, {6, 5, 4, 3, 2});
+  const SolverResult r = LdmSolver().solve(instance);
+  r.schedule.validate(instance);
+  EXPECT_EQ(r.makespan, 10);
+}
+
+TEST(Ldm, BeatsLptWhereGreedyCommitsTooEarly) {
+  // {8,7,6,5,4} on 2 machines: LPT reaches 17, differencing 16 (OPT 15).
+  const Instance instance(2, {8, 7, 6, 5, 4});
+  EXPECT_EQ(LptSolver().solve(instance).makespan, 17);
+  EXPECT_EQ(LdmSolver().solve(instance).makespan, 16);
+  EXPECT_EQ(brute_force_optimum(instance), 15);
+}
+
+TEST(Ldm, HandlesDegenerateShapes) {
+  EXPECT_EQ(LdmSolver().solve(Instance(1, {4, 5})).makespan, 9);
+  EXPECT_EQ(LdmSolver().solve(Instance(3, {10})).makespan, 10);
+  EXPECT_EQ(LdmSolver().solve(Instance(4, {5, 5, 5, 5})).makespan, 5);
+}
+
+TEST(Ldm, ProducesValidNearOptimalSchedules) {
+  for (const InstanceFamily family : all_families()) {
+    for (std::uint64_t index = 0; index < 3; ++index) {
+      const Instance instance = generate_instance(family, 3, 11, 41, index);
+      const SolverResult r = LdmSolver().solve(instance);
+      r.schedule.validate(instance);
+      const Time opt = brute_force_optimum(instance);
+      EXPECT_GE(r.makespan, opt);
+      // LDM has no constant-factor guarantee below 4/3-ish in theory, but on
+      // these small uniform instances it stays well inside 4/3.
+      EXPECT_LE(3 * r.makespan, 4 * opt) << family_name(family) << " #" << index;
+    }
+  }
+}
+
+TEST(Ldm, IsDeterministic) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 5, 30, 3, 0);
+  const SolverResult a = LdmSolver().solve(instance);
+  const SolverResult b = LdmSolver().solve(instance);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.schedule.assignment(instance), b.schedule.assignment(instance));
+}
+
+// ----------------------------------------------------------- annealing ----
+
+TEST(Annealing, NeverLosesToItsLptStart) {
+  for (const InstanceFamily family : all_families()) {
+    const Instance instance = generate_instance(family, 4, 24, 51, 0);
+    const SolverResult sa = AnnealingSolver().solve(instance);
+    sa.schedule.validate(instance);
+    EXPECT_LE(sa.makespan, LptSolver().solve(instance).makespan)
+        << family_name(family);
+  }
+}
+
+TEST(Annealing, FixedSeedIsDeterministic) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 7, 0);
+  AnnealingOptions options;
+  options.seed = 99;
+  const SolverResult a = AnnealingSolver(options).solve(instance);
+  const SolverResult b = AnnealingSolver(options).solve(instance);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.schedule.assignment(instance), b.schedule.assignment(instance));
+}
+
+TEST(Annealing, FindsOptimaOnSmallInstances) {
+  // Plenty of iterations on a small instance: should land on the optimum.
+  const Instance instance(3, {7, 5, 4, 4, 3, 2, 2, 1});
+  AnnealingOptions options;
+  options.iterations = 50'000;
+  const SolverResult sa = AnnealingSolver(options).solve(instance);
+  EXPECT_EQ(sa.makespan, brute_force_optimum(instance));
+}
+
+TEST(Annealing, ZeroIterationsReturnsLpt) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To10, 3, 15, 9, 0);
+  AnnealingOptions options;
+  options.iterations = 0;
+  const SolverResult sa = AnnealingSolver(options).solve(instance);
+  EXPECT_EQ(sa.makespan, LptSolver().solve(instance).makespan);
+}
+
+TEST(Annealing, ClaimsOptimalityOnlyAtTheLowerBound) {
+  const Instance balanced(2, {5, 5});  // LPT is optimal and equals LB
+  const SolverResult r = AnnealingSolver().solve(balanced);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+TEST(Annealing, ValidatesItsOptions) {
+  AnnealingOptions bad;
+  bad.iterations = -1;
+  EXPECT_THROW(AnnealingSolver{bad}, InvalidArgumentError);
+  bad = AnnealingOptions{};
+  bad.cooling = 1.0;
+  EXPECT_THROW(AnnealingSolver{bad}, InvalidArgumentError);
+  bad = AnnealingOptions{};
+  bad.swap_probability = 1.5;
+  EXPECT_THROW(AnnealingSolver{bad}, InvalidArgumentError);
+}
+
+TEST(Annealing, SingleMachineIsTrivial) {
+  const Instance instance(1, {3, 4, 5});
+  const SolverResult r = AnnealingSolver().solve(instance);
+  EXPECT_EQ(r.makespan, 12);
+}
+
+TEST(Annealing, ReportsSearchStats) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 13, 0);
+  const SolverResult r = AnnealingSolver().solve(instance);
+  EXPECT_GE(r.stats.at("accepted"), 0.0);
+  EXPECT_GE(r.stats.at("improvements"), 0.0);
+  EXPECT_GT(r.stats.at("final_temperature"), 0.0);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,64 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_gen.hpp"
+#include "exact/brute_force.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Bounds, MatchesEquation1And2OnKnownInstance) {
+  // sum = 24, m = 3 -> ceil(24/3) = 8; max t = 9.
+  const Instance instance(3, {9, 5, 4, 6});
+  EXPECT_EQ(makespan_lower_bound(instance), 9);   // max(8, 9)
+  EXPECT_EQ(makespan_upper_bound(instance), 17);  // 8 + 9
+}
+
+TEST(Bounds, AverageDominatesWhenJobsAreSmall) {
+  // sum = 12, m = 2 -> ceil = 6 > max t = 3.
+  const Instance instance(2, {3, 3, 3, 3});
+  EXPECT_EQ(makespan_lower_bound(instance), 6);
+  EXPECT_EQ(makespan_upper_bound(instance), 9);
+}
+
+TEST(Bounds, CeilingIsTakenOnTheAverage) {
+  // sum = 7, m = 3 -> ceil(7/3) = 3.
+  const Instance instance(3, {3, 2, 2});
+  EXPECT_EQ(makespan_lower_bound(instance), 3);
+  EXPECT_EQ(makespan_upper_bound(instance), 6);
+}
+
+TEST(Bounds, SingleMachineBoundsCollapseAroundTheSum) {
+  const Instance instance(1, {4, 5, 6});
+  EXPECT_EQ(makespan_lower_bound(instance), 15);
+  EXPECT_EQ(makespan_upper_bound(instance), 21);
+}
+
+TEST(Bounds, SingleJob) {
+  const Instance instance(5, {42});
+  EXPECT_EQ(makespan_lower_bound(instance), 42);
+  EXPECT_EQ(makespan_upper_bound(instance), 51);
+}
+
+TEST(Bounds, LowerIsNeverAboveUpper) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Instance instance = generate_instance(InstanceFamily::kUniform1To100, 4,
+                                                12, seed, 0);
+    EXPECT_LE(makespan_lower_bound(instance), makespan_upper_bound(instance));
+  }
+}
+
+TEST(Bounds, SandwichTheOptimumOnSmallRandomInstances) {
+  for (const InstanceFamily family : all_families()) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const Instance instance = generate_instance(family, 3, 9, seed, 1);
+      const Time opt = brute_force_optimum(instance);
+      EXPECT_LE(makespan_lower_bound(instance), opt) << family_name(family);
+      EXPECT_GE(makespan_upper_bound(instance), opt) << family_name(family);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,77 @@
+#include "core/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/lpt.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Gantt, RendersOneRowPerMachinePlusScaleLine) {
+  const Instance instance(3, {9, 5, 4, 6});
+  const SolverResult lpt = LptSolver().solve(instance);
+  const std::string chart = render_gantt(instance, lpt.schedule);
+  int lines = 0;
+  for (char ch : chart) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // 3 machines + scale line
+  EXPECT_NE(chart.find("m0 "), std::string::npos);
+  EXPECT_NE(chart.find("m2 "), std::string::npos);
+  EXPECT_NE(chart.find("scale:"), std::string::npos);
+}
+
+TEST(Gantt, MarksTheCriticalMachine) {
+  const Instance instance(2, {10, 1});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  const std::string chart = render_gantt(instance, schedule);
+  EXPECT_NE(chart.find("<- makespan"), std::string::npos);
+  EXPECT_NE(chart.find("load 10"), std::string::npos);
+  EXPECT_NE(chart.find("load 1"), std::string::npos);
+}
+
+TEST(Gantt, ShowsJobLabelsWhenRequestedAndTheyFit) {
+  const Instance instance(1, {100});
+  Schedule schedule(1);
+  schedule.assign(0, 0);
+  GanttOptions options;
+  options.width = 40;
+  EXPECT_NE(render_gantt(instance, schedule, options).find("j0"),
+            std::string::npos);
+  options.show_job_ids = false;
+  EXPECT_EQ(render_gantt(instance, schedule, options).find("j0"),
+            std::string::npos);
+}
+
+TEST(Gantt, EveryJobProducesABlock) {
+  const Instance instance(2, {1, 1, 1, 1, 1, 1, 1, 1});
+  Schedule schedule(2);
+  for (int j = 0; j < 8; ++j) schedule.assign(j % 2, j);
+  GanttOptions options;
+  options.width = 8;  // blocks smaller than labels: just hashes
+  const std::string chart = render_gantt(instance, schedule, options);
+  // 4 jobs per machine -> 5 '|' separators per row (incl. leading one).
+  const std::string row0 = chart.substr(0, chart.find('\n'));
+  EXPECT_EQ(static_cast<int>(std::count(row0.begin(), row0.end(), '|')), 5);
+}
+
+TEST(Gantt, ValidatesItsInputs) {
+  const Instance instance(2, {3, 4});
+  Schedule incomplete(2);
+  incomplete.assign(0, 0);
+  EXPECT_THROW((void)render_gantt(instance, incomplete), InvalidArgumentError);
+
+  Schedule complete(2);
+  complete.assign(0, 0);
+  complete.assign(1, 1);
+  GanttOptions too_narrow;
+  too_narrow.width = 2;
+  EXPECT_THROW((void)render_gantt(instance, complete, too_narrow),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace pcmax

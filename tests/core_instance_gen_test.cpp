@@ -1,0 +1,118 @@
+#include "core/instance_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(InstanceGen, FamilyNamesMatchThePaperNotation) {
+  EXPECT_EQ(family_name(InstanceFamily::kUniform1To100), "U(1,100)");
+  EXPECT_EQ(family_name(InstanceFamily::kUniform1To10), "U(1,10)");
+  EXPECT_EQ(family_name(InstanceFamily::kUniform1To10N), "U(1,10n)");
+  EXPECT_EQ(family_name(InstanceFamily::kUniform1To2M1), "U(1,2m-1)");
+  EXPECT_EQ(family_name(InstanceFamily::kUniformMTo2M1), "U(m,2m-1)");
+  EXPECT_EQ(family_name(InstanceFamily::kUniform95To105), "U(95,105)");
+}
+
+TEST(InstanceGen, AllFamiliesHasSixEntries) {
+  EXPECT_EQ(all_families().size(), 6u);
+}
+
+TEST(InstanceGen, SpeedupFamiliesMatchFigureOrder) {
+  const auto families = speedup_families();
+  ASSERT_EQ(families.size(), 4u);
+  EXPECT_EQ(families[0], InstanceFamily::kUniform1To2M1);
+  EXPECT_EQ(families[1], InstanceFamily::kUniform1To100);
+  EXPECT_EQ(families[2], InstanceFamily::kUniform1To10);
+  EXPECT_EQ(families[3], InstanceFamily::kUniform1To10N);
+}
+
+TEST(InstanceGen, RangesDependOnMachinesAndJobsAsSpecified) {
+  EXPECT_EQ(family_range(InstanceFamily::kUniform1To100, 10, 50).lo, 1);
+  EXPECT_EQ(family_range(InstanceFamily::kUniform1To100, 10, 50).hi, 100);
+  EXPECT_EQ(family_range(InstanceFamily::kUniform1To10N, 10, 50).hi, 500);
+  EXPECT_EQ(family_range(InstanceFamily::kUniform1To2M1, 10, 50).hi, 19);
+  EXPECT_EQ(family_range(InstanceFamily::kUniformMTo2M1, 10, 50).lo, 10);
+  EXPECT_EQ(family_range(InstanceFamily::kUniformMTo2M1, 10, 50).hi, 19);
+  EXPECT_EQ(family_range(InstanceFamily::kUniform95To105, 10, 50).lo, 95);
+  EXPECT_EQ(family_range(InstanceFamily::kUniform95To105, 10, 50).hi, 105);
+}
+
+TEST(InstanceGen, DegenerateSingleMachineRangeStaysValid) {
+  const TimeRange range = family_range(InstanceFamily::kUniform1To2M1, 1, 5);
+  EXPECT_EQ(range.lo, 1);
+  EXPECT_EQ(range.hi, 1);
+}
+
+TEST(InstanceGen, GeneratedTimesStayInFamilyRange) {
+  for (const InstanceFamily family : all_families()) {
+    const int m = 7;
+    const int n = 40;
+    const TimeRange range = family_range(family, m, n);
+    const Instance instance = generate_instance(family, m, n, 99, 0);
+    EXPECT_EQ(instance.machines(), m);
+    EXPECT_EQ(instance.jobs(), n);
+    for (Time t : instance.times()) {
+      EXPECT_GE(t, range.lo) << family_name(family);
+      EXPECT_LE(t, range.hi) << family_name(family);
+    }
+  }
+}
+
+TEST(InstanceGen, SameCoordinatesReproduceTheSameInstance) {
+  const Instance a = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 7, 3);
+  const Instance b = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 7, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(InstanceGen, DifferentIndicesProduceDifferentInstances) {
+  const Instance a = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 7, 0);
+  const Instance b = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 7, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(InstanceGen, DifferentSeedsProduceDifferentInstances) {
+  const Instance a = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 1, 0);
+  const Instance b = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 2, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(InstanceGen, DifferentFamiliesProduceDifferentInstances) {
+  // Same seed/size, different family: even with identical ranges the streams
+  // are decorrelated, and here the ranges differ anyway.
+  const Instance a = generate_instance(InstanceFamily::kUniform1To100, 5, 20, 1, 0);
+  const Instance b = generate_instance(InstanceFamily::kUniform95To105, 5, 20, 1, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(InstanceGen, GenerateInstancesProducesIndexedSequence) {
+  const auto batch = generate_instances(InstanceFamily::kUniform1To10, 3, 8, 5, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i],
+              generate_instance(InstanceFamily::kUniform1To10, 3, 8, 5, i));
+  }
+}
+
+TEST(InstanceGen, RejectsBadArguments) {
+  EXPECT_THROW((void)family_range(InstanceFamily::kUniform1To10, 0, 5),
+               InvalidArgumentError);
+  EXPECT_THROW((void)family_range(InstanceFamily::kUniform1To10, 5, 0),
+               InvalidArgumentError);
+  EXPECT_THROW((void)generate_instances(InstanceFamily::kUniform1To10, 3, 8, 5, -1),
+               InvalidArgumentError);
+}
+
+TEST(InstanceGen, UsesTheFullRangeEventually) {
+  // With 400 draws from U(1,10) every value should appear.
+  const Instance instance = generate_instance(InstanceFamily::kUniform1To10, 2,
+                                              400, 123, 0);
+  std::vector<bool> seen(11, false);
+  for (Time t : instance.times()) seen[static_cast<std::size_t>(t)] = true;
+  for (int v = 1; v <= 10; ++v) EXPECT_TRUE(seen[static_cast<std::size_t>(v)]) << v;
+}
+
+}  // namespace
+}  // namespace pcmax

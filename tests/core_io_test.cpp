@@ -1,0 +1,114 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "algo/lpt.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(InstanceIo, ReadsInstancesSkippingCommentsAndBlanks) {
+  std::istringstream is(
+      "# a comment\n"
+      "\n"
+      "2 3 5 6 7\n"
+      "   # indented comment\n"
+      "3 2 10 20\n");
+  const auto instances = read_instances(is);
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0], Instance(2, {5, 6, 7}));
+  EXPECT_EQ(instances[1], Instance(3, {10, 20}));
+}
+
+TEST(InstanceIo, ReportsTheOffendingLineNumber) {
+  std::istringstream is("2 2 1 2\nbogus line\n");
+  try {
+    (void)read_instances(is);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(InstanceIo, WriteThenReadRoundTrips) {
+  const std::vector<Instance> original{Instance(2, {1, 2, 3}),
+                                       Instance(5, {9, 9, 9, 9})};
+  std::stringstream buffer;
+  write_instances(buffer, original);
+  EXPECT_EQ(read_instances(buffer), original);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pcmax_io_test.txt";
+  const std::vector<Instance> original{Instance(4, {8, 1, 6})};
+  write_instances_file(path, original);
+  EXPECT_EQ(read_instances_file(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_instances_file("/nonexistent/dir/x.txt"),
+               InvalidArgumentError);
+}
+
+TEST(ScheduleIo, TextRoundTripPreservesTheAssignment) {
+  const Instance instance(3, {4, 7, 2, 5, 6});
+  const SolverResult lpt = LptSolver().solve(instance);
+  const std::string text = schedule_to_text(instance, lpt.schedule);
+  const Schedule parsed = schedule_from_text(instance, text);
+  EXPECT_EQ(parsed.assignment(instance), lpt.schedule.assignment(instance));
+  EXPECT_EQ(parsed.makespan(instance), lpt.makespan);
+}
+
+TEST(ScheduleIo, TextIncludesHeaderAndMachines) {
+  const Instance instance(2, {3, 4});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  const std::string text = schedule_to_text(instance, schedule);
+  EXPECT_NE(text.find("makespan 4 machines 2"), std::string::npos);
+  EXPECT_NE(text.find("machine 0: 0"), std::string::npos);
+  EXPECT_NE(text.find("machine 1: 1"), std::string::npos);
+}
+
+TEST(ScheduleIo, RejectsIncompleteOrCorruptText) {
+  const Instance instance(2, {3, 4});
+  EXPECT_THROW((void)schedule_from_text(instance, "garbage"),
+               InvalidArgumentError);
+  EXPECT_THROW((void)schedule_from_text(instance, "makespan 4 machines 3\n"),
+               InvalidArgumentError);
+  // Declared makespan must match the actual assignment.
+  EXPECT_THROW((void)schedule_from_text(
+                   instance, "makespan 99 machines 2\nmachine 0: 0\nmachine 1: 1\n"),
+               InvalidArgumentError);
+  // A job assigned twice fails schedule validation.
+  EXPECT_THROW((void)schedule_from_text(
+                   instance, "makespan 7 machines 2\nmachine 0: 0 1\nmachine 1: 1\n"),
+               InvalidArgumentError);
+}
+
+TEST(ScheduleIo, RefusesToSerialiseInvalidSchedules) {
+  const Instance instance(2, {3, 4});
+  Schedule incomplete(2);
+  incomplete.assign(0, 0);  // job 1 missing
+  EXPECT_THROW((void)schedule_to_text(instance, incomplete), InvalidArgumentError);
+}
+
+TEST(ScheduleIo, EmptyMachinesAreRepresentable) {
+  const Instance instance(3, {5});
+  Schedule schedule(3);
+  schedule.assign(1, 0);
+  const std::string text = schedule_to_text(instance, schedule);
+  const Schedule parsed = schedule_from_text(instance, text);
+  EXPECT_TRUE(parsed.jobs_on(0).empty());
+  EXPECT_EQ(parsed.jobs_on(1), (std::vector<int>{0}));
+  EXPECT_TRUE(parsed.jobs_on(2).empty());
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,115 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+const Instance kInstance(3, {4, 7, 2, 5, 6});  // total 24
+
+Schedule complete_schedule() {
+  Schedule s(3);
+  s.assign(0, 0);
+  s.assign(0, 2);
+  s.assign(1, 1);
+  s.assign(2, 3);
+  s.assign(2, 4);
+  return s;
+}
+
+TEST(Schedule, TracksAssignmentsAndLoads) {
+  const Schedule s = complete_schedule();
+  EXPECT_EQ(s.machines(), 3);
+  EXPECT_EQ(s.assigned_jobs(), 5);
+  EXPECT_EQ(s.load(kInstance, 0), 6);
+  EXPECT_EQ(s.load(kInstance, 1), 7);
+  EXPECT_EQ(s.load(kInstance, 2), 11);
+  EXPECT_EQ(s.makespan(kInstance), 11);
+  EXPECT_EQ(s.loads(kInstance), (std::vector<Time>{6, 7, 11}));
+  EXPECT_EQ(s.jobs_on(0), (std::vector<int>{0, 2}));
+}
+
+TEST(Schedule, ValidatesCompletePartition) {
+  const Schedule s = complete_schedule();
+  EXPECT_NO_THROW(s.validate(kInstance));
+  EXPECT_TRUE(s.is_valid(kInstance));
+}
+
+TEST(Schedule, DetectsUnassignedJob) {
+  Schedule s(3);
+  s.assign(0, 0);
+  s.assign(1, 1);
+  s.assign(2, 2);
+  s.assign(0, 3);  // job 4 missing
+  EXPECT_THROW(s.validate(kInstance), InvalidArgumentError);
+  EXPECT_FALSE(s.is_valid(kInstance));
+}
+
+TEST(Schedule, DetectsDuplicateAssignment) {
+  Schedule s = complete_schedule();
+  s.assign(1, 0);  // job 0 twice
+  EXPECT_THROW(s.validate(kInstance), InvalidArgumentError);
+}
+
+TEST(Schedule, DetectsOutOfRangeJob) {
+  Schedule s = complete_schedule();
+  s.assign(0, 99);
+  EXPECT_THROW(s.validate(kInstance), InvalidArgumentError);
+}
+
+TEST(Schedule, DetectsMachineCountMismatch) {
+  Schedule s(2);
+  s.assign(0, 0);
+  EXPECT_THROW(s.validate(kInstance), InvalidArgumentError);
+}
+
+TEST(Schedule, AssignRejectsBadIndices) {
+  Schedule s(2);
+  EXPECT_THROW(s.assign(-1, 0), InvalidArgumentError);
+  EXPECT_THROW(s.assign(2, 0), InvalidArgumentError);
+  EXPECT_THROW(s.assign(0, -5), InvalidArgumentError);
+}
+
+TEST(Schedule, RejectsZeroMachines) {
+  EXPECT_THROW(Schedule(0), InvalidArgumentError);
+}
+
+TEST(Schedule, FromAssignmentBuildsEquivalentSchedule) {
+  const std::vector<int> assignment{0, 1, 0, 2, 2};
+  const Schedule s = Schedule::from_assignment(3, assignment);
+  EXPECT_TRUE(s.is_valid(kInstance));
+  EXPECT_EQ(s.assignment(kInstance), assignment);
+}
+
+TEST(Schedule, AssignmentRoundTrips) {
+  const Schedule s = complete_schedule();
+  const std::vector<int> assignment = s.assignment(kInstance);
+  const Schedule rebuilt = Schedule::from_assignment(3, assignment);
+  EXPECT_EQ(rebuilt.makespan(kInstance), s.makespan(kInstance));
+  EXPECT_EQ(rebuilt.assignment(kInstance), assignment);
+}
+
+TEST(Schedule, AssignmentRequiresCompleteSchedule) {
+  Schedule s(3);
+  s.assign(0, 0);
+  EXPECT_THROW((void)s.assignment(kInstance), InvalidArgumentError);
+}
+
+TEST(Schedule, ToStringShowsLoadsAndMakespan) {
+  const Schedule s = complete_schedule();
+  const std::string text = s.to_string(kInstance);
+  EXPECT_NE(text.find("machine 0 (load 6)"), std::string::npos);
+  EXPECT_NE(text.find("makespan: 11"), std::string::npos);
+  EXPECT_NE(text.find("j1[7]"), std::string::npos);
+}
+
+TEST(Schedule, EmptyMachinesHaveZeroLoad) {
+  Schedule s(4);
+  EXPECT_EQ(s.load(Instance(4, {1}), 3), 0);
+  EXPECT_EQ(s.makespan(Instance(4, {1})), 0);
+}
+
+}  // namespace
+}  // namespace pcmax

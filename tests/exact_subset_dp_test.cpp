@@ -1,0 +1,99 @@
+#include "exact/subset_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_gen.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/exact.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(SubsetDp, SingleMachineIsTheTotal) {
+  const Instance instance(1, {3, 5, 8});
+  const SolverResult r = SubsetDpSolver().solve(instance);
+  EXPECT_EQ(r.makespan, 16);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+TEST(SubsetDp, PerfectPartitionOnTwoMachines) {
+  const Instance instance(2, {3, 1, 1, 2, 2, 1});  // total 10 -> 5/5
+  const SolverResult r = SubsetDpSolver().solve(instance);
+  r.schedule.validate(instance);
+  EXPECT_EQ(r.makespan, 5);
+}
+
+TEST(SubsetDp, ImperfectPartitionRoundsUp) {
+  const Instance instance(2, {5, 4, 3});  // total 12 but best split 7/5
+  const SolverResult r = SubsetDpSolver().solve(instance);
+  EXPECT_EQ(r.makespan, 7);
+  EXPECT_EQ(brute_force_optimum(instance), 7);
+}
+
+TEST(SubsetDp, ThreeMachineKnownInstance) {
+  const Instance instance(3, {5, 4, 3, 3, 3});  // OPT = 7 (see baselines test)
+  const SolverResult r = SubsetDpSolver().solve(instance);
+  r.schedule.validate(instance);
+  EXPECT_EQ(r.makespan, 7);
+}
+
+TEST(SubsetDp, MatchesBruteForceOnTwoMachines) {
+  for (const InstanceFamily family : all_families()) {
+    for (std::uint64_t index = 0; index < 3; ++index) {
+      const Instance instance = generate_instance(family, 2, 12, 77, index);
+      const SolverResult r = SubsetDpSolver().solve(instance);
+      r.schedule.validate(instance);
+      EXPECT_EQ(r.makespan, brute_force_optimum(instance))
+          << family_name(family) << " #" << index;
+    }
+  }
+}
+
+TEST(SubsetDp, MatchesBruteForceOnThreeMachines) {
+  for (const InstanceFamily family :
+       {InstanceFamily::kUniform1To10, InstanceFamily::kUniform1To2M1}) {
+    for (std::uint64_t index = 0; index < 3; ++index) {
+      const Instance instance = generate_instance(family, 3, 10, 31, index);
+      const SolverResult r = SubsetDpSolver().solve(instance);
+      r.schedule.validate(instance);
+      EXPECT_EQ(r.makespan, brute_force_optimum(instance))
+          << family_name(family) << " #" << index;
+    }
+  }
+}
+
+TEST(SubsetDp, CrossChecksTheBranchAndBoundSolver) {
+  // Two independent exact algorithms must agree on larger instances than
+  // brute force can handle.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To10, 2, 60, 3, 0);
+  const SolverResult dp = SubsetDpSolver().solve(instance);
+  const SolverResult bb = ExactSolver().solve(instance);
+  ASSERT_TRUE(bb.proven_optimal);
+  EXPECT_EQ(dp.makespan, bb.makespan);
+}
+
+TEST(SubsetDp, RejectsTooManyMachines) {
+  const Instance instance(4, {1, 2, 3, 4});
+  EXPECT_THROW((void)SubsetDpSolver().solve(instance), InvalidArgumentError);
+}
+
+TEST(SubsetDp, EnforcesTheTimeBudget) {
+  const Instance small_budget_instance(2, {600, 600});
+  EXPECT_THROW((void)SubsetDpSolver(1000).solve(small_budget_instance),
+               InvalidArgumentError);
+  // 3-machine instances face the quadratic budget.
+  const Instance three(3, {600, 600, 600});
+  EXPECT_THROW((void)SubsetDpSolver(1'000'000).solve(three),
+               InvalidArgumentError);
+}
+
+TEST(SubsetDp, LargeUnitJobsBalancePerfectly) {
+  const Instance instance(3, std::vector<Time>(30, 7));  // 10 per machine
+  const SolverResult r = SubsetDpSolver().solve(instance);
+  EXPECT_EQ(r.makespan, 70);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,107 @@
+// Failure-injection tests: resource budgets tripping mid-algorithm and
+// hostile executors must surface as typed exceptions, never as corrupted
+// results or hangs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "algo/ptas/dp_parallel.hpp"
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(FailureInjection, TableBudgetTripsDuringTheBisection) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 6, 40, 1, 0);
+  PtasOptions options;
+  options.limits.max_table_entries = 4;  // guaranteed to trip at some probe
+  PtasSolver solver(options);
+  EXPECT_THROW((void)solver.solve(instance), ResourceLimitError);
+}
+
+TEST(FailureInjection, ConfigBudgetTripsDuringTheBisection) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 6, 40, 1, 0);
+  PtasOptions options;
+  options.limits.max_configs = 1;
+  PtasSolver solver(options);
+  EXPECT_THROW((void)solver.solve(instance), ResourceLimitError);
+}
+
+TEST(FailureInjection, BudgetTripsInsideSpeculativeProbesToo) {
+  // The exception is raised on a probe thread and must be rethrown on the
+  // caller, with the remaining probe threads joined (no leaks, no hang).
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 6, 40, 1, 0);
+  PtasOptions options;
+  options.speculation = 4;
+  options.limits.max_table_entries = 4;
+  PtasSolver solver(options);
+  EXPECT_THROW((void)solver.solve(instance), ResourceLimitError);
+}
+
+/// An executor that fails a configurable number of calls in.
+class FlakyExecutor final : public Executor {
+ public:
+  explicit FlakyExecutor(int fail_after) : remaining_(fail_after) {}
+
+  [[nodiscard]] unsigned concurrency() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "flaky"; }
+
+  void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                           LoopSchedule, std::size_t) override {
+    if (remaining_-- <= 0) throw std::runtime_error("injected executor failure");
+    if (n > 0) body(0, n, 0);
+  }
+
+ private:
+  int remaining_;
+};
+
+TEST(FailureInjection, ExecutorFailurePropagatesThroughTheParallelDp) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 2, 0);
+  FlakyExecutor executor(/*fail_after=*/3);
+  PtasOptions options;
+  options.engine = DpEngine::kParallelBucketed;
+  options.executor = &executor;
+  PtasSolver solver(options);
+  EXPECT_THROW((void)solver.solve(instance), std::runtime_error);
+}
+
+TEST(FailureInjection, HealthyExecutorAfterFailureStillWorks) {
+  // A pool that has propagated an exception must remain usable — the PTAS
+  // retried on the same executor succeeds.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 2, 0);
+  ThreadPoolExecutor executor(2);
+  // Inject one failing region directly, then reuse the pool for a solve.
+  EXPECT_THROW(executor.parallel_for_ranges(
+                   1,
+                   [](std::size_t, std::size_t, unsigned) {
+                     throw std::runtime_error("boom");
+                   },
+                   LoopSchedule::kStatic, 1),
+               std::runtime_error);
+
+  PtasOptions options;
+  options.engine = DpEngine::kParallelBucketed;
+  options.executor = &executor;
+  const SolverResult result = PtasSolver(options).solve(instance);
+  result.schedule.validate(instance);
+  EXPECT_EQ(result.makespan, PtasSolver(PtasOptions{}).solve(instance).makespan);
+}
+
+TEST(FailureInjection, GenerousBudgetsDoNotTrip) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 2, 0);
+  PtasOptions options;  // default budgets
+  EXPECT_NO_THROW((void)PtasSolver(options).solve(instance));
+}
+
+}  // namespace
+}  // namespace pcmax

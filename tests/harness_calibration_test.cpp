@@ -1,0 +1,40 @@
+#include "harness/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Calibration, MeasuresPositiveCosts) {
+  const CalibrationResult result = calibrate_machine(2);
+  EXPECT_EQ(result.threads, 2u);
+  EXPECT_GT(result.forkjoin_seconds, 0.0);
+  EXPECT_GT(result.barrier_seconds, 0.0);
+  EXPECT_GT(result.dp_entry_seconds, 0.0);
+  // Sanity ceilings: none of these should be near a millisecond even on a
+  // heavily shared machine.
+  EXPECT_LT(result.forkjoin_seconds, 0.05);
+  EXPECT_LT(result.dp_entry_seconds, 0.01);
+}
+
+TEST(Calibration, SingleThreadHasNoBarrierCost) {
+  const CalibrationResult result = calibrate_machine(1);
+  EXPECT_DOUBLE_EQ(result.barrier_seconds, 0.0);
+  EXPECT_GE(result.forkjoin_seconds, 0.0);
+}
+
+TEST(Calibration, ProducesAUsableModel) {
+  const CalibrationResult result = calibrate_machine(2);
+  const SimMachineModel model = result.to_model(100.0);
+  EXPECT_DOUBLE_EQ(model.work_scale, 100.0);
+  EXPECT_DOUBLE_EQ(model.barrier_seconds, result.forkjoin_seconds);
+}
+
+TEST(Calibration, RejectsZeroThreads) {
+  EXPECT_THROW((void)calibrate_machine(0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,97 @@
+#include "harness/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(DpShape, PaperExampleNumbers) {
+  // N = (2,3): work 12, levels 6 (widths 1,2,3,3,2,1), widest 3.
+  const DpShape shape = analyze_dp_shape({2, 3});
+  EXPECT_EQ(shape.work, 12u);
+  EXPECT_EQ(shape.levels, 6);
+  EXPECT_EQ(shape.widest, 3u);
+  EXPECT_DOUBLE_EQ(shape.parallelism, 2.0);
+}
+
+TEST(DpShape, RoundsMatchCeilSums) {
+  const DpShape shape = analyze_dp_shape({2, 3});
+  // P=1: 12 rounds; P=2: 1+1+2+2+1+1 = 8; P=4: 6 (one per level).
+  EXPECT_EQ(shape.rounds(1), 12u);
+  EXPECT_EQ(shape.rounds(2), 8u);
+  EXPECT_EQ(shape.rounds(4), 6u);
+  EXPECT_EQ(shape.rounds(1000), 6u);  // span floor
+}
+
+TEST(DpShape, SpeedupBoundIsBrentLike) {
+  const DpShape shape = analyze_dp_shape({2, 3});
+  EXPECT_DOUBLE_EQ(shape.speedup_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(shape.speedup_bound(4), 2.0);       // 12 / 6
+  EXPECT_DOUBLE_EQ(shape.speedup_bound(1 << 20), 2.0);  // = parallelism
+  // The bound never exceeds P nor the structural parallelism.
+  for (unsigned p : {1u, 2u, 3u, 4u, 8u}) {
+    EXPECT_LE(shape.speedup_bound(p), static_cast<double>(p) + 1e-12);
+    EXPECT_LE(shape.speedup_bound(p), shape.parallelism + 1e-12);
+  }
+}
+
+TEST(DpShape, MonotoneInProcessors) {
+  const DpShape shape = analyze_dp_shape({4, 3, 5});
+  double previous = 0.0;
+  for (unsigned p = 1; p <= 64; p *= 2) {
+    const double bound = shape.speedup_bound(p);
+    EXPECT_GE(bound, previous - 1e-12);
+    previous = bound;
+  }
+}
+
+TEST(DpShape, DegenerateTables) {
+  const DpShape empty = analyze_dp_shape({});
+  EXPECT_EQ(empty.work, 1u);
+  EXPECT_EQ(empty.levels, 1);
+  EXPECT_DOUBLE_EQ(empty.speedup_bound(8), 1.0);
+
+  const DpShape zero = analyze_dp_shape({0, 0});
+  EXPECT_EQ(zero.work, 1u);
+  EXPECT_EQ(zero.levels, 1);
+}
+
+TEST(DpShape, RejectsZeroProcessors) {
+  const DpShape shape = analyze_dp_shape({2, 3});
+  EXPECT_THROW((void)shape.rounds(0), InvalidArgumentError);
+}
+
+TEST(RunShape, AggregatesAcrossProbes) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 3, 0);
+  PtasOptions options;
+  options.keep_trace = true;
+  const PtasResult run = PtasSolver(options).solve_with_trace(instance);
+  const RunShape shape = analyze_run_shape(run.bisection);
+
+  ASSERT_EQ(shape.probes.size(), run.bisection.trace.size());
+  std::size_t work = 0;
+  for (const DpShape& probe : shape.probes) work += probe.work;
+  EXPECT_EQ(shape.total_work, work);
+  EXPECT_GT(shape.parallelism, 0.0);
+  // Aggregate bound interpolates between per-probe bounds.
+  EXPECT_LE(shape.speedup_bound(8), 8.0 + 1e-9);
+  EXPECT_GE(shape.speedup_bound(8), 1.0 - 1e-9);
+  // Consistency with the raw trace sizes.
+  for (std::size_t p = 0; p < shape.probes.size(); ++p) {
+    EXPECT_EQ(shape.probes[p].work, run.bisection.trace[p].table_size);
+  }
+}
+
+TEST(RunShape, EmptyTraceIsNeutral) {
+  const RunShape shape = analyze_run_shape(BisectionResult{});
+  EXPECT_EQ(shape.total_work, 0u);
+  EXPECT_DOUBLE_EQ(shape.speedup_bound(4), 1.0);
+}
+
+}  // namespace
+}  // namespace pcmax

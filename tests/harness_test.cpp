@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/ptas/ptas.hpp"
+#include "harness/experiment.hpp"
+#include "harness/paper_instances.hpp"
+#include "harness/simmachine.hpp"
+
+namespace pcmax {
+namespace {
+
+PtasResult traced_run(const Instance& instance) {
+  PtasOptions options;
+  options.keep_trace = true;
+  return PtasSolver(options).solve_with_trace(instance);
+}
+
+TEST(SimMachine, OneCoreRoughlyMatchesTheMeasuredDpTime) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 30, 9, 0);
+  const PtasResult run = traced_run(instance);
+
+  SimMachineModel model;
+  model.barrier_seconds = 0.0;  // isolate the compute model
+  double dp_measured = 0.0;
+  double dp_simulated = 0.0;
+  for (const BisectionIteration& it : run.bisection.trace) {
+    dp_measured += it.dp_seconds;
+    dp_simulated += simulate_dp_iteration_seconds(it, 1, model);
+  }
+  // With P = 1 the replay is sum(q_l) * per-entry = the measured time.
+  EXPECT_NEAR(dp_simulated, dp_measured, 1e-9 + dp_measured * 1e-6);
+}
+
+TEST(SimMachine, SimulatedTimeIsMonotoneInCores) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To10, 6, 40, 10, 0);
+  const PtasResult run = traced_run(instance);
+  double previous = 1e100;
+  for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double simulated = simulate_parallel_ptas_seconds(
+        run.bisection, run.seconds, cores, SimMachineModel{});
+    EXPECT_LE(simulated, previous + 1e-12) << cores << " cores";
+    previous = simulated;
+  }
+}
+
+TEST(SimMachine, SpeedupIsBoundedByTheLevelStructure) {
+  // Even with infinite cores, each anti-diagonal costs one round plus the
+  // barrier: the span lower-bounds the simulated time.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 30, 11, 0);
+  const PtasResult run = traced_run(instance);
+  const SimMachineModel model;
+  for (const BisectionIteration& it : run.bisection.trace) {
+    const double at_huge_p = simulate_dp_iteration_seconds(it, 1u << 20, model);
+    StateSpace space(it.counts, it.table_size > 0 ? it.table_size : 1);
+    const double levels = static_cast<double>(space.max_level() + 1);
+    const double per_entry =
+        it.table_size ? it.dp_seconds / static_cast<double>(it.table_size) : 0.0;
+    EXPECT_NEAR(at_huge_p, levels * (per_entry + model.barrier_seconds),
+                1e-12 + at_huge_p * 1e-9);
+  }
+}
+
+TEST(SimMachine, BarrierCostPenalisesManyLevels) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 30, 12, 0);
+  const PtasResult run = traced_run(instance);
+  SimMachineModel cheap;
+  cheap.barrier_seconds = 0.0;
+  SimMachineModel costly;
+  costly.barrier_seconds = 1e-3;
+  const double fast = simulate_parallel_ptas_seconds(run.bisection, run.seconds,
+                                                     4, cheap);
+  const double slow = simulate_parallel_ptas_seconds(run.bisection, run.seconds,
+                                                     4, costly);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(SimMachine, RequiresAFullTableTrace) {
+  BisectionIteration it;
+  it.counts = {1};
+  it.table_size = 2;
+  it.entries_computed = 1;  // not a bottom-up trace
+  EXPECT_THROW((void)simulate_dp_iteration_seconds(it, 2, SimMachineModel{}),
+               InternalError);
+}
+
+TEST(PaperInstances, SpecsCoverTheDescribedCategories) {
+  const auto specs = ratio_instance_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  // The LPT-adversarial specs use n = 2m+1 with U(m, 2m-1).
+  EXPECT_EQ(specs[0].family, InstanceFamily::kUniformMTo2M1);
+  EXPECT_EQ(specs[0].jobs, 2 * specs[0].machines + 1);
+  EXPECT_EQ(specs[1].jobs, 2 * specs[1].machines + 1);
+  // The narrow-range specs use U(95,105).
+  EXPECT_EQ(specs[2].family, InstanceFamily::kUniform95To105);
+  for (const auto& spec : specs) {
+    EXPECT_FALSE(spec.label.empty());
+    EXPECT_GE(spec.machines, 1);
+    EXPECT_GE(spec.jobs, 1);
+  }
+}
+
+TEST(SpeedupExperiment, SmokeRunProducesConsistentCells) {
+  SpeedupConfig config;
+  config.machines = 4;
+  config.jobs = 16;
+  config.families = {InstanceFamily::kUniform1To10,
+                     InstanceFamily::kUniform1To100};
+  config.trials = 2;
+  config.core_counts = {1, 4};
+  config.verify_parallel_engines = true;
+  // Tiny smoke instances take microseconds of DP; disable the simulated
+  // barrier cost so the 1-core replay matches the measured run.
+  config.model.barrier_seconds = 0.0;
+  std::ostringstream log;
+  const SpeedupResult result = run_speedup_experiment(config, log);
+
+  ASSERT_EQ(result.cells.size(), 4u);  // 2 families x 2 core counts
+  ASSERT_EQ(result.summaries.size(), 2u);
+  for (const SpeedupCell& cell : result.cells) {
+    EXPECT_GT(cell.parallel_seconds, 0.0);
+    EXPECT_GT(cell.speedup_vs_ptas, 0.0);
+    EXPECT_GT(cell.speedup_vs_ip, 0.0);
+    if (cell.cores == 1) {
+      // The simulated 1-core run is the sequential run (modulo barrier).
+      EXPECT_NEAR(cell.speedup_vs_ptas, 1.0, 0.2);
+    }
+  }
+  for (const SpeedupFamilySummary& summary : result.summaries) {
+    EXPECT_EQ(summary.trials, 2);
+    EXPECT_GE(summary.ptas_makespan_ratio, 0.999);
+    EXPECT_EQ(summary.ip_optimal_count, 2);
+  }
+  EXPECT_FALSE(log.str().empty());
+}
+
+TEST(RatioExperiment, RatiosAreOrderedAsThePaperReports) {
+  RatioConfig config;
+  config.specs = {{"adv", InstanceFamily::kUniformMTo2M1, 4, 9},
+                  {"narrow", InstanceFamily::kUniform95To105, 3, 8}};
+  config.trials = 3;
+  std::ostringstream log;
+  const auto rows = run_ratio_experiment(config, log);
+
+  ASSERT_EQ(rows.size(), 2u);
+  for (const RatioRow& row : rows) {
+    EXPECT_EQ(row.optimal_count, row.trials);  // tiny instances: certified
+    EXPECT_GE(row.ratio_ptas, 1.0 - 1e-9);
+    EXPECT_GE(row.ratio_lpt, 1.0 - 1e-9);
+    EXPECT_GE(row.ratio_ls, 1.0 - 1e-9);
+    // The PTAS guarantee at eps = 0.3.
+    EXPECT_LE(row.ratio_ptas, 1.3 + 1e-9);
+    // On the LPT-adversarial family the PTAS must not lose to LPT (on other
+    // families the paper's Fig. 5(b) shows LPT can edge it out slightly).
+    if (row.spec.family == InstanceFamily::kUniformMTo2M1) {
+      EXPECT_LE(row.ratio_ptas, row.ratio_lpt + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,90 @@
+#include "mip/pcmax_ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_gen.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/exact.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(MilpSolver, SolvesHandVerifiedInstances) {
+  {
+    const Instance instance(2, {3, 3, 2, 2, 2});
+    const SolverResult result = PcmaxIpSolver().solve(instance);
+    result.schedule.validate(instance);
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_EQ(result.makespan, 6);
+  }
+  {
+    const Instance instance(3, {1, 1, 1, 1, 1, 3});
+    const SolverResult result = PcmaxIpSolver().solve(instance);
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_EQ(result.makespan, 3);
+  }
+}
+
+TEST(MilpSolver, MatchesBruteForceOnSmallRandomInstances) {
+  for (const InstanceFamily family :
+       {InstanceFamily::kUniform1To10, InstanceFamily::kUniform1To100,
+        InstanceFamily::kUniformMTo2M1}) {
+    for (std::uint64_t index = 0; index < 3; ++index) {
+      const Instance instance = generate_instance(family, 3, 8, 123, index);
+      const SolverResult milp = PcmaxIpSolver().solve(instance);
+      milp.schedule.validate(instance);
+      EXPECT_TRUE(milp.proven_optimal) << family_name(family) << " #" << index;
+      EXPECT_EQ(milp.makespan, brute_force_optimum(instance))
+          << family_name(family) << " #" << index;
+    }
+  }
+}
+
+TEST(MilpSolver, AgreesWithTheCombinatorialExactSolver) {
+  for (std::uint64_t index = 0; index < 3; ++index) {
+    const Instance instance =
+        generate_instance(InstanceFamily::kUniform1To100, 2, 9, 321, index);
+    const SolverResult milp = PcmaxIpSolver().solve(instance);
+    const SolverResult exact = ExactSolver().solve(instance);
+    EXPECT_EQ(milp.makespan, exact.makespan) << "#" << index;
+  }
+}
+
+TEST(MilpSolver, ReportsNodeAndLpCounts) {
+  // LPT is suboptimal here (7 vs 6), so the search must actually branch.
+  const Instance instance(2, {3, 3, 2, 2, 2});
+  const SolverResult result = PcmaxIpSolver().solve(instance);
+  EXPECT_GE(result.stats.at("nodes"), 1.0);
+  EXPECT_GE(result.stats.at("lp_solves"), 1.0);
+}
+
+TEST(MilpSolver, BudgetExhaustionClearsTheOptimalityFlag) {
+  MipOptions options;
+  options.max_nodes = 1;
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 3, 10, 5, 0);
+  const SolverResult result = PcmaxIpSolver(options).solve(instance);
+  result.schedule.validate(instance);  // LPT incumbent is still returned
+  EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(MilpSolver, TrivialCasesTerminateImmediately) {
+  // LPT already matches the lower bound: no branching required.
+  const Instance instance(2, {5, 5});
+  const SolverResult result = PcmaxIpSolver().solve(instance);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.makespan, 5);
+}
+
+TEST(MilpSolver, RejectsMoreThan64Machines) {
+  const Instance instance(65, std::vector<Time>(65, 1));
+  EXPECT_THROW((void)PcmaxIpSolver().solve(instance), InvalidArgumentError);
+}
+
+TEST(MilpSolver, NameIsMILP) {
+  EXPECT_EQ(PcmaxIpSolver().name(), "MILP");
+}
+
+}  // namespace
+}  // namespace pcmax

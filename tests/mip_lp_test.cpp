@@ -1,0 +1,176 @@
+#include "mip/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mip/pcmax_ip.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+LpConstraint row(std::vector<double> coeffs, Relation relation, double rhs) {
+  LpConstraint con;
+  con.coeffs = std::move(coeffs);
+  con.relation = relation;
+  con.rhs = rhs;
+  return con;
+}
+
+TEST(SimplexLp, SolvesATextbookMaximisation) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  // -> optimum 36 at (2, 6). Expressed as minimisation of -3x - 5y.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3, -5};
+  lp.constraints.push_back(row({1, 0}, Relation::kLessEqual, 4));
+  lp.constraints.push_back(row({0, 2}, Relation::kLessEqual, 12));
+  lp.constraints.push_back(row({3, 2}, Relation::kLessEqual, 18));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexLp, HandlesEqualityConstraints) {
+  // min x + y s.t. x + y = 5, x - y = 1 -> (3, 2), objective 5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints.push_back(row({1, 1}, Relation::kEqual, 5));
+  lp.constraints.push_back(row({1, -1}, Relation::kEqual, 1));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexLp, HandlesGreaterEqualAndMixedRows) {
+  // min 2x + 3y s.t. x + y >= 4, x <= 3, y <= 3 -> x=3, y=1, objective 9.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2, 3};
+  lp.constraints.push_back(row({1, 1}, Relation::kGreaterEqual, 4));
+  lp.constraints.push_back(row({1, 0}, Relation::kLessEqual, 3));
+  lp.constraints.push_back(row({0, 1}, Relation::kLessEqual, 3));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 9.0, 1e-9);
+}
+
+TEST(SimplexLp, HandlesNegativeRhsByFlippingRows) {
+  // min x s.t. -x <= -3  (i.e. x >= 3) -> 3.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(row({-1}, Relation::kLessEqual, -3));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+}
+
+TEST(SimplexLp, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(row({1}, Relation::kLessEqual, 1));
+  lp.constraints.push_back(row({1}, Relation::kGreaterEqual, 2));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexLp, DetectsUnboundedness) {
+  // min -x s.t. x >= 1: x can grow forever.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1};
+  lp.constraints.push_back(row({1}, Relation::kGreaterEqual, 1));
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexLp, HandlesDegenerateTies) {
+  // Multiple optimal vertices; Bland's rule must terminate.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints.push_back(row({1, 1}, Relation::kGreaterEqual, 2));
+  lp.constraints.push_back(row({1, 0}, Relation::kLessEqual, 2));
+  lp.constraints.push_back(row({0, 1}, Relation::kLessEqual, 2));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexLp, UnconstrainedProblems) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 2};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kOptimal);
+  EXPECT_NEAR(solve_lp(lp).objective, 0.0, 1e-12);
+
+  lp.objective = {-1, 2};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexLp, RespectsIterationLimit) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {-1, -1, -1};
+  lp.constraints.push_back(row({1, 1, 1}, Relation::kLessEqual, 10));
+  LpOptions options;
+  options.max_iterations = 0;
+  EXPECT_EQ(solve_lp(lp, options).status, LpStatus::kIterationLimit);
+}
+
+TEST(SimplexLp, ValidatesProblemShape) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  EXPECT_THROW((void)solve_lp(lp), InvalidArgumentError);
+
+  lp.num_vars = 2;
+  lp.objective = {1};  // wrong size
+  EXPECT_THROW((void)solve_lp(lp), InvalidArgumentError);
+
+  lp.objective = {1, 1};
+  lp.constraints.push_back(row({1}, Relation::kEqual, 1));  // wrong width
+  EXPECT_THROW((void)solve_lp(lp), InvalidArgumentError);
+}
+
+TEST(SimplexLp, ZeroRhsEqualityIsFeasibleAtOrigin) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints.push_back(row({1, -1}, Relation::kEqual, 0));
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-9);
+}
+
+TEST(RootRelaxation, EqualsPerfectFractionalBalance) {
+  // Fractional jobs can be split arbitrarily, so the LP optimum is exactly
+  // total/m — the classic weakness of the assignment relaxation.
+  const Instance instance(3, {7, 5, 9, 6});  // total 27 -> 9
+  const LpProblem lp = build_root_relaxation(instance);
+  const LpSolution solution = solve_lp(lp);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 9.0, 1e-6);
+}
+
+TEST(RootRelaxation, HasExpectedShape) {
+  const Instance instance(2, {3, 4, 5});
+  const LpProblem lp = build_root_relaxation(instance);
+  EXPECT_EQ(lp.num_vars, 2 * 3 + 1);
+  EXPECT_EQ(lp.constraints.size(), 3u + 2u);
+  EXPECT_DOUBLE_EQ(lp.objective.back(), 1.0);
+}
+
+TEST(LpStatusName, CoversAllStatuses) {
+  EXPECT_STREQ(lp_status_name(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(lp_status_name(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(lp_status_name(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(lp_status_name(LpStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,186 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+/// Runs `n` iterations and asserts each index is visited exactly once.
+void check_exactly_once(ThreadPool& pool, std::size_t n, LoopSchedule schedule,
+                        std::size_t chunk = 1) {
+  std::vector<std::atomic<int>> visits(n);
+  pool.run(
+      n,
+      [&](std::size_t begin, std::size_t end, unsigned worker) {
+        EXPECT_LT(worker, pool.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      schedule, chunk);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgumentError);
+}
+
+TEST(ThreadPool, StaticScheduleCoversRangeExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {0u, 1u, 5u, 64u, 1000u}) {
+      check_exactly_once(pool, n, LoopSchedule::kStatic);
+    }
+  }
+}
+
+TEST(ThreadPool, RoundRobinScheduleCoversRangeExactlyOnce) {
+  for (unsigned threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {1u, 2u, 17u, 256u}) {
+      check_exactly_once(pool, n, LoopSchedule::kRoundRobin);
+    }
+  }
+}
+
+TEST(ThreadPool, DynamicScheduleCoversRangeExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    for (std::size_t chunk : {1u, 3u, 100u}) {
+      check_exactly_once(pool, 97, LoopSchedule::kDynamic, chunk);
+    }
+  }
+}
+
+TEST(ThreadPool, RoundRobinAssignsStridedIterations) {
+  // Worker w must receive exactly the iterations congruent to w modulo P.
+  constexpr unsigned kThreads = 4;
+  constexpr std::size_t kN = 103;
+  ThreadPool pool(kThreads);
+  std::vector<std::atomic<unsigned>> owner(kN);
+  pool.run(
+      kN,
+      [&](std::size_t begin, std::size_t end, unsigned worker) {
+        EXPECT_EQ(end, begin + 1);  // round-robin delivers singletons
+        owner[begin].store(worker);
+      },
+      LoopSchedule::kRoundRobin);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(owner[i].load(), i % kThreads);
+  }
+}
+
+TEST(ThreadPool, StaticScheduleUsesContiguousBlocks) {
+  constexpr unsigned kThreads = 3;
+  constexpr std::size_t kN = 10;
+  ThreadPool pool(kThreads);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.run(
+      kN,
+      [&](std::size_t begin, std::size_t end, unsigned) {
+        std::lock_guard lock(mutex);
+        ranges.emplace_back(begin, end);
+      },
+      LoopSchedule::kStatic);
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expected_begin = 0;
+  for (auto [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, kN);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(100,
+               [](std::size_t begin, std::size_t, unsigned) {
+                 if (begin == 42) throw std::runtime_error("boom");
+               },
+               LoopSchedule::kRoundRobin),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  check_exactly_once(pool, 50, LoopSchedule::kStatic);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run(0, [&](std::size_t, std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RejectsZeroChunk) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.run(1, [](std::size_t, std::size_t, unsigned) {}, LoopSchedule::kDynamic,
+               0),
+      InvalidArgumentError);
+}
+
+TEST(ThreadPool, ManyConsecutiveRegionsAccumulateCorrectly) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run(64, [&](std::size_t begin, std::size_t end, unsigned) {
+      total.fetch_add(static_cast<long>(end - begin), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * 64);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  constexpr std::size_t kN = 100'000;
+  std::vector<long> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.run(kN, [&](std::size_t begin, std::size_t end, unsigned) {
+    long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += values[i];
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long>(kN) * (kN + 1) / 2);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersAreSerialised) {
+  // Several external threads submit regions to one pool at once; every
+  // region must still cover its range exactly once (regions are serialised
+  // internally, never interleaved).
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRegionsPerCaller = 25;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRegionsPerCaller; ++r) {
+        pool.run(100, [&](std::size_t begin, std::size_t end, unsigned) {
+          total.fetch_add(static_cast<long>(end - begin),
+                          std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), kCallers * kRegionsPerCaller * 100L);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,163 @@
+#include "algo/ptas/config_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+constexpr std::size_t kBig = std::size_t{1} << 40;
+
+/// Builds a RoundedInstance directly from (sizes, counts, T) without going
+/// through job rounding — the DP layer only consumes these fields.
+RoundedInstance make_rounded(std::vector<Time> sizes, std::vector<int> counts,
+                             Time target, int k = 4) {
+  RoundedInstance rounded;
+  rounded.params = RoundingParams::make(target, k);
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    rounded.class_index.push_back(static_cast<int>(d) + 1);
+    rounded.class_size.push_back(sizes[d]);
+    rounded.class_count.push_back(counts[d]);
+    rounded.class_jobs.emplace_back();
+    rounded.total_long_jobs += counts[d];
+  }
+  return rounded;
+}
+
+/// Brute-force reference enumeration.
+std::set<std::vector<int>> brute_force_configs(const RoundedInstance& rounded) {
+  std::set<std::vector<int>> result;
+  std::vector<int> current(static_cast<std::size_t>(rounded.dims()), 0);
+  auto weight = [&] {
+    Time w = 0;
+    for (int d = 0; d < rounded.dims(); ++d) {
+      w += rounded.class_size[static_cast<std::size_t>(d)] *
+           current[static_cast<std::size_t>(d)];
+    }
+    return w;
+  };
+  // Odometer over all s <= counts.
+  for (;;) {
+    if (weight() <= rounded.params.target &&
+        std::any_of(current.begin(), current.end(), [](int s) { return s > 0; })) {
+      result.insert(current);
+    }
+    int d = rounded.dims() - 1;
+    while (d >= 0 &&
+           current[static_cast<std::size_t>(d)] ==
+               rounded.class_count[static_cast<std::size_t>(d)]) {
+      current[static_cast<std::size_t>(d)] = 0;
+      --d;
+    }
+    if (d < 0) break;
+    ++current[static_cast<std::size_t>(d)];
+  }
+  return result;
+}
+
+TEST(ConfigEnum, MatchesThePaperExampleSetC) {
+  // Paper Eq. (7): N = (2,3), sizes 6 and 11, T = 30. Excluding the zero
+  // config, C = {(0,1),(0,2),(1,0),(1,1),(1,2),(2,0),(2,1)}.
+  const RoundedInstance rounded = make_rounded({6, 11}, {2, 3}, 30);
+  const StateSpace space({2, 3}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+
+  std::set<std::vector<int>> got;
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    const auto s = configs.config(c);
+    got.insert(std::vector<int>(s.begin(), s.end()));
+  }
+  const std::set<std::vector<int>> expected{{0, 1}, {0, 2}, {1, 0}, {1, 1},
+                                            {1, 2}, {2, 0}, {2, 1}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ConfigEnum, ExcludesTheZeroConfiguration) {
+  const RoundedInstance rounded = make_rounded({5}, {4}, 20);
+  const StateSpace space({4}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    const auto s = configs.config(c);
+    EXPECT_TRUE(std::any_of(s.begin(), s.end(), [](int v) { return v > 0; }));
+  }
+  EXPECT_EQ(configs.count(), 4u);  // s1 in {1,2,3,4}: 4*5=20 <= 20
+}
+
+TEST(ConfigEnum, MatchesBruteForceOnRandomShapes) {
+  const struct {
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    Time target;
+  } cases[] = {
+      {{7, 9, 13}, {2, 2, 1}, 26},
+      {{3}, {10}, 9},
+      {{10, 11, 12, 13}, {1, 1, 1, 1}, 24},
+      {{6, 11}, {2, 3}, 30},
+      {{5, 8}, {0, 2}, 16},  // a dimension with zero count
+  };
+  for (const auto& test_case : cases) {
+    const RoundedInstance rounded =
+        make_rounded(test_case.sizes, test_case.counts, test_case.target);
+    const StateSpace space(test_case.counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+
+    std::set<std::vector<int>> got;
+    for (std::size_t c = 0; c < configs.count(); ++c) {
+      const auto s = configs.config(c);
+      got.insert(std::vector<int>(s.begin(), s.end()));
+    }
+    EXPECT_EQ(got, brute_force_configs(rounded)) << "T=" << test_case.target;
+  }
+}
+
+TEST(ConfigEnum, OffsetsAreLinearInTheDigits) {
+  const RoundedInstance rounded = make_rounded({6, 11}, {2, 3}, 30);
+  const StateSpace space({2, 3}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    EXPECT_EQ(configs.offsets[c], space.encode(configs.config(c)));
+  }
+}
+
+TEST(ConfigEnum, WeightsAreTotalRoundedTimes) {
+  const RoundedInstance rounded = make_rounded({6, 11}, {2, 3}, 30);
+  const StateSpace space({2, 3}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    const auto s = configs.config(c);
+    const Time expected = 6 * s[0] + 11 * s[1];
+    EXPECT_EQ(configs.weights[c], expected);
+    EXPECT_LE(configs.weights[c], 30);
+  }
+}
+
+TEST(ConfigEnum, EmptyDimsYieldNoConfigs) {
+  const RoundedInstance rounded = make_rounded({}, {}, 30);
+  const StateSpace space({}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  EXPECT_EQ(configs.count(), 0u);
+}
+
+TEST(ConfigEnum, EnforcesTheConfigBudget) {
+  const RoundedInstance rounded = make_rounded({1, 1, 1}, {9, 9, 9}, 1000);
+  const StateSpace space({9, 9, 9}, kBig);
+  EXPECT_THROW((void)enumerate_configs(rounded, space, 10), ResourceLimitError);
+}
+
+TEST(ConfigFits, ComparesComponentwise) {
+  const std::vector<int> v{2, 3, 1};
+  EXPECT_TRUE(config_fits(std::vector<int>{2, 3, 1}, v));
+  EXPECT_TRUE(config_fits(std::vector<int>{0, 0, 0}, v));
+  EXPECT_TRUE(config_fits(std::vector<int>{1, 2, 0}, v));
+  EXPECT_FALSE(config_fits(std::vector<int>{3, 0, 0}, v));
+  EXPECT_FALSE(config_fits(std::vector<int>{0, 4, 0}, v));
+  EXPECT_FALSE(config_fits(std::vector<int>{0, 0, 2}, v));
+}
+
+}  // namespace
+}  // namespace pcmax

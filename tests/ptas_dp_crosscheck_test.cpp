@@ -1,0 +1,117 @@
+// Cross-checks the DP against an independent algorithm: OPT(N) — the
+// minimum number of machines that fit the rounded jobs within T — must agree
+// with the branch-and-bound packing decision run on the same job multiset.
+// Two entirely different solvers (counting DP over configurations vs DFS
+// packing with dominance pruning) agreeing across random shapes is strong
+// evidence both are right.
+#include <gtest/gtest.h>
+
+#include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_sequential.hpp"
+#include "core/instance.hpp"
+#include "exact/bin_feasibility.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+constexpr std::size_t kBig = std::size_t{1} << 40;
+
+RoundedInstance make_rounded(const std::vector<Time>& sizes,
+                             const std::vector<int>& counts, Time target) {
+  RoundedInstance rounded;
+  rounded.params = RoundingParams::make(target, 4);
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    rounded.class_index.push_back(static_cast<int>(d) + 1);
+    rounded.class_size.push_back(sizes[d]);
+    rounded.class_count.push_back(counts[d]);
+    rounded.class_jobs.emplace_back();
+    rounded.total_long_jobs += counts[d];
+  }
+  return rounded;
+}
+
+/// Minimum machines for the rounded jobs within `target`, via the
+/// independent packing decision (binary search over machine counts).
+int min_machines_by_packing(const std::vector<Time>& sizes,
+                            const std::vector<int>& counts, Time target) {
+  std::vector<Time> jobs;
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    for (int c = 0; c < counts[d]; ++c) jobs.push_back(sizes[d]);
+  }
+  if (jobs.empty()) return 0;
+  for (int machines = 1; machines <= static_cast<int>(jobs.size()); ++machines) {
+    const Instance instance(machines, jobs);
+    const Feasibility answer = pack_within(instance, target, {}, nullptr, nullptr);
+    EXPECT_NE(answer, Feasibility::kUnknown);
+    if (answer == Feasibility::kFeasible) return machines;
+  }
+  ADD_FAILURE() << "one machine per job must always fit (sizes <= target)";
+  return static_cast<int>(jobs.size());
+}
+
+TEST(DpCrossCheck, AgreesWithPackingOnFixedShapes) {
+  const struct {
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    Time target;
+  } cases[] = {
+      {{6, 11}, {2, 3}, 30},
+      {{9, 13, 17}, {3, 2, 2}, 40},
+      {{20}, {5}, 30},
+      {{10, 15}, {6, 4}, 30},
+      {{7, 8, 9, 10}, {2, 1, 2, 1}, 31},
+      {{25, 26}, {3, 3}, 52},
+  };
+  for (const auto& test_case : cases) {
+    const RoundedInstance rounded =
+        make_rounded(test_case.sizes, test_case.counts, test_case.target);
+    const StateSpace space(test_case.counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun run = dp_bottom_up(rounded, space, configs);
+    EXPECT_EQ(run.machines_needed,
+              min_machines_by_packing(test_case.sizes, test_case.counts,
+                                      test_case.target))
+        << "T=" << test_case.target;
+  }
+}
+
+TEST(DpCrossCheck, AgreesWithPackingOnRandomShapes) {
+  Xoshiro256StarStar rng(0xC0FFEE);
+  for (int round = 0; round < 25; ++round) {
+    const Time target = uniform_int(rng, 20, 60);
+    const int dims = static_cast<int>(uniform_int(rng, 1, 3));
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      // Long-ish sizes in (target/4, target]: mimics real rounded classes.
+      sizes.push_back(uniform_int(rng, target / 4 + 1, target));
+      counts.push_back(static_cast<int>(uniform_int(rng, 0, 4)));
+    }
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun run = dp_bottom_up(rounded, space, configs);
+    EXPECT_EQ(run.machines_needed,
+              min_machines_by_packing(sizes, counts, target))
+        << "round " << round << " T=" << target;
+  }
+}
+
+TEST(DpCrossCheck, MachineCountMonotoneInTarget) {
+  // Raising T can only reduce OPT(N) for a fixed rounded job set.
+  const std::vector<Time> sizes{9, 14};
+  const std::vector<int> counts{3, 3};
+  std::int32_t previous = INT32_MAX;
+  for (Time target = 14; target <= 70; target += 7) {
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun run = dp_bottom_up(rounded, space, configs);
+    EXPECT_LE(run.machines_needed, previous) << "T=" << target;
+    previous = run.machines_needed;
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,302 @@
+// Equivalence and correctness tests for every DP realisation: bottom-up,
+// top-down, and the three parallel variants across thread counts and loop
+// schedules. These pin the paper's central claim — Algorithm 3 computes
+// exactly the table of Algorithm 2.
+#include <gtest/gtest.h>
+
+#include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_parallel.hpp"
+#include "algo/ptas/dp_sequential.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+constexpr std::size_t kBig = std::size_t{1} << 40;
+
+struct DpFixture {
+  RoundedInstance rounded;
+  StateSpace space;
+  ConfigSet configs;
+
+  DpFixture(std::vector<Time> sizes, std::vector<int> counts, Time target)
+      : rounded(make(sizes, counts, target)),
+        space(counts, kBig),
+        configs(enumerate_configs(rounded, space, kBig)) {}
+
+  static RoundedInstance make(const std::vector<Time>& sizes,
+                              const std::vector<int>& counts, Time target) {
+    RoundedInstance rounded;
+    rounded.params = RoundingParams::make(target, 4);
+    for (std::size_t d = 0; d < sizes.size(); ++d) {
+      rounded.class_index.push_back(static_cast<int>(d) + 1);
+      rounded.class_size.push_back(sizes[d]);
+      rounded.class_count.push_back(counts[d]);
+      rounded.class_jobs.emplace_back();
+      rounded.total_long_jobs += counts[d];
+    }
+    return rounded;
+  }
+};
+
+TEST(DpBottomUp, SolvesThePaperExample) {
+  // Two jobs of rounded size 6 and three of size 11, T = 30.
+  // Two machines suffice: {6,11,11} = 28 and {6,11} = 17.
+  DpFixture f({6, 11}, {2, 3}, 30);
+  const DpRun run = dp_bottom_up(f.rounded, f.space, f.configs);
+  EXPECT_EQ(run.machines_needed, 2);
+  EXPECT_EQ(run.table.value(0), 0);  // OPT(0,0) = 0
+  EXPECT_EQ(run.stats.entries_computed, 12u);
+  EXPECT_EQ(run.stats.table_size, 12u);
+  EXPECT_EQ(run.stats.levels, 6);
+}
+
+TEST(DpBottomUp, SingleJobNeedsOneMachine) {
+  DpFixture f({10}, {1}, 30);
+  EXPECT_EQ(dp_bottom_up(f.rounded, f.space, f.configs).machines_needed, 1);
+}
+
+TEST(DpBottomUp, TightCapacityForcesOneMachinePerJob) {
+  // Each job has rounded size 20 and T = 30: no two jobs share a machine.
+  DpFixture f({20}, {5}, 30);
+  EXPECT_EQ(dp_bottom_up(f.rounded, f.space, f.configs).machines_needed, 5);
+}
+
+TEST(DpBottomUp, PerfectPackingIsFound) {
+  // Sizes 10 and 15; T = 30: machines (3,0) and (0,2) pack 6 jobs of size
+  // 10 into 2 machines and 4 jobs of 15 into 2 machines.
+  DpFixture f({10, 15}, {6, 4}, 30);
+  EXPECT_EQ(dp_bottom_up(f.rounded, f.space, f.configs).machines_needed, 4);
+}
+
+TEST(DpBottomUp, EmptyInstanceNeedsZeroMachines) {
+  DpFixture f({}, {}, 30);
+  const DpRun run = dp_bottom_up(f.rounded, f.space, f.configs);
+  EXPECT_EQ(run.machines_needed, 0);
+  EXPECT_EQ(run.stats.table_size, 1u);
+}
+
+TEST(DpBottomUp, MatchesFirstFitReasoningOnMixedSizes) {
+  // Sizes 9, 13, 17 with counts 2, 2, 1 and T = 30.
+  // Total = 61 -> at least 3 machines; {17,13},{13,9},{9} wait that's 3:
+  // 17+13=30 <= 30, 13+9=22, 9 alone -> 3 machines.
+  DpFixture f({9, 13, 17}, {2, 2, 1}, 30);
+  EXPECT_EQ(dp_bottom_up(f.rounded, f.space, f.configs).machines_needed, 3);
+}
+
+TEST(DpTopDown, MatchesBottomUpValuesOnReachableStates) {
+  DpFixture f({6, 11}, {2, 3}, 30);
+  const DpRun bottom = dp_bottom_up(f.rounded, f.space, f.configs);
+  const DpRun top = dp_top_down(f.rounded, f.space, f.configs);
+  EXPECT_EQ(top.machines_needed, bottom.machines_needed);
+  for (std::size_t i = 0; i < f.space.size(); ++i) {
+    if (top.table.value(i) == DpTable::kUnset) continue;  // unreachable
+    EXPECT_EQ(top.table.value(i), bottom.table.value(i)) << "entry " << i;
+  }
+}
+
+TEST(DpTopDown, ComputesNoMoreEntriesThanBottomUp) {
+  DpFixture f({9, 13, 17}, {3, 2, 2}, 40);
+  const DpRun bottom = dp_bottom_up(f.rounded, f.space, f.configs);
+  const DpRun top = dp_top_down(f.rounded, f.space, f.configs);
+  EXPECT_EQ(top.machines_needed, bottom.machines_needed);
+  EXPECT_LE(top.stats.entries_computed, bottom.stats.entries_computed);
+  EXPECT_GE(top.stats.entries_computed, 1u);
+}
+
+class ParallelDpEquivalence
+    : public ::testing::TestWithParam<std::tuple<ParallelDpVariant, unsigned,
+                                                 LoopSchedule>> {};
+
+TEST_P(ParallelDpEquivalence, ProducesTheExactBottomUpTable) {
+  const auto [variant, threads, schedule] = GetParam();
+
+  const DpFixture fixtures[] = {
+      DpFixture({6, 11}, {2, 3}, 30),
+      DpFixture({9, 13, 17}, {3, 2, 2}, 40),
+      DpFixture({20}, {5}, 30),
+      DpFixture({}, {}, 30),
+      DpFixture({7, 8, 9, 10}, {2, 1, 2, 1}, 31),
+  };
+  for (const DpFixture& f : fixtures) {
+    const DpRun expected = dp_bottom_up(f.rounded, f.space, f.configs);
+
+    ParallelDpOptions options;
+    options.variant = variant;
+    options.schedule = schedule;
+    options.spmd_threads = threads;
+    ThreadPoolExecutor executor(threads);
+    options.executor = &executor;
+
+    const DpRun run = dp_parallel(f.rounded, f.space, f.configs, options);
+    EXPECT_EQ(run.machines_needed, expected.machines_needed);
+    EXPECT_EQ(run.stats.entries_computed, expected.stats.entries_computed);
+    for (std::size_t i = 0; i < f.space.size(); ++i) {
+      ASSERT_EQ(run.table.value(i), expected.table.value(i))
+          << parallel_dp_variant_name(variant) << " threads=" << threads
+          << " entry " << i;
+      // The argmin tie-break (lowest config id) makes choices deterministic
+      // and identical across all realisations.
+      ASSERT_EQ(run.table.choice(i), expected.table.choice(i));
+    }
+  }
+}
+
+std::string equivalence_name(
+    const ::testing::TestParamInfo<
+        std::tuple<ParallelDpVariant, unsigned, LoopSchedule>>& info) {
+  const auto [variant, threads, schedule] = info.param;
+  std::string name = parallel_dp_variant_name(variant);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  name += "_t" + std::to_string(threads);
+  name += schedule == LoopSchedule::kStatic       ? "_static"
+          : schedule == LoopSchedule::kRoundRobin ? "_rr"
+                                                  : "_dyn";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ParallelDpEquivalence,
+    ::testing::Combine(::testing::Values(ParallelDpVariant::kScanPerLevel,
+                                         ParallelDpVariant::kBucketed,
+                                         ParallelDpVariant::kSpmd),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(LoopSchedule::kStatic,
+                                         LoopSchedule::kRoundRobin,
+                                         LoopSchedule::kDynamic)),
+    equivalence_name);
+
+#if defined(PCMAX_HAVE_OPENMP)
+TEST(DpParallelOpenMP, MatchesBottomUpThroughTheOpenMPBackend) {
+  // The paper's implementation substrate: OpenMP worksharing must produce
+  // the same tables as our own pool (and as the sequential fill).
+  DpFixture f({9, 13, 17}, {3, 2, 2}, 40);
+  const DpRun expected = dp_bottom_up(f.rounded, f.space, f.configs);
+  OpenMPExecutor executor(3);
+  for (const auto variant :
+       {ParallelDpVariant::kScanPerLevel, ParallelDpVariant::kBucketed}) {
+    ParallelDpOptions options;
+    options.variant = variant;
+    options.executor = &executor;
+    options.schedule = LoopSchedule::kRoundRobin;
+    const DpRun run = dp_parallel(f.rounded, f.space, f.configs, options);
+    EXPECT_EQ(run.machines_needed, expected.machines_needed);
+    for (std::size_t i = 0; i < f.space.size(); ++i) {
+      ASSERT_EQ(run.table.value(i), expected.table.value(i))
+          << parallel_dp_variant_name(variant) << " " << i;
+    }
+  }
+}
+#endif  // PCMAX_HAVE_OPENMP
+
+TEST(ComputeLevels, MatchesLevelOf) {
+  const StateSpace space({3, 2, 2}, kBig);
+  for (unsigned threads : {1u, 3u}) {
+    ThreadPoolExecutor executor(threads);
+    const std::vector<std::int32_t> levels = compute_levels(space, executor);
+    ASSERT_EQ(levels.size(), space.size());
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      EXPECT_EQ(levels[i], space.level_of(i));
+    }
+  }
+}
+
+TEST(BuildLevelIndex, GroupsEntriesByLevel) {
+  const StateSpace space({2, 3}, kBig);
+  SequentialExecutor executor;
+  const auto levels = compute_levels(space, executor);
+  const LevelIndex index = build_level_index(space, levels);
+
+  ASSERT_EQ(index.level_begin.size(),
+            static_cast<std::size_t>(space.max_level()) + 2);
+  EXPECT_EQ(index.level_begin.front(), 0u);
+  EXPECT_EQ(index.level_begin.back(), space.size());
+
+  std::vector<bool> seen(space.size(), false);
+  for (int level = 0; level <= space.max_level(); ++level) {
+    for (std::size_t slot = index.level_begin[static_cast<std::size_t>(level)];
+         slot < index.level_begin[static_cast<std::size_t>(level) + 1]; ++slot) {
+      const std::size_t entry = index.order[slot];
+      EXPECT_EQ(space.level_of(entry), level);
+      EXPECT_FALSE(seen[entry]);
+      seen[entry] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DpParallel, ScanAndBucketedRequireAnExecutor) {
+  DpFixture f({6}, {1}, 30);
+  ParallelDpOptions options;
+  options.variant = ParallelDpVariant::kBucketed;
+  options.executor = nullptr;
+  EXPECT_THROW((void)dp_parallel(f.rounded, f.space, f.configs, options),
+               InvalidArgumentError);
+}
+
+TEST(DpKernels, PerEntryEnumerationMatchesGlobalConfigsExactly) {
+  // The paper-faithful kernel (re-enumerating C_v per entry, Alg. 3 Line 17)
+  // must reproduce the optimised kernel's values AND argmin choices.
+  const DpFixture fixtures[] = {
+      DpFixture({6, 11}, {2, 3}, 30),
+      DpFixture({9, 13, 17}, {3, 2, 2}, 40),
+      DpFixture({20}, {5}, 30),
+      DpFixture({7, 8, 9, 10}, {2, 1, 2, 1}, 31),
+  };
+  for (const DpFixture& f : fixtures) {
+    const DpRun global = dp_bottom_up(f.rounded, f.space, f.configs,
+                                      DpKernel::kGlobalConfigs);
+    const DpRun enumerated = dp_bottom_up(f.rounded, f.space, f.configs,
+                                          DpKernel::kPerEntryEnum);
+    EXPECT_EQ(enumerated.machines_needed, global.machines_needed);
+    for (std::size_t i = 0; i < f.space.size(); ++i) {
+      ASSERT_EQ(enumerated.table.value(i), global.table.value(i)) << i;
+      ASSERT_EQ(enumerated.table.choice(i), global.table.choice(i)) << i;
+    }
+    // Per-entry enumeration only ever touches fitting configs, so it scans
+    // no more candidates than the global scan does.
+    EXPECT_LE(enumerated.stats.config_scans, global.stats.config_scans);
+  }
+}
+
+TEST(DpKernels, ParallelVariantsSupportPerEntryEnumeration) {
+  DpFixture f({9, 13, 17}, {3, 2, 2}, 40);
+  const DpRun expected =
+      dp_bottom_up(f.rounded, f.space, f.configs, DpKernel::kPerEntryEnum);
+  for (const ParallelDpVariant variant :
+       {ParallelDpVariant::kScanPerLevel, ParallelDpVariant::kBucketed,
+        ParallelDpVariant::kSpmd}) {
+    ThreadPoolExecutor executor(2);
+    ParallelDpOptions options;
+    options.variant = variant;
+    options.executor = &executor;
+    options.spmd_threads = 2;
+    options.kernel = DpKernel::kPerEntryEnum;
+    const DpRun run = dp_parallel(f.rounded, f.space, f.configs, options);
+    EXPECT_EQ(run.machines_needed, expected.machines_needed);
+    for (std::size_t i = 0; i < f.space.size(); ++i) {
+      ASSERT_EQ(run.table.value(i), expected.table.value(i))
+          << parallel_dp_variant_name(variant) << " " << i;
+      ASSERT_EQ(run.table.choice(i), expected.table.choice(i));
+    }
+  }
+}
+
+TEST(DpStats, ConfigScansAreConsistentAcrossVariants) {
+  DpFixture f({9, 13, 17}, {3, 2, 2}, 40);
+  const DpRun bottom = dp_bottom_up(f.rounded, f.space, f.configs);
+  ThreadPoolExecutor executor(2);
+  ParallelDpOptions options;
+  options.variant = ParallelDpVariant::kBucketed;
+  options.executor = &executor;
+  const DpRun par = dp_parallel(f.rounded, f.space, f.configs, options);
+  // Every variant inspects all |C| configs for every non-origin entry.
+  EXPECT_EQ(par.stats.config_scans, bottom.stats.config_scans);
+  EXPECT_EQ(bottom.stats.config_scans,
+            (f.space.size() - 1) * f.configs.count());
+}
+
+}  // namespace
+}  // namespace pcmax

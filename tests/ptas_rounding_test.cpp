@@ -1,0 +1,123 @@
+#include "algo/ptas/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(RoundingParams, UnitIsCeilOfTargetOverKSquared) {
+  // T = 30, k = 4 -> k^2 = 16 -> unit = ceil(30/16) = 2.
+  const RoundingParams p = RoundingParams::make(30, 4);
+  EXPECT_EQ(p.unit, 2);
+  // Exact division: T = 32 -> unit = 2.
+  EXPECT_EQ(RoundingParams::make(32, 4).unit, 2);
+  // T smaller than k^2 -> unit = 1.
+  EXPECT_EQ(RoundingParams::make(10, 4).unit, 1);
+}
+
+TEST(RoundingParams, IsLongUsesStrictThreshold) {
+  const RoundingParams p = RoundingParams::make(30, 4);  // T/k = 7.5
+  EXPECT_FALSE(p.is_long(7));   // 7*4 = 28 <= 30
+  EXPECT_TRUE(p.is_long(8));    // 8*4 = 32 > 30
+  // Exact boundary: T = 28, k = 4 -> T/k = 7; t = 7 is short (t <= T/k).
+  const RoundingParams q = RoundingParams::make(28, 4);
+  EXPECT_FALSE(q.is_long(7));
+  EXPECT_TRUE(q.is_long(8));
+}
+
+TEST(RoundingParams, ClassOfIsFloorOverUnit) {
+  const RoundingParams p = RoundingParams::make(30, 4);  // unit 2
+  EXPECT_EQ(p.class_of(8), 4);
+  EXPECT_EQ(p.class_of(9), 4);
+  EXPECT_EQ(p.class_of(10), 5);
+  EXPECT_EQ(p.rounded_size(4), 8);
+}
+
+TEST(RoundingParams, RoundedSizeNeverExceedsOriginal) {
+  for (Time target : {17, 30, 100, 999}) {
+    for (int k : {2, 3, 4, 6}) {
+      const RoundingParams p = RoundingParams::make(target, k);
+      for (Time t = 1; t <= target; ++t) {
+        if (!p.is_long(t)) continue;
+        const int c = p.class_of(t);
+        EXPECT_GE(c, 1) << "t=" << t << " T=" << target << " k=" << k;
+        EXPECT_LE(c, k * k);
+        EXPECT_LE(p.rounded_size(c), t);
+        EXPECT_GT(p.rounded_size(c + 1), t);  // t < (c+1)*unit
+      }
+    }
+  }
+}
+
+TEST(RoundingParams, RejectsBadInputs) {
+  EXPECT_THROW((void)RoundingParams::make(0, 4), InvalidArgumentError);
+  EXPECT_THROW((void)RoundingParams::make(10, 0), InvalidArgumentError);
+}
+
+TEST(PartitionJobs, SplitsAtTOverK) {
+  const Instance instance(2, {8, 7, 30, 1, 9});
+  const RoundingParams p = RoundingParams::make(30, 4);  // threshold 7.5
+  const JobPartition partition = partition_jobs(instance, p);
+  EXPECT_EQ(partition.long_jobs, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(partition.short_jobs, (std::vector<int>{1, 3}));
+}
+
+TEST(PartitionJobs, AllShortWhenKIsOne) {
+  // k = 1: long would need t > T, impossible while T >= max t.
+  const Instance instance(2, {5, 9, 3});
+  const RoundingParams p = RoundingParams::make(9, 1);
+  const JobPartition partition = partition_jobs(instance, p);
+  EXPECT_TRUE(partition.long_jobs.empty());
+  EXPECT_EQ(partition.short_jobs.size(), 3u);
+}
+
+TEST(RoundLongJobs, GroupsJobsByClassInAscendingOrder) {
+  // T = 30, k = 4, unit = 2. Long jobs: 8,9 -> class 4; 11 -> class 5;
+  // 30 -> class 15.
+  const Instance instance(3, {8, 11, 9, 30, 2});
+  const RoundingParams p = RoundingParams::make(30, 4);
+  const JobPartition partition = partition_jobs(instance, p);
+  const RoundedInstance rounded = round_long_jobs(instance, partition, p);
+
+  ASSERT_EQ(rounded.dims(), 3);
+  EXPECT_EQ(rounded.class_index, (std::vector<int>{4, 5, 15}));
+  EXPECT_EQ(rounded.class_size, (std::vector<Time>{8, 10, 30}));
+  EXPECT_EQ(rounded.class_count, (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(rounded.class_jobs[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(rounded.class_jobs[1], (std::vector<int>{1}));
+  EXPECT_EQ(rounded.class_jobs[2], (std::vector<int>{3}));
+  EXPECT_EQ(rounded.total_long_jobs, 4);
+}
+
+TEST(RoundLongJobs, EmptyWhenThereAreNoLongJobs) {
+  const Instance instance(2, {1, 2, 3});
+  const RoundingParams p = RoundingParams::make(30, 4);
+  const RoundedInstance rounded =
+      round_long_jobs(instance, partition_jobs(instance, p), p);
+  EXPECT_EQ(rounded.dims(), 0);
+  EXPECT_EQ(rounded.total_long_jobs, 0);
+}
+
+TEST(RoundLongJobs, RejectsJobsAboveTheTarget) {
+  // A job longer than T violates the bisection invariant T >= max t.
+  const Instance instance(2, {40});
+  const RoundingParams p = RoundingParams::make(30, 4);
+  const JobPartition partition = partition_jobs(instance, p);
+  EXPECT_THROW((void)round_long_jobs(instance, partition, p), InternalError);
+}
+
+TEST(RoundLongJobs, ClassCountsSumToLongJobs) {
+  const Instance instance(4, {20, 25, 30, 15, 18, 22, 9, 5});
+  const RoundingParams p = RoundingParams::make(30, 4);
+  const JobPartition partition = partition_jobs(instance, p);
+  const RoundedInstance rounded = round_long_jobs(instance, partition, p);
+  int total = 0;
+  for (int c : rounded.class_count) total += c;
+  EXPECT_EQ(total, static_cast<int>(partition.long_jobs.size()));
+  EXPECT_EQ(rounded.total_long_jobs, total);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,106 @@
+// Randomised fuzz over the schedule data path: random valid schedules must
+// survive every representation change (assignment vector, text, Gantt,
+// simulator) unchanged, and random single-step corruptions must be caught
+// by validation. Complements the deterministic unit tests with breadth.
+#include <gtest/gtest.h>
+
+#include "core/gantt.hpp"
+#include "core/instance_gen.hpp"
+#include "core/io.hpp"
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance random_instance(Xoshiro256StarStar& rng) {
+  const int machines = static_cast<int>(uniform_int(rng, 1, 6));
+  const int jobs = static_cast<int>(uniform_int(rng, 1, 30));
+  std::vector<Time> times;
+  for (int j = 0; j < jobs; ++j) times.push_back(uniform_int(rng, 1, 500));
+  return Instance(machines, std::move(times));
+}
+
+Schedule random_schedule(const Instance& instance, Xoshiro256StarStar& rng) {
+  Schedule schedule(instance.machines());
+  for (int j = 0; j < instance.jobs(); ++j) {
+    schedule.assign(
+        static_cast<int>(uniform_int(rng, 0, instance.machines() - 1)), j);
+  }
+  return schedule;
+}
+
+TEST(ScheduleFuzz, RandomSchedulesSurviveEveryRepresentation) {
+  Xoshiro256StarStar rng(0xFADE);
+  for (int round = 0; round < 50; ++round) {
+    const Instance instance = random_instance(rng);
+    const Schedule schedule = random_schedule(instance, rng);
+    schedule.validate(instance);
+
+    // Assignment-vector round trip.
+    const Schedule via_assignment = Schedule::from_assignment(
+        instance.machines(), schedule.assignment(instance));
+    EXPECT_EQ(via_assignment.makespan(instance), schedule.makespan(instance));
+
+    // Text round trip.
+    const Schedule via_text = schedule_from_text(
+        instance, schedule_to_text(instance, schedule));
+    EXPECT_EQ(via_text.assignment(instance), schedule.assignment(instance));
+
+    // Simulator agreement.
+    EXPECT_EQ(simulate_schedule(instance, schedule).makespan,
+              schedule.makespan(instance));
+
+    // Gantt rendering never throws on a valid schedule and mentions the
+    // makespan row marker.
+    const std::string chart = render_gantt(instance, schedule);
+    EXPECT_NE(chart.find("<- makespan"), std::string::npos) << "round " << round;
+  }
+}
+
+TEST(ScheduleFuzz, CorruptedSchedulesAreRejected) {
+  Xoshiro256StarStar rng(0xBEEF);
+  int corruptions_checked = 0;
+  for (int round = 0; round < 50; ++round) {
+    const Instance instance = random_instance(rng);
+    if (instance.jobs() < 2) continue;
+    Schedule schedule = random_schedule(instance, rng);
+
+    switch (uniform_int(rng, 0, 2)) {
+      case 0: {  // duplicate a job
+        schedule.assign(0, static_cast<int>(uniform_int(
+                               rng, 0, instance.jobs() - 1)));
+        break;
+      }
+      case 1: {  // out-of-range job index
+        schedule.assign(0, instance.jobs() + 5);
+        break;
+      }
+      default: {  // drop a job: rebuild with one fewer
+        Schedule smaller(instance.machines());
+        for (int j = 0; j + 1 < instance.jobs(); ++j) smaller.assign(0, j);
+        schedule = std::move(smaller);
+        break;
+      }
+    }
+    EXPECT_THROW(schedule.validate(instance), InvalidArgumentError)
+        << "round " << round;
+    EXPECT_FALSE(schedule.is_valid(instance));
+    ++corruptions_checked;
+  }
+  EXPECT_GT(corruptions_checked, 30);
+}
+
+TEST(ScheduleFuzz, InstanceTextRoundTripUnderRandomShapes) {
+  Xoshiro256StarStar rng(0xCAFE);
+  std::vector<Instance> instances;
+  for (int round = 0; round < 30; ++round) {
+    instances.push_back(random_instance(rng));
+  }
+  std::stringstream buffer;
+  write_instances(buffer, instances);
+  EXPECT_EQ(read_instances(buffer), instances);
+}
+
+}  // namespace
+}  // namespace pcmax

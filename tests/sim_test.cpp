@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "algo/lpt.hpp"
+#include "algo/ptas/ptas.hpp"
+#include "core/instance_gen.hpp"
+#include "exact/exact.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/robustness.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(EventSim, SimulatedMakespanMatchesTheAnalyticalOne) {
+  for (const InstanceFamily family : all_families()) {
+    const Instance instance = generate_instance(family, 4, 20, 31, 0);
+    const SolverResult lpt = LptSolver().solve(instance);
+    const SimResult sim = simulate_schedule(instance, lpt.schedule);
+    EXPECT_EQ(sim.makespan, lpt.makespan) << family_name(family);
+  }
+}
+
+TEST(EventSim, CompletionTimesAreCumulativePerMachine) {
+  const Instance instance(2, {5, 3, 2});
+  Schedule schedule(2);
+  schedule.assign(0, 0);  // m0: job0 [0,5)
+  schedule.assign(0, 1);  // m0: job1 [5,8)
+  schedule.assign(1, 2);  // m1: job2 [0,2)
+  const SimResult sim = simulate_schedule(instance, schedule);
+  EXPECT_EQ(sim.completion[0], 5);
+  EXPECT_EQ(sim.completion[1], 8);
+  EXPECT_EQ(sim.completion[2], 2);
+  EXPECT_EQ(sim.makespan, 8);
+  EXPECT_EQ(sim.machine_busy[0], 8);
+  EXPECT_EQ(sim.machine_busy[1], 2);
+}
+
+TEST(EventSim, MakespanIsTheMaxCompletionTime) {
+  // C_max = max_j C_j — the paper's objective definition, end to end.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 5, 30, 7, 0);
+  const SolverResult result = PtasSolver(PtasOptions{}).solve(instance);
+  const SimResult sim = simulate_schedule(instance, result.schedule);
+  Time max_completion = 0;
+  for (Time c : sim.completion) max_completion = std::max(max_completion, c);
+  EXPECT_EQ(sim.makespan, max_completion);
+  EXPECT_EQ(sim.makespan, result.makespan);
+}
+
+TEST(EventSim, EventLogIsTimeOrderedWithPairedStartsAndFinishes) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To10, 3, 12, 9, 0);
+  const SolverResult lpt = LptSolver().solve(instance);
+  const SimResult sim = simulate_schedule(instance, lpt.schedule);
+
+  ASSERT_EQ(sim.events.size(), 24u);
+  Time previous = 0;
+  std::vector<int> started(static_cast<std::size_t>(instance.jobs()), 0);
+  std::vector<int> finished(static_cast<std::size_t>(instance.jobs()), 0);
+  for (const SimEvent& event : sim.events) {
+    EXPECT_GE(event.at, previous);
+    previous = event.at;
+    if (event.kind == SimEvent::Kind::kStart) {
+      ++started[static_cast<std::size_t>(event.job)];
+      EXPECT_EQ(finished[static_cast<std::size_t>(event.job)], 0);
+    } else {
+      ++finished[static_cast<std::size_t>(event.job)];
+    }
+  }
+  for (int j = 0; j < instance.jobs(); ++j) {
+    EXPECT_EQ(started[static_cast<std::size_t>(j)], 1);
+    EXPECT_EQ(finished[static_cast<std::size_t>(j)], 1);
+  }
+}
+
+TEST(EventSim, UtilisationAccountsIdleTime) {
+  const Instance instance(2, {10, 1});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  const SimResult sim = simulate_schedule(instance, schedule);
+  EXPECT_DOUBLE_EQ(sim.utilisation(0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.utilisation(1), 0.1);
+  EXPECT_DOUBLE_EQ(sim.mean_utilisation(), 0.55);
+}
+
+TEST(EventSim, ActualTimesOverrideTheEstimates) {
+  const Instance instance(2, {5, 5});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  const std::vector<Time> actual{7, 3};
+  const SimResult sim = simulate_schedule(instance, schedule, actual);
+  EXPECT_EQ(sim.makespan, 7);
+  EXPECT_EQ(sim.completion[1], 3);
+}
+
+TEST(EventSim, RejectsBadActualTimes) {
+  const Instance instance(2, {5, 5});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  EXPECT_THROW((void)simulate_schedule(instance, schedule, std::vector<Time>{5}),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      (void)simulate_schedule(instance, schedule, std::vector<Time>{5, 0}),
+      InvalidArgumentError);
+}
+
+TEST(Robustness, ZeroNoiseReproducesTheNominalMakespan) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 3, 15, 3, 0);
+  const SolverResult lpt = LptSolver().solve(instance);
+  NoiseModel noise;
+  noise.delta = 0.0;
+  const RobustnessReport report =
+      analyze_robustness(instance, lpt.schedule, noise, 5);
+  EXPECT_DOUBLE_EQ(report.mean_inflation, 1.0);
+  EXPECT_DOUBLE_EQ(report.worst_inflation, 1.0);
+}
+
+TEST(Robustness, PerturbedTimesStayInTheNoiseBand) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 3, 40, 5, 0);
+  NoiseModel noise;
+  noise.delta = 0.25;
+  const std::vector<Time> actual = perturb_times(instance, noise, 0);
+  ASSERT_EQ(actual.size(), 40u);
+  for (int j = 0; j < instance.jobs(); ++j) {
+    const double nominal = static_cast<double>(instance.time(j));
+    const double realised = static_cast<double>(actual[static_cast<std::size_t>(j)]);
+    EXPECT_GE(realised, std::max(1.0, 0.75 * nominal - 1.0)) << j;
+    EXPECT_LE(realised, 1.25 * nominal + 1.0) << j;
+  }
+}
+
+TEST(Robustness, InflationIsBoundedByTheNoiseBand) {
+  // Every job inflates by at most (1+delta) (+1 for rounding), so the
+  // realised makespan can exceed the nominal by at most that factor.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 4, 20, 11, 0);
+  const SolverResult lpt = LptSolver().solve(instance);
+  NoiseModel noise;
+  noise.delta = 0.2;
+  const RobustnessReport report =
+      analyze_robustness(instance, lpt.schedule, noise, 20);
+  EXPECT_LE(report.worst_inflation, 1.25);  // 1.2 + rounding slack
+  EXPECT_GE(report.mean_inflation, 0.75);
+  EXPECT_EQ(report.realised_makespan.count(), 20u);
+}
+
+TEST(Robustness, DifferentTrialsDiffer) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 3, 20, 13, 0);
+  NoiseModel noise;
+  noise.delta = 0.3;
+  EXPECT_NE(perturb_times(instance, noise, 0), perturb_times(instance, noise, 1));
+  // Same trial index reproduces bit-for-bit.
+  EXPECT_EQ(perturb_times(instance, noise, 2), perturb_times(instance, noise, 2));
+}
+
+TEST(Robustness, RejectsBadParameters) {
+  const Instance instance(2, {3, 4});
+  Schedule schedule(2);
+  schedule.assign(0, 0);
+  schedule.assign(1, 1);
+  NoiseModel noise;
+  noise.delta = 1.0;
+  EXPECT_THROW((void)perturb_times(instance, noise, 0), InvalidArgumentError);
+  noise.delta = 0.1;
+  EXPECT_THROW((void)analyze_robustness(instance, schedule, noise, 0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,146 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pcmax {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownFirstOutputForZeroSeed) {
+  // Reference value of splitmix64(0) from the public-domain reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, SeedsProduceDistinctStreams) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, JumpChangesTheStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~std::uint64_t{0});
+  Xoshiro256StarStar rng(5);
+  EXPECT_EQ(rng(), Xoshiro256StarStar(5).next());
+}
+
+TEST(UniformInt, StaysInClosedRange) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t x = uniform_int(rng, 3, 17);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 17);
+  }
+}
+
+TEST(UniformInt, HitsBothEndpoints) {
+  Xoshiro256StarStar rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000 && !(saw_lo && saw_hi); ++i) {
+    const std::int64_t x = uniform_int(rng, 0, 9);
+    saw_lo |= x == 0;
+    saw_hi |= x == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformInt, SingletonRange) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_int(rng, 5, 5), 5);
+}
+
+TEST(UniformInt, NegativeRange) {
+  Xoshiro256StarStar rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = uniform_int(rng, -10, -1);
+    EXPECT_GE(x, -10);
+    EXPECT_LE(x, -1);
+  }
+}
+
+TEST(UniformInt, RangeSpanningZero) {
+  Xoshiro256StarStar rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(uniform_int(rng, -2, 2));
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 appear
+}
+
+TEST(UniformInt, EmptyRangeThrows) {
+  Xoshiro256StarStar rng(29);
+  EXPECT_THROW((void)uniform_int(rng, 2, 1), InvalidArgumentError);
+}
+
+TEST(UniformInt, IsApproximatelyUniform) {
+  // Chi-square-style sanity check on 10 buckets: with 100k draws each bucket
+  // expects 10k; allow +-5% which is > 6 sigma.
+  Xoshiro256StarStar rng(31);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    ++buckets[static_cast<std::size_t>(uniform_int(rng, 0, 9))];
+  }
+  for (int count : buckets) {
+    EXPECT_GT(count, 9'500);
+    EXPECT_LT(count, 10'500);
+  }
+}
+
+TEST(UniformReal, StaysInHalfOpenUnitInterval) {
+  Xoshiro256StarStar rng(37);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = uniform_real01(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.01);  // covers the interval reasonably
+  EXPECT_GT(hi, 0.99);
+}
+
+}  // namespace
+}  // namespace pcmax

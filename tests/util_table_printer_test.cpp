@@ -1,0 +1,62 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinter, RowCellCountMustMatchHeaders) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgumentError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), InvalidArgumentError);
+}
+
+TEST(TablePrinter, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgumentError);
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvIsPlainWhenNoSpecialCharacters) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, CsvQuotesCommasQuotesAndNewlines) {
+  TablePrinter table({"a"});
+  table.add_row({"x,y"});
+  table.add_row({"he said \"hi\""});
+  table.add_row({"line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TablePrinter, FmtFixedPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::fmt(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace pcmax

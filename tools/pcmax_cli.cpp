@@ -1,0 +1,179 @@
+// pcmax — command-line front end to the library.
+//
+//   pcmax generate --family "U(1,100)" --m 10 --n 50 --count 20 --out set.txt
+//   pcmax solve    --file set.txt --solver parallel-ptas --epsilon 0.3
+//   pcmax info     --file set.txt
+//
+// `solve` prints one result line per instance and (with --schedules) the
+// full schedules in the text format of core/io.
+#include <iostream>
+#include <memory>
+
+#include "pcmax.hpp"
+#include "core/io.hpp"
+
+using namespace pcmax;
+
+namespace {
+
+InstanceFamily family_by_name(const std::string& name) {
+  for (const InstanceFamily family : all_families()) {
+    if (family_name(family) == name) return family;
+  }
+  throw InvalidArgumentError(
+      "unknown family '" + name +
+      "' (expect one of: U(1,100), U(1,10), U(1,10n), U(1,2m-1), U(m,2m-1), "
+      "U(95,105))");
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  CliParser cli("pcmax generate: write a random instance set to a file.");
+  cli.add_string("family", "U(1,100)", "distribution family (paper notation)");
+  cli.add_int("m", 10, "machines per instance");
+  cli.add_int("n", 50, "jobs per instance");
+  cli.add_int("count", 20, "number of instances");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_string("out", "", "output path (empty = stdout)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto instances = generate_instances(
+      family_by_name(cli.get_string("family")), static_cast<int>(cli.get_int("m")),
+      static_cast<int>(cli.get_int("n")),
+      static_cast<std::uint64_t>(cli.get_int("seed")),
+      static_cast<int>(cli.get_int("count")));
+  if (cli.get_string("out").empty()) {
+    write_instances(std::cout, instances);
+  } else {
+    write_instances_file(cli.get_string("out"), instances);
+    std::cerr << "wrote " << instances.size() << " instances to "
+              << cli.get_string("out") << "\n";
+  }
+  return 0;
+}
+
+std::unique_ptr<Solver> make_solver(const std::string& name, double epsilon,
+                                    unsigned threads, Executor* executor,
+                                    double exact_budget) {
+  if (name == "ls") return std::make_unique<ListSchedulingSolver>();
+  if (name == "lpt") return std::make_unique<LptSolver>();
+  if (name == "multifit") return std::make_unique<MultifitSolver>();
+  if (name == "ptas") {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    return std::make_unique<PtasSolver>(options);
+  }
+  if (name == "parallel-ptas") {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.engine = DpEngine::kParallelBucketed;
+    options.executor = executor;
+    return std::make_unique<PtasSolver>(options);
+  }
+  if (name == "spmd-ptas") {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.engine = DpEngine::kSpmd;
+    options.spmd_threads = threads;
+    return std::make_unique<PtasSolver>(options);
+  }
+  if (name == "ip") {
+    ExactSolverOptions options;
+    options.max_total_seconds = exact_budget;
+    return std::make_unique<ExactSolver>(options);
+  }
+  if (name == "milp") {
+    MipOptions options;
+    options.max_seconds = exact_budget;
+    return std::make_unique<PcmaxIpSolver>(options);
+  }
+  throw InvalidArgumentError(
+      "unknown solver '" + name +
+      "' (expect: ls, lpt, multifit, ptas, parallel-ptas, spmd-ptas, ip, milp)");
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  CliParser cli("pcmax solve: run a solver over an instance file.");
+  cli.add_string("file", "", "instance file (required)");
+  cli.add_string("solver", "parallel-ptas",
+                 "ls | lpt | multifit | ptas | parallel-ptas | spmd-ptas | ip | milp");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_double("exact-seconds", 60.0, "budget for the exact solvers");
+  cli.add_bool("schedules", false, "also print the full schedules");
+  if (!cli.parse(argc, argv)) return 0;
+  PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
+
+  const auto instances = read_instances_file(cli.get_string("file"));
+  const unsigned threads =
+      cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
+                                 : ThreadPool::hardware_threads();
+  ThreadPoolExecutor executor(threads);
+  const std::unique_ptr<Solver> solver =
+      make_solver(cli.get_string("solver"), cli.get_double("epsilon"), threads,
+                  &executor, cli.get_double("exact-seconds"));
+
+  TablePrinter table({"#", "m", "n", "LB", "makespan", "UB", "seconds", "certified"});
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& instance = instances[i];
+    const SolverResult result = solver->solve(instance);
+    result.schedule.validate(instance);
+    table.add_row({std::to_string(i), std::to_string(instance.machines()),
+                   std::to_string(instance.jobs()),
+                   std::to_string(makespan_lower_bound(instance)),
+                   std::to_string(result.makespan),
+                   std::to_string(makespan_upper_bound(instance)),
+                   TablePrinter::fmt(result.seconds, 4),
+                   result.proven_optimal ? "yes" : "-"});
+    if (cli.get_bool("schedules")) {
+      std::cout << "# instance " << i << "\n"
+                << schedule_to_text(instance, result.schedule);
+    }
+  }
+  std::cout << "solver: " << solver->name() << "\n" << table.to_string();
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  CliParser cli("pcmax info: summarise an instance file.");
+  cli.add_string("file", "", "instance file (required)");
+  if (!cli.parse(argc, argv)) return 0;
+  PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
+
+  const auto instances = read_instances_file(cli.get_string("file"));
+  TablePrinter table({"#", "m", "n", "min t", "max t", "total", "LB", "UB"});
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& instance = instances[i];
+    Time min_t = instance.max_time();
+    for (Time t : instance.times()) min_t = std::min(min_t, t);
+    table.add_row({std::to_string(i), std::to_string(instance.machines()),
+                   std::to_string(instance.jobs()), std::to_string(min_t),
+                   std::to_string(instance.max_time()),
+                   std::to_string(instance.total_time()),
+                   std::to_string(makespan_lower_bound(instance)),
+                   std::to_string(makespan_upper_bound(instance))});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: pcmax <generate|solve|info> [flags]   (--help per subcommand)\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "solve") return cmd_solve(argc - 1, argv + 1);
+    if (command == "info") return cmd_info(argc - 1, argv + 1);
+    std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
