@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dp_variants.dir/bench/ablation_dp_variants.cpp.o"
+  "CMakeFiles/ablation_dp_variants.dir/bench/ablation_dp_variants.cpp.o.d"
+  "bench/ablation_dp_variants"
+  "bench/ablation_dp_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_shootout.dir/bench/baselines_shootout.cpp.o"
+  "CMakeFiles/baselines_shootout.dir/bench/baselines_shootout.cpp.o.d"
+  "bench/baselines_shootout"
+  "bench/baselines_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epsilon_sweep.dir/bench/epsilon_sweep.cpp.o"
+  "CMakeFiles/epsilon_sweep.dir/bench/epsilon_sweep.cpp.o.d"
+  "bench/epsilon_sweep"
+  "bench/epsilon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epsilon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_speedup_m20_n100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_speedup_m10_n50.dir/bench/fig3_speedup_m10_n50.cpp.o"
+  "CMakeFiles/fig3_speedup_m10_n50.dir/bench/fig3_speedup_m10_n50.cpp.o.d"
+  "bench/fig3_speedup_m10_n50"
+  "bench/fig3_speedup_m10_n50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_speedup_m10_n50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

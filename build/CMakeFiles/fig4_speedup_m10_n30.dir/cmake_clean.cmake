@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_speedup_m10_n30.dir/bench/fig4_speedup_m10_n30.cpp.o"
+  "CMakeFiles/fig4_speedup_m10_n30.dir/bench/fig4_speedup_m10_n30.cpp.o.d"
+  "bench/fig4_speedup_m10_n30"
+  "bench/fig4_speedup_m10_n30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedup_m10_n30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_speedup_m10_n30.
+# This may be replaced when dependencies are built.

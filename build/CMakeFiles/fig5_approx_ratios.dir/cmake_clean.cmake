@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_approx_ratios.dir/bench/fig5_approx_ratios.cpp.o"
+  "CMakeFiles/fig5_approx_ratios.dir/bench/fig5_approx_ratios.cpp.o.d"
+  "bench/fig5_approx_ratios"
+  "bench/fig5_approx_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_approx_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

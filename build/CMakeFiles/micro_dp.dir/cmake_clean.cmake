@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dp.dir/bench/micro_dp.cpp.o"
+  "CMakeFiles/micro_dp.dir/bench/micro_dp.cpp.o.d"
+  "bench/micro_dp"
+  "bench/micro_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_analysis.dir/bench/robustness_analysis.cpp.o"
+  "CMakeFiles/robustness_analysis.dir/bench/robustness_analysis.cpp.o.d"
+  "bench/robustness_analysis"
+  "bench/robustness_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

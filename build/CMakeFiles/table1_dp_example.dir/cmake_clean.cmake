@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dp_example.dir/bench/table1_dp_example.cpp.o"
+  "CMakeFiles/table1_dp_example.dir/bench/table1_dp_example.cpp.o.d"
+  "bench/table1_dp_example"
+  "bench/table1_dp_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

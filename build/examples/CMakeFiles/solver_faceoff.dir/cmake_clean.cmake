@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_faceoff.dir/solver_faceoff.cpp.o"
+  "CMakeFiles/solver_faceoff.dir/solver_faceoff.cpp.o.d"
+  "solver_faceoff"
+  "solver_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_execution.dir/whatif_execution.cpp.o"
+  "CMakeFiles/whatif_execution.dir/whatif_execution.cpp.o.d"
+  "whatif_execution"
+  "whatif_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

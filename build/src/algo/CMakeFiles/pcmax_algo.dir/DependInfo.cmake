@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/annealing.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/annealing.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/annealing.cpp.o.d"
+  "/root/repo/src/algo/ldm.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ldm.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ldm.cpp.o.d"
+  "/root/repo/src/algo/list_scheduling.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/list_scheduling.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/list_scheduling.cpp.o.d"
+  "/root/repo/src/algo/local_search.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/local_search.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/local_search.cpp.o.d"
+  "/root/repo/src/algo/lpt.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/lpt.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/lpt.cpp.o.d"
+  "/root/repo/src/algo/multifit.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/multifit.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/multifit.cpp.o.d"
+  "/root/repo/src/algo/ptas/bisection.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/bisection.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/bisection.cpp.o.d"
+  "/root/repo/src/algo/ptas/config_enum.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/config_enum.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/config_enum.cpp.o.d"
+  "/root/repo/src/algo/ptas/dp_parallel.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_parallel.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_parallel.cpp.o.d"
+  "/root/repo/src/algo/ptas/dp_sequential.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_sequential.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_sequential.cpp.o.d"
+  "/root/repo/src/algo/ptas/dp_table.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_table.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/dp_table.cpp.o.d"
+  "/root/repo/src/algo/ptas/multisection.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/multisection.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/multisection.cpp.o.d"
+  "/root/repo/src/algo/ptas/ptas.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/ptas.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/ptas.cpp.o.d"
+  "/root/repo/src/algo/ptas/reconstruct.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/reconstruct.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/reconstruct.cpp.o.d"
+  "/root/repo/src/algo/ptas/rounding.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/rounding.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/rounding.cpp.o.d"
+  "/root/repo/src/algo/ptas/state_space.cpp" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/state_space.cpp.o" "gcc" "src/algo/CMakeFiles/pcmax_algo.dir/ptas/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcmax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pcmax_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

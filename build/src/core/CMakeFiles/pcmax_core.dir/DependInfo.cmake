@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/pcmax_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/gantt.cpp" "src/core/CMakeFiles/pcmax_core.dir/gantt.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/gantt.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/pcmax_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/instance_gen.cpp" "src/core/CMakeFiles/pcmax_core.dir/instance_gen.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/instance_gen.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/pcmax_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/pcmax_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/pcmax_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/pcmax_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcmax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

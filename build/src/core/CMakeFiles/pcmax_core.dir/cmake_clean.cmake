@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_core.dir/bounds.cpp.o"
+  "CMakeFiles/pcmax_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/gantt.cpp.o"
+  "CMakeFiles/pcmax_core.dir/gantt.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/instance.cpp.o"
+  "CMakeFiles/pcmax_core.dir/instance.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/instance_gen.cpp.o"
+  "CMakeFiles/pcmax_core.dir/instance_gen.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/io.cpp.o"
+  "CMakeFiles/pcmax_core.dir/io.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/schedule.cpp.o"
+  "CMakeFiles/pcmax_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/pcmax_core.dir/solver.cpp.o"
+  "CMakeFiles/pcmax_core.dir/solver.cpp.o.d"
+  "libpcmax_core.a"
+  "libpcmax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/bin_feasibility.cpp" "src/exact/CMakeFiles/pcmax_exact.dir/bin_feasibility.cpp.o" "gcc" "src/exact/CMakeFiles/pcmax_exact.dir/bin_feasibility.cpp.o.d"
+  "/root/repo/src/exact/brute_force.cpp" "src/exact/CMakeFiles/pcmax_exact.dir/brute_force.cpp.o" "gcc" "src/exact/CMakeFiles/pcmax_exact.dir/brute_force.cpp.o.d"
+  "/root/repo/src/exact/exact.cpp" "src/exact/CMakeFiles/pcmax_exact.dir/exact.cpp.o" "gcc" "src/exact/CMakeFiles/pcmax_exact.dir/exact.cpp.o.d"
+  "/root/repo/src/exact/lower_bounds.cpp" "src/exact/CMakeFiles/pcmax_exact.dir/lower_bounds.cpp.o" "gcc" "src/exact/CMakeFiles/pcmax_exact.dir/lower_bounds.cpp.o.d"
+  "/root/repo/src/exact/subset_dp.cpp" "src/exact/CMakeFiles/pcmax_exact.dir/subset_dp.cpp.o" "gcc" "src/exact/CMakeFiles/pcmax_exact.dir/subset_dp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcmax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/pcmax_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmax_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pcmax_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

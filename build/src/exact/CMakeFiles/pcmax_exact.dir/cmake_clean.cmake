@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_exact.dir/bin_feasibility.cpp.o"
+  "CMakeFiles/pcmax_exact.dir/bin_feasibility.cpp.o.d"
+  "CMakeFiles/pcmax_exact.dir/brute_force.cpp.o"
+  "CMakeFiles/pcmax_exact.dir/brute_force.cpp.o.d"
+  "CMakeFiles/pcmax_exact.dir/exact.cpp.o"
+  "CMakeFiles/pcmax_exact.dir/exact.cpp.o.d"
+  "CMakeFiles/pcmax_exact.dir/lower_bounds.cpp.o"
+  "CMakeFiles/pcmax_exact.dir/lower_bounds.cpp.o.d"
+  "CMakeFiles/pcmax_exact.dir/subset_dp.cpp.o"
+  "CMakeFiles/pcmax_exact.dir/subset_dp.cpp.o.d"
+  "libpcmax_exact.a"
+  "libpcmax_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_harness.dir/calibration.cpp.o"
+  "CMakeFiles/pcmax_harness.dir/calibration.cpp.o.d"
+  "CMakeFiles/pcmax_harness.dir/experiment.cpp.o"
+  "CMakeFiles/pcmax_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcmax_harness.dir/paper_instances.cpp.o"
+  "CMakeFiles/pcmax_harness.dir/paper_instances.cpp.o.d"
+  "CMakeFiles/pcmax_harness.dir/scaling.cpp.o"
+  "CMakeFiles/pcmax_harness.dir/scaling.cpp.o.d"
+  "CMakeFiles/pcmax_harness.dir/simmachine.cpp.o"
+  "CMakeFiles/pcmax_harness.dir/simmachine.cpp.o.d"
+  "libpcmax_harness.a"
+  "libpcmax_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mip/lp.cpp" "src/mip/CMakeFiles/pcmax_mip.dir/lp.cpp.o" "gcc" "src/mip/CMakeFiles/pcmax_mip.dir/lp.cpp.o.d"
+  "/root/repo/src/mip/pcmax_ip.cpp" "src/mip/CMakeFiles/pcmax_mip.dir/pcmax_ip.cpp.o" "gcc" "src/mip/CMakeFiles/pcmax_mip.dir/pcmax_ip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcmax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/pcmax_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pcmax_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmax_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pcmax_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_mip.dir/lp.cpp.o"
+  "CMakeFiles/pcmax_mip.dir/lp.cpp.o.d"
+  "CMakeFiles/pcmax_mip.dir/pcmax_ip.cpp.o"
+  "CMakeFiles/pcmax_mip.dir/pcmax_ip.cpp.o.d"
+  "libpcmax_mip.a"
+  "libpcmax_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

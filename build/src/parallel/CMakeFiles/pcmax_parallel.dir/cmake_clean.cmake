@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_parallel.dir/barrier.cpp.o"
+  "CMakeFiles/pcmax_parallel.dir/barrier.cpp.o.d"
+  "CMakeFiles/pcmax_parallel.dir/executor.cpp.o"
+  "CMakeFiles/pcmax_parallel.dir/executor.cpp.o.d"
+  "CMakeFiles/pcmax_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/pcmax_parallel.dir/thread_pool.cpp.o.d"
+  "libpcmax_parallel.a"
+  "libpcmax_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

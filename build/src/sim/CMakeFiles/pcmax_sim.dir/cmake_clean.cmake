@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/pcmax_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/pcmax_sim.dir/robustness.cpp.o"
+  "CMakeFiles/pcmax_sim.dir/robustness.cpp.o.d"
+  "libpcmax_sim.a"
+  "libpcmax_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

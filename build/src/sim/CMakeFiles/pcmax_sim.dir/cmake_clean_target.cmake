@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcmax_sim.a"
+)

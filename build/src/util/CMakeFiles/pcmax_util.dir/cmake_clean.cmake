@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_util.dir/cli.cpp.o"
+  "CMakeFiles/pcmax_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pcmax_util.dir/error.cpp.o"
+  "CMakeFiles/pcmax_util.dir/error.cpp.o.d"
+  "CMakeFiles/pcmax_util.dir/rng.cpp.o"
+  "CMakeFiles/pcmax_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pcmax_util.dir/stats.cpp.o"
+  "CMakeFiles/pcmax_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pcmax_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/pcmax_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/pcmax_util.dir/table_printer.cpp.o"
+  "CMakeFiles/pcmax_util.dir/table_printer.cpp.o.d"
+  "libpcmax_util.a"
+  "libpcmax_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_heuristics_test.dir/algo_heuristics_test.cpp.o"
+  "CMakeFiles/algo_heuristics_test.dir/algo_heuristics_test.cpp.o.d"
+  "algo_heuristics_test"
+  "algo_heuristics_test.pdb"
+  "algo_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

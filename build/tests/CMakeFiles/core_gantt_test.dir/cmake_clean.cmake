@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gantt_test.dir/core_gantt_test.cpp.o"
+  "CMakeFiles/core_gantt_test.dir/core_gantt_test.cpp.o.d"
+  "core_gantt_test"
+  "core_gantt_test.pdb"
+  "core_gantt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gantt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_instance_gen_test.dir/core_instance_gen_test.cpp.o"
+  "CMakeFiles/core_instance_gen_test.dir/core_instance_gen_test.cpp.o.d"
+  "core_instance_gen_test"
+  "core_instance_gen_test.pdb"
+  "core_instance_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_instance_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_instance_test.dir/core_instance_test.cpp.o"
+  "CMakeFiles/core_instance_test.dir/core_instance_test.cpp.o.d"
+  "core_instance_test"
+  "core_instance_test.pdb"
+  "core_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

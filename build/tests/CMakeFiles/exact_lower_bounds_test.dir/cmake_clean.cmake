@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_lower_bounds_test.dir/exact_lower_bounds_test.cpp.o"
+  "CMakeFiles/exact_lower_bounds_test.dir/exact_lower_bounds_test.cpp.o.d"
+  "exact_lower_bounds_test"
+  "exact_lower_bounds_test.pdb"
+  "exact_lower_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_lower_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_solver_test.dir/exact_solver_test.cpp.o"
+  "CMakeFiles/exact_solver_test.dir/exact_solver_test.cpp.o.d"
+  "exact_solver_test"
+  "exact_solver_test.pdb"
+  "exact_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

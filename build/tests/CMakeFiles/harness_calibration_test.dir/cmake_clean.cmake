@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_calibration_test.dir/harness_calibration_test.cpp.o"
+  "CMakeFiles/harness_calibration_test.dir/harness_calibration_test.cpp.o.d"
+  "harness_calibration_test"
+  "harness_calibration_test.pdb"
+  "harness_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

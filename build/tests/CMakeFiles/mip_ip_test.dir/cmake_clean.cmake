@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_ip_test.dir/mip_ip_test.cpp.o"
+  "CMakeFiles/mip_ip_test.dir/mip_ip_test.cpp.o.d"
+  "mip_ip_test"
+  "mip_ip_test.pdb"
+  "mip_ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_lp_random_test.dir/mip_lp_random_test.cpp.o"
+  "CMakeFiles/mip_lp_random_test.dir/mip_lp_random_test.cpp.o.d"
+  "mip_lp_random_test"
+  "mip_lp_random_test.pdb"
+  "mip_lp_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_lp_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_barrier_test.dir/parallel_barrier_test.cpp.o"
+  "CMakeFiles/parallel_barrier_test.dir/parallel_barrier_test.cpp.o.d"
+  "parallel_barrier_test"
+  "parallel_barrier_test.pdb"
+  "parallel_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sort_test.dir/parallel_sort_test.cpp.o"
+  "CMakeFiles/parallel_sort_test.dir/parallel_sort_test.cpp.o.d"
+  "parallel_sort_test"
+  "parallel_sort_test.pdb"
+  "parallel_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_bisection_test.dir/ptas_bisection_test.cpp.o"
+  "CMakeFiles/ptas_bisection_test.dir/ptas_bisection_test.cpp.o.d"
+  "ptas_bisection_test"
+  "ptas_bisection_test.pdb"
+  "ptas_bisection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_bisection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_config_enum_test.dir/ptas_config_enum_test.cpp.o"
+  "CMakeFiles/ptas_config_enum_test.dir/ptas_config_enum_test.cpp.o.d"
+  "ptas_config_enum_test"
+  "ptas_config_enum_test.pdb"
+  "ptas_config_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_config_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_dp_example_test.dir/ptas_dp_example_test.cpp.o"
+  "CMakeFiles/ptas_dp_example_test.dir/ptas_dp_example_test.cpp.o.d"
+  "ptas_dp_example_test"
+  "ptas_dp_example_test.pdb"
+  "ptas_dp_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_dp_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

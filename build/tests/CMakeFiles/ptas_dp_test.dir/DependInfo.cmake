@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ptas_dp_test.cpp" "tests/CMakeFiles/ptas_dp_test.dir/ptas_dp_test.cpp.o" "gcc" "tests/CMakeFiles/ptas_dp_test.dir/ptas_dp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pcmax_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/pcmax_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pcmax_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/pcmax_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcmax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pcmax_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmax_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

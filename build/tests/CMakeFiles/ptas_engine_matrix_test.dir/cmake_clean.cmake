@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_engine_matrix_test.dir/ptas_engine_matrix_test.cpp.o"
+  "CMakeFiles/ptas_engine_matrix_test.dir/ptas_engine_matrix_test.cpp.o.d"
+  "ptas_engine_matrix_test"
+  "ptas_engine_matrix_test.pdb"
+  "ptas_engine_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_engine_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

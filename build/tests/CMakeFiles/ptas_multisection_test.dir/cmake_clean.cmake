@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_multisection_test.dir/ptas_multisection_test.cpp.o"
+  "CMakeFiles/ptas_multisection_test.dir/ptas_multisection_test.cpp.o.d"
+  "ptas_multisection_test"
+  "ptas_multisection_test.pdb"
+  "ptas_multisection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_multisection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ptas_multisection_test.
+# This may be replaced when dependencies are built.

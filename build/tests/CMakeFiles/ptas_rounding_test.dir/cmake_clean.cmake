@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_rounding_test.dir/ptas_rounding_test.cpp.o"
+  "CMakeFiles/ptas_rounding_test.dir/ptas_rounding_test.cpp.o.d"
+  "ptas_rounding_test"
+  "ptas_rounding_test.pdb"
+  "ptas_rounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_solver_test.dir/ptas_solver_test.cpp.o"
+  "CMakeFiles/ptas_solver_test.dir/ptas_solver_test.cpp.o.d"
+  "ptas_solver_test"
+  "ptas_solver_test.pdb"
+  "ptas_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptas_state_space_test.dir/ptas_state_space_test.cpp.o"
+  "CMakeFiles/ptas_state_space_test.dir/ptas_state_space_test.cpp.o.d"
+  "ptas_state_space_test"
+  "ptas_state_space_test.pdb"
+  "ptas_state_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptas_state_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[SimplexRandomised.MatchesVertexEnumerationOnTwoVariablePrograms]=]  /root/repo/build/tests/mip_lp_random_test [==[--gtest_filter=SimplexRandomised.MatchesVertexEnumerationOnTwoVariablePrograms]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SimplexRandomised.MatchesVertexEnumerationOnTwoVariablePrograms]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  mip_lp_random_test_TESTS SimplexRandomised.MatchesVertexEnumerationOnTwoVariablePrograms)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmax_cli.dir/pcmax_cli.cpp.o"
+  "CMakeFiles/pcmax_cli.dir/pcmax_cli.cpp.o.d"
+  "pcmax"
+  "pcmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmax_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
