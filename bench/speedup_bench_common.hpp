@@ -8,10 +8,14 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "harness/calibration.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
 
@@ -44,6 +48,10 @@ inline int run_speedup_figure(const std::string& figure, int machines, int jobs,
                "re-enumerate configurations per DP entry as the paper's "
                "Algorithm 3 does (false = this library's optimised kernel)");
   cli.add_bool("csv", false, "emit CSV instead of aligned tables");
+  cli.add_string("metrics", "",
+                 "write a JSON runtime-metrics profile of the whole "
+                 "experiment (counters, timers, per-level DP timings) to "
+                 "this path");
   if (!cli.parse(argc, argv)) return 0;
 
   SpeedupConfig config;
@@ -76,7 +84,21 @@ inline int run_speedup_figure(const std::string& figure, int machines, int jobs,
             << ", trials=" << config.trials
             << " (parallel times from the simulated multicore; see DESIGN.md)\n\n";
 
+  const std::string metrics_path = cli.get_string("metrics");
+  std::optional<obs::Metrics> metrics;
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (!metrics_path.empty()) {
+    metrics.emplace(ThreadPool::hardware_threads());
+    metrics_scope.emplace(*metrics);
+  }
+
   const SpeedupResult result = run_speedup_experiment(config, std::cerr);
+
+  if (metrics.has_value()) {
+    metrics_scope.reset();
+    obs::write_metrics_file(metrics_path, *metrics);
+    std::cerr << "wrote metrics profile to " << metrics_path << "\n";
+  }
   const bool csv = cli.get_bool("csv");
 
   auto print = [&](TablePrinter& table, const std::string& title) {

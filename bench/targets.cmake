@@ -10,7 +10,7 @@ function(pcmax_add_bench name)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
     pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
-    pcmax_parallel pcmax_util)
+    pcmax_parallel pcmax_obs pcmax_util)
 endfunction()
 
 function(pcmax_add_micro name)
@@ -22,7 +22,7 @@ function(pcmax_add_micro name)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
     pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
-    pcmax_parallel pcmax_util benchmark::benchmark benchmark::benchmark_main)
+    pcmax_parallel pcmax_obs pcmax_util benchmark::benchmark benchmark::benchmark_main)
 endfunction()
 
 pcmax_add_bench(table1_dp_example)

@@ -1,6 +1,7 @@
 #include "algo/ptas/bisection.hpp"
 
 #include "core/bounds.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -8,6 +9,14 @@ namespace pcmax {
 
 DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
                      const DpBackendFn& dp, const DpLimits& limits) {
+  // One "probe" span covers rounding + config enumeration + the DP itself;
+  // multisection issues these concurrently from its probe threads.
+  const std::uint64_t probe_t0 = obs::monotonic_ns();
+  const obs::ScopedTimer probe_timer(obs::Timer::kBisectionProbe);
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(0, obs::Counter::kBisectionProbes);
+  }
+
   const RoundingParams params = RoundingParams::make(target, k);
   const JobPartition partition = partition_jobs(instance, params);
   RoundedInstance rounded = round_long_jobs(instance, partition, params);
@@ -15,6 +24,10 @@ DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
   StateSpace space(std::move(counts), limits.max_table_entries);
   ConfigSet configs = enumerate_configs(rounded, space, limits.max_configs);
   DpRun run = dp(rounded, space, configs);
+
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add_span("bisection.probe", 0, probe_t0, obs::monotonic_ns());
+  }
   return DpAtTarget{std::move(rounded), std::move(space), std::move(configs),
                     std::move(run)};
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "parallel/barrier.hpp"
 #include "util/error.hpp"
 
@@ -75,6 +76,29 @@ struct alignas(64) WorkerCounters {
   std::uint64_t scans = 0;
 };
 
+/// Folds the per-worker counters into the run stats and, when a metrics
+/// collector is installed, publishes the structured DP-run record.
+void publish_run(obs::DpRunRecorder& recorder,
+                 const std::vector<WorkerCounters>& counters, DpRun& run) {
+  for (std::size_t w = 0; w < counters.size(); ++w) {
+    run.stats.entries_computed += counters[w].entries;
+    run.stats.config_scans += counters[w].scans;
+    recorder.add_worker(static_cast<unsigned>(w), counters[w].entries,
+                        counters[w].scans);
+  }
+  recorder.finish();
+}
+
+/// Number of entries on each anti-diagonal, from the precomputed level
+/// array. Only evaluated when a collector is installed.
+std::vector<std::uint64_t> level_widths(const StateSpace& space,
+                                        const std::vector<std::int32_t>& levels) {
+  std::vector<std::uint64_t> widths(
+      static_cast<std::size_t>(space.max_level()) + 1, 0);
+  for (std::int32_t l : levels) ++widths[static_cast<std::size_t>(l)];
+  return widths;
+}
+
 /// Computes one table entry given its flat index (shared by all variants).
 /// `digits` is the caller's scratch buffer for this worker.
 inline void process_index(std::size_t index, const RoundedInstance& rounded,
@@ -106,7 +130,13 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
   std::vector<std::vector<int>> scratch(
       workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
 
+  obs::DpRunRecorder recorder("scan-per-level", loop_schedule_name(schedule),
+                              space.size(), space.max_level() + 1);
+  const std::vector<std::uint64_t> widths =
+      recorder.active() ? level_widths(space, levels) : std::vector<std::uint64_t>{};
+
   for (int level = 0; level <= space.max_level(); ++level) {
+    const std::uint64_t level_t0 = recorder.level_begin();
     executor.parallel_for_ranges(
         space.size(),
         [&](std::size_t begin, std::size_t end, unsigned worker) {
@@ -117,11 +147,11 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
           }
         },
         schedule, /*chunk=*/64);
+    recorder.level_end(level,
+                       widths.empty() ? 0 : widths[static_cast<std::size_t>(level)],
+                       level_t0);
   }
-  for (const auto& c : counters) {
-    run.stats.entries_computed += c.entries;
-    run.stats.config_scans += c.scans;
-  }
+  publish_run(recorder, counters, run);
 }
 
 void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
@@ -134,9 +164,13 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
   std::vector<std::vector<int>> scratch(
       workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
 
+  obs::DpRunRecorder recorder("bucketed", loop_schedule_name(schedule),
+                              space.size(), space.max_level() + 1);
+
   for (int level = 0; level <= space.max_level(); ++level) {
     const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
     const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+    const std::uint64_t level_t0 = recorder.level_begin();
     executor.parallel_for_ranges(
         end - begin,
         [&](std::size_t slot_begin, std::size_t slot_end, unsigned worker) {
@@ -146,11 +180,9 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
           }
         },
         schedule, /*chunk=*/16);
+    recorder.level_end(level, end - begin, level_t0);
   }
-  for (const auto& c : counters) {
-    run.stats.entries_computed += c.entries;
-    run.stats.config_scans += c.scans;
-  }
+  publish_run(recorder, counters, run);
 }
 
 void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
@@ -162,18 +194,24 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
 
   Barrier barrier(num_threads);
   std::vector<WorkerCounters> counters(num_threads);
+  obs::DpRunRecorder recorder("spmd", "round-robin", space.size(),
+                              space.max_level() + 1);
 
   auto worker_fn = [&](unsigned worker) {
     std::vector<int> digits(static_cast<std::size_t>(space.dims()));
     for (int level = 0; level <= space.max_level(); ++level) {
       const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
       const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+      // Worker 0 (the orchestrating thread) owns the level samples; timing
+      // spans its own work plus the wait for the slowest peer.
+      const std::uint64_t level_t0 = worker == 0 ? recorder.level_begin() : 0;
       // Round-robin slotting of this level's entries across the P threads.
       for (std::size_t slot = begin + worker; slot < end; slot += num_threads) {
         process_index(index.order[slot], rounded, space, configs, kernel,
                       run.table, digits, counters[worker]);
       }
       barrier.arrive_and_wait();  // level boundary
+      if (worker == 0) recorder.level_end(level, end - begin, level_t0);
     }
   };
 
@@ -183,10 +221,7 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
   worker_fn(0);
   for (auto& t : threads) t.join();
 
-  for (const auto& c : counters) {
-    run.stats.entries_computed += c.entries;
-    run.stats.config_scans += c.scans;
-  }
+  publish_run(recorder, counters, run);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pcmax {
@@ -12,6 +13,8 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
+  obs::DpRunRecorder recorder("bottom-up", "-", space.size(),
+                              space.max_level() + 1);
 
   run.table.set(0, 0, DpTable::kNoChoice);  // OPT(0,...,0) = 0
   ++run.stats.entries_computed;
@@ -39,6 +42,8 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
     ++run.stats.entries_computed;
   }
 
+  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans);
+  recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;
 }
@@ -116,9 +121,15 @@ DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
 
+  // Top-down touches only reachable states, so its per-worker entry total is
+  // at most (usually below) the state-space size.
+  obs::DpRunRecorder recorder("top-down", "-", space.size(),
+                              space.max_level() + 1);
   TopDownEvaluator evaluator(space, configs, run);
   evaluator.evaluate(space.size() - 1);
 
+  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans);
+  recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pcmax {
@@ -246,6 +247,10 @@ class Tableau {
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
+  const obs::ScopedTimer solve_timer(obs::Timer::kLpSolve);
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(0, obs::Counter::kLpSolves);
+  }
   PCMAX_REQUIRE(problem.num_vars >= 1, "LP needs at least one variable");
   PCMAX_REQUIRE(static_cast<int>(problem.objective.size()) == problem.num_vars,
                 "objective vector has wrong size");

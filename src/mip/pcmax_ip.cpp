@@ -7,6 +7,7 @@
 #include "algo/lpt.hpp"
 #include "core/bounds.hpp"
 #include "exact/lower_bounds.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -156,6 +157,9 @@ struct MipSearch {
     if (budget_exhausted) return;
     if (incumbent_makespan == global_lb) return;  // already optimal
     ++nodes;
+    if (obs::Metrics* metrics = obs::current()) {
+      metrics->add(0, obs::Counter::kMipNodes);
+    }
     if (nodes > options.max_nodes ||
         clock.elapsed_seconds() > options.max_seconds) {
       budget_exhausted = true;

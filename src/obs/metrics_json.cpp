@@ -1,0 +1,118 @@
+#include "obs/metrics_json.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace pcmax::obs {
+
+namespace {
+
+JsonValue counters_for(const Metrics& metrics, unsigned worker) {
+  JsonValue object = JsonValue::make_object();
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const auto counter = static_cast<Counter>(c);
+    object[counter_name(counter)] = metrics.counter_of(worker, counter);
+  }
+  return object;
+}
+
+JsonValue uint_array(const std::vector<std::uint64_t>& values) {
+  JsonValue array = JsonValue::make_array();
+  for (std::uint64_t v : values) array.append(JsonValue(v));
+  return array;
+}
+
+}  // namespace
+
+JsonValue metrics_to_json(const Metrics& metrics) {
+  JsonValue root = JsonValue::make_object();
+  root["schema"] = "pcmax.metrics.v1";
+  root["enabled"] = kMetricsEnabled;
+  root["workers"] = metrics.workers();
+
+  {
+    JsonValue counters = JsonValue::make_object();
+    JsonValue totals = JsonValue::make_object();
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      const auto counter = static_cast<Counter>(c);
+      totals[counter_name(counter)] = metrics.counter_total(counter);
+    }
+    counters["totals"] = std::move(totals);
+    JsonValue per_worker = JsonValue::make_array();
+    for (unsigned w = 0; w < metrics.workers(); ++w) {
+      per_worker.append(counters_for(metrics, w));
+    }
+    counters["per_worker"] = std::move(per_worker);
+    root["counters"] = std::move(counters);
+  }
+
+  {
+    JsonValue timers = JsonValue::make_object();
+    for (std::size_t t = 0; t < kTimerCount; ++t) {
+      const auto timer = static_cast<Timer>(t);
+      const TimerStat stat = metrics.timer(timer);
+      JsonValue entry = JsonValue::make_object();
+      entry["calls"] = stat.calls;
+      entry["total_ns"] = stat.total_ns;
+      timers[timer_name(timer)] = std::move(entry);
+    }
+    root["timers"] = std::move(timers);
+  }
+
+  {
+    JsonValue runs = JsonValue::make_array();
+    for (const DpRunRecord& record : metrics.dp_runs()) {
+      JsonValue run = JsonValue::make_object();
+      run["variant"] = record.variant;
+      run["schedule"] = record.schedule;
+      run["table_size"] = static_cast<std::uint64_t>(record.table_size);
+      run["levels"] = record.levels;
+      run["total_ns"] = record.total_ns;
+      run["per_worker_entries"] = uint_array(record.per_worker_entries);
+      run["per_worker_scans"] = uint_array(record.per_worker_scans);
+      JsonValue levels = JsonValue::make_array();
+      for (const DpLevelSample& sample : record.per_level) {
+        JsonValue level = JsonValue::make_object();
+        level["level"] = sample.level;
+        level["entries"] = sample.entries;
+        level["ns"] = sample.ns;
+        levels.append(std::move(level));
+      }
+      run["per_level"] = std::move(levels);
+      runs.append(std::move(run));
+    }
+    root["dp_runs"] = std::move(runs);
+  }
+
+  {
+    JsonValue spans = JsonValue::make_array();
+    for (const Span& span : metrics.spans()) {
+      JsonValue entry = JsonValue::make_object();
+      entry["name"] = span.name;
+      entry["worker"] = span.worker;
+      entry["begin_ns"] = span.begin_ns;
+      entry["end_ns"] = span.end_ns;
+      spans.append(std::move(entry));
+    }
+    root["spans"] = std::move(spans);
+  }
+
+  {
+    JsonValue dropped = JsonValue::make_object();
+    dropped["spans"] = metrics.dropped_spans();
+    dropped["dp_runs"] = metrics.dropped_dp_runs();
+    root["dropped"] = std::move(dropped);
+  }
+  return root;
+}
+
+void write_metrics_file(const std::string& path, const Metrics& metrics) {
+  std::ofstream out(path);
+  PCMAX_REQUIRE(out.good(), "cannot open metrics output file '" + path + "'");
+  out << metrics_to_json(metrics).dump(/*pretty=*/true) << "\n";
+  out.flush();
+  PCMAX_REQUIRE(out.good(), "failed writing metrics file '" + path + "'");
+}
+
+}  // namespace pcmax::obs

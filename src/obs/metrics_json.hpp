@@ -1,0 +1,23 @@
+// JSON export of a metrics collector (schema "pcmax.metrics.v1").
+//
+// The document layout is documented in docs/metrics.md; it is what
+// `pcmax solve --metrics out.json` and the speedup benches write, and what
+// tests/obs_metrics_test.cpp round-trips.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace pcmax::obs {
+
+/// Serialises the collector into the v1 metrics document. The collector
+/// should be quiescent (all instrumented work joined).
+JsonValue metrics_to_json(const Metrics& metrics);
+
+/// Writes `metrics_to_json` pretty-printed to `path`; throws Error when the
+/// file cannot be written.
+void write_metrics_file(const std::string& path, const Metrics& metrics);
+
+}  // namespace pcmax::obs

@@ -1,5 +1,6 @@
 #include "parallel/barrier.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pcmax {
@@ -9,6 +10,12 @@ Barrier::Barrier(std::size_t participants) : participants_(participants) {
 }
 
 void Barrier::arrive_and_wait() {
+  // The scoped timer measures arrival-to-release, i.e. how long this thread
+  // stalls at the synchronisation point (the last arriver measures ~0).
+  const obs::ScopedTimer wait_timer(obs::Timer::kBarrierWait);
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(0, obs::Counter::kBarrierWaits);
+  }
   std::unique_lock lock(mutex_);
   const std::size_t my_generation = generation_;
   if (++waiting_ == participants_) {

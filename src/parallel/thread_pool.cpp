@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pcmax {
+
+const char* loop_schedule_name(LoopSchedule schedule) {
+  switch (schedule) {
+    case LoopSchedule::kStatic: return "static";
+    case LoopSchedule::kRoundRobin: return "round-robin";
+    case LoopSchedule::kDynamic: return "dynamic";
+  }
+  throw InvalidArgumentError("unknown loop schedule");
+}
 
 /// Descriptor of one fork-join episode, shared read-only by workers except
 /// for the dynamic-claim cursor and the first captured exception.
@@ -65,6 +75,11 @@ void ThreadPool::worker_loop(unsigned worker) {
 }
 
 void ThreadPool::work_on(const Region& region, unsigned worker) {
+  // Accumulated locally and flushed once per episode so the instrumented
+  // loop stays free of shared writes.
+  std::uint64_t tasks = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t claims = 0;
   try {
     const std::size_t n = region.n;
     const unsigned P = num_threads_;
@@ -72,13 +87,19 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
       case LoopSchedule::kStatic: {
         const std::size_t begin = n * worker / P;
         const std::size_t end = n * (worker + 1) / P;
-        if (begin < end) (*region.body)(begin, end, worker);
+        if (begin < end) {
+          ++tasks;
+          iterations += end - begin;
+          (*region.body)(begin, end, worker);
+        }
         break;
       }
       case LoopSchedule::kRoundRobin: {
         // Strided singleton ranges: iteration i goes to worker i mod P,
         // mirroring the paper's round-robin "parallel for" semantics.
         for (std::size_t i = worker; i < n; i += P) {
+          ++tasks;
+          ++iterations;
           (*region.body)(i, i + 1, worker);
         }
         break;
@@ -89,13 +110,24 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
           const std::size_t begin =
               region.next.fetch_add(chunk, std::memory_order_relaxed);
           if (begin >= n) break;
-          (*region.body)(begin, std::min(begin + chunk, n), worker);
+          const std::size_t end = std::min(begin + chunk, n);
+          ++tasks;
+          ++claims;
+          iterations += end - begin;
+          (*region.body)(begin, end, worker);
         }
         break;
       }
     }
   } catch (...) {
+    // The counts up to the throw point still flush below: an aborted
+    // iteration was claimed but its tail never ran.
     region.capture_exception();
+  }
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(worker, obs::Counter::kPoolTasks, tasks);
+    metrics->add(worker, obs::Counter::kPoolIterations, iterations);
+    if (claims > 0) metrics->add(worker, obs::Counter::kPoolDynamicClaims, claims);
   }
 }
 
@@ -103,6 +135,11 @@ void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule
                      std::size_t chunk) {
   PCMAX_REQUIRE(chunk >= 1, "dynamic chunk must be at least 1");
   if (n == 0) return;
+
+  const obs::ScopedTimer region_timer(obs::Timer::kPoolRegion);
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(0, obs::Counter::kPoolRegions);
+  }
 
   Region region;
   region.n = n;

@@ -29,6 +29,10 @@ enum class LoopSchedule {
   kDynamic,
 };
 
+/// Stable lowercase name ("static", "round-robin", "dynamic") for reports
+/// and metrics records.
+const char* loop_schedule_name(LoopSchedule schedule);
+
 /// Persistent fork-join thread pool.
 ///
 /// All parallel regions are executed with `run`, which blocks until every

@@ -29,6 +29,9 @@
 
 #include "mip/pcmax_ip.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+
 #include "parallel/executor.hpp"
 #include "parallel/parallel_sort.hpp"
 

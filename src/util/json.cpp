@@ -1,0 +1,408 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+JsonValue::JsonValue(std::uint64_t value) {
+  PCMAX_REQUIRE(value <=
+                    static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+                "JSON integer out of int64 range");
+  value_ = static_cast<std::int64_t>(value);
+}
+
+bool JsonValue::as_bool() const {
+  PCMAX_REQUIRE(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t JsonValue::as_int() const {
+  PCMAX_REQUIRE(is_int(), "JSON value is not an integer");
+  return std::get<std::int64_t>(value_);
+}
+
+double JsonValue::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  PCMAX_REQUIRE(is_double(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  PCMAX_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  PCMAX_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  PCMAX_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(value_);
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  throw InvalidArgumentError("JSON value has no size (not array/object)");
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : std::get<Object>(value_)) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* found = find(key);
+  PCMAX_REQUIRE(found != nullptr, "JSON object has no member '" + std::string(key) + "'");
+  return *found;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const Array& array = as_array();
+  PCMAX_REQUIRE(index < array.size(), "JSON array index out of range");
+  return array[index];
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  PCMAX_REQUIRE(is_object(), "JSON operator[] needs an object");
+  Object& object = std::get<Object>(value_);
+  for (Member& member : object) {
+    if (member.first == key) return member.second;
+  }
+  object.emplace_back(std::string(key), JsonValue());
+  return object.back().second;
+}
+
+JsonValue& JsonValue::append(JsonValue element) {
+  if (is_null()) value_ = Array{};
+  PCMAX_REQUIRE(is_array(), "JSON append needs an array");
+  std::get<Array>(value_).push_back(std::move(element));
+  return *this;
+}
+
+namespace {
+
+void escape_string(const std::string& in, std::string& out) {
+  out.push_back('"');
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void indent(std::string& out, int depth) {
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, bool pretty, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (is_double()) {
+    const double d = std::get<double>(value_);
+    PCMAX_REQUIRE(std::isfinite(d), "JSON cannot represent NaN/Inf");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+    // Keep the double/int distinction visible in the text.
+    if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+      out += ".0";
+    }
+  } else if (is_string()) {
+    escape_string(std::get<std::string>(value_), out);
+  } else if (is_array()) {
+    const Array& array = std::get<Array>(value_);
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (pretty) indent(out, depth + 1);
+      array[i].dump_to(out, pretty, depth + 1);
+    }
+    if (pretty) indent(out, depth);
+    out.push_back(']');
+  } else {
+    const Object& object = std::get<Object>(value_);
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (std::size_t i = 0; i < object.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (pretty) indent(out, depth + 1);
+      escape_string(object[i].first, out);
+      out.push_back(':');
+      if (pretty) out.push_back(' ');
+      object[i].second.dump_to(out, pretty, depth + 1);
+    }
+    if (pretty) indent(out, depth);
+    out.push_back('}');
+  }
+}
+
+std::string JsonValue::dump(bool pretty) const {
+  std::string out;
+  dump_to(out, pretty, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    PCMAX_REQUIRE(pos_ == text_.size(), "JSON: trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgumentError("JSON parse error at offset " +
+                               std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue(nullptr);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue(std::move(object));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue(std::move(array));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        PCMAX_REQUIRE(static_cast<unsigned char>(c) >= 0x20,
+                      "JSON: raw control character in string");
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (!consume_literal("\\u")) fail("unpaired surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    PCMAX_REQUIRE(!token.empty() && token != "-", "JSON: empty number");
+    const bool integral =
+        token.find_first_of(".eE") == std::string::npos;
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<std::int64_t>(value));
+      }
+      errno = 0;  // overflow: fall back to double below
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace pcmax

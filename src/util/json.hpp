@@ -1,0 +1,107 @@
+// A minimal JSON document model: build, serialise, parse, compare.
+//
+// The metrics subsystem (src/obs) exports machine-readable profiles, the
+// CLI writes them with --metrics, and tests round-trip them; none of that
+// justifies an external dependency, so this is a small self-contained tree
+// with insertion-ordered objects (deterministic output for golden tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace pcmax {
+
+/// One JSON value: null, bool, integer, double, string, array, or object.
+///
+/// Integers are kept distinct from doubles so 64-bit counters survive a
+/// dump/parse round trip exactly. Objects preserve insertion order and allow
+/// duplicate-free upsert via operator[].
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT(runtime/explicit)
+  JsonValue(bool value) : value_(value) {}        // NOLINT(runtime/explicit)
+  JsonValue(int value) : value_(static_cast<std::int64_t>(value)) {}
+  JsonValue(unsigned value) : value_(static_cast<std::int64_t>(value)) {}
+  JsonValue(std::int64_t value) : value_(value) {}  // NOLINT(runtime/explicit)
+  /// Throws InvalidArgumentError when the value exceeds int64 range.
+  JsonValue(std::uint64_t value);  // NOLINT(runtime/explicit)
+  JsonValue(double value) : value_(value) {}  // NOLINT(runtime/explicit)
+  JsonValue(const char* value) : value_(std::string(value)) {}
+  JsonValue(std::string value) : value_(std::move(value)) {}
+  JsonValue(Array value) : value_(std::move(value)) {}    // NOLINT
+  JsonValue(Object value) : value_(std::move(value)) {}   // NOLINT
+
+  static JsonValue make_array() { return JsonValue(Array{}); }
+  static JsonValue make_object() { return JsonValue(Object{}); }
+
+  [[nodiscard]] bool is_null() const { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const { return holds<bool>(); }
+  [[nodiscard]] bool is_int() const { return holds<std::int64_t>(); }
+  [[nodiscard]] bool is_double() const { return holds<double>(); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const { return holds<Object>(); }
+
+  /// Typed accessors; throw InvalidArgumentError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Numeric value as double (integers promote).
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Number of elements (array) or members (object); throws otherwise.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member access; throws InvalidArgumentError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Array element access; throws InvalidArgumentError when out of range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+
+  /// Object upsert: returns the member named `key`, inserting a null member
+  /// if needed. A null value silently becomes an object first.
+  JsonValue& operator[](std::string_view key);
+
+  /// Array append: pushes `element` and returns *this for chaining. A null
+  /// value silently becomes an array first.
+  JsonValue& append(JsonValue element);
+
+  /// Serialises the value. `pretty` adds newlines and two-space indents.
+  [[nodiscard]] std::string dump(bool pretty = false) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Throws InvalidArgumentError on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(value_);
+  }
+
+  void dump_to(std::string& out, bool pretty, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace pcmax

@@ -4,12 +4,19 @@
 // Two entirely different solvers (counting DP over configurations vs DFS
 // packing with dominance pruning) agreeing across random shapes is strong
 // evidence both are right.
+// A second family of cross-checks covers the parallel realisations: every
+// ParallelDpVariant under every LoopSchedule must reproduce the sequential
+// bottom-up table byte for byte (values AND argmin choices) and perform the
+// identical number of entry computations, across randomized shapes.
 #include <gtest/gtest.h>
 
 #include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_parallel.hpp"
 #include "algo/ptas/dp_sequential.hpp"
 #include "core/instance.hpp"
 #include "exact/bin_feasibility.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/executor.hpp"
 #include "util/rng.hpp"
 
 namespace pcmax {
@@ -111,6 +118,102 @@ TEST(DpCrossCheck, MachineCountMonotoneInTarget) {
     EXPECT_LE(run.machines_needed, previous) << "T=" << target;
     previous = run.machines_needed;
   }
+}
+
+/// Asserts `run` reproduces `reference` byte for byte: same OPT(N), same
+/// value and same argmin choice at every entry.
+void expect_identical_tables(const DpRun& reference, const DpRun& run,
+                             const std::string& what) {
+  ASSERT_EQ(run.table.size(), reference.table.size()) << what;
+  EXPECT_EQ(run.machines_needed, reference.machines_needed) << what;
+  for (std::size_t i = 0; i < reference.table.size(); ++i) {
+    ASSERT_EQ(run.table.value(i), reference.table.value(i))
+        << what << " value at entry " << i;
+    ASSERT_EQ(run.table.choice(i), reference.table.choice(i))
+        << what << " choice at entry " << i;
+  }
+}
+
+TEST(DpCrossCheck, AllVariantsAndSchedulesMatchSequentialOnRandomShapes) {
+  constexpr ParallelDpVariant kVariants[] = {ParallelDpVariant::kScanPerLevel,
+                                             ParallelDpVariant::kBucketed,
+                                             ParallelDpVariant::kSpmd};
+  constexpr LoopSchedule kSchedules[] = {
+      LoopSchedule::kStatic, LoopSchedule::kRoundRobin, LoopSchedule::kDynamic};
+  Xoshiro256StarStar rng(0xDECADE);
+  ThreadPoolExecutor executor(4);
+  for (int round = 0; round < 8; ++round) {
+    const Time target = uniform_int(rng, 25, 60);
+    const int dims = static_cast<int>(uniform_int(rng, 1, 3));
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      sizes.push_back(uniform_int(rng, target / 4 + 1, target));
+      counts.push_back(static_cast<int>(uniform_int(rng, 1, 5)));
+    }
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun reference = dp_bottom_up(rounded, space, configs);
+    ASSERT_EQ(reference.stats.entries_computed, space.size());
+
+    for (const ParallelDpVariant variant : kVariants) {
+      for (const LoopSchedule schedule : kSchedules) {
+        ParallelDpOptions options;
+        options.executor = &executor;
+        options.variant = variant;
+        options.schedule = schedule;
+        options.spmd_threads = 4;
+        const DpRun run = dp_parallel(rounded, space, configs, options);
+        const std::string what = parallel_dp_variant_name(variant) + "/" +
+                                 loop_schedule_name(schedule) + " round " +
+                                 std::to_string(round);
+        expect_identical_tables(reference, run, what);
+        // Entries-processed totals are identical too: every realisation
+        // computes each of the sigma entries exactly once, independent of
+        // how iterations were assigned to workers.
+        EXPECT_EQ(run.stats.entries_computed, reference.stats.entries_computed)
+            << what;
+      }
+    }
+  }
+}
+
+TEST(DpCrossCheck, MetricsEntryTotalsAgreeAcrossVariantsAndSchedules) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "PCMAX_METRICS is OFF";
+  // Same matrix, observed through the metrics layer: each run's per-worker
+  // entry totals must sum to sigma no matter how the work was split.
+  const RoundedInstance rounded = make_rounded({8, 12, 19}, {3, 3, 2}, 38);
+  const StateSpace space(std::vector<int>{3, 3, 2}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  ThreadPoolExecutor executor(4);
+  obs::Metrics metrics(4);
+  const obs::MetricsScope scope(metrics);
+  std::size_t expected_runs = 0;
+  for (const ParallelDpVariant variant :
+       {ParallelDpVariant::kScanPerLevel, ParallelDpVariant::kBucketed,
+        ParallelDpVariant::kSpmd}) {
+    for (const LoopSchedule schedule :
+         {LoopSchedule::kStatic, LoopSchedule::kRoundRobin,
+          LoopSchedule::kDynamic}) {
+      ParallelDpOptions options;
+      options.executor = &executor;
+      options.variant = variant;
+      options.schedule = schedule;
+      options.spmd_threads = 4;
+      dp_parallel(rounded, space, configs, options);
+      ++expected_runs;
+    }
+  }
+  const std::vector<obs::DpRunRecord> runs = metrics.dp_runs();
+  ASSERT_EQ(runs.size(), expected_runs);
+  for (const obs::DpRunRecord& run : runs) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t entries : run.per_worker_entries) total += entries;
+    EXPECT_EQ(total, space.size()) << run.variant << "/" << run.schedule;
+  }
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kDpEntries),
+            expected_runs * space.size());
 }
 
 }  // namespace

@@ -8,9 +8,12 @@
 // full schedules in the text format of core/io.
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "pcmax.hpp"
 #include "core/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
 
 using namespace pcmax;
 
@@ -100,10 +103,20 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_double("exact-seconds", 60.0, "budget for the exact solvers");
   cli.add_bool("schedules", false, "also print the full schedules");
+  cli.add_int("limit", 0, "solve only the first N instances (0 = all)");
+  cli.add_string("metrics", "",
+                 "write a JSON runtime-metrics profile (counters, timers, "
+                 "per-level DP timings) to this path");
   if (!cli.parse(argc, argv)) return 0;
   PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
 
-  const auto instances = read_instances_file(cli.get_string("file"));
+  auto instances = read_instances_file(cli.get_string("file"));
+  if (cli.get_int("limit") > 0 &&
+      instances.size() > static_cast<std::size_t>(cli.get_int("limit"))) {
+    instances.erase(
+        instances.begin() + static_cast<std::ptrdiff_t>(cli.get_int("limit")),
+        instances.end());
+  }
   const unsigned threads =
       cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
                                  : ThreadPool::hardware_threads();
@@ -111,6 +124,14 @@ int cmd_solve(int argc, const char* const* argv) {
   const std::unique_ptr<Solver> solver =
       make_solver(cli.get_string("solver"), cli.get_double("epsilon"), threads,
                   &executor, cli.get_double("exact-seconds"));
+
+  const std::string metrics_path = cli.get_string("metrics");
+  std::optional<obs::Metrics> metrics;
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (!metrics_path.empty()) {
+    metrics.emplace(threads);
+    metrics_scope.emplace(*metrics);
+  }
 
   TablePrinter table({"#", "m", "n", "LB", "makespan", "UB", "seconds", "certified"});
   for (std::size_t i = 0; i < instances.size(); ++i) {
@@ -128,6 +149,11 @@ int cmd_solve(int argc, const char* const* argv) {
       std::cout << "# instance " << i << "\n"
                 << schedule_to_text(instance, result.schedule);
     }
+  }
+  if (metrics.has_value()) {
+    metrics_scope.reset();  // stop collecting before exporting
+    obs::write_metrics_file(metrics_path, *metrics);
+    std::cerr << "wrote metrics profile to " << metrics_path << "\n";
   }
   std::cout << "solver: " << solver->name() << "\n" << table.to_string();
   return 0;
