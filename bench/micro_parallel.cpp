@@ -77,7 +77,7 @@ void BM_SequentialExecutorBaseline(benchmark::State& state) {
         [&](std::size_t begin, std::size_t end, unsigned) {
           for (std::size_t i = begin; i < end; ++i) sink += static_cast<long>(i);
         },
-        LoopSchedule::kStatic, 1);
+        LoopSchedule::kStatic, 1, CancellationToken{});
   }
   benchmark::DoNotOptimize(sink);
 }

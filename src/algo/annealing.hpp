@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/solver.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -22,6 +23,9 @@ struct AnnealingOptions {
   double initial_temp = 0.0;     ///< 0 = auto (max job time / 2)
   double cooling = 0.9995;       ///< geometric factor per iteration
   double swap_probability = 0.4; ///< fraction of proposals that are swaps
+  /// Cooperative stop signal, polled every ~512 proposals. Anytime: a stop
+  /// ends the run keeping the best schedule seen (never worse than LPT).
+  CancellationToken cancel;
 };
 
 /// The simulated-annealing solver.

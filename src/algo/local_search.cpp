@@ -99,11 +99,20 @@ bool try_swap(const Instance& instance, WorkingSchedule& ws) {
 }  // namespace
 
 LocalSearchStats improve_schedule(const Instance& instance, Schedule& schedule,
-                                  std::uint64_t max_rounds) {
+                                  std::uint64_t max_rounds,
+                                  const CancellationToken& cancel) {
   schedule.validate(instance);
   WorkingSchedule ws(instance, schedule);
   LocalSearchStats stats;
+  const bool armed = cancel.valid();
   while (stats.rounds < max_rounds) {
+    // Anytime: stop between rounds, keeping the improvements so far. The
+    // flag-only poll keeps the round loop cheap; deadline promotion happens
+    // at the next full check elsewhere (a round is short).
+    if (armed && (stats.rounds % 64 == 0 ? cancel.should_stop()
+                                         : cancel.cancel_requested())) {
+      break;
+    }
     ++stats.rounds;
     if (try_move(instance, ws)) {
       ++stats.moves;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/solver.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -23,9 +24,12 @@ struct LocalSearchStats {
 };
 
 /// Improves `schedule` in place until move+swap local optimality or until
-/// `max_rounds` passes. Returns the statistics of the run.
+/// `max_rounds` passes. Returns the statistics of the run. Anytime: a
+/// cancelled `cancel` token stops between rounds, keeping the improvements
+/// made so far — the result is never worse than the input.
 LocalSearchStats improve_schedule(const Instance& instance, Schedule& schedule,
-                                  std::uint64_t max_rounds = 10'000);
+                                  std::uint64_t max_rounds = 10'000,
+                                  const CancellationToken& cancel = {});
 
 /// A solver decorator: runs an inner heuristic, then polishes its schedule.
 class LocalSearchSolver final : public Solver {

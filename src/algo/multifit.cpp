@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <optional>
+#include <utility>
 
 #include "algo/lpt.hpp"
 #include "core/bounds.hpp"
@@ -35,7 +36,8 @@ bool first_fit_decreasing(const Instance& instance, Time capacity, Schedule* out
   return true;
 }
 
-MultifitSolver::MultifitSolver(int iterations) : iterations_(iterations) {
+MultifitSolver::MultifitSolver(int iterations, CancellationToken cancel)
+    : iterations_(iterations), cancel_(std::move(cancel)) {
   PCMAX_REQUIRE(iterations >= 1, "MULTIFIT needs at least one iteration");
 }
 
@@ -58,6 +60,9 @@ SolverResult MultifitSolver::solve(const Instance& instance) {
   }
 
   for (int it = 0; it < iterations_ && lo < hi; ++it) {
+    // Anytime: stop between iterations, keeping the best packing so far
+    // (at worst the guaranteed-feasible upper-bound packing).
+    if (cancel_.valid() && cancel_.should_stop()) break;
     const Time capacity = lo + (hi - lo) / 2;
     Schedule s(instance.machines());
     if (first_fit_decreasing(instance, capacity, &s)) {

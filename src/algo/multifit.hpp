@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/solver.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -20,13 +21,18 @@ bool first_fit_decreasing(const Instance& instance, Time capacity, Schedule* out
 class MultifitSolver final : public Solver {
  public:
   /// `iterations` is the binary-search depth k (default 10 ≈ 2^-10 slack).
-  explicit MultifitSolver(int iterations = 10);
+  /// Anytime: a cancelled `cancel` token stops the binary search between
+  /// iterations, keeping the best packing found — the guaranteed-feasible
+  /// FFD packing at the upper bound always exists, so a valid schedule is
+  /// returned even when cancelled before the first iteration.
+  explicit MultifitSolver(int iterations = 10, CancellationToken cancel = {});
 
   [[nodiscard]] std::string name() const override { return "MULTIFIT"; }
   SolverResult solve(const Instance& instance) override;
 
  private:
   int iterations_;
+  CancellationToken cancel_;
 };
 
 }  // namespace pcmax

@@ -3,6 +3,7 @@
 #include "core/bounds.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pcmax {
@@ -17,12 +18,16 @@ DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
     metrics->add(0, obs::Counter::kBisectionProbes);
   }
 
+  fault_hit("bisection.probe");
+  if (limits.cancel.valid()) limits.cancel.check();
+
   const RoundingParams params = RoundingParams::make(target, k);
   const JobPartition partition = partition_jobs(instance, params);
   RoundedInstance rounded = round_long_jobs(instance, partition, params);
   std::vector<int> counts = rounded.class_count;
   StateSpace space(std::move(counts), limits.max_table_entries);
-  ConfigSet configs = enumerate_configs(rounded, space, limits.max_configs);
+  ConfigSet configs =
+      enumerate_configs(rounded, space, limits.max_configs, limits.cancel);
   DpRun run = dp(rounded, space, configs);
 
   if (obs::Metrics* metrics = obs::current()) {

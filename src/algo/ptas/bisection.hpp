@@ -26,6 +26,10 @@ using DpBackendFn = std::function<DpRun(const RoundedInstance&, const StateSpace
 struct DpLimits {
   std::size_t max_table_entries = std::size_t{1} << 26;  ///< ~64M entries
   std::size_t max_configs = std::size_t{1} << 22;
+  /// Cooperative stop signal, checked before each probe and threaded into
+  /// config enumeration (rides along with the budgets, which already reach
+  /// every probe site). The DP backend carries its own copy.
+  CancellationToken cancel;
 };
 
 /// Everything produced by one DP probe at a fixed target T.

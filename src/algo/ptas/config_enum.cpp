@@ -9,7 +9,8 @@ namespace {
 /// Depth-first enumeration over dimensions with remaining-capacity pruning.
 void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
                    std::size_t max_configs, int dim, Time remaining,
-                   std::vector<int>& current, ConfigSet& out) {
+                   std::vector<int>& current, CancelCheck& cancel_check,
+                   ConfigSet& out) {
   if (dim == rounded.dims()) {
     bool all_zero = true;
     for (int s : current) {
@@ -20,10 +21,11 @@ void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
     }
     if (all_zero) return;  // the zero config means "no assignment" (paper §II)
     if (out.count() >= max_configs) {
-      throw ResourceLimitError(
-          "machine-configuration set exceeds the configured budget of " +
-          std::to_string(max_configs));
+      throw ResourceLimitError(resource_limit_message(
+          "machine configurations", max_configs, max_configs + 1,
+          /*demand_is_lower_bound=*/true));
     }
+    cancel_check.poll();
     out.digits.insert(out.digits.end(), current.begin(), current.end());
     out.offsets.push_back(space.encode(current));
     out.weights.push_back(rounded.params.target - remaining);
@@ -34,7 +36,8 @@ void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
   for (int s = 0; s <= limit && static_cast<Time>(s) * size <= remaining; ++s) {
     current[static_cast<std::size_t>(dim)] = s;
     enumerate_rec(rounded, space, max_configs, dim + 1,
-                  remaining - static_cast<Time>(s) * size, current, out);
+                  remaining - static_cast<Time>(s) * size, current, cancel_check,
+                  out);
   }
   current[static_cast<std::size_t>(dim)] = 0;
 }
@@ -42,12 +45,15 @@ void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
 }  // namespace
 
 ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& space,
-                            std::size_t max_configs) {
+                            std::size_t max_configs,
+                            const CancellationToken& cancel) {
   PCMAX_REQUIRE(max_configs >= 1, "max_configs must be positive");
   ConfigSet out;
   out.dims = rounded.dims();
   std::vector<int> current(static_cast<std::size_t>(rounded.dims()), 0);
-  enumerate_rec(rounded, space, max_configs, 0, rounded.params.target, current, out);
+  CancelCheck cancel_check(cancel, /*period=*/1024);
+  enumerate_rec(rounded, space, max_configs, 0, rounded.params.target, current,
+                cancel_check, out);
   return out;
 }
 

@@ -17,6 +17,7 @@
 
 #include "algo/ptas/rounding.hpp"
 #include "algo/ptas/state_space.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -40,9 +41,11 @@ struct ConfigSet {
 
 /// Enumerates all non-zero configurations s <= N with weight <= T for the
 /// rounded instance, depth-first with capacity pruning.
-/// Throws ResourceLimitError if more than `max_configs` would be produced.
+/// Throws ResourceLimitError if more than `max_configs` would be produced,
+/// and honours `cancel` with an amortised check down the recursion.
 ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& space,
-                            std::size_t max_configs);
+                            std::size_t max_configs,
+                            const CancellationToken& cancel = {});
 
 /// True iff s <= v componentwise. `s` and `v` must have equal size.
 bool config_fits(std::span<const int> s, std::span<const int> v);

@@ -1,11 +1,14 @@
 #include "algo/ptas/dp_parallel.hpp"
 
 #include <atomic>
+#include <exception>
+#include <limits>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "parallel/barrier.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace pcmax {
 
@@ -18,7 +21,8 @@ std::string parallel_dp_variant_name(ParallelDpVariant variant) {
   throw InvalidArgumentError("unknown parallel DP variant");
 }
 
-std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor) {
+std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor,
+                                         const CancellationToken& cancel) {
   std::vector<std::int32_t> levels(space.size());
   const auto counts = space.counts();
   executor.parallel_for_ranges(
@@ -43,7 +47,7 @@ std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& exec
           }
         }
       },
-      LoopSchedule::kStatic, /*chunk=*/1);
+      LoopSchedule::kStatic, /*chunk=*/1, cancel);
   return levels;
 }
 
@@ -123,8 +127,9 @@ inline void process_index(std::size_t index, const RoundedInstance& rounded,
 
 void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
                         const ConfigSet& configs, DpKernel kernel,
-                        Executor& executor, LoopSchedule schedule, DpRun& run) {
-  const std::vector<std::int32_t> levels = compute_levels(space, executor);
+                        Executor& executor, LoopSchedule schedule,
+                        const CancellationToken& cancel, DpRun& run) {
+  const std::vector<std::int32_t> levels = compute_levels(space, executor, cancel);
   const unsigned workers = executor.concurrency();
   std::vector<WorkerCounters> counters(workers);
   std::vector<std::vector<int>> scratch(
@@ -135,18 +140,25 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
   const std::vector<std::uint64_t> widths =
       recorder.active() ? level_widths(space, levels) : std::vector<std::uint64_t>{};
 
+  const bool armed = cancel.valid();
   for (int level = 0; level <= space.max_level(); ++level) {
+    fault_hit("dp.level");
+    if (armed) cancel.check();
     const std::uint64_t level_t0 = recorder.level_begin();
     executor.parallel_for_ranges(
         space.size(),
         [&](std::size_t begin, std::size_t end, unsigned worker) {
+          // Stack-local so the amortisation counter never false-shares;
+          // short ranges are covered by the dispatcher's per-call check.
+          CancelCheck range_check(cancel, /*period=*/256);
           for (std::size_t i = begin; i < end; ++i) {
+            if (armed) range_check.poll();
             if (levels[i] != level) continue;  // paper Line 12
             process_index(i, rounded, space, configs, kernel, run.table,
                           scratch[worker], counters[worker]);
           }
         },
-        schedule, /*chunk=*/64);
+        schedule, /*chunk=*/64, cancel);
     recorder.level_end(level,
                        widths.empty() ? 0 : widths[static_cast<std::size_t>(level)],
                        level_t0);
@@ -156,8 +168,9 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
 
 void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
                   const ConfigSet& configs, DpKernel kernel, Executor& executor,
-                  LoopSchedule schedule, DpRun& run) {
-  const std::vector<std::int32_t> levels = compute_levels(space, executor);
+                  LoopSchedule schedule, const CancellationToken& cancel,
+                  DpRun& run) {
+  const std::vector<std::int32_t> levels = compute_levels(space, executor, cancel);
   const LevelIndex index = build_level_index(space, levels);
   const unsigned workers = executor.concurrency();
   std::vector<WorkerCounters> counters(workers);
@@ -167,19 +180,24 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
   obs::DpRunRecorder recorder("bucketed", loop_schedule_name(schedule),
                               space.size(), space.max_level() + 1);
 
+  const bool armed = cancel.valid();
   for (int level = 0; level <= space.max_level(); ++level) {
+    fault_hit("dp.level");
+    if (armed) cancel.check();
     const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
     const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
     const std::uint64_t level_t0 = recorder.level_begin();
     executor.parallel_for_ranges(
         end - begin,
         [&](std::size_t slot_begin, std::size_t slot_end, unsigned worker) {
+          CancelCheck range_check(cancel, /*period=*/256);
           for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
+            if (armed) range_check.poll();
             process_index(index.order[begin + slot], rounded, space, configs,
                           kernel, run.table, scratch[worker], counters[worker]);
           }
         },
-        schedule, /*chunk=*/16);
+        schedule, /*chunk=*/16, cancel);
     recorder.level_end(level, end - begin, level_t0);
   }
   publish_run(recorder, counters, run);
@@ -187,9 +205,9 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
 
 void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
               const ConfigSet& configs, DpKernel kernel, unsigned num_threads,
-              DpRun& run) {
+              const CancellationToken& cancel, DpRun& run) {
   SequentialExecutor seq;
-  const std::vector<std::int32_t> levels = compute_levels(space, seq);
+  const std::vector<std::int32_t> levels = compute_levels(space, seq, cancel);
   const LevelIndex index = build_level_index(space, levels);
 
   Barrier barrier(num_threads);
@@ -197,18 +215,60 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
   obs::DpRunRecorder recorder("spmd", "round-robin", space.size(),
                               space.max_level() + 1);
 
+  // Barrier-safe stop protocol. A worker that observes a stop request must
+  // NOT leave its level loop unilaterally — its peers would wait at the
+  // barrier forever. Instead:
+  //  * any worker may raise `stop_pending` (and skip its remaining slots of
+  //    the current level);
+  //  * only worker 0, after its own level-l slots and before the level-l
+  //    barrier, stamps `stop_after = l`;
+  //  * every worker tests `level > stop_after` at the top of the loop.
+  // Worker 0 can only stamp the level it has itself reached, and the stamp
+  // is sequenced before the barrier all peers pass through, so at the top of
+  // level l+1 every worker uniformly sees l+1 > l and exits together.
+  const bool armed = cancel.valid();
+  std::atomic<bool> stop_pending{false};
+  std::atomic<int> stop_after{std::numeric_limits<int>::max()};
+  std::exception_ptr stop_error;  // written by worker 0 only
+
   auto worker_fn = [&](unsigned worker) {
     std::vector<int> digits(static_cast<std::size_t>(space.dims()));
     for (int level = 0; level <= space.max_level(); ++level) {
+      if (level > stop_after.load(std::memory_order_relaxed)) break;
+      if (worker == 0) {
+        // The injector may throw (Action::kThrow); capture instead of
+        // unwinding past the barrier the peers are heading for.
+        try {
+          fault_hit("dp.level");
+          if (armed && cancel.should_stop()) {
+            stop_pending.store(true, std::memory_order_relaxed);
+          }
+        } catch (...) {
+          stop_error = std::current_exception();
+          stop_pending.store(true, std::memory_order_relaxed);
+        }
+      }
       const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
       const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
       // Worker 0 (the orchestrating thread) owns the level samples; timing
       // spans its own work plus the wait for the slowest peer.
       const std::uint64_t level_t0 = worker == 0 ? recorder.level_begin() : 0;
       // Round-robin slotting of this level's entries across the P threads.
+      std::uint32_t since_poll = 0;
       for (std::size_t slot = begin + worker; slot < end; slot += num_threads) {
+        if (armed && ++since_poll >= 256) {
+          since_poll = 0;
+          if (cancel.should_stop() ||
+              stop_pending.load(std::memory_order_relaxed)) {
+            stop_pending.store(true, std::memory_order_relaxed);
+            break;  // skip the level tail; the table is discarded anyway
+          }
+        }
         process_index(index.order[slot], rounded, space, configs, kernel,
                       run.table, digits, counters[worker]);
+      }
+      if (worker == 0 && stop_pending.load(std::memory_order_relaxed)) {
+        stop_after.store(level, std::memory_order_relaxed);
       }
       barrier.arrive_and_wait();  // level boundary
       if (worker == 0) recorder.level_end(level, end - begin, level_t0);
@@ -221,6 +281,11 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
   worker_fn(0);
   for (auto& t : threads) t.join();
 
+  if (stop_error) std::rethrow_exception(stop_error);
+  if (stop_pending.load(std::memory_order_relaxed)) {
+    cancel.check();  // throws the typed error; sticky, so this cannot fall through
+    throw CancelledError("spmd DP stopped");  // defensive: unreachable
+  }
   publish_run(recorder, counters, run);
 }
 
@@ -238,16 +303,17 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
       PCMAX_REQUIRE(options.executor != nullptr,
                     "scan-per-level variant needs an executor");
       run_scan_per_level(rounded, space, configs, options.kernel,
-                         *options.executor, options.schedule, run);
+                         *options.executor, options.schedule, options.cancel, run);
       break;
     case ParallelDpVariant::kBucketed:
       PCMAX_REQUIRE(options.executor != nullptr, "bucketed variant needs an executor");
       run_bucketed(rounded, space, configs, options.kernel, *options.executor,
-                   options.schedule, run);
+                   options.schedule, options.cancel, run);
       break;
     case ParallelDpVariant::kSpmd:
       PCMAX_REQUIRE(options.spmd_threads >= 1, "spmd needs at least one thread");
-      run_spmd(rounded, space, configs, options.kernel, options.spmd_threads, run);
+      run_spmd(rounded, space, configs, options.kernel, options.spmd_threads,
+               options.cancel, run);
       break;
   }
 

@@ -48,11 +48,17 @@ struct ParallelDpOptions {
   /// Per-entry kernel: optimised global-config scan or paper-faithful
   /// per-entry configuration enumeration (Alg. 3 Line 17).
   DpKernel kernel = DpKernel::kGlobalConfigs;
+  /// Cooperative stop signal, polled once per level and (amortised) inside
+  /// every range chunk, so a cancel is honoured within one anti-diagonal.
+  /// The DP is all-or-nothing: a stop throws DeadlineExceededError /
+  /// CancelledError; a half-filled table is never returned.
+  CancellationToken cancel;
 };
 
 /// Computes the anti-diagonal level d(v) of every entry, in parallel
 /// (paper Alg. 3 Lines 4-8). Exposed for tests and benches.
-std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor);
+std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor,
+                                         const CancellationToken& cancel = {});
 
 /// Indices grouped by level: entries of level l are
 /// order[level_begin[l] .. level_begin[l+1]).

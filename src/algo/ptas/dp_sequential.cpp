@@ -8,7 +8,8 @@
 namespace pcmax {
 
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
-                   const ConfigSet& configs, DpKernel kernel) {
+                   const ConfigSet& configs, DpKernel kernel,
+                   const CancellationToken& cancel) {
   DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
@@ -22,7 +23,10 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
   // Odometer-maintained digits avoid a decode per entry.
   std::vector<int> digits(static_cast<std::size_t>(space.dims()), 0);
   const auto counts = space.counts();
+  CancelCheck cancel_check(cancel, /*period=*/1024);
+  const bool armed = cancel.valid();
   for (std::size_t index = 1; index < space.size(); ++index) {
+    if (armed) cancel_check.poll();
     // Increment the mixed-radix odometer (last digit fastest).
     for (std::size_t d = digits.size(); d-- > 0;) {
       if (digits[d] < counts[d]) {
@@ -55,14 +59,17 @@ namespace {
 /// are pushed above it, and it is finalised when all predecessors are ready.
 class TopDownEvaluator {
  public:
-  TopDownEvaluator(const StateSpace& space, const ConfigSet& configs, DpRun& run)
-      : space_(space), configs_(configs), run_(run) {}
+  TopDownEvaluator(const StateSpace& space, const ConfigSet& configs,
+                   const CancellationToken& cancel, DpRun& run)
+      : space_(space), configs_(configs), cancel_check_(cancel, /*period=*/1024),
+        armed_(cancel.valid()), run_(run) {}
 
   void evaluate(std::size_t root) {
     if (run_.table.value(root) != DpTable::kUnset) return;
     stack_.push_back(root);
     std::vector<int> digits(static_cast<std::size_t>(space_.dims()));
     while (!stack_.empty()) {
+      if (armed_) cancel_check_.poll();
       const std::size_t index = stack_.back();
       if (run_.table.value(index) != DpTable::kUnset) {
         stack_.pop_back();
@@ -107,6 +114,8 @@ class TopDownEvaluator {
  private:
   const StateSpace& space_;
   const ConfigSet& configs_;
+  CancelCheck cancel_check_;
+  const bool armed_;
   DpRun& run_;
   std::vector<std::size_t> stack_;
 };
@@ -114,7 +123,7 @@ class TopDownEvaluator {
 }  // namespace
 
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs) {
+                  const ConfigSet& configs, const CancellationToken& cancel) {
   (void)rounded;
   DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
@@ -125,7 +134,7 @@ DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
   // at most (usually below) the state-space size.
   obs::DpRunRecorder recorder("top-down", "-", space.size(),
                               space.max_level() + 1);
-  TopDownEvaluator evaluator(space, configs, run);
+  TopDownEvaluator evaluator(space, configs, cancel, run);
   evaluator.evaluate(space.size() - 1);
 
   recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans);

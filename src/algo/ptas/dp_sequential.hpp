@@ -13,6 +13,7 @@
 #include "algo/ptas/dp_table.hpp"
 #include "algo/ptas/rounding.hpp"
 #include "algo/ptas/state_space.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -25,15 +26,17 @@ struct DpRun {
 
 /// Bottom-up fill of the whole table in row-major order. `kernel` selects
 /// the optimised global-config scan or the paper-faithful per-entry
-/// enumeration (identical results either way).
+/// enumeration (identical results either way). A cancelled `cancel` token
+/// throws (amortised check every ~1k entries); the fill is all-or-nothing.
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
                    const ConfigSet& configs,
-                   DpKernel kernel = DpKernel::kGlobalConfigs);
+                   DpKernel kernel = DpKernel::kGlobalConfigs,
+                   const CancellationToken& cancel = {});
 
 /// Top-down memoised evaluation of OPT(N); only reachable entries are set.
 /// Always uses the global-config kernel (the readiness scan needs the
-/// config list anyway).
+/// config list anyway). Cancellation as in dp_bottom_up.
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs);
+                  const ConfigSet& configs, const CancellationToken& cancel = {});
 
 }  // namespace pcmax

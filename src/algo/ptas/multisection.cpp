@@ -35,6 +35,10 @@ MultisectionResult multisect_target_makespan(const Instance& instance, int k,
   Time lb = result.lb0;
   Time ub = result.ub0;
   while (lb < ub) {
+    // Per-round stop check; the probes themselves re-check on entry and the
+    // DP backends poll within, so a cancel lands inside a round as well (the
+    // probe threads are always joined before the error resurfaces here).
+    if (limits.cancel.valid()) limits.cancel.check();
     // Pick up to `ways` distinct targets strictly inside [lb, ub), evenly
     // spaced; always includes at least the bisection midpoint.
     std::vector<Time> targets;

@@ -52,16 +52,19 @@ DpBackendFn PtasSolver::make_backend() const {
   switch (options_.engine) {
     case DpEngine::kBottomUp: {
       const DpKernel kernel = options_.kernel;
-      return [kernel](const RoundedInstance& rounded, const StateSpace& space,
-                      const ConfigSet& configs) {
-        return dp_bottom_up(rounded, space, configs, kernel);
+      const CancellationToken cancel = options_.cancel;
+      return [kernel, cancel](const RoundedInstance& rounded,
+                              const StateSpace& space, const ConfigSet& configs) {
+        return dp_bottom_up(rounded, space, configs, kernel, cancel);
       };
     }
-    case DpEngine::kTopDown:
-      return [](const RoundedInstance& rounded, const StateSpace& space,
-                const ConfigSet& configs) {
-        return dp_top_down(rounded, space, configs);
+    case DpEngine::kTopDown: {
+      const CancellationToken cancel = options_.cancel;
+      return [cancel](const RoundedInstance& rounded, const StateSpace& space,
+                      const ConfigSet& configs) {
+        return dp_top_down(rounded, space, configs, cancel);
       };
+    }
     case DpEngine::kParallelScan:
     case DpEngine::kParallelBucketed: {
       ParallelDpOptions dp_options;
@@ -71,6 +74,7 @@ DpBackendFn PtasSolver::make_backend() const {
                                : ParallelDpVariant::kBucketed;
       dp_options.schedule = options_.schedule;
       dp_options.kernel = options_.kernel;
+      dp_options.cancel = options_.cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
         return dp_parallel(rounded, space, configs, dp_options);
@@ -81,6 +85,7 @@ DpBackendFn PtasSolver::make_backend() const {
       dp_options.variant = ParallelDpVariant::kSpmd;
       dp_options.spmd_threads = options_.spmd_threads;
       dp_options.kernel = options_.kernel;
+      dp_options.cancel = options_.cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
         return dp_parallel(rounded, space, configs, dp_options);
@@ -94,12 +99,17 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   Stopwatch sw;
   const DpBackendFn backend = make_backend();
 
+  // The token rides along with the DP budgets, which already reach every
+  // probe site (bisection, multisection, and the reconstruction probe).
+  DpLimits limits = options_.limits;
+  if (!limits.cancel.valid()) limits.cancel = options_.cancel;
+
   // Search for the target makespan: the paper's bisection (Alg. 1
   // Lines 5-30), or the speculative multisection extension.
   BisectionResult bisection =
       options_.speculation <= 1
-          ? bisect_target_makespan(instance, k_, backend, options_.limits)
-          : multisect_target_makespan(instance, k_, backend, options_.limits,
+          ? bisect_target_makespan(instance, k_, backend, limits)
+          : multisect_target_makespan(instance, k_, backend, limits,
                                       options_.speculation)
                 .as_bisection();
 
@@ -108,7 +118,7 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   // by the bisection invariant (UB is only ever lowered to feasible values).
   Stopwatch probe_clock;
   const DpAtTarget at =
-      run_dp_at(instance, bisection.t_star, k_, backend, options_.limits);
+      run_dp_at(instance, bisection.t_star, k_, backend, limits);
   const double final_probe_seconds = probe_clock.elapsed_seconds();
   Schedule schedule = reconstruct_full_schedule(instance, at);
 

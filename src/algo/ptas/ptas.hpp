@@ -59,6 +59,12 @@ struct PtasOptions {
   /// When true, the per-iteration bisection trace is copied into the result
   /// (used by the simulated-multicore harness).
   bool keep_trace = false;
+  /// Cooperative stop signal: checked before every probe, per DP level, and
+  /// (amortised) inside DP range chunks. The PTAS is all-or-nothing — on a
+  /// stop it throws DeadlineExceededError / CancelledError rather than
+  /// returning a partial schedule; pair with ResilientSolver for a
+  /// graceful-degradation fallback.
+  CancellationToken cancel;
 };
 
 /// Result extension carrying the bisection trace when requested.

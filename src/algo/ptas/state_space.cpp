@@ -18,9 +18,15 @@ StateSpace::StateSpace(std::vector<int> counts, std::size_t max_entries)
     strides_[d] = size;
     const auto radix = static_cast<std::size_t>(counts_[d]) + 1;
     if (size > max_entries / radix) {
-      throw ResourceLimitError(
-          "DP table would exceed the configured entry budget of " +
-          std::to_string(max_entries) + " entries");
+      // The true size is unknowable without overflow; report the partial
+      // product (a lower bound) in the uniform limit-message format.
+      const auto partial = static_cast<unsigned __int128>(size) * radix;
+      const auto demand =
+          partial > std::numeric_limits<std::uint64_t>::max()
+              ? std::numeric_limits<std::uint64_t>::max()
+              : static_cast<std::uint64_t>(partial);
+      throw ResourceLimitError(resource_limit_message(
+          "DP table entries", max_entries, demand, /*demand_is_lower_bound=*/true));
     }
     size *= radix;
     levels += counts_[d];

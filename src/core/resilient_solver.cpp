@@ -1,0 +1,107 @@
+#include "core/resilient_solver.hpp"
+
+#include <string>
+#include <utility>
+
+#include "algo/local_search.hpp"
+#include "algo/lpt.hpp"
+#include "algo/multifit.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pcmax {
+
+ResilientSolver::ResilientSolver(ResilientOptions options)
+    : options_(std::move(options)) {
+  PCMAX_REQUIRE(options_.time_limit_ms >= 0,
+                "time limit must be non-negative (0 = unlimited)");
+  PCMAX_REQUIRE(options_.multifit_iterations >= 1,
+                "MULTIFIT fallback needs at least one iteration");
+}
+
+SolverResult ResilientSolver::solve(const Instance& instance) {
+  Stopwatch sw;
+  obs::Metrics* metrics = obs::current();
+  const std::uint64_t solve_begin = metrics != nullptr ? obs::monotonic_ns() : 0;
+  if (metrics != nullptr) metrics->add(0, obs::Counter::kResilientSolves);
+
+  // Effective stop signal: the caller's token, plus this solve's deadline
+  // layered on top (the caller's token is observed, never mutated).
+  CancellationToken token = options_.cancel;
+  if (options_.time_limit_ms > 0) {
+    token = CancellationToken::linked(options_.cancel,
+                                      Deadline::after_ms(options_.time_limit_ms));
+  }
+
+  SolverResult result;
+  std::string algorithm;
+  std::string reason;
+
+  // Stage 1: the PTAS, all-or-nothing under the effective token.
+  {
+    Stopwatch stage;
+    PtasOptions ptas_options = options_.ptas;
+    ptas_options.cancel = token;
+    try {
+      PtasSolver solver(ptas_options);
+      result = solver.solve(instance);
+      algorithm = solver.name();
+    } catch (const DeadlineExceededError&) {
+      reason = "deadline";
+    } catch (const CancelledError&) {
+      reason = "cancelled";
+    } catch (const ResourceLimitError& e) {
+      reason = std::string("resource-limit: ") + e.what();
+    }
+    result.stats["stage_ptas_seconds"] = stage.elapsed_seconds();
+  }
+
+  // Stages 2+3: constructive fallback + polish. Both rungs terminate
+  // promptly even when `token` has already stopped — MULTIFIT keeps its
+  // guaranteed-feasible upper-bound packing and LPT never polls the token.
+  if (!reason.empty()) {
+    if (metrics != nullptr) metrics->add(0, obs::Counter::kResilientFallbacks);
+    const std::uint64_t fallback_begin =
+        metrics != nullptr ? obs::monotonic_ns() : 0;
+
+    Stopwatch stage;
+    MultifitSolver multifit(options_.multifit_iterations, token);
+    SolverResult multifit_result = multifit.solve(instance);
+    SolverResult lpt_result = LptSolver().solve(instance);
+    const bool multifit_wins = multifit_result.makespan <= lpt_result.makespan;
+    const double ptas_seconds = result.stats["stage_ptas_seconds"];
+    result = multifit_wins ? std::move(multifit_result) : std::move(lpt_result);
+    algorithm = multifit_wins ? "MULTIFIT" : "LPT";
+    result.stats["stage_ptas_seconds"] = ptas_seconds;
+    result.stats["stage_fallback_seconds"] = stage.elapsed_seconds();
+
+    Stopwatch polish;
+    const LocalSearchStats ls = improve_schedule(
+        instance, result.schedule, options_.local_search_rounds, token);
+    if (ls.moves + ls.swaps > 0) {
+      result.makespan = result.schedule.makespan(instance);
+      algorithm += "+LS";
+    }
+    result.stats["stage_polish_seconds"] = polish.elapsed_seconds();
+    result.proven_optimal = false;
+
+    if (metrics != nullptr) {
+      metrics->add_span("resilient.fallback", 0, fallback_begin,
+                        obs::monotonic_ns());
+    }
+  }
+
+  result.notes["algorithm_used"] = algorithm;
+  result.notes["degradation_reason"] = reason.empty() ? "none" : reason;
+  result.seconds = sw.elapsed_seconds();
+
+  if (metrics != nullptr) {
+    metrics->note("algorithm_used", algorithm);
+    metrics->note("degradation_reason", reason.empty() ? "none" : reason);
+    metrics->add_span("resilient.solve", 0, solve_begin, obs::monotonic_ns());
+  }
+  return result;
+}
+
+}  // namespace pcmax

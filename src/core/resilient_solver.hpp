@@ -1,0 +1,78 @@
+// Graceful-degradation solve driver.
+//
+// The PTAS is all-or-nothing: a tripped resource budget, an expired
+// deadline, or an external cancel surfaces as a typed exception and no
+// schedule. ResilientSolver turns that into an availability guarantee — it
+// runs the PTAS under a wall-clock budget and, on ANY resource-shaped
+// failure, degrades down a ladder of always-terminating heuristics:
+//
+//     PTAS  →  best of { MULTIFIT, LPT }  →  local-search polish
+//
+// Every rung returns a complete valid schedule, so solve() never throws for
+// resource reasons and never hangs: MULTIFIT's upper-bound FFD packing
+// exists even with an already-stopped token, LPT ignores the token entirely
+// (it is O(n log n)), and the polish pass only ever improves. The final
+// makespan is therefore LPT-or-better, i.e. at worst Graham's
+// (4/3 - 1/(3m)) * OPT.
+//
+// Provenance is recorded in the result: notes["algorithm_used"] names the
+// rung that produced the schedule, notes["degradation_reason"] says why the
+// PTAS was abandoned ("none" when it was not), and per-stage wall times land
+// in stats. The same facts are exported to the ambient obs::Metrics
+// collector (counters resilient.solves / resilient.fallbacks, spans
+// "resilient.solve" / "resilient.fallback", and notes in the metrics JSON).
+//
+// Errors that are NOT resource-shaped (InvalidArgumentError, a hostile
+// executor's std::runtime_error, logic errors) propagate unchanged —
+// degradation must not mask bugs.
+#pragma once
+
+#include <cstdint>
+
+#include "algo/ptas/ptas.hpp"
+#include "core/solver.hpp"
+#include "util/deadline.hpp"
+
+namespace pcmax {
+
+/// Options of the graceful-degradation driver.
+struct ResilientOptions {
+  /// Configuration of the preferred solver (stage 1). Its `cancel` field is
+  /// replaced by the driver's effective token (external cancel + deadline).
+  PtasOptions ptas;
+
+  /// Wall-clock budget for the whole solve in milliseconds; 0 = unlimited.
+  /// The budget covers the PTAS attempt; the fallback rungs run under the
+  /// same (then typically expired) token and still terminate promptly.
+  std::int64_t time_limit_ms = 0;
+
+  /// External cancellation signal layered under the deadline. The driver
+  /// links its per-solve deadline to this token without mutating it.
+  CancellationToken cancel;
+
+  /// Binary-search depth of the MULTIFIT fallback rung.
+  int multifit_iterations = 10;
+
+  /// Round cap of the local-search polish rung.
+  std::uint64_t local_search_rounds = 10'000;
+};
+
+/// Runs the PTAS with graceful degradation to MULTIFIT/LPT + local search.
+class ResilientSolver final : public Solver {
+ public:
+  explicit ResilientSolver(ResilientOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "Resilient"; }
+
+  /// Never throws DeadlineExceededError / CancelledError /
+  /// ResourceLimitError; always returns a complete valid schedule with
+  /// makespan at most the LPT bound.
+  SolverResult solve(const Instance& instance) override;
+
+  [[nodiscard]] const ResilientOptions& options() const { return options_; }
+
+ private:
+  ResilientOptions options_;
+};
+
+}  // namespace pcmax

@@ -22,6 +22,10 @@ struct SolverResult {
 
   /// Free-form per-solver statistics (DP table sizes, B&B nodes, ...).
   std::map<std::string, double> stats;
+
+  /// Free-form textual provenance ("algorithm_used", "degradation_reason",
+  /// "limit_reason", ...). Keeps non-numeric facts out of `stats`.
+  std::map<std::string, std::string> notes;
 };
 
 /// Abstract base class of all schedulers for P || C_max.

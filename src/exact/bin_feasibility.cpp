@@ -64,15 +64,23 @@ struct Search {
   }
 
   /// Returns true when a budget has run out (checked cheaply per node).
+  /// A cancelled token counts as an exhausted budget: the probe's answer
+  /// becomes kUnknown instead of an exception (three-valued semantics).
   bool out_of_budget() {
     if (budget_exhausted) return true;
     if (stats.nodes > limits.max_nodes) {
       budget_exhausted = true;
       return true;
     }
-    // The wall clock is comparatively expensive; sample it sparsely.
+    if (limits.cancel.valid() && limits.cancel.cancel_requested()) {
+      budget_exhausted = true;
+      return true;
+    }
+    // The wall clock is comparatively expensive; sample it sparsely (the
+    // token's own deadline is promoted to the flag by the same sampling).
     if ((stats.nodes & 0xfff) == 0 &&
-        clock.elapsed_seconds() > limits.max_seconds) {
+        (clock.elapsed_seconds() > limits.max_seconds ||
+         (limits.cancel.valid() && limits.cancel.should_stop()))) {
       budget_exhausted = true;
       return true;
     }

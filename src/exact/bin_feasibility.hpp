@@ -17,6 +17,7 @@
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
@@ -31,6 +32,9 @@ enum class Feasibility {
 struct FeasibilitySearchLimits {
   std::uint64_t max_nodes = 50'000'000;  ///< branch-and-bound node budget
   double max_seconds = 30.0;             ///< wall-clock budget
+  /// Cooperative stop signal: a cancel counts as an exhausted budget, so the
+  /// probe answers kUnknown rather than throwing (three-valued semantics).
+  CancellationToken cancel;
 };
 
 /// Statistics of one feasibility probe.

@@ -30,10 +30,20 @@ SolverResult ExactSolver::solve(const Instance& instance) {
   std::uint64_t nodes = 0;
   std::uint64_t probes = 0;
   bool proven = true;
+  const char* limit_reason = "";
 
+  const CancellationToken& cancel = options_.probe_limits.cancel;
   while (lb < ub) {
+    // Anytime semantics: a cancel or an exhausted total budget returns the
+    // incumbent without an optimality proof, never an exception.
+    if (cancel.valid() && cancel.should_stop()) {
+      proven = false;
+      limit_reason = "cancelled";
+      break;
+    }
     if (sw.elapsed_seconds() > options_.max_total_seconds) {
       proven = false;
+      limit_reason = "total-time-budget";
       break;
     }
     const Time mid = lb + (ub - lb) / 2;
@@ -56,6 +66,7 @@ SolverResult ExactSolver::solve(const Instance& instance) {
         break;
       case Feasibility::kUnknown:
         proven = false;
+        limit_reason = "probe-budget";
         // Without a proof either way, we cannot tighten the interval
         // soundly; fall back to the incumbent.
         lb = ub;
@@ -70,6 +81,7 @@ SolverResult ExactSolver::solve(const Instance& instance) {
   result.stats["nodes"] = static_cast<double>(nodes);
   result.stats["probes"] = static_cast<double>(probes);
   result.stats["lower_bound"] = static_cast<double>(lb);
+  if (!proven && limit_reason[0] != '\0') result.notes["limit_reason"] = limit_reason;
   return result;
 }
 

@@ -176,14 +176,21 @@ SubsetDpSolver::SubsetDpSolver(Time max_total_time)
 SolverResult SubsetDpSolver::solve(const Instance& instance) {
   PCMAX_REQUIRE(instance.machines() <= 3,
                 "SubsetDpSolver supports at most 3 machines");
-  PCMAX_REQUIRE(instance.total_time() <= max_total_time_,
-                "total processing time exceeds the DP budget");
+  if (instance.total_time() > max_total_time_) {
+    throw ResourceLimitError(resource_limit_message(
+        "subset-DP total processing time",
+        static_cast<std::uint64_t>(max_total_time_),
+        static_cast<std::uint64_t>(instance.total_time())));
+  }
   if (instance.machines() == 3) {
     // The quadratic table holds total^2 snapshot bytes per job.
-    PCMAX_REQUIRE(instance.total_time() * instance.total_time() <=
-                      max_total_time_,
-                  "3-machine DP would exceed the memory budget; lower the "
-                  "total or raise max_total_time deliberately");
+    const auto demand = static_cast<std::uint64_t>(instance.total_time()) *
+                        static_cast<std::uint64_t>(instance.total_time());
+    if (demand > static_cast<std::uint64_t>(max_total_time_)) {
+      throw ResourceLimitError(resource_limit_message(
+          "3-machine subset-DP table cells (total^2)",
+          static_cast<std::uint64_t>(max_total_time_), demand));
+    }
   }
 
   Stopwatch sw;

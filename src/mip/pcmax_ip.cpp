@@ -9,6 +9,7 @@
 #include "exact/lower_bounds.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pcmax {
@@ -134,9 +135,13 @@ NodeLp build_node_lp(const Instance& instance, const NodeState& state) {
 }
 
 struct MipSearch {
+  /// How often the steady clock is sampled, in nodes. The token *flag* is
+  /// polled every node (one relaxed load); the clock read is amortised.
+  static constexpr std::uint64_t kClockPeriod = 32;
+
   const Instance& instance;
   const MipOptions& options;
-  Stopwatch clock;
+  Deadline deadline;
 
   Time incumbent_makespan;
   std::vector<int> incumbent_assignment;
@@ -144,27 +149,46 @@ struct MipSearch {
   std::uint64_t nodes = 0;
   std::uint64_t lp_solves = 0;
   bool budget_exhausted = false;
+  const char* limit_reason = "";  // set when budget_exhausted
 
   MipSearch(const Instance& inst, const MipOptions& opts)
-      : instance(inst), options(opts) {
+      : instance(inst), options(opts),
+        deadline(Deadline::after_seconds(opts.max_seconds)) {
     SolverResult lpt = LptSolver().solve(inst);
     incumbent_makespan = lpt.makespan;
     incumbent_assignment = lpt.schedule.assignment(inst);
     global_lb = improved_lower_bound(inst);
   }
 
+  /// True once any budget has tripped; records why. The search is anytime:
+  /// a stop (including a cancelled token) keeps the incumbent — it never
+  /// throws for resource reasons.
+  bool out_of_budget() {
+    if (budget_exhausted) return true;
+    if (nodes > options.max_nodes) {
+      limit_reason = "node-budget";
+    } else if (options.cancel.valid() && options.cancel.cancel_requested()) {
+      limit_reason = "cancelled";
+    } else if (nodes % kClockPeriod == 0 &&
+               (deadline.expired() ||
+                (options.cancel.valid() && options.cancel.should_stop()))) {
+      limit_reason = deadline.expired() ? "deadline" : "cancelled";
+    } else {
+      return false;
+    }
+    budget_exhausted = true;
+    return true;
+  }
+
   void dfs(NodeState& state) {
     if (budget_exhausted) return;
     if (incumbent_makespan == global_lb) return;  // already optimal
     ++nodes;
+    fault_hit("mip.node");
     if (obs::Metrics* metrics = obs::current()) {
       metrics->add(0, obs::Counter::kMipNodes);
     }
-    if (nodes > options.max_nodes ||
-        clock.elapsed_seconds() > options.max_seconds) {
-      budget_exhausted = true;
-      return;
-    }
+    if (out_of_budget()) return;
 
     const NodeLp node = build_node_lp(instance, state);
     ++lp_solves;
@@ -174,6 +198,7 @@ struct MipSearch {
       // Iteration limit or numerical trouble: treat the node as unresolved
       // and stop claiming optimality rather than risk wrong pruning.
       budget_exhausted = true;
+      limit_reason = "lp-unresolved";
       return;
     }
 
@@ -246,8 +271,13 @@ struct MipSearch {
 PcmaxIpSolver::PcmaxIpSolver(MipOptions options) : options_(options) {}
 
 SolverResult PcmaxIpSolver::solve(const Instance& instance) {
-  PCMAX_REQUIRE(instance.machines() <= 64,
-                "MILP solver supports at most 64 machines");
+  if (instance.machines() > 64) {
+    // The forbidden sets are 64-bit masks; more machines than bits is a
+    // structural capacity limit, reported in the uniform format.
+    throw ResourceLimitError(resource_limit_message(
+        "MILP machines (forbidden-set bitmask width)", 64,
+        static_cast<std::uint64_t>(instance.machines())));
+  }
   Stopwatch sw;
   MipSearch search(instance, options_);
 
@@ -264,6 +294,7 @@ SolverResult PcmaxIpSolver::solve(const Instance& instance) {
   result.seconds = sw.elapsed_seconds();
   result.stats["nodes"] = static_cast<double>(search.nodes);
   result.stats["lp_solves"] = static_cast<double>(search.lp_solves);
+  if (search.budget_exhausted) result.notes["limit_reason"] = search.limit_reason;
   return result;
 }
 

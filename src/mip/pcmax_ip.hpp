@@ -16,14 +16,22 @@
 
 #include "core/solver.hpp"
 #include "mip/lp.hpp"
+#include "util/deadline.hpp"
 
 namespace pcmax {
 
-/// Budgets of the MILP search.
+/// Budgets of the MILP search. The solver is *anytime*: tripping any budget
+/// (nodes, wall clock, or a cancelled token) stops the search and returns
+/// the best incumbent found so far with proven_optimal = false — it never
+/// throws for resource reasons. The incumbent is seeded with LPT, so the
+/// result is always a valid schedule no worse than LPT.
 struct MipOptions {
   std::uint64_t max_nodes = 200'000;
   double max_seconds = 60.0;
   LpOptions lp;
+  /// Cooperative stop signal, polled per node (flag) with the wall clock
+  /// sampled at an amortised interval.
+  CancellationToken cancel;
 };
 
 /// Branch-and-bound MILP solver for the P||Cmax integer program.

@@ -20,6 +20,8 @@ const char* counter_name(Counter counter) {
     case Counter::kBisectionProbes: return "bisection.probes";
     case Counter::kLpSolves: return "lp.solves";
     case Counter::kMipNodes: return "mip.nodes";
+    case Counter::kResilientSolves: return "resilient.solves";
+    case Counter::kResilientFallbacks: return "resilient.fallbacks";
   }
   throw InvalidArgumentError("unknown counter");
 }
@@ -70,6 +72,22 @@ void Metrics::add_dp_run(DpRunRecord record) {
     return;
   }
   dp_runs_.push_back(std::move(record));
+}
+
+void Metrics::note(const std::string& key, const std::string& value) {
+  std::lock_guard lock(buffer_mutex_);
+  for (auto& entry : notes_) {
+    if (entry.first == key) {
+      entry.second = value;
+      return;
+    }
+  }
+  notes_.emplace_back(key, value);
+}
+
+std::vector<std::pair<std::string, std::string>> Metrics::notes() const {
+  std::lock_guard lock(buffer_mutex_);
+  return notes_;
 }
 
 std::uint64_t Metrics::counter_total(Counter counter) const {

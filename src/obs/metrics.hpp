@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pcmax::obs {
@@ -57,8 +58,10 @@ enum class Counter : unsigned {
   kBisectionProbes,    ///< DP probes issued by bisection/multisection
   kLpSolves,           ///< simplex invocations
   kMipNodes,           ///< branch-and-bound nodes expanded
+  kResilientSolves,    ///< ResilientSolver::solve calls
+  kResilientFallbacks, ///< resilient solves that degraded past the PTAS
 };
-inline constexpr std::size_t kCounterCount = 12;
+inline constexpr std::size_t kCounterCount = 14;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);
@@ -153,6 +156,11 @@ class Metrics {
 
   void add_dp_run(DpRunRecord record);
 
+  /// Records a textual fact ("algorithm_used", "degradation_reason", ...).
+  /// Last write per key wins. Not a hot-path primitive — takes the buffer
+  /// lock; call from driver-level code only.
+  void note(const std::string& key, const std::string& value);
+
   // --- reading ---
 
   [[nodiscard]] std::uint64_t counter_of(unsigned worker, Counter counter) const {
@@ -166,6 +174,7 @@ class Metrics {
   [[nodiscard]] std::vector<DpRunRecord> dp_runs() const;
   [[nodiscard]] std::uint64_t dropped_spans() const;
   [[nodiscard]] std::uint64_t dropped_dp_runs() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> notes() const;
 
  private:
   struct alignas(64) WorkerSlot {
@@ -192,6 +201,7 @@ class Metrics {
   std::vector<DpRunRecord> dp_runs_;
   std::size_t dp_run_capacity_;
   std::uint64_t dropped_dp_runs_ = 0;
+  std::vector<std::pair<std::string, std::string>> notes_;  // insertion order
 };
 
 #if defined(PCMAX_METRICS)

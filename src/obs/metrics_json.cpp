@@ -99,6 +99,14 @@ JsonValue metrics_to_json(const Metrics& metrics) {
   }
 
   {
+    JsonValue notes = JsonValue::make_object();
+    for (const auto& [key, value] : metrics.notes()) {
+      notes[key] = value;
+    }
+    root["notes"] = std::move(notes);
+  }
+
+  {
     JsonValue dropped = JsonValue::make_object();
     dropped["spans"] = metrics.dropped_spans();
     dropped["dp_runs"] = metrics.dropped_dp_runs();

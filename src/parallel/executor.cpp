@@ -11,28 +11,32 @@
 namespace pcmax {
 
 void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                            LoopSchedule schedule) {
+                            LoopSchedule schedule, const CancellationToken& cancel) {
   parallel_for_ranges(
       n,
       [&fn](std::size_t begin, std::size_t end, unsigned /*worker*/) {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       },
-      schedule, /*chunk=*/1);
+      schedule, /*chunk=*/1, cancel);
 }
 
 void SequentialExecutor::parallel_for_ranges(std::size_t n,
                                              const ThreadPool::RangeBody& body,
                                              LoopSchedule /*schedule*/,
-                                             std::size_t /*chunk*/) {
-  if (n > 0) body(0, n, 0);
+                                             std::size_t /*chunk*/,
+                                             const CancellationToken& cancel) {
+  if (n == 0) return;
+  if (cancel.valid() && cancel.cancel_requested()) cancel.check();
+  body(0, n, 0);
 }
 
 ThreadPoolExecutor::ThreadPoolExecutor(unsigned num_threads) : pool_(num_threads) {}
 
 void ThreadPoolExecutor::parallel_for_ranges(std::size_t n,
                                              const ThreadPool::RangeBody& body,
-                                             LoopSchedule schedule, std::size_t chunk) {
-  pool_.run(n, body, schedule, chunk);
+                                             LoopSchedule schedule, std::size_t chunk,
+                                             const CancellationToken& cancel) {
+  pool_.run(n, body, schedule, chunk, cancel);
 }
 
 #if defined(PCMAX_HAVE_OPENMP)
@@ -42,13 +46,19 @@ OpenMPExecutor::OpenMPExecutor(unsigned num_threads) : num_threads_(num_threads)
 
 void OpenMPExecutor::parallel_for_ranges(std::size_t n,
                                          const ThreadPool::RangeBody& body,
-                                         LoopSchedule schedule, std::size_t chunk) {
+                                         LoopSchedule schedule, std::size_t chunk,
+                                         const CancellationToken& cancel) {
   const auto in = static_cast<std::int64_t>(n);
   const auto c = static_cast<std::int64_t>(std::max<std::size_t>(1, chunk));
+  // Exceptions must not escape an OpenMP worksharing region, so cancellation
+  // here skips the remaining bodies and the typed error is thrown after the
+  // region joins.
+  const bool armed = cancel.valid();
   switch (schedule) {
     case LoopSchedule::kStatic:
 #pragma omp parallel for num_threads(num_threads_) schedule(static)
       for (std::int64_t i = 0; i < in; ++i) {
+        if (armed && cancel.cancel_requested()) continue;
         const auto w = static_cast<unsigned>(omp_get_thread_num());
         body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
       }
@@ -57,6 +67,7 @@ void OpenMPExecutor::parallel_for_ranges(std::size_t n,
       // OpenMP's schedule(static, 1) is exactly the round-robin assignment.
 #pragma omp parallel for num_threads(num_threads_) schedule(static, 1)
       for (std::int64_t i = 0; i < in; ++i) {
+        if (armed && cancel.cancel_requested()) continue;
         const auto w = static_cast<unsigned>(omp_get_thread_num());
         body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
       }
@@ -64,11 +75,13 @@ void OpenMPExecutor::parallel_for_ranges(std::size_t n,
     case LoopSchedule::kDynamic:
 #pragma omp parallel for num_threads(num_threads_) schedule(dynamic, c)
       for (std::int64_t i = 0; i < in; ++i) {
+        if (armed && cancel.cancel_requested()) continue;
         const auto w = static_cast<unsigned>(omp_get_thread_num());
         body(static_cast<std::size_t>(i), static_cast<std::size_t>(i) + 1, w);
       }
       break;
   }
+  if (armed && cancel.cancel_requested()) cancel.check();
 }
 #endif  // PCMAX_HAVE_OPENMP
 

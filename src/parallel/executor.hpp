@@ -33,12 +33,20 @@ class Executor {
 
   /// Runs `body(begin, end, worker)` over [0, n), blocking until complete.
   /// Workers are numbered [0, concurrency()).
+  ///
+  /// A valid, cancelled `cancel` token makes the executor stop dispatching
+  /// remaining ranges, join cleanly, and rethrow the token's typed error
+  /// (DeadlineExceededError / CancelledError). The default-constructed token
+  /// disables the checks. The default argument lives on the base declaration
+  /// only; call through `Executor` when relying on it.
   virtual void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
-                                   LoopSchedule schedule, std::size_t chunk) = 0;
+                                   LoopSchedule schedule, std::size_t chunk,
+                                   const CancellationToken& cancel = {}) = 0;
 
   /// Convenience: runs `fn(i)` for each i in [0, n) with a static schedule.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    LoopSchedule schedule = LoopSchedule::kStatic);
+                    LoopSchedule schedule = LoopSchedule::kStatic,
+                    const CancellationToken& cancel = {});
 };
 
 /// Inline, single-threaded executor.
@@ -47,7 +55,8 @@ class SequentialExecutor final : public Executor {
   [[nodiscard]] unsigned concurrency() const override { return 1; }
   [[nodiscard]] std::string name() const override { return "sequential"; }
   void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
-                           LoopSchedule schedule, std::size_t chunk) override;
+                           LoopSchedule schedule, std::size_t chunk,
+                           const CancellationToken& cancel) override;
 };
 
 /// Executor backed by the library's own persistent thread pool.
@@ -59,7 +68,8 @@ class ThreadPoolExecutor final : public Executor {
   [[nodiscard]] unsigned concurrency() const override { return pool_.size(); }
   [[nodiscard]] std::string name() const override { return "threadpool"; }
   void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
-                           LoopSchedule schedule, std::size_t chunk) override;
+                           LoopSchedule schedule, std::size_t chunk,
+                           const CancellationToken& cancel) override;
 
   /// Direct access to the underlying pool (e.g. for SPMD algorithms).
   [[nodiscard]] ThreadPool& pool() { return pool_; }
@@ -78,7 +88,8 @@ class OpenMPExecutor final : public Executor {
   [[nodiscard]] unsigned concurrency() const override { return num_threads_; }
   [[nodiscard]] std::string name() const override { return "openmp"; }
   void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
-                           LoopSchedule schedule, std::size_t chunk) override;
+                           LoopSchedule schedule, std::size_t chunk,
+                           const CancellationToken& cancel) override;
 
  private:
   unsigned num_threads_;

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace pcmax {
 
@@ -24,9 +25,17 @@ struct ThreadPool::Region {
   const RangeBody* body = nullptr;
   LoopSchedule schedule = LoopSchedule::kStatic;
   std::size_t chunk = 1;
+  const CancellationToken* cancel = nullptr;  // non-owning; outlives the region
   mutable std::atomic<std::size_t> next{0};  // kDynamic claim cursor
   mutable std::mutex error_mutex;
   mutable std::exception_ptr error;
+
+  /// Flag-only cancellation probe before a dispatch; throws the token's
+  /// typed error (inside the worker's try block, so it is captured and
+  /// rethrown by run()). One relaxed load when armed, one null check not.
+  void throw_if_cancelled() const {
+    if (cancel != nullptr && cancel->cancel_requested()) cancel->check();
+  }
 
   void capture_exception() const {
     std::lock_guard lock(error_mutex);
@@ -88,6 +97,8 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
         const std::size_t begin = n * worker / P;
         const std::size_t end = n * (worker + 1) / P;
         if (begin < end) {
+          region.throw_if_cancelled();
+          fault_hit("pool.task");
           ++tasks;
           iterations += end - begin;
           (*region.body)(begin, end, worker);
@@ -98,6 +109,8 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
         // Strided singleton ranges: iteration i goes to worker i mod P,
         // mirroring the paper's round-robin "parallel for" semantics.
         for (std::size_t i = worker; i < n; i += P) {
+          region.throw_if_cancelled();
+          fault_hit("pool.task");
           ++tasks;
           ++iterations;
           (*region.body)(i, i + 1, worker);
@@ -107,9 +120,11 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
       case LoopSchedule::kDynamic: {
         const std::size_t chunk = std::max<std::size_t>(1, region.chunk);
         for (;;) {
+          region.throw_if_cancelled();
           const std::size_t begin =
               region.next.fetch_add(chunk, std::memory_order_relaxed);
           if (begin >= n) break;
+          fault_hit("pool.task");
           const std::size_t end = std::min(begin + chunk, n);
           ++tasks;
           ++claims;
@@ -132,7 +147,7 @@ void ThreadPool::work_on(const Region& region, unsigned worker) {
 }
 
 void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule,
-                     std::size_t chunk) {
+                     std::size_t chunk, const CancellationToken& cancel) {
   PCMAX_REQUIRE(chunk >= 1, "dynamic chunk must be at least 1");
   if (n == 0) return;
 
@@ -146,6 +161,7 @@ void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule
   region.body = &body;
   region.schedule = schedule;
   region.chunk = chunk;
+  region.cancel = cancel.valid() ? &cancel : nullptr;
 
   if (num_threads_ == 1) {
     work_on(region, 0);

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.hpp"
+
 namespace pcmax {
 
 /// Iteration-to-thread assignment strategies for parallel ranges.
@@ -63,8 +65,16 @@ class ThreadPool {
   /// otherwise. Concurrent calls from different external threads are
   /// serialised (regions run one at a time); calling run from inside a body
   /// is not supported and would deadlock.
+  ///
+  /// When `cancel` is a valid token and is cancelled mid-region, workers
+  /// stop dispatching their remaining ranges (checked before every body call
+  /// for kRoundRobin/kDynamic, once per worker for kStatic — a static
+  /// range's interior is the body's own responsibility), the region joins
+  /// cleanly, and run rethrows the token's typed error. The pool stays
+  /// usable afterwards.
   void run(std::size_t n, const RangeBody& body,
-           LoopSchedule schedule = LoopSchedule::kStatic, std::size_t chunk = 1);
+           LoopSchedule schedule = LoopSchedule::kStatic, std::size_t chunk = 1,
+           const CancellationToken& cancel = {});
 
   /// Hardware concurrency clamped to at least 1.
   static unsigned hardware_threads();

@@ -11,6 +11,7 @@
 #include "core/schedule.hpp"
 #include "core/gantt.hpp"
 #include "core/io.hpp"
+#include "core/resilient_solver.hpp"
 #include "core/solver.hpp"
 
 #include "algo/list_scheduling.hpp"
@@ -44,6 +45,9 @@
 #include "harness/simmachine.hpp"
 
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"

@@ -1,0 +1,110 @@
+#include "util/deadline.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+Deadline Deadline::after_ms(std::int64_t ms) {
+  PCMAX_REQUIRE(ms >= 0, "deadline budget must be non-negative");
+  Deadline deadline;
+  deadline.has_limit_ = true;
+  deadline.expiry_ = Clock::now() + std::chrono::milliseconds(ms);
+  deadline.budget_seconds_ = static_cast<double>(ms) / 1000.0;
+  return deadline;
+}
+
+Deadline Deadline::after_seconds(double seconds) {
+  PCMAX_REQUIRE(seconds >= 0.0, "deadline budget must be non-negative");
+  Deadline deadline;
+  deadline.has_limit_ = true;
+  deadline.expiry_ =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  deadline.budget_seconds_ = seconds;
+  return deadline;
+}
+
+bool Deadline::expired() const {
+  return has_limit_ && Clock::now() >= expiry_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!has_limit_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+}
+
+/// Shared cancellation state. `cancelled` is the one flag every holder polls;
+/// `deadline_hit` records *why* (so check() can throw the right type) and is
+/// only ever set together with `cancelled`.
+struct CancellationToken::State {
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> deadline_hit{false};
+  Deadline deadline;
+  std::shared_ptr<State> parent;  ///< observed, never mutated
+};
+
+CancellationToken CancellationToken::make() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::with_deadline(Deadline deadline) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  return CancellationToken(std::move(state));
+}
+
+CancellationToken CancellationToken::linked(const CancellationToken& parent,
+                                            Deadline deadline) {
+  auto state = std::make_shared<State>();
+  state->deadline = deadline;
+  state->parent = parent.state_;
+  return CancellationToken(std::move(state));
+}
+
+void CancellationToken::request_cancel() const {
+  if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool CancellationToken::cancel_requested() const {
+  if (state_ == nullptr) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  for (const State* s = state_->parent.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+bool CancellationToken::should_stop() const {
+  if (state_ == nullptr) return false;
+  if (cancel_requested()) return true;
+  for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->deadline.expired()) {
+      // Promote the expiry to the flag so every other holder stops on the
+      // cheap flag-only path without reading the clock.
+      s->deadline_hit.store(true, std::memory_order_relaxed);
+      s->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CancellationToken::check() const {
+  if (state_ == nullptr || !should_stop()) return;
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->deadline_hit.load(std::memory_order_relaxed)) {
+      throw DeadlineExceededError(
+          "wall-clock deadline of " +
+          std::to_string(s->deadline.budget_seconds()) + "s exceeded");
+    }
+  }
+  throw CancelledError("operation cancelled by request");
+}
+
+Deadline CancellationToken::deadline() const {
+  return state_ != nullptr ? state_->deadline : Deadline{};
+}
+
+}  // namespace pcmax

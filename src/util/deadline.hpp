@@ -1,0 +1,144 @@
+// Wall-clock deadlines and cooperative cancellation.
+//
+// Long-running algorithms (bisection probes, DP fills, branch-and-bound,
+// metaheuristics) accept a CancellationToken and poll it at amortised
+// intervals — every N DP entries, B&B nodes, or annealing proposals — so a
+// caller can bound latency without preemption:
+//
+//  * Deadline — an absolute steady-clock expiry created from a budget
+//    ("500 ms from now"); value type, trivially copyable.
+//  * CancellationToken — a copyable handle to shared cancellation state: a
+//    relaxed-atomic flag plus an optional Deadline. A default-constructed
+//    token is inert (never cancels) and costs one null check to poll, so
+//    plumbing it through hot paths is free for callers that opt out.
+//    Tokens can be linked: a child observes its parent's flag, letting a
+//    driver layer a per-solve deadline on top of a caller-owned token
+//    without mutating the caller's state.
+//  * CancelCheck — an amortisation helper: `poll()` is an increment-and-
+//    compare on the fast path and consults the token (including its
+//    deadline, i.e. a clock read) only every `period` calls.
+//
+// Observing an expired deadline promotes it to the shared flag, so all other
+// holders of the token subsequently stop on the cheap flag-only path.
+// All-or-nothing algorithms (DP fills) honour a stop request by throwing
+// CancelledError / DeadlineExceededError (util/error.hpp); anytime
+// algorithms (MIP, local search, annealing, MULTIFIT) return their best
+// incumbent instead — see docs/robustness.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace pcmax {
+
+/// An absolute point on the steady clock with an attached budget, or
+/// "unlimited". Value type; comparisons against the clock are `expired()`.
+class Deadline {
+ public:
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (ms >= 0; 0 expires immediately).
+  static Deadline after_ms(std::int64_t ms);
+
+  /// Expires `seconds` seconds from now.
+  static Deadline after_seconds(double seconds);
+
+  /// True when this deadline can expire at all.
+  [[nodiscard]] bool has_limit() const { return has_limit_; }
+
+  /// True when the deadline has passed (always false when unlimited).
+  [[nodiscard]] bool expired() const;
+
+  /// Seconds until expiry (negative once expired; +infinity when unlimited).
+  [[nodiscard]] double remaining_seconds() const;
+
+  /// The budget this deadline was created with (+infinity when unlimited).
+  [[nodiscard]] double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool has_limit_ = false;
+  Clock::time_point expiry_{};
+  double budget_seconds_ = std::numeric_limits<double>::infinity();
+};
+
+/// Copyable handle to shared cancellation state. Thread-safe: any holder may
+/// request cancellation; all holders observe it. A default-constructed token
+/// is inert and never reports a stop.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A fresh token with no deadline.
+  static CancellationToken make();
+
+  /// A fresh token that stops once `deadline` expires.
+  static CancellationToken with_deadline(Deadline deadline);
+
+  /// A fresh token that stops when `parent` stops OR `deadline` expires.
+  /// The parent is observed, never mutated.
+  static CancellationToken linked(const CancellationToken& parent,
+                                  Deadline deadline);
+
+  /// True when this token is backed by shared state (non-inert).
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Requests cancellation (sticky; no-op on an inert token).
+  void request_cancel() const;
+
+  /// Flag-only fast check: one relaxed atomic load, no clock read. Does not
+  /// consult the deadline directly, but sees it once any holder promoted an
+  /// expiry via should_stop()/check().
+  [[nodiscard]] bool cancel_requested() const;
+
+  /// Full check: the flag, the parent chain, and the deadline (clock read).
+  /// An expired deadline is promoted to the flag as a side effect.
+  [[nodiscard]] bool should_stop() const;
+
+  /// Throws DeadlineExceededError (deadline expiry) or CancelledError
+  /// (explicit request) when the token has stopped; otherwise returns.
+  void check() const;
+
+  /// The deadline attached to this token (unlimited for inert tokens).
+  [[nodiscard]] Deadline deadline() const;
+
+ private:
+  struct State;
+  explicit CancellationToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Amortises token checks over a hot loop: `poll()` costs an increment and a
+/// compare, and consults the token only every `period` calls.
+class CancelCheck {
+ public:
+  /// `period` >= 1; polls the token on every period-th `poll()`.
+  CancelCheck(const CancellationToken& token, std::uint32_t period)
+      : token_(token), period_(period >= 1 ? period : 1) {}
+
+  /// Amortised check; throws like CancellationToken::check when due.
+  void poll() {
+    if (++count_ >= period_) {
+      count_ = 0;
+      token_.check();
+    }
+  }
+
+  /// Immediate (non-amortised) check.
+  void check() const { token_.check(); }
+
+  [[nodiscard]] const CancellationToken& token() const { return token_; }
+
+ private:
+  CancellationToken token_;
+  std::uint32_t period_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace pcmax

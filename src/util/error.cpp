@@ -1,5 +1,16 @@
 #include "util/error.hpp"
 
+namespace pcmax {
+
+std::string resource_limit_message(const std::string& what, std::uint64_t limit,
+                                   std::uint64_t demand,
+                                   bool demand_is_lower_bound) {
+  return what + ": demand " + (demand_is_lower_bound ? "at least " : "") +
+         std::to_string(demand) + " exceeds limit " + std::to_string(limit);
+}
+
+}  // namespace pcmax
+
 namespace pcmax::detail {
 
 void throw_invalid_argument(const char* func, const std::string& msg) {

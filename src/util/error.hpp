@@ -6,6 +6,7 @@
 // the configured memory budget".
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -31,11 +32,34 @@ class ResourceLimitError : public Error {
   explicit ResourceLimitError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a wall-clock deadline expired before an all-or-nothing
+/// algorithm (a DP fill, a bisection probe) could finish. Anytime algorithms
+/// (MIP, local search, annealing) return their incumbent instead of throwing.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an explicit CancellationToken::request_cancel stopped an
+/// all-or-nothing algorithm before it could finish.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an internal invariant fails. Seeing this is a library bug.
 class InternalError : public Error {
  public:
   explicit InternalError(const std::string& what) : Error(what) {}
 };
+
+/// The uniform message format of every ResourceLimitError in the library:
+/// "<what>: demand D exceeds limit L" (with "demand at least D" when only a
+/// lower bound of the true demand is known at the throw site). Tests assert
+/// this shape, so do not hand-roll limit messages elsewhere.
+std::string resource_limit_message(const std::string& what, std::uint64_t limit,
+                                   std::uint64_t demand,
+                                   bool demand_is_lower_bound = false);
 
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* func, const std::string& msg);

@@ -1,0 +1,53 @@
+#include "util/fault.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+namespace {
+// Acquire/release so an injector's construction happens-before any hit
+// observed by pool workers that see the installed pointer.
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+FaultInjector::FaultInjector(std::string site, std::uint64_t fire_at,
+                             Action action, CancellationToken token)
+    : site_(std::move(site)), fire_at_(fire_at), action_(action),
+      token_(std::move(token)) {
+  PCMAX_REQUIRE(fire_at_ >= 1, "fault must fire at the 1st hit or later");
+  PCMAX_REQUIRE(action_ != Action::kCancel || token_.valid(),
+                "a cancel fault needs a valid token to cancel");
+}
+
+void FaultInjector::on_hit(const char* site) {
+  if (std::strcmp(site, site_.c_str()) != 0) return;
+  const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit != fire_at_) return;
+  fired_.store(true, std::memory_order_relaxed);
+  switch (action_) {
+    case Action::kCancel:
+      token_.request_cancel();
+      break;
+    case Action::kThrow:
+      throw ResourceLimitError(resource_limit_message(
+          "injected fault at '" + site_ + "'", fire_at_ - 1, fire_at_));
+  }
+}
+
+FaultScope::FaultScope(FaultInjector& injector)
+    : previous_(g_injector.load(std::memory_order_acquire)) {
+  g_injector.store(&injector, std::memory_order_release);
+}
+
+FaultScope::~FaultScope() {
+  g_injector.store(previous_, std::memory_order_release);
+}
+
+void fault_hit(const char* site) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector != nullptr) injector->on_hit(site);
+}
+
+}  // namespace pcmax

@@ -1,0 +1,84 @@
+// Deterministic fault injection for testing degradation paths.
+//
+// Timing-based cancellation tests are flaky by construction: "cancel after
+// 5 ms" lands at a different point of the algorithm on every run. The fault
+// injector replaces wall time with a deterministic event count: it is armed
+// on a named site ("pool.task", "dp.level", "bisection.probe", "mip.node")
+// and fires exactly once, at the Nth hit of that site, either cancelling a
+// token or throwing a ResourceLimitError — so a test can place a failure
+// "mid-DP, level 3" and get the same degradation path on every run.
+//
+// Instrumented code calls fault_hit("site") at its natural progress points;
+// with no injector armed this costs one relaxed atomic load. The hook is
+// compiled in unconditionally (it is a handful of instructions at sites that
+// each do orders of magnitude more work) so release binaries and tests
+// exercise identical code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/deadline.hpp"
+
+namespace pcmax {
+
+/// An armed fault: at the `fire_at`th hit of `site` (1-based), performs the
+/// action. Thread-safe: hits may arrive concurrently from pool workers; the
+/// action fires exactly once.
+class FaultInjector {
+ public:
+  enum class Action {
+    kCancel,  ///< request_cancel() on the supplied token
+    kThrow,   ///< throw ResourceLimitError at the hit site
+  };
+
+  /// Arms a fault on `site`; `fire_at` >= 1. `token` is required for
+  /// kCancel and ignored for kThrow.
+  FaultInjector(std::string site, std::uint64_t fire_at, Action action,
+                CancellationToken token = {});
+
+  /// Number of hits observed on the armed site so far.
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the action has fired.
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by fault_hit for every site hit; public for the free function,
+  /// not for direct use.
+  void on_hit(const char* site);
+
+ private:
+  const std::string site_;
+  const std::uint64_t fire_at_;
+  const Action action_;
+  const CancellationToken token_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<bool> fired_{false};
+};
+
+/// Installs `injector` as the ambient fault injector for the duration of the
+/// scope (restores the previous one on destruction). Install one scope at a
+/// time; arming is process-wide, like obs::MetricsScope.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Progress-point hook: notifies the ambient injector, if any. `site` must
+/// be a string literal. May throw (Action::kThrow) — call it where a
+/// ResourceLimitError is already survivable.
+void fault_hit(const char* site);
+
+}  // namespace pcmax

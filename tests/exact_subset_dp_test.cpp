@@ -81,12 +81,18 @@ TEST(SubsetDp, RejectsTooManyMachines) {
 
 TEST(SubsetDp, EnforcesTheTimeBudget) {
   const Instance small_budget_instance(2, {600, 600});
-  EXPECT_THROW((void)SubsetDpSolver(1000).solve(small_budget_instance),
-               InvalidArgumentError);
+  try {
+    (void)SubsetDpSolver(1000).solve(small_budget_instance);
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    // Uniform limit-message format: names both limit and observed demand.
+    EXPECT_EQ(std::string(e.what()),
+              "subset-DP total processing time: demand 1200 exceeds limit 1000");
+  }
   // 3-machine instances face the quadratic budget.
   const Instance three(3, {600, 600, 600});
   EXPECT_THROW((void)SubsetDpSolver(1'000'000).solve(three),
-               InvalidArgumentError);
+               ResourceLimitError);
 }
 
 TEST(SubsetDp, LargeUnitJobsBalancePerfectly) {

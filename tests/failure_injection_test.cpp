@@ -1,15 +1,19 @@
-// Failure-injection tests: resource budgets tripping mid-algorithm and
-// hostile executors must surface as typed exceptions, never as corrupted
-// results or hangs.
+// Failure-injection tests: resource budgets tripping mid-algorithm, hostile
+// executors, and deterministic FaultInjector-driven cancellation must surface
+// as typed exceptions (or anytime incumbents), never as corrupted results or
+// hangs.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "algo/ptas/dp_parallel.hpp"
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
+#include "mip/pcmax_ip.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace pcmax {
 namespace {
@@ -30,6 +34,24 @@ TEST(FailureInjection, ConfigBudgetTripsDuringTheBisection) {
   options.limits.max_configs = 1;
   PtasSolver solver(options);
   EXPECT_THROW((void)solver.solve(instance), ResourceLimitError);
+}
+
+TEST(FailureInjection, BudgetErrorsReportLimitAndDemand) {
+  // Satellite: every ResourceLimitError message names both the configured
+  // limit and the observed demand, in the uniform
+  // "<what>: demand [at least] D exceeds limit L" format.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 6, 40, 1, 0);
+  PtasOptions options;
+  options.limits.max_table_entries = 4;
+  try {
+    (void)PtasSolver(options).solve(instance);
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("demand"), std::string::npos) << message;
+    EXPECT_NE(message.find("exceeds limit 4"), std::string::npos) << message;
+  }
 }
 
 TEST(FailureInjection, BudgetTripsInsideSpeculativeProbesToo) {
@@ -53,8 +75,10 @@ class FlakyExecutor final : public Executor {
   [[nodiscard]] std::string name() const override { return "flaky"; }
 
   void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
-                           LoopSchedule, std::size_t) override {
+                           LoopSchedule, std::size_t,
+                           const CancellationToken& cancel) override {
     if (remaining_-- <= 0) throw std::runtime_error("injected executor failure");
+    if (cancel.valid() && cancel.cancel_requested()) cancel.check();
     if (n > 0) body(0, n, 0);
   }
 
@@ -85,7 +109,7 @@ TEST(FailureInjection, HealthyExecutorAfterFailureStillWorks) {
                    [](std::size_t, std::size_t, unsigned) {
                      throw std::runtime_error("boom");
                    },
-                   LoopSchedule::kStatic, 1),
+                   LoopSchedule::kStatic, 1, CancellationToken{}),
                std::runtime_error);
 
   PtasOptions options;
@@ -101,6 +125,118 @@ TEST(FailureInjection, GenerousBudgetsDoNotTrip) {
       generate_instance(InstanceFamily::kUniform1To100, 4, 20, 2, 0);
   PtasOptions options;  // default budgets
   EXPECT_NO_THROW((void)PtasSolver(options).solve(instance));
+}
+
+// --- deterministic FaultInjector-driven cancellation ---
+
+Instance fault_instance() {
+  return generate_instance(InstanceFamily::kUniform1To100, 5, 30, 3, 0);
+}
+
+TEST(FaultInjection, CancelAtNthDpLevelAbortsTheSolve) {
+  const Instance instance = fault_instance();
+  ThreadPoolExecutor executor(2);
+  for (DpEngine engine : {DpEngine::kParallelScan, DpEngine::kParallelBucketed,
+                          DpEngine::kSpmd}) {
+    CancellationToken token = CancellationToken::make();
+    FaultInjector injector("dp.level", /*fire_at=*/2, FaultInjector::Action::kCancel,
+                           token);
+    FaultScope scope(injector);
+    PtasOptions options;
+    options.engine = engine;
+    options.executor = &executor;
+    options.spmd_threads = 2;
+    options.cancel = token;
+    EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError)
+        << "engine " << static_cast<int>(engine);
+    EXPECT_TRUE(injector.fired());
+  }
+}
+
+TEST(FaultInjection, CancelAtNthBisectionProbeAbortsTheSolve) {
+  const Instance instance = fault_instance();
+  CancellationToken token = CancellationToken::make();
+  FaultInjector injector("bisection.probe", /*fire_at=*/2,
+                         FaultInjector::Action::kCancel, token);
+  FaultScope scope(injector);
+  PtasOptions options;
+  options.cancel = token;
+  EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError);
+  EXPECT_TRUE(injector.fired());
+}
+
+TEST(FaultInjection, ThrowAtNthExecutorTaskPropagatesAndPoolSurvives) {
+  const Instance instance = fault_instance();
+  ThreadPoolExecutor executor(2);
+  {
+    FaultInjector injector("pool.task", /*fire_at=*/4,
+                           FaultInjector::Action::kThrow);
+    FaultScope scope(injector);
+    PtasOptions options;
+    options.engine = DpEngine::kParallelScan;
+    options.executor = &executor;
+    EXPECT_THROW((void)PtasSolver(options).solve(instance), ResourceLimitError);
+    EXPECT_TRUE(injector.fired());
+  }
+  // Scope removed the injector; the same pool must finish a clean solve.
+  PtasOptions options;
+  options.engine = DpEngine::kParallelScan;
+  options.executor = &executor;
+  const SolverResult result = PtasSolver(options).solve(instance);
+  result.schedule.validate(instance);
+}
+
+TEST(FaultInjection, CancelMidDpLeavesThePoolReusable) {
+  const Instance instance = fault_instance();
+  ThreadPoolExecutor executor(2);
+  {
+    CancellationToken token = CancellationToken::make();
+    FaultInjector injector("dp.level", /*fire_at=*/3,
+                           FaultInjector::Action::kCancel, token);
+    FaultScope scope(injector);
+    PtasOptions options;
+    options.engine = DpEngine::kParallelBucketed;
+    options.executor = &executor;
+    options.cancel = token;
+    EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError);
+  }
+  PtasOptions options;
+  options.engine = DpEngine::kParallelBucketed;
+  options.executor = &executor;
+  const SolverResult result = PtasSolver(options).solve(instance);
+  result.schedule.validate(instance);
+}
+
+TEST(FaultInjection, CancelAtNthMipNodeReturnsIncumbent) {
+  // The B&B is anytime: a cancel mid-search returns the best incumbent with
+  // proven_optimal=false instead of throwing.
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 3, 14, 7, 0);
+  CancellationToken token = CancellationToken::make();
+  FaultInjector injector("mip.node", /*fire_at=*/5,
+                         FaultInjector::Action::kCancel, token);
+  FaultScope scope(injector);
+  MipOptions options;
+  options.cancel = token;
+  const SolverResult result = PcmaxIpSolver(options).solve(instance);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_FALSE(result.proven_optimal);
+  result.schedule.validate(instance);
+  ASSERT_TRUE(result.notes.count("limit_reason"));
+  EXPECT_EQ(result.notes.at("limit_reason"), "cancelled");
+}
+
+TEST(FaultInjection, InjectorFiresExactlyOnce) {
+  CancellationToken token = CancellationToken::make();
+  FaultInjector injector("dp.level", /*fire_at=*/1,
+                         FaultInjector::Action::kCancel, token);
+  FaultScope scope(injector);
+  fault_hit("dp.level");
+  fault_hit("dp.level");
+  fault_hit("bisection.probe");  // different site: not counted
+  EXPECT_EQ(injector.hits(), 2u);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_TRUE(token.cancel_requested());
 }
 
 }  // namespace

@@ -79,7 +79,14 @@ TEST(MilpSolver, TrivialCasesTerminateImmediately) {
 
 TEST(MilpSolver, RejectsMoreThan64Machines) {
   const Instance instance(65, std::vector<Time>(65, 1));
-  EXPECT_THROW((void)PcmaxIpSolver().solve(instance), InvalidArgumentError);
+  try {
+    (void)PcmaxIpSolver().solve(instance);
+    FAIL() << "expected ResourceLimitError";
+  } catch (const ResourceLimitError& e) {
+    EXPECT_NE(std::string(e.what()).find("demand 65 exceeds limit 64"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(MilpSolver, NameIsMILP) {

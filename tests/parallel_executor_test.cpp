@@ -36,7 +36,7 @@ TEST(SequentialExecutor, PassesFullRangeToBody) {
         EXPECT_EQ(worker, 0u);
         ++calls;
       },
-      LoopSchedule::kStatic, 1);
+      LoopSchedule::kStatic, 1, CancellationToken{});
   EXPECT_EQ(calls, 1);
 }
 
@@ -54,7 +54,7 @@ TEST(ThreadPoolExecutor, CoversRangeForAllSchedules) {
             visits[i].fetch_add(1, std::memory_order_relaxed);
           }
         },
-        schedule, 7);
+        schedule, 7, CancellationToken{});
     for (std::size_t i = 0; i < visits.size(); ++i) {
       ASSERT_EQ(visits[i].load(), 1) << "schedule broke at " << i;
     }
@@ -76,7 +76,7 @@ TEST(OpenMPExecutor, CoversRangeForAllSchedules) {
             visits[i].fetch_add(1, std::memory_order_relaxed);
           }
         },
-        schedule, 7);
+        schedule, 7, CancellationToken{});
     for (std::size_t i = 0; i < visits.size(); ++i) {
       ASSERT_EQ(visits[i].load(), 1);
     }

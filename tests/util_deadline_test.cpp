@@ -1,0 +1,144 @@
+#include "util/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimited) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.has_limit());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 1e18);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline deadline = Deadline::after_ms(0);
+  EXPECT_TRUE(deadline.has_limit());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.budget_seconds(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpired) {
+  const Deadline deadline = Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 3000.0);
+}
+
+TEST(Deadline, RejectsNegativeBudget) {
+  EXPECT_THROW((void)Deadline::after_ms(-1), InvalidArgumentError);
+  EXPECT_THROW((void)Deadline::after_seconds(-0.5), InvalidArgumentError);
+}
+
+TEST(CancellationToken, InertTokenNeverStops) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.should_stop());
+  EXPECT_NO_THROW(token.check());
+  token.request_cancel();  // no-op
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancellationToken, RequestCancelIsStickyAndSharedAcrossCopies) {
+  const CancellationToken token = CancellationToken::make();
+  const CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancel_requested());
+  token.request_cancel();
+  EXPECT_TRUE(copy.cancel_requested());
+  EXPECT_TRUE(copy.should_stop());
+  EXPECT_THROW(copy.check(), CancelledError);
+}
+
+TEST(CancellationToken, ExpiredDeadlineThrowsDeadlineExceeded) {
+  const CancellationToken token =
+      CancellationToken::with_deadline(Deadline::after_ms(0));
+  // The flag-only fast path does not read the clock...
+  EXPECT_FALSE(token.cancel_requested());
+  // ...the full check does, promotes the expiry, and throws the right type.
+  EXPECT_TRUE(token.should_stop());
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_THROW(token.check(), DeadlineExceededError);
+}
+
+TEST(CancellationToken, LinkedChildObservesParentCancel) {
+  const CancellationToken parent = CancellationToken::make();
+  const CancellationToken child =
+      CancellationToken::linked(parent, Deadline::after_seconds(3600.0));
+  EXPECT_FALSE(child.should_stop());
+  parent.request_cancel();
+  EXPECT_TRUE(child.cancel_requested());
+  EXPECT_THROW(child.check(), CancelledError);
+}
+
+TEST(CancellationToken, LinkedChildCancelDoesNotTouchTheParent) {
+  const CancellationToken parent = CancellationToken::make();
+  const CancellationToken child =
+      CancellationToken::linked(parent, Deadline::after_ms(0));
+  EXPECT_TRUE(child.should_stop());
+  EXPECT_FALSE(parent.cancel_requested());
+  EXPECT_FALSE(parent.should_stop());
+}
+
+TEST(CancellationToken, LinkedChildWithInertParentStillHonoursDeadline) {
+  const CancellationToken child =
+      CancellationToken::linked(CancellationToken{}, Deadline::after_ms(0));
+  EXPECT_TRUE(child.should_stop());
+  EXPECT_THROW(child.check(), DeadlineExceededError);
+}
+
+TEST(CancelCheck, PollsTheTokenEveryPeriodCalls) {
+  const CancellationToken token = CancellationToken::make();
+  CancelCheck check(token, 10);
+  token.request_cancel();
+  // The first period-1 polls are amortised away; the period-th consults the
+  // token and throws.
+  for (int i = 0; i < 9; ++i) EXPECT_NO_THROW(check.poll());
+  EXPECT_THROW(check.poll(), CancelledError);
+}
+
+TEST(CancelCheck, ImmediateCheckBypassesTheAmortisation) {
+  const CancellationToken token = CancellationToken::make();
+  const CancelCheck check(token, 1 << 20);
+  token.request_cancel();
+  EXPECT_THROW(check.check(), CancelledError);
+}
+
+TEST(CancellationToken, CancelFromAnotherThreadIsObserved) {
+  const CancellationToken token = CancellationToken::make();
+  std::thread canceller([token] { token.request_cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(FaultInjector, ThrowActionRaisesResourceLimitError) {
+  FaultInjector injector("pool.task", /*fire_at=*/2,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  EXPECT_NO_THROW(fault_hit("pool.task"));
+  EXPECT_THROW(fault_hit("pool.task"), ResourceLimitError);
+  EXPECT_TRUE(injector.fired());
+  // Fires exactly once: later hits are counted but inert.
+  EXPECT_NO_THROW(fault_hit("pool.task"));
+  EXPECT_EQ(injector.hits(), 3u);
+}
+
+TEST(FaultInjector, UnarmedSiteIsInert) {
+  EXPECT_NO_THROW(fault_hit("dp.level"));  // no ambient injector at all
+  FaultInjector injector("dp.level", 1, FaultInjector::Action::kThrow);
+  {
+    FaultScope scope(injector);
+    EXPECT_NO_THROW(fault_hit("mip.node"));  // armed on a different site
+  }
+  // Scope gone: the armed site is inert again.
+  EXPECT_NO_THROW(fault_hit("dp.level"));
+  EXPECT_FALSE(injector.fired());
+}
+
+}  // namespace
+}  // namespace pcmax

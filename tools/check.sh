@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full verification sweep: a Release tree running the whole test suite, plus
+# a ThreadSanitizer tree running the concurrency-heavy tests (ctest label
+# `sanitize`). Usage:
+#
+#   tools/check.sh            # both trees
+#   tools/check.sh release    # Release tree + full suite only
+#   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
+#
+# Build trees live in build-check/ and build-tsan/ so they never clobber a
+# developer's main build/ directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_release() {
+  echo "== Release tree: full suite =="
+  cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-check -j "$jobs"
+  ctest --test-dir build-check --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  echo "== ThreadSanitizer tree: ctest -L sanitize =="
+  # PCMAX_SANITIZE=thread force-disables the OpenMP backend (libgomp is not
+  # TSan-instrumented), so this also covers the OpenMP-disabled configuration.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPCMAX_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
+}
+
+case "$mode" in
+  all) run_release; run_tsan ;;
+  release) run_release ;;
+  tsan) run_tsan ;;
+  *) echo "usage: tools/check.sh [all|release|tsan]" >&2; exit 2 ;;
+esac
+
+echo "check.sh: all requested suites passed"

@@ -54,30 +54,77 @@ int cmd_generate(int argc, const char* const* argv) {
   return 0;
 }
 
+/// PTAS adapter for --on-limit=throw: arms a fresh wall-clock deadline for
+/// every solve, so each instance gets the full budget and a typed
+/// DeadlineExceededError when it runs out.
+class DeadlinePtasSolver final : public Solver {
+ public:
+  DeadlinePtasSolver(PtasOptions options, std::int64_t limit_ms)
+      : options_(std::move(options)), limit_ms_(limit_ms) {}
+
+  [[nodiscard]] std::string name() const override {
+    return PtasSolver(options_).name();
+  }
+
+  SolverResult solve(const Instance& instance) override {
+    PtasOptions options = options_;
+    options.cancel =
+        CancellationToken::with_deadline(Deadline::after_ms(limit_ms_));
+    return PtasSolver(std::move(options)).solve(instance);
+  }
+
+ private:
+  PtasOptions options_;
+  std::int64_t limit_ms_;
+};
+
+std::unique_ptr<Solver> wrap_ptas(PtasOptions options, std::int64_t time_limit_ms,
+                                  bool fallback) {
+  if (fallback) {
+    // Graceful degradation (the default): never throws for resource
+    // reasons; falls back MULTIFIT -> LPT -> local search on a limit trip.
+    ResilientOptions resilient;
+    resilient.ptas = std::move(options);
+    resilient.time_limit_ms = time_limit_ms;
+    return std::make_unique<ResilientSolver>(std::move(resilient));
+  }
+  if (time_limit_ms > 0) {
+    return std::make_unique<DeadlinePtasSolver>(std::move(options), time_limit_ms);
+  }
+  return std::make_unique<PtasSolver>(std::move(options));
+}
+
 std::unique_ptr<Solver> make_solver(const std::string& name, double epsilon,
                                     unsigned threads, Executor* executor,
-                                    double exact_budget) {
+                                    double exact_budget,
+                                    std::int64_t time_limit_ms, bool fallback) {
+  // The exact solvers are anytime: a wall-clock limit caps their budget and
+  // they return the incumbent rather than throwing.
+  if (time_limit_ms > 0) {
+    exact_budget =
+        std::min(exact_budget, static_cast<double>(time_limit_ms) / 1000.0);
+  }
   if (name == "ls") return std::make_unique<ListSchedulingSolver>();
   if (name == "lpt") return std::make_unique<LptSolver>();
   if (name == "multifit") return std::make_unique<MultifitSolver>();
   if (name == "ptas") {
     PtasOptions options;
     options.epsilon = epsilon;
-    return std::make_unique<PtasSolver>(options);
+    return wrap_ptas(std::move(options), time_limit_ms, fallback);
   }
   if (name == "parallel-ptas") {
     PtasOptions options;
     options.epsilon = epsilon;
     options.engine = DpEngine::kParallelBucketed;
     options.executor = executor;
-    return std::make_unique<PtasSolver>(options);
+    return wrap_ptas(std::move(options), time_limit_ms, fallback);
   }
   if (name == "spmd-ptas") {
     PtasOptions options;
     options.epsilon = epsilon;
     options.engine = DpEngine::kSpmd;
     options.spmd_threads = threads;
-    return std::make_unique<PtasSolver>(options);
+    return wrap_ptas(std::move(options), time_limit_ms, fallback);
   }
   if (name == "ip") {
     ExactSolverOptions options;
@@ -104,11 +151,22 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.add_double("exact-seconds", 60.0, "budget for the exact solvers");
   cli.add_bool("schedules", false, "also print the full schedules");
   cli.add_int("limit", 0, "solve only the first N instances (0 = all)");
+  cli.add_int("time-limit-ms", 0,
+              "wall-clock budget per instance in ms (0 = unlimited)");
+  cli.add_string("on-limit", "fallback",
+                 "what a tripped budget does to PTAS-family solvers: "
+                 "'fallback' degrades to MULTIFIT/LPT + local search, "
+                 "'throw' raises the typed error");
   cli.add_string("metrics", "",
                  "write a JSON runtime-metrics profile (counters, timers, "
                  "per-level DP timings) to this path");
   if (!cli.parse(argc, argv)) return 0;
   PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
+  PCMAX_REQUIRE(cli.get_int("time-limit-ms") >= 0,
+                "--time-limit-ms must be non-negative");
+  const std::string on_limit = cli.get_string("on-limit");
+  PCMAX_REQUIRE(on_limit == "fallback" || on_limit == "throw",
+                "--on-limit must be 'fallback' or 'throw'");
 
   auto instances = read_instances_file(cli.get_string("file"));
   if (cli.get_int("limit") > 0 &&
@@ -123,7 +181,8 @@ int cmd_solve(int argc, const char* const* argv) {
   ThreadPoolExecutor executor(threads);
   const std::unique_ptr<Solver> solver =
       make_solver(cli.get_string("solver"), cli.get_double("epsilon"), threads,
-                  &executor, cli.get_double("exact-seconds"));
+                  &executor, cli.get_double("exact-seconds"),
+                  cli.get_int("time-limit-ms"), on_limit == "fallback");
 
   const std::string metrics_path = cli.get_string("metrics");
   std::optional<obs::Metrics> metrics;
@@ -133,18 +192,30 @@ int cmd_solve(int argc, const char* const* argv) {
     metrics_scope.emplace(*metrics);
   }
 
-  TablePrinter table({"#", "m", "n", "LB", "makespan", "UB", "seconds", "certified"});
+  TablePrinter table({"#", "m", "n", "LB", "makespan", "UB", "seconds",
+                      "certified", "algorithm", "degraded"});
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const Instance& instance = instances[i];
     const SolverResult result = solver->solve(instance);
     result.schedule.validate(instance);
+    // Provenance from the graceful-degradation driver (or the anytime exact
+    // solvers' limit reason); plain solvers report their own name.
+    const auto note = [&](const char* key) -> std::string {
+      const auto it = result.notes.find(key);
+      return it != result.notes.end() ? it->second : std::string();
+    };
+    std::string algorithm = note("algorithm_used");
+    if (algorithm.empty()) algorithm = solver->name();
+    std::string degraded = note("degradation_reason");
+    if (degraded.empty()) degraded = note("limit_reason");
+    if (degraded.empty() || degraded == "none") degraded = "-";
     table.add_row({std::to_string(i), std::to_string(instance.machines()),
                    std::to_string(instance.jobs()),
                    std::to_string(makespan_lower_bound(instance)),
                    std::to_string(result.makespan),
                    std::to_string(makespan_upper_bound(instance)),
                    TablePrinter::fmt(result.seconds, 4),
-                   result.proven_optimal ? "yes" : "-"});
+                   result.proven_optimal ? "yes" : "-", algorithm, degraded});
     if (cli.get_bool("schedules")) {
       std::cout << "# instance " << i << "\n"
                 << schedule_to_text(instance, result.schedule);
