@@ -7,11 +7,20 @@
 //    table the bottom-up/parallel variants fill?
 //  * what do fork-join-per-level (executor) vs persistent-threads+barrier
 //    (SPMD) cost in wall time at various thread counts?
+//  * how much faster is the level-aware kernel (walker iteration + level
+//    pruning + values-only probes) than the pre-optimisation baseline
+//    (indexed iteration, unpruned scans, choices everywhere)?
+//
+// `--json <path>` additionally dumps the per-family numbers and the
+// baseline-vs-new kernel comparison as a pcmax.ablation.v1 document
+// (BENCH_dp_kernel.json in the repo root is a tracked snapshot).
+#include <fstream>
 #include <iostream>
 
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table_printer.hpp"
@@ -26,7 +35,64 @@ struct VariantSpec {
   unsigned threads;
   DpKernel kernel = DpKernel::kGlobalConfigs;
   unsigned speculation = 1;
+  // Level-aware kernel knobs; the defaults are the optimised fast path.
+  LevelIteration iteration = LevelIteration::kWalker;
+  LevelPruning pruning = LevelPruning::kOn;
+  bool values_only_probes = true;
 };
+
+struct VariantStats {
+  RunningStats seconds;
+  RunningStats entries;
+  RunningStats scans;
+  RunningStats pruned;
+  RunningStats makespan;
+};
+
+/// Runs one variant over `trials` instances of `family`, accumulating stats.
+VariantStats run_variant(const VariantSpec& variant, InstanceFamily family,
+                         int m, int n, int trials, std::uint64_t seed,
+                         double epsilon) {
+  VariantStats stats;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Instance instance =
+        generate_instance(family, m, n, seed, static_cast<std::uint64_t>(trial));
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.engine = variant.engine;
+    options.spmd_threads = variant.threads;
+    options.kernel = variant.kernel;
+    options.speculation = variant.speculation;
+    options.iteration = variant.iteration;
+    options.pruning = variant.pruning;
+    options.values_only_probes = variant.values_only_probes;
+    std::unique_ptr<Executor> executor;
+    if (variant.engine == DpEngine::kParallelScan ||
+        variant.engine == DpEngine::kParallelBucketed) {
+      executor = std::make_unique<ThreadPoolExecutor>(variant.threads);
+      options.executor = executor.get();
+    }
+    PtasSolver solver(options);
+    const SolverResult result = solver.solve(instance);
+    stats.seconds.add(result.seconds);
+    stats.entries.add(result.stats.at("entries_computed"));
+    stats.scans.add(result.stats.at("config_scans"));
+    stats.pruned.add(result.stats.at("configs_pruned"));
+    stats.makespan.add(static_cast<double>(result.makespan));
+  }
+  return stats;
+}
+
+JsonValue stats_to_json(const std::string& label, const VariantStats& stats) {
+  JsonValue entry = JsonValue::make_object();
+  entry["label"] = label;
+  entry["seconds_mean"] = stats.seconds.mean();
+  entry["entries_mean"] = stats.entries.mean();
+  entry["config_scans_mean"] = stats.scans.mean();
+  entry["configs_pruned_mean"] = stats.pruned.mean();
+  entry["makespan_mean"] = stats.makespan.mean();
+  return entry;
+}
 
 }  // namespace
 
@@ -37,6 +103,7 @@ int main(int argc, char** argv) {
   cli.add_int("trials", 3, "instances per family");
   cli.add_int("seed", 42, "base RNG seed");
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  cli.add_string("json", "", "write results as JSON to this path");
   if (!cli.parse(argc, argv)) return 0;
 
   const int m = static_cast<int>(cli.get_int("m"));
@@ -44,6 +111,7 @@ int main(int argc, char** argv) {
   const int trials = static_cast<int>(cli.get_int("trials"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double epsilon = cli.get_double("epsilon");
+  const std::string json_path = cli.get_string("json");
 
   const std::vector<VariantSpec> variants = {
       // Kernel ablation: the paper's per-entry configuration re-enumeration
@@ -66,48 +134,115 @@ int main(int argc, char** argv) {
        DpKernel::kGlobalConfigs, 4},
   };
 
+  // Baseline-vs-new kernel comparison (single-threaded so it measures
+  // per-entry work, not parallel speedup): the baseline spec reproduces the
+  // pre-optimisation path end to end.
+  const VariantSpec kernel_baseline{
+      "bucketed x1, baseline kernel", DpEngine::kParallelBucketed, 1,
+      DpKernel::kGlobalConfigs,       1,
+      LevelIteration::kIndexed,       LevelPruning::kOff,
+      /*values_only_probes=*/false};
+  const VariantSpec kernel_new{
+      "bucketed x1, level-aware kernel", DpEngine::kParallelBucketed, 1};
+
   std::cout << "=== DP-variant ablation: m=" << m << ", n=" << n
             << ", eps=" << epsilon << ", trials=" << trials << " ===\n"
             << "entries/scans are summed over all bisection probes; times are\n"
             << "measured wall clock on this machine (thread counts are real\n"
             << "threads, which only help if physical cores are available).\n\n";
 
+  JsonValue root = JsonValue::make_object();
+  root["schema"] = "pcmax.ablation.v1";
+  {
+    JsonValue params = JsonValue::make_object();
+    params["m"] = m;
+    params["n"] = n;
+    params["trials"] = trials;
+    params["seed"] = static_cast<std::int64_t>(seed);
+    params["epsilon"] = epsilon;
+    root["params"] = std::move(params);
+  }
+  JsonValue families_json = JsonValue::make_array();
+  JsonValue comparison_json = JsonValue::make_array();
+  double baseline_total = 0.0;
+  double optimised_total = 0.0;
+
   for (const InstanceFamily family : speedup_families()) {
-    TablePrinter table(
-        {"variant", "seconds", "entries", "config scans", "makespan"});
+    TablePrinter table({"variant", "seconds", "entries", "config scans",
+                        "pruned", "makespan"});
+    JsonValue family_json = JsonValue::make_object();
+    family_json["family"] = family_name(family);
+    JsonValue variants_json = JsonValue::make_array();
     for (const VariantSpec& variant : variants) {
-      RunningStats seconds;
-      RunningStats entries;
-      RunningStats scans;
-      RunningStats makespan;
-      for (int trial = 0; trial < trials; ++trial) {
-        const Instance instance = generate_instance(
-            family, m, n, seed, static_cast<std::uint64_t>(trial));
-        PtasOptions options;
-        options.epsilon = epsilon;
-        options.engine = variant.engine;
-        options.spmd_threads = variant.threads;
-        options.kernel = variant.kernel;
-        options.speculation = variant.speculation;
-        std::unique_ptr<Executor> executor;
-        if (variant.engine == DpEngine::kParallelScan ||
-            variant.engine == DpEngine::kParallelBucketed) {
-          executor = std::make_unique<ThreadPoolExecutor>(variant.threads);
-          options.executor = executor.get();
-        }
-        PtasSolver solver(options);
-        const SolverResult result = solver.solve(instance);
-        seconds.add(result.seconds);
-        entries.add(result.stats.at("entries_computed"));
-        scans.add(result.stats.at("config_scans"));
-        makespan.add(static_cast<double>(result.makespan));
-      }
-      table.add_row({variant.label, TablePrinter::fmt(seconds.mean(), 4),
-                     TablePrinter::fmt(entries.mean(), 0),
-                     TablePrinter::fmt(scans.mean(), 0),
-                     TablePrinter::fmt(makespan.mean(), 1)});
+      const VariantStats stats =
+          run_variant(variant, family, m, n, trials, seed, epsilon);
+      table.add_row({variant.label, TablePrinter::fmt(stats.seconds.mean(), 4),
+                     TablePrinter::fmt(stats.entries.mean(), 0),
+                     TablePrinter::fmt(stats.scans.mean(), 0),
+                     TablePrinter::fmt(stats.pruned.mean(), 0),
+                     TablePrinter::fmt(stats.makespan.mean(), 1)});
+      variants_json.append(stats_to_json(variant.label, stats));
     }
     std::cout << family_name(family) << ":\n" << table.to_string() << "\n";
+
+    // Kernel comparison on this family: same machine, same run, same
+    // instances; makespans must agree exactly (the kernel is bit-compatible).
+    const VariantStats baseline =
+        run_variant(kernel_baseline, family, m, n, trials, seed, epsilon);
+    const VariantStats optimised =
+        run_variant(kernel_new, family, m, n, trials, seed, epsilon);
+    const double speedup = optimised.seconds.mean() > 0.0
+                               ? baseline.seconds.mean() / optimised.seconds.mean()
+                               : 0.0;
+    baseline_total += baseline.seconds.mean();
+    optimised_total += optimised.seconds.mean();
+    std::cout << "kernel comparison (" << family_name(family)
+              << "): baseline " << TablePrinter::fmt(baseline.seconds.mean(), 4)
+              << "s vs level-aware "
+              << TablePrinter::fmt(optimised.seconds.mean(), 4) << "s => "
+              << TablePrinter::fmt(speedup, 2) << "x\n\n";
+    JsonValue pair = JsonValue::make_object();
+    pair["family"] = family_name(family);
+    pair["baseline"] = stats_to_json(kernel_baseline.label, baseline);
+    pair["level_aware"] = stats_to_json(kernel_new.label, optimised);
+    pair["speedup"] = speedup;
+    pair["makespans_match"] =
+        baseline.makespan.mean() == optimised.makespan.mean();
+    comparison_json.append(std::move(pair));
+
+    family_json["variants"] = std::move(variants_json);
+    families_json.append(std::move(family_json));
+  }
+  root["families"] = std::move(families_json);
+  root["kernel_comparison"] = std::move(comparison_json);
+  {
+    // Total solve time over all families in this run: the headline number
+    // (per-family ratios on the fastest families are noise-bound).
+    const double aggregate =
+        optimised_total > 0.0 ? baseline_total / optimised_total : 0.0;
+    JsonValue agg = JsonValue::make_object();
+    agg["baseline_seconds_total"] = baseline_total;
+    agg["level_aware_seconds_total"] = optimised_total;
+    agg["speedup"] = aggregate;
+    root["kernel_comparison_aggregate"] = std::move(agg);
+    std::cout << "kernel comparison (aggregate over families): "
+              << TablePrinter::fmt(baseline_total, 4) << "s vs "
+              << TablePrinter::fmt(optimised_total, 4) << "s => "
+              << TablePrinter::fmt(aggregate, 2) << "x\n\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "cannot open --json output file '" << json_path << "'\n";
+      return 1;
+    }
+    out << root.dump(/*pretty=*/true) << "\n";
+    if (!out.good()) {
+      std::cerr << "failed writing --json output file '" << json_path << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
   }
   return 0;
 }

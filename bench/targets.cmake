@@ -13,7 +13,10 @@ function(pcmax_add_bench name)
     pcmax_parallel pcmax_obs pcmax_util)
 endfunction()
 
+# NO_MAIN: the bench provides its own main() (e.g. to add flags like --json
+# on top of the google-benchmark ones) instead of benchmark::benchmark_main.
 function(pcmax_add_micro name)
+  cmake_parse_arguments(ARG "NO_MAIN" "" "" ${ARGN})
   if(NOT EXISTS ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
     message(STATUS "skipping ${name} (source not written yet)")
     return()
@@ -22,7 +25,10 @@ function(pcmax_add_micro name)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
     pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
-    pcmax_parallel pcmax_obs pcmax_util benchmark::benchmark benchmark::benchmark_main)
+    pcmax_parallel pcmax_obs pcmax_util benchmark::benchmark)
+  if(NOT ARG_NO_MAIN)
+    target_link_libraries(${name} PRIVATE benchmark::benchmark_main)
+  endif()
 endfunction()
 
 pcmax_add_bench(table1_dp_example)
@@ -35,5 +41,20 @@ pcmax_add_bench(scaling_analysis)
 pcmax_add_bench(baselines_shootout)
 pcmax_add_bench(robustness_analysis)
 pcmax_add_bench(epsilon_sweep)
-pcmax_add_micro(micro_dp)
+pcmax_add_micro(micro_dp NO_MAIN)
 pcmax_add_micro(micro_parallel)
+
+# Smoke-test registrations: tiny Release runs of the reproduction benches so
+# `ctest -L bench-smoke` catches bench bit-rot without paying full bench cost.
+add_test(NAME bench_smoke_ablation
+         COMMAND ablation_dp_variants --m 4 --n 16 --trials 1)
+add_test(NAME bench_smoke_ablation_json
+         COMMAND ablation_dp_variants --m 4 --n 16 --trials 1
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_ablation.json)
+add_test(NAME bench_smoke_micro_dp
+         COMMAND micro_dp --benchmark_filter=BM_DpBottomUp
+                 --benchmark_min_time=0.01
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_micro.json)
+set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
+                     bench_smoke_micro_dp
+                     PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

@@ -64,6 +64,7 @@ BisectionResult bisect_target_makespan(const Instance& instance, int k,
     iteration.config_count = at.configs.count();
     iteration.entries_computed = at.run.stats.entries_computed;
     iteration.config_scans = at.run.stats.config_scans;
+    iteration.configs_pruned = at.run.stats.configs_pruned;
     iteration.dp_seconds = seconds;
     result.trace.push_back(std::move(iteration));
 

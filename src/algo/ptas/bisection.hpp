@@ -53,6 +53,7 @@ struct BisectionIteration {
   std::size_t config_count = 0;
   std::uint64_t entries_computed = 0;
   std::uint64_t config_scans = 0;
+  std::uint64_t configs_pruned = 0;  ///< candidates skipped by the level bound
   double dp_seconds = 0.0;     ///< wall time of the DP probe
 };
 

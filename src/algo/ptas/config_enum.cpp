@@ -1,5 +1,7 @@
 #include "algo/ptas/config_enum.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace pcmax {
@@ -42,6 +44,72 @@ void enumerate_rec(const RoundedInstance& rounded, const StateSpace& space,
   current[static_cast<std::size_t>(dim)] = 0;
 }
 
+/// Counting-sorts `out` by config level, preserving the lexicographic
+/// enumeration order within each level, and fills levels/level_prefix.
+void sort_by_level(ConfigSet& out) {
+  const auto dims = static_cast<std::size_t>(out.dims);
+  const std::size_t count = out.count();
+  if (count == 0) return;
+
+  std::vector<std::int32_t> levels(count);
+  std::int32_t max_level = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    std::int32_t level = 0;
+    for (std::size_t d = 0; d < dims; ++d) level += out.digits[c * dims + d];
+    levels[c] = level;
+    max_level = std::max(max_level, level);
+  }
+
+  // level_prefix[l] = #configs of level <= l (configs are non-zero, so
+  // level_prefix[0] is always 0).
+  std::vector<std::size_t> prefix(static_cast<std::size_t>(max_level) + 1, 0);
+  for (const std::int32_t level : levels) {
+    ++prefix[static_cast<std::size_t>(level)];
+  }
+  for (std::size_t l = 1; l < prefix.size(); ++l) prefix[l] += prefix[l - 1];
+
+  // Stable counting sort into freshly allocated arrays.
+  std::vector<std::size_t> cursor(prefix.size(), 0);
+  for (std::size_t l = 1; l < prefix.size(); ++l) cursor[l] = prefix[l - 1];
+  ConfigSet sorted;
+  sorted.dims = out.dims;
+  sorted.digits.resize(out.digits.size());
+  sorted.offsets.resize(count);
+  sorted.weights.resize(count);
+  sorted.levels.resize(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t to = cursor[static_cast<std::size_t>(levels[c])]++;
+    std::copy_n(out.digits.begin() + static_cast<std::ptrdiff_t>(c * dims), dims,
+                sorted.digits.begin() + static_cast<std::ptrdiff_t>(to * dims));
+    sorted.offsets[to] = out.offsets[c];
+    sorted.weights[to] = out.weights[c];
+    sorted.levels[to] = levels[c];
+  }
+  sorted.level_prefix = std::move(prefix);
+  out = std::move(sorted);
+}
+
+/// Fills the packed (one digit per byte) mirror of the sorted digit array.
+/// Must run after sort_by_level so packed[c] matches config c's final slot.
+void pack_digits(const RoundedInstance& rounded, ConfigSet& out) {
+  out.packable = out.dims >= 1 && out.dims <= 8;
+  for (const int count : rounded.class_count) {
+    if (count > 127) out.packable = false;
+  }
+  if (!out.packable) return;
+  const auto dims = static_cast<std::size_t>(out.dims);
+  out.packed.resize(out.count());
+  for (std::size_t c = 0; c < out.count(); ++c) {
+    std::uint64_t word = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      word |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(out.digits[c * dims + d]))
+              << (8 * d);
+    }
+    out.packed[c] = word;
+  }
+}
+
 }  // namespace
 
 ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& space,
@@ -54,6 +122,8 @@ ConfigSet enumerate_configs(const RoundedInstance& rounded, const StateSpace& sp
   CancelCheck cancel_check(cancel, /*period=*/1024);
   enumerate_rec(rounded, space, max_configs, 0, rounded.params.target, current,
                 cancel_check, out);
+  sort_by_level(out);
+  pack_digits(rounded, out);
   return out;
 }
 

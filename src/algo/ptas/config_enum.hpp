@@ -23,11 +23,33 @@ namespace pcmax {
 
 /// The global configuration set, stored structure-of-arrays: config c
 /// occupies digits [c*dims, (c+1)*dims) of `digits`.
+///
+/// Configs are counting-sorted by *config level* (digit sum of s, i.e. the
+/// number of jobs the config places on one machine), ascending, with the
+/// original lexicographic order preserved inside each level. A table entry
+/// on anti-diagonal l can only use configs of level <= l (s <= v implies
+/// sum s <= sum v), so the level-synchronised DP scans the fixed prefix
+/// prefix_count(l) instead of all |C| — the bound is shared by the whole
+/// level and costs nothing per entry.
 struct ConfigSet {
   int dims = 0;
-  std::vector<int> digits;           ///< s vectors, flattened
+  std::vector<int> digits;           ///< s vectors, flattened, level-sorted
   std::vector<std::size_t> offsets;  ///< encoded index offset per config
   std::vector<Time> weights;         ///< total rounded time per config
+  std::vector<std::int32_t> levels;  ///< config level per config, ascending
+  /// level_prefix[l] = number of configs of level <= l. Size max config
+  /// level + 1 (configs have level >= 1, so level_prefix[0] == 0); empty
+  /// when the set is empty.
+  std::vector<std::size_t> level_prefix;
+  /// SWAR acceleration of the fits test: when `packable`, packed[c] holds
+  /// config c's digits one-per-byte (digit d in byte d). With an entry's
+  /// digits packed the same way into pv, s <= v componentwise iff the
+  /// bytewise subtraction (pv | kHigh) - packed[c] keeps every byte's high
+  /// bit set (each byte computes v_d + 128 - s_d, which stays in [1, 255]
+  /// for digits <= 127, so no borrow ever crosses a byte boundary). Set
+  /// when 1 <= dims <= 8 and every digit bound fits in 7 bits.
+  std::vector<std::uint64_t> packed;
+  bool packable = false;
 
   /// Number of configurations (the zero config is excluded).
   [[nodiscard]] std::size_t count() const { return offsets.size(); }
@@ -36,6 +58,15 @@ struct ConfigSet {
   [[nodiscard]] std::span<const int> config(std::size_t c) const {
     return std::span<const int>(digits).subspan(c * static_cast<std::size_t>(dims),
                                                 static_cast<std::size_t>(dims));
+  }
+
+  /// Number of leading configs an entry of anti-diagonal `entry_level` has
+  /// to scan: every config beyond the prefix has level > entry_level and
+  /// cannot fit. Clamps, so any level >= the max config level scans all.
+  [[nodiscard]] std::size_t prefix_count(int entry_level) const {
+    if (entry_level <= 0 || level_prefix.empty()) return 0;
+    const auto l = static_cast<std::size_t>(entry_level);
+    return l < level_prefix.size() ? level_prefix[l] : level_prefix.back();
   }
 };
 

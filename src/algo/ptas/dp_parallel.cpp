@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -20,6 +21,52 @@ std::string parallel_dp_variant_name(ParallelDpVariant variant) {
   }
   throw InvalidArgumentError("unknown parallel DP variant");
 }
+
+std::string level_iteration_name(LevelIteration iteration) {
+  switch (iteration) {
+    case LevelIteration::kWalker: return "walker";
+    case LevelIteration::kIndexed: return "indexed";
+  }
+  throw InvalidArgumentError("unknown level iteration");
+}
+
+namespace {
+
+// Loop granularities of the parallel sweeps. Audited with the chunk-sweep
+// micro-benchmark (bench/micro_dp.cpp, BM_DynamicChunkSweep; measurements
+// and methodology in docs/performance.md). On the paper-scale synthetic
+// the sweep measured ~10.7 ns/item of claim overhead at chunk 1, ~4.1 at
+// 16, ~3.2 at 64, flooring at ~2.9 by 256 — per-claim cost only amortises,
+// so the chunk choice trades claim overhead against tail imbalance on the
+// narrow anti-diagonals (paper-scale widths average ~120 entries).
+//
+//  * kLevelComputeChunk — compute_levels runs under LoopSchedule::kStatic,
+//    where the executor ignores the chunk argument and splits the range
+//    contiguously per worker (see ThreadPool::parallel_for_ranges). The
+//    constant exists so the call site documents that explicitly instead of
+//    passing a magic 1.
+//  * kScanChunk — in the scan-per-level sweep most indices of a claimed
+//    chunk fail the `levels[i] == level` filter, so a dynamic claim must
+//    cover enough raw indices that the shared-counter fetch_add is
+//    amortised over the few entries actually processed; at 64 the claim
+//    overhead is ~1% of even a SWAR-fast entry's scan.
+//  * kBucketChunk — in the bucketed indexed sweep every claimed slot is a
+//    full config scan. 16 caps the per-worker tail imbalance at 16 slots
+//    (~13% of an average level, vs >50% at 64) and costs ~5% claim
+//    overhead relative to the ~24 ns SWAR-kernel entries; larger chunks
+//    only help once levels are much wider than paper scale. (The walker
+//    path uses a static block split and never consults this constant.)
+constexpr std::size_t kLevelComputeChunk = 1;
+constexpr std::size_t kScanChunk = 64;
+constexpr std::size_t kBucketChunk = 16;
+
+/// Amortisation period of the in-range cancellation polls (and the SPMD
+/// stop-flag polls): one acquire load every 256 entries keeps the poll cost
+/// well below the per-entry config scan while still bounding the reaction
+/// latency to a few microseconds of work.
+constexpr std::uint32_t kCancelPollPeriod = 256;
+
+}  // namespace
 
 std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& executor,
                                          const CancellationToken& cancel) {
@@ -47,7 +94,7 @@ std::vector<std::int32_t> compute_levels(const StateSpace& space, Executor& exec
           }
         }
       },
-      LoopSchedule::kStatic, /*chunk=*/1, cancel);
+      LoopSchedule::kStatic, kLevelComputeChunk, cancel);
   return levels;
 }
 
@@ -78,6 +125,7 @@ namespace {
 struct alignas(64) WorkerCounters {
   std::uint64_t entries = 0;
   std::uint64_t scans = 0;
+  std::uint64_t pruned = 0;
 };
 
 /// Folds the per-worker counters into the run stats and, when a metrics
@@ -87,8 +135,9 @@ void publish_run(obs::DpRunRecorder& recorder,
   for (std::size_t w = 0; w < counters.size(); ++w) {
     run.stats.entries_computed += counters[w].entries;
     run.stats.config_scans += counters[w].scans;
+    run.stats.configs_pruned += counters[w].pruned;
     recorder.add_worker(static_cast<unsigned>(w), counters[w].entries,
-                        counters[w].scans);
+                        counters[w].scans, counters[w].pruned);
   }
   recorder.finish();
 }
@@ -103,32 +152,46 @@ std::vector<std::uint64_t> level_widths(const StateSpace& space,
   return widths;
 }
 
-/// Computes one table entry given its flat index (shared by all variants).
-/// `digits` is the caller's scratch buffer for this worker.
-inline void process_index(std::size_t index, const RoundedInstance& rounded,
-                          const StateSpace& space, const ConfigSet& configs,
-                          DpKernel kernel, DpTable& table,
-                          std::vector<int>& digits, WorkerCounters& counters) {
+/// Computes one table entry from its flat index, digits, and level (shared
+/// by all variants; the digits come from a walker, an odometer, or a decode
+/// depending on the iteration mode).
+inline void process_entry(std::size_t index, std::span<const int> v, int level,
+                          const RoundedInstance& rounded, const StateSpace& space,
+                          const ConfigSet& configs, DpKernel kernel,
+                          LevelPruning pruning, DpTable& table,
+                          WorkerCounters& counters) {
   if (index == 0) {
     table.set(0, 0, DpTable::kNoChoice);  // OPT(0,...,0) = 0
     ++counters.entries;
     return;
   }
-  space.decode(index, digits);
   const EntryResult entry =
       kernel == DpKernel::kGlobalConfigs
-          ? compute_entry(index, digits, configs, table.values_data(),
-                          counters.scans)
-          : compute_entry_enumerated(index, digits, rounded, space,
+          ? compute_entry(index, v, level, configs, table.values_data(),
+                          counters.scans, counters.pruned, pruning)
+          : compute_entry_enumerated(index, v, rounded, space,
                                      table.values_data(), counters.scans);
   table.set(index, entry.value, entry.choice);
   ++counters.entries;
 }
 
+/// Decode-based wrapper of process_entry for the kIndexed paths, where the
+/// entry arrives as a bare flat index out of the LevelIndex gather.
+inline void process_index(std::size_t index, int level,
+                          const RoundedInstance& rounded, const StateSpace& space,
+                          const ConfigSet& configs, DpKernel kernel,
+                          LevelPruning pruning, DpTable& table,
+                          std::vector<int>& digits, WorkerCounters& counters) {
+  if (index != 0) space.decode(index, digits);
+  process_entry(index, digits, level, rounded, space, configs, kernel, pruning,
+                table, counters);
+}
+
 void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
                         const ConfigSet& configs, DpKernel kernel,
-                        Executor& executor, LoopSchedule schedule,
-                        const CancellationToken& cancel, DpRun& run) {
+                        LevelPruning pruning, Executor& executor,
+                        LoopSchedule schedule, const CancellationToken& cancel,
+                        DpRun& run) {
   const std::vector<std::int32_t> levels = compute_levels(space, executor, cancel);
   const unsigned workers = executor.concurrency();
   std::vector<WorkerCounters> counters(workers);
@@ -140,6 +203,7 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
   const std::vector<std::uint64_t> widths =
       recorder.active() ? level_widths(space, levels) : std::vector<std::uint64_t>{};
 
+  const auto counts = space.counts();
   const bool armed = cancel.valid();
   for (int level = 0; level <= space.max_level(); ++level) {
     fault_hit("dp.level");
@@ -150,15 +214,37 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
         [&](std::size_t begin, std::size_t end, unsigned worker) {
           // Stack-local so the amortisation counter never false-shares;
           // short ranges are covered by the dispatcher's per-call check.
-          CancelCheck range_check(cancel, /*period=*/256);
+          CancelCheck range_check(cancel, kCancelPollPeriod);
+          // Decode lazily on the first index that passes the level filter
+          // (paper Line 12), then maintain the digit odometer for the rest
+          // of the range — amortised O(1) per scanned index instead of one
+          // mixed-radix decode per processed entry. (Round-robin delivers
+          // singleton ranges, where this degenerates to exactly the old
+          // decode-per-processed-entry cost, never worse.)
+          std::vector<int>& digits = scratch[worker];
+          bool tracking = false;
           for (std::size_t i = begin; i < end; ++i) {
             if (armed) range_check.poll();
-            if (levels[i] != level) continue;  // paper Line 12
-            process_index(i, rounded, space, configs, kernel, run.table,
-                          scratch[worker], counters[worker]);
+            if (levels[i] == level) {
+              if (!tracking) {
+                space.decode(i, digits);
+                tracking = true;
+              }
+              process_entry(i, digits, level, rounded, space, configs, kernel,
+                            pruning, run.table, counters[worker]);
+            }
+            if (tracking && i + 1 < end) {
+              for (std::size_t d = digits.size(); d-- > 0;) {
+                if (digits[d] < counts[d]) {
+                  ++digits[d];
+                  break;
+                }
+                digits[d] = 0;
+              }
+            }
           }
         },
-        schedule, /*chunk=*/64, cancel);
+        schedule, kScanChunk, cancel);
     recorder.level_end(level,
                        widths.empty() ? 0 : widths[static_cast<std::size_t>(level)],
                        level_t0);
@@ -167,53 +253,104 @@ void run_scan_per_level(const RoundedInstance& rounded, const StateSpace& space,
 }
 
 void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs, DpKernel kernel, Executor& executor,
-                  LoopSchedule schedule, const CancellationToken& cancel,
-                  DpRun& run) {
-  const std::vector<std::int32_t> levels = compute_levels(space, executor, cancel);
-  const LevelIndex index = build_level_index(space, levels);
+                  const ConfigSet& configs, DpKernel kernel,
+                  LevelIteration iteration, LevelPruning pruning,
+                  Executor& executor, LoopSchedule schedule,
+                  const CancellationToken& cancel, DpRun& run) {
   const unsigned workers = executor.concurrency();
   std::vector<WorkerCounters> counters(workers);
-  std::vector<std::vector<int>> scratch(
-      workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
 
-  obs::DpRunRecorder recorder("bucketed", loop_schedule_name(schedule),
-                              space.size(), space.max_level() + 1);
-
+  obs::DpRunRecorder recorder(
+      "bucketed",
+      iteration == LevelIteration::kWalker ? "block" : loop_schedule_name(schedule),
+      space.size(), space.max_level() + 1);
   const bool armed = cancel.valid();
-  for (int level = 0; level <= space.max_level(); ++level) {
-    fault_hit("dp.level");
-    if (armed) cancel.check();
-    const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
-    const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
-    const std::uint64_t level_t0 = recorder.level_begin();
-    executor.parallel_for_ranges(
-        end - begin,
-        [&](std::size_t slot_begin, std::size_t slot_end, unsigned worker) {
-          CancelCheck range_check(cancel, /*period=*/256);
-          for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
-            if (armed) range_check.poll();
-            process_index(index.order[begin + slot], rounded, space, configs,
-                          kernel, run.table, scratch[worker], counters[worker]);
-          }
-        },
-        schedule, /*chunk=*/16, cancel);
-    recorder.level_end(level, end - begin, level_t0);
+
+  if (iteration == LevelIteration::kWalker) {
+    // Fast path: no level array, no counting sort, no index gather. Workers
+    // seek straight to their rank slice of each anti-diagonal and walk it
+    // with the composition odometer. The walk is only O(1)-per-entry over
+    // a *contiguous* rank range, so this path always uses the static block
+    // decomposition (one seek per worker per level) regardless of the
+    // requested schedule — entries of one level are uniform-cost, so there
+    // is nothing for dynamic/round-robin balancing to win. This mirrors the
+    // SPMD walker split; the recorder reports the schedule as "block".
+    LevelWalker proto(space);
+    std::vector<LevelWalker> walkers(workers, proto);
+    for (int level = 0; level <= space.max_level(); ++level) {
+      fault_hit("dp.level");
+      if (armed) cancel.check();
+      const std::uint64_t width = proto.level_size(level);
+      const std::uint64_t level_t0 = recorder.level_begin();
+      executor.parallel_for_ranges(
+          static_cast<std::size_t>(width),
+          [&](std::size_t begin, std::size_t end, unsigned worker) {
+            CancelCheck range_check(cancel, kCancelPollPeriod);
+            LevelWalker& walker = walkers[worker];
+            walker.seek(level, begin);
+            for (std::size_t rank = begin; rank < end; ++rank) {
+              if (armed) range_check.poll();
+              process_entry(walker.index(), walker.digits(), level, rounded,
+                            space, configs, kernel, pruning, run.table,
+                            counters[worker]);
+              if (rank + 1 < end) walker.next();
+            }
+          },
+          LoopSchedule::kStatic, kBucketChunk, cancel);
+      recorder.level_end(level, width, level_t0);
+    }
+  } else {
+    const std::vector<std::int32_t> levels =
+        compute_levels(space, executor, cancel);
+    const LevelIndex index = build_level_index(space, levels);
+    std::vector<std::vector<int>> scratch(
+        workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
+    for (int level = 0; level <= space.max_level(); ++level) {
+      fault_hit("dp.level");
+      if (armed) cancel.check();
+      const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
+      const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+      const std::uint64_t level_t0 = recorder.level_begin();
+      executor.parallel_for_ranges(
+          end - begin,
+          [&](std::size_t slot_begin, std::size_t slot_end, unsigned worker) {
+            CancelCheck range_check(cancel, kCancelPollPeriod);
+            for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
+              if (armed) range_check.poll();
+              process_index(index.order[begin + slot], level, rounded, space,
+                            configs, kernel, pruning, run.table,
+                            scratch[worker], counters[worker]);
+            }
+          },
+          schedule, kBucketChunk, cancel);
+      recorder.level_end(level, end - begin, level_t0);
+    }
   }
   publish_run(recorder, counters, run);
 }
 
 void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
-              const ConfigSet& configs, DpKernel kernel, unsigned num_threads,
-              const CancellationToken& cancel, DpRun& run) {
-  SequentialExecutor seq;
-  const std::vector<std::int32_t> levels = compute_levels(space, seq, cancel);
-  const LevelIndex index = build_level_index(space, levels);
+              const ConfigSet& configs, DpKernel kernel,
+              LevelIteration iteration, LevelPruning pruning,
+              unsigned num_threads, const CancellationToken& cancel, DpRun& run) {
+  // The indexed baseline precomputes the level array and bucket order once
+  // (sequentially — SPMD owns its threads); the walker path needs neither.
+  std::vector<std::int32_t> levels;
+  LevelIndex index;
+  if (iteration == LevelIteration::kIndexed) {
+    SequentialExecutor seq;
+    levels = compute_levels(space, seq, cancel);
+    index = build_level_index(space, levels);
+  }
 
   Barrier barrier(num_threads);
   std::vector<WorkerCounters> counters(num_threads);
-  obs::DpRunRecorder recorder("spmd", "round-robin", space.size(),
-                              space.max_level() + 1);
+  // Walker workers own a contiguous rank block of each level ("block");
+  // the indexed baseline keeps the paper's round-robin slotting.
+  obs::DpRunRecorder recorder(
+      "spmd",
+      iteration == LevelIteration::kWalker ? "block" : "round-robin",
+      space.size(), space.max_level() + 1);
 
   // Barrier-safe stop protocol. A worker that observes a stop request must
   // NOT leave its level loop unilaterally — its peers would wait at the
@@ -233,6 +370,8 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
 
   auto worker_fn = [&](unsigned worker) {
     std::vector<int> digits(static_cast<std::size_t>(space.dims()));
+    std::optional<LevelWalker> walker;
+    if (iteration == LevelIteration::kWalker) walker.emplace(space);
     for (int level = 0; level <= space.max_level(); ++level) {
       if (level > stop_after.load(std::memory_order_relaxed)) break;
       if (worker == 0) {
@@ -248,30 +387,51 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
           stop_pending.store(true, std::memory_order_relaxed);
         }
       }
-      const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
-      const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
       // Worker 0 (the orchestrating thread) owns the level samples; timing
       // spans its own work plus the wait for the slowest peer.
       const std::uint64_t level_t0 = worker == 0 ? recorder.level_begin() : 0;
-      // Round-robin slotting of this level's entries across the P threads.
+      std::uint64_t width = 0;
       std::uint32_t since_poll = 0;
-      for (std::size_t slot = begin + worker; slot < end; slot += num_threads) {
-        if (armed && ++since_poll >= 256) {
-          since_poll = 0;
-          if (cancel.should_stop() ||
-              stop_pending.load(std::memory_order_relaxed)) {
-            stop_pending.store(true, std::memory_order_relaxed);
-            break;  // skip the level tail; the table is discarded anyway
+      auto polled_stop = [&] {
+        if (!armed || ++since_poll < kCancelPollPeriod) return false;
+        since_poll = 0;
+        if (cancel.should_stop() || stop_pending.load(std::memory_order_relaxed)) {
+          stop_pending.store(true, std::memory_order_relaxed);
+          return true;  // skip the level tail; the table is discarded anyway
+        }
+        return false;
+      };
+      if (walker) {
+        // Contiguous block split of the level's rank range across threads.
+        width = walker->level_size(level);
+        const std::uint64_t begin = width * worker / num_threads;
+        const std::uint64_t end = width * (worker + 1) / num_threads;
+        if (begin < end) {
+          walker->seek(level, begin);
+          for (std::uint64_t rank = begin; rank < end; ++rank) {
+            if (polled_stop()) break;
+            process_entry(walker->index(), walker->digits(), level, rounded,
+                          space, configs, kernel, pruning, run.table,
+                          counters[worker]);
+            if (rank + 1 < end) walker->next();
           }
         }
-        process_index(index.order[slot], rounded, space, configs, kernel,
-                      run.table, digits, counters[worker]);
+      } else {
+        const std::size_t begin = index.level_begin[static_cast<std::size_t>(level)];
+        const std::size_t end = index.level_begin[static_cast<std::size_t>(level) + 1];
+        width = end - begin;
+        // Round-robin slotting of this level's entries across the P threads.
+        for (std::size_t slot = begin + worker; slot < end; slot += num_threads) {
+          if (polled_stop()) break;
+          process_index(index.order[slot], level, rounded, space, configs,
+                        kernel, pruning, run.table, digits, counters[worker]);
+        }
       }
       if (worker == 0 && stop_pending.load(std::memory_order_relaxed)) {
         stop_after.store(level, std::memory_order_relaxed);
       }
       barrier.arrive_and_wait();  // level boundary
-      if (worker == 0) recorder.level_end(level, end - begin, level_t0);
+      if (worker == 0) recorder.level_end(level, width, level_t0);
     }
   };
 
@@ -293,7 +453,8 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
 
 DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
                   const ConfigSet& configs, const ParallelDpOptions& options) {
-  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+  DpRun run{DpTable(space.size(), options.table_mode), DpTable::kInfeasible,
+            DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
@@ -303,17 +464,19 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
       PCMAX_REQUIRE(options.executor != nullptr,
                     "scan-per-level variant needs an executor");
       run_scan_per_level(rounded, space, configs, options.kernel,
-                         *options.executor, options.schedule, options.cancel, run);
+                         options.pruning, *options.executor, options.schedule,
+                         options.cancel, run);
       break;
     case ParallelDpVariant::kBucketed:
       PCMAX_REQUIRE(options.executor != nullptr, "bucketed variant needs an executor");
-      run_bucketed(rounded, space, configs, options.kernel, *options.executor,
-                   options.schedule, options.cancel, run);
+      run_bucketed(rounded, space, configs, options.kernel, options.iteration,
+                   options.pruning, *options.executor, options.schedule,
+                   options.cancel, run);
       break;
     case ParallelDpVariant::kSpmd:
       PCMAX_REQUIRE(options.spmd_threads >= 1, "spmd needs at least one thread");
-      run_spmd(rounded, space, configs, options.kernel, options.spmd_threads,
-               options.cancel, run);
+      run_spmd(rounded, space, configs, options.kernel, options.iteration,
+               options.pruning, options.spmd_threads, options.cancel, run);
       break;
   }
 

@@ -9,12 +9,18 @@
 //    parallel (Alg. 3 Lines 4-8), then for every level scan all sigma
 //    entries and process those with d_i == l (Lines 10-25). The scan costs
 //    O(sigma) per level on top of the useful work.
-//  * kBucketed — compute D in parallel, counting-sort indices into per-level
-//    buckets once, then each level's parallel loop touches only its own
+//  * kBucketed — each level's parallel loop touches only that level's
 //    entries. Same results, no per-level scan (ablation:
 //    bench/ablation_dp_variants quantifies the difference).
-//  * kSpmd — persistent threads with a barrier between levels over the
-//    bucketed order, eliminating the per-level fork/join of the executor.
+//  * kSpmd — persistent threads with a barrier between levels, eliminating
+//    the per-level fork/join of the executor.
+//
+// kBucketed and kSpmd enumerate a level's entries either with a LevelWalker
+// (kWalker: rank/unrank splitting plus an amortised-O(1) composition
+// odometer; no level array, no index gather, no per-entry decode) or through
+// the legacy precomputed LevelIndex (kIndexed; kept as the measurable
+// baseline). Both orders visit the same set of entries and the kernel's
+// argmin is canonical, so every combination fills an identical table.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,23 @@ enum class ParallelDpVariant {
 /// Human-readable variant name for reports.
 std::string parallel_dp_variant_name(ParallelDpVariant variant);
 
+/// How kBucketed/kSpmd enumerate the entries of one anti-diagonal.
+/// (kScanPerLevel always scans all sigma indices — that is its identity.)
+enum class LevelIteration {
+  /// LevelWalker rank/unrank splitting: workers seek directly to their
+  /// slice of the level and advance with the composition odometer. Skips
+  /// compute_levels' O(sigma) pass, the LevelIndex arrays, and the
+  /// per-entry decode entirely. The fast path.
+  kWalker,
+  /// Precomputed level array + counting-sorted LevelIndex, one mixed-radix
+  /// decode per entry — the pre-optimisation baseline, kept for the
+  /// ablation benches and the walker-vs-indexed crosscheck tests.
+  kIndexed,
+};
+
+/// Human-readable iteration name for reports.
+std::string level_iteration_name(LevelIteration iteration);
+
 /// Options of one parallel DP run.
 struct ParallelDpOptions {
   /// Executor running the parallel loops (kScanPerLevel/kBucketed); must
@@ -48,6 +71,14 @@ struct ParallelDpOptions {
   /// Per-entry kernel: optimised global-config scan or paper-faithful
   /// per-entry configuration enumeration (Alg. 3 Line 17).
   DpKernel kernel = DpKernel::kGlobalConfigs;
+  /// Level enumeration of kBucketed/kSpmd (see LevelIteration).
+  LevelIteration iteration = LevelIteration::kWalker;
+  /// Level-prefix bound of the global-config kernel (kOff = pre-pruning
+  /// baseline; identical tables either way).
+  LevelPruning pruning = LevelPruning::kOn;
+  /// Values-only tables skip the choice array — sufficient for feasibility
+  /// probes that only read OPT(N).
+  DpTableMode table_mode = DpTableMode::kValuesAndChoices;
   /// Cooperative stop signal, polled once per level and (amortised) inside
   /// every range chunk, so a cancel is honoured within one anti-diagonal.
   /// The DP is all-or-nothing: a stop throws DeadlineExceededError /
@@ -72,8 +103,9 @@ LevelIndex build_level_index(const StateSpace& space,
                              const std::vector<std::int32_t>& levels);
 
 /// Runs the level-synchronised parallel DP. Produces a table identical to
-/// dp_bottom_up (values and argmin choices are deterministic because the
-/// argmin takes the lowest config id, independent of worker interleaving).
+/// dp_bottom_up (values and canonical argmin choices are deterministic —
+/// min predecessor value, ties towards the smallest encoded offset —
+/// independent of worker interleaving, iteration order, and pruning).
 DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
                   const ConfigSet& configs, const ParallelDpOptions& options);
 

@@ -9,8 +9,9 @@ namespace pcmax {
 
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
                    const ConfigSet& configs, DpKernel kernel,
-                   const CancellationToken& cancel) {
-  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+                   const CancellationToken& cancel, DpTableMode mode,
+                   LevelPruning pruning) {
+  DpRun run{DpTable(space.size(), mode), DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
@@ -20,9 +21,11 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
   run.table.set(0, 0, DpTable::kNoChoice);  // OPT(0,...,0) = 0
   ++run.stats.entries_computed;
 
-  // Odometer-maintained digits avoid a decode per entry.
+  // Odometer-maintained digits (and their sum, the entry's anti-diagonal
+  // level) avoid a decode per entry.
   std::vector<int> digits(static_cast<std::size_t>(space.dims()), 0);
   const auto counts = space.counts();
+  int level = 0;
   CancelCheck cancel_check(cancel, /*period=*/1024);
   const bool armed = cancel.valid();
   for (std::size_t index = 1; index < space.size(); ++index) {
@@ -31,14 +34,17 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
     for (std::size_t d = digits.size(); d-- > 0;) {
       if (digits[d] < counts[d]) {
         ++digits[d];
+        ++level;
         break;
       }
+      level -= digits[d];
       digits[d] = 0;
     }
     const EntryResult entry =
         kernel == DpKernel::kGlobalConfigs
-            ? compute_entry(index, digits, configs, run.table.values_data(),
-                            run.stats.config_scans)
+            ? compute_entry(index, digits, level, configs,
+                            run.table.values_data(), run.stats.config_scans,
+                            run.stats.configs_pruned, pruning)
             : compute_entry_enumerated(index, digits, rounded, space,
                                        run.table.values_data(),
                                        run.stats.config_scans);
@@ -46,7 +52,8 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
     ++run.stats.entries_computed;
   }
 
-  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans);
+  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans,
+                      run.stats.configs_pruned);
   recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;
@@ -82,10 +89,15 @@ class TopDownEvaluator {
         continue;
       }
       space_.decode(index, digits);
-      // First pass: push any unready predecessors; if none, finalise.
+      int level = 0;
+      for (const int d : digits) level += d;
+      // First pass: push any unready predecessors; if none, finalise. The
+      // level-prefix bound applies here too — configs beyond the prefix
+      // cannot fit this entry, so they contribute no predecessors.
       bool ready = true;
       const auto dims = static_cast<std::size_t>(configs_.dims);
-      for (std::size_t c = 0; c < configs_.count(); ++c) {
+      const std::size_t prefix = configs_.prefix_count(level);
+      for (std::size_t c = 0; c < prefix; ++c) {
         const int* s = configs_.digits.data() + c * dims;
         bool fits = true;
         for (std::size_t d = 0; d < dims; ++d) {
@@ -102,9 +114,10 @@ class TopDownEvaluator {
         }
       }
       if (!ready) continue;
-      const EntryResult entry = compute_entry(index, digits, configs_,
+      const EntryResult entry = compute_entry(index, digits, level, configs_,
                                               run_.table.values_data(),
-                                              run_.stats.config_scans);
+                                              run_.stats.config_scans,
+                                              run_.stats.configs_pruned);
       run_.table.set(index, entry.value, entry.choice);
       ++run_.stats.entries_computed;
       stack_.pop_back();
@@ -123,9 +136,10 @@ class TopDownEvaluator {
 }  // namespace
 
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs, const CancellationToken& cancel) {
+                  const ConfigSet& configs, const CancellationToken& cancel,
+                  DpTableMode mode) {
   (void)rounded;
-  DpRun run{DpTable(space.size()), DpTable::kInfeasible, DpStats{}};
+  DpRun run{DpTable(space.size(), mode), DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
@@ -137,7 +151,8 @@ DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
   TopDownEvaluator evaluator(space, configs, cancel, run);
   evaluator.evaluate(space.size() - 1);
 
-  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans);
+  recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans,
+                      run.stats.configs_pruned);
   recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;

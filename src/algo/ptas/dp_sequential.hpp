@@ -26,17 +26,23 @@ struct DpRun {
 
 /// Bottom-up fill of the whole table in row-major order. `kernel` selects
 /// the optimised global-config scan or the paper-faithful per-entry
-/// enumeration (identical results either way). A cancelled `cancel` token
-/// throws (amortised check every ~1k entries); the fill is all-or-nothing.
+/// enumeration; `pruning` toggles the level-prefix bound of the global
+/// kernel and `mode` the choice storage (identical values either way, and
+/// identical canonical choices whenever they are stored). A cancelled
+/// `cancel` token throws (amortised check every ~1k entries); the fill is
+/// all-or-nothing.
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
                    const ConfigSet& configs,
                    DpKernel kernel = DpKernel::kGlobalConfigs,
-                   const CancellationToken& cancel = {});
+                   const CancellationToken& cancel = {},
+                   DpTableMode mode = DpTableMode::kValuesAndChoices,
+                   LevelPruning pruning = LevelPruning::kOn);
 
 /// Top-down memoised evaluation of OPT(N); only reachable entries are set.
 /// Always uses the global-config kernel (the readiness scan needs the
 /// config list anyway). Cancellation as in dp_bottom_up.
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs, const CancellationToken& cancel = {});
+                  const ConfigSet& configs, const CancellationToken& cancel = {},
+                  DpTableMode mode = DpTableMode::kValuesAndChoices);
 
 }  // namespace pcmax

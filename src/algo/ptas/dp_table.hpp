@@ -2,9 +2,11 @@
 //
 // Entry v holds OPT(v): the minimum number of machines that schedule the
 // rounded long jobs given by count vector v with makespan at most T
-// (paper Eq. 4). Alongside each value the table stores the argmin
+// (paper Eq. 4). Alongside each value the table can store the argmin
 // configuration id, which the reconstruction step walks backwards from N to
-// recover the actual machine assignment (paper Alg. 1, Line 26).
+// recover the actual machine assignment (paper Alg. 1, Line 26). Search
+// probes that only need OPT(N) allocate values-only tables (kValuesOnly),
+// halving table memory and write traffic.
 #pragma once
 
 #include <cassert>
@@ -18,7 +20,16 @@
 
 namespace pcmax {
 
-/// Flat storage of OPT values and argmin configuration choices.
+/// What one DpTable stores per entry.
+enum class DpTableMode {
+  /// Values and argmin choices — required for reconstruction.
+  kValuesAndChoices,
+  /// Values only — sufficient for feasibility probes (bisection and
+  /// multisection only read OPT(N)); no choice array is allocated.
+  kValuesOnly,
+};
+
+/// Flat storage of OPT values and (optionally) argmin configuration choices.
 class DpTable {
  public:
   /// Value of an entry that has not been computed yet.
@@ -28,24 +39,38 @@ class DpTable {
   /// tables never contain this; it exists for defensive completeness.
   static constexpr std::int32_t kInfeasible = INT32_MAX;
   /// Choice value meaning "no configuration chosen" (origin or infeasible).
-  /// Otherwise the choice of entry v is the *encoded offset* of the argmin
-  /// configuration s (i.e. encode(s)), so the reconstruction walk computes
-  /// the predecessor index as `index - choice` and recovers s by decoding
-  /// the offset — independent of which DP kernel filled the table.
+  /// Otherwise the choice of entry v is the *encoded offset* of the
+  /// canonical argmin configuration s (i.e. encode(s)): among all fitting
+  /// configs of minimum predecessor value, the one with the smallest
+  /// encoded offset. The canonical rule is order-independent, so every DP
+  /// kernel — level-sorted scan, unsorted scan, per-entry enumeration —
+  /// fills identical tables, and the reconstruction walk computes the
+  /// predecessor index as `index - choice` and recovers s by decoding the
+  /// offset, independent of which kernel filled the table.
   static constexpr std::int32_t kNoChoice = -1;
 
   /// Allocates a table with `size` unset entries (size must fit in the
   /// int32 choice encoding).
-  explicit DpTable(std::size_t size);
+  explicit DpTable(std::size_t size,
+                   DpTableMode mode = DpTableMode::kValuesAndChoices);
 
   [[nodiscard]] std::size_t size() const { return values_.size(); }
 
+  /// True iff the table stores argmin choices (kValuesAndChoices mode).
+  [[nodiscard]] bool has_choices() const { return !choices_.empty(); }
+
   [[nodiscard]] std::int32_t value(std::size_t index) const { return values_[index]; }
-  [[nodiscard]] std::int32_t choice(std::size_t index) const { return choices_[index]; }
+
+  /// Argmin choice of an entry; the table must have been allocated in
+  /// kValuesAndChoices mode.
+  [[nodiscard]] std::int32_t choice(std::size_t index) const {
+    assert(has_choices() && "choice() on a values-only table");
+    return choices_[index];
+  }
 
   void set(std::size_t index, std::int32_t value, std::int32_t choice) {
     values_[index] = value;
-    choices_[index] = choice;
+    if (!choices_.empty()) choices_[index] = choice;
   }
 
   /// Raw value array for hot loops (read-only view of computed entries).
@@ -53,13 +78,14 @@ class DpTable {
 
  private:
   std::vector<std::int32_t> values_;
-  std::vector<std::int32_t> choices_;
+  std::vector<std::int32_t> choices_;  ///< empty in kValuesOnly mode
 };
 
 /// Statistics of one DP execution.
 struct DpStats {
   std::uint64_t entries_computed = 0;  ///< table entries evaluated
   std::uint64_t config_scans = 0;      ///< config candidates inspected
+  std::uint64_t configs_pruned = 0;    ///< candidates skipped by the level bound
   std::size_t table_size = 0;          ///< sigma
   std::size_t config_count = 0;        ///< |C|
   int levels = 0;                      ///< n' + 1 anti-diagonals
@@ -73,8 +99,8 @@ struct EntryResult {
 
 /// Which configuration-enumeration strategy the DP kernels use per entry.
 enum class DpKernel {
-  /// Scan the globally precomputed set C once per entry, skipping configs
-  /// that do not fit v. This repo's optimised kernel.
+  /// Scan the level-bounded prefix of the precomputed set C once per entry,
+  /// skipping configs that do not fit v. This repo's optimised kernel.
   kGlobalConfigs,
   /// Re-enumerate C_v per entry, exactly as paper Algorithm 3 Line 17
   /// ("C_{v^i} <- all machine configurations of vector v^i"). Much more
@@ -83,38 +109,79 @@ enum class DpKernel {
   kPerEntryEnum,
 };
 
-/// Evaluates the recurrence for entry `index` with digits `v` against the
-/// global config set: OPT(v) = 1 + min over { s in C : s <= v } of OPT(v-s).
-/// Entry 0 (v = 0) must be handled by the caller (OPT = 0). All predecessor
-/// entries must already be computed. `scans` is incremented by the number of
-/// configurations inspected.
+/// Selects the fast or the baseline realisation of the global-config
+/// kernel's scan. kOn is the level-aware fast path: the scan covers only
+/// the level-bounded prefix of the (level-sorted) set, and the fits test
+/// uses the SWAR packed comparison when the set is packable. kOff replays
+/// the pre-optimisation kernel — full scan, scalar per-dimension fits — and
+/// exists as the baseline for the benches and the crosscheck tests. Both
+/// settings produce identical tables (the canonical argmin is
+/// order-independent, and pruned configs can never fit).
+enum class LevelPruning {
+  kOn,
+  kOff,
+};
+
+/// Evaluates the recurrence for entry `index` with digits `v` on
+/// anti-diagonal `level` (= digit sum of v) against the global config set:
+/// OPT(v) = 1 + min over { s in C : s <= v } of OPT(v-s), argmin broken
+/// canonically towards the smallest encoded offset. Only the level-bounded
+/// prefix of the (level-sorted) set is scanned — configs of level > `level`
+/// cannot fit. Entry 0 (v = 0) must be handled by the caller (OPT = 0). All
+/// predecessor entries must already be computed. `scans` is incremented by
+/// the number of configurations inspected, `pruned` by the number skipped
+/// through the level bound.
 inline EntryResult compute_entry(std::size_t index, std::span<const int> v,
-                                 const ConfigSet& configs,
+                                 int level, const ConfigSet& configs,
                                  const std::int32_t* values,
-                                 std::uint64_t& scans) {
+                                 std::uint64_t& scans, std::uint64_t& pruned,
+                                 LevelPruning pruning = LevelPruning::kOn) {
   std::int32_t best = DpTable::kInfeasible;
   std::int32_t best_choice = DpTable::kNoChoice;
   const auto dims = static_cast<std::size_t>(configs.dims);
-  const int* digits = configs.digits.data();
   const std::size_t* offsets = configs.offsets.data();
-  const std::size_t count = configs.count();
+  const std::size_t count =
+      pruning == LevelPruning::kOn ? configs.prefix_count(level) : configs.count();
   scans += count;
-  for (std::size_t c = 0; c < count; ++c) {
-    const int* s = digits + c * dims;
-    bool fits = true;
-    for (std::size_t d = 0; d < dims; ++d) {
-      if (s[d] > v[d]) {
-        fits = false;
-        break;
-      }
-    }
-    if (!fits) continue;
+  pruned += configs.count() - count;
+  // Canonical argmin: min value, ties towards the smallest encoded offset.
+  // The explicit tie-break makes the result independent of the scan order
+  // (the level sort interleaves offsets across levels).
+  const auto consider = [&](std::size_t c) {
     const std::int32_t predecessor = values[index - offsets[c]];
     assert(predecessor != DpTable::kUnset &&
            "DP ordering violated: predecessor not computed");
-    if (predecessor < best) {
+    const auto choice = static_cast<std::int32_t>(offsets[c]);
+    if (predecessor < best || (predecessor == best && choice < best_choice)) {
       best = predecessor;
-      best_choice = static_cast<std::int32_t>(offsets[c]);
+      best_choice = choice;
+    }
+  };
+  if (pruning == LevelPruning::kOn && configs.packable) {
+    // SWAR fits test (see ConfigSet::packed): every byte of the bytewise
+    // difference keeps its high bit iff s <= v in that dimension.
+    constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+    std::uint64_t pv = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      pv |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(v[d])) << (8 * d);
+    }
+    const std::uint64_t pvh = pv | kHigh;
+    const std::uint64_t* packed = configs.packed.data();
+    for (std::size_t c = 0; c < count; ++c) {
+      if (((pvh - packed[c]) & kHigh) == kHigh) consider(c);
+    }
+  } else {
+    const int* digits = configs.digits.data();
+    for (std::size_t c = 0; c < count; ++c) {
+      const int* s = digits + c * dims;
+      bool fits = true;
+      for (std::size_t d = 0; d < dims; ++d) {
+        if (s[d] > v[d]) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) consider(c);
     }
   }
   if (best == DpTable::kInfeasible) return {DpTable::kInfeasible, DpTable::kNoChoice};
@@ -123,8 +190,12 @@ inline EntryResult compute_entry(std::size_t index, std::span<const int> v,
 
 /// Paper-faithful variant of compute_entry: re-enumerates C_v for this entry
 /// (Alg. 3 Lines 17-19) instead of scanning a precomputed global set. The
-/// two kernels produce identical values and identical argmin choices (both
-/// iterate fitting configurations in lexicographic order of s).
+/// enumeration visits configs in lexicographic order of s — which equals
+/// increasing encoded-offset order — so keeping the first minimum already
+/// yields the canonical (min value, smallest offset) argmin, and the two
+/// kernels produce identical tables. Nothing is level-pruned here (the
+/// enumeration never materialises non-fitting candidates), so `pruned` of
+/// this kernel is always 0.
 inline EntryResult compute_entry_enumerated(std::size_t index,
                                             std::span<const int> v,
                                             const RoundedInstance& rounded,

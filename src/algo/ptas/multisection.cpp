@@ -72,6 +72,7 @@ MultisectionResult multisect_target_makespan(const Instance& instance, int k,
             probe.config_count = at.configs.count();
             probe.entries_computed = at.run.stats.entries_computed;
             probe.config_scans = at.run.stats.config_scans;
+            probe.configs_pruned = at.run.stats.configs_pruned;
             probe.dp_seconds = sw.elapsed_seconds();
           } catch (...) {
             errors[p] = std::current_exception();

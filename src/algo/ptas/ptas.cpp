@@ -48,21 +48,24 @@ std::string PtasSolver::name() const {
   }
 }
 
-DpBackendFn PtasSolver::make_backend() const {
+DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
   switch (options_.engine) {
     case DpEngine::kBottomUp: {
       const DpKernel kernel = options_.kernel;
+      const LevelPruning pruning = options_.pruning;
       const CancellationToken cancel = options_.cancel;
-      return [kernel, cancel](const RoundedInstance& rounded,
-                              const StateSpace& space, const ConfigSet& configs) {
-        return dp_bottom_up(rounded, space, configs, kernel, cancel);
+      return [kernel, cancel, mode, pruning](const RoundedInstance& rounded,
+                                             const StateSpace& space,
+                                             const ConfigSet& configs) {
+        return dp_bottom_up(rounded, space, configs, kernel, cancel, mode,
+                            pruning);
       };
     }
     case DpEngine::kTopDown: {
       const CancellationToken cancel = options_.cancel;
-      return [cancel](const RoundedInstance& rounded, const StateSpace& space,
-                      const ConfigSet& configs) {
-        return dp_top_down(rounded, space, configs, cancel);
+      return [cancel, mode](const RoundedInstance& rounded, const StateSpace& space,
+                            const ConfigSet& configs) {
+        return dp_top_down(rounded, space, configs, cancel, mode);
       };
     }
     case DpEngine::kParallelScan:
@@ -74,6 +77,9 @@ DpBackendFn PtasSolver::make_backend() const {
                                : ParallelDpVariant::kBucketed;
       dp_options.schedule = options_.schedule;
       dp_options.kernel = options_.kernel;
+      dp_options.iteration = options_.iteration;
+      dp_options.pruning = options_.pruning;
+      dp_options.table_mode = mode;
       dp_options.cancel = options_.cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
@@ -85,6 +91,9 @@ DpBackendFn PtasSolver::make_backend() const {
       dp_options.variant = ParallelDpVariant::kSpmd;
       dp_options.spmd_threads = options_.spmd_threads;
       dp_options.kernel = options_.kernel;
+      dp_options.iteration = options_.iteration;
+      dp_options.pruning = options_.pruning;
+      dp_options.table_mode = mode;
       dp_options.cancel = options_.cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
@@ -97,7 +106,14 @@ DpBackendFn PtasSolver::make_backend() const {
 
 PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   Stopwatch sw;
-  const DpBackendFn backend = make_backend();
+  // Search probes only read OPT(N), so they can run values-only (halved
+  // table memory and write traffic); the final run at T* must keep choices
+  // for the reconstruction walk.
+  const DpBackendFn probe_backend =
+      make_backend(options_.values_only_probes ? DpTableMode::kValuesOnly
+                                               : DpTableMode::kValuesAndChoices);
+  const DpBackendFn final_backend =
+      make_backend(DpTableMode::kValuesAndChoices);
 
   // The token rides along with the DP budgets, which already reach every
   // probe site (bisection, multisection, and the reconstruction probe).
@@ -108,8 +124,8 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   // Lines 5-30), or the speculative multisection extension.
   BisectionResult bisection =
       options_.speculation <= 1
-          ? bisect_target_makespan(instance, k_, backend, limits)
-          : multisect_target_makespan(instance, k_, backend, limits,
+          ? bisect_target_makespan(instance, k_, probe_backend, limits)
+          : multisect_target_makespan(instance, k_, probe_backend, limits,
                                       options_.speculation)
                 .as_bisection();
 
@@ -118,7 +134,7 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   // by the bisection invariant (UB is only ever lowered to feasible values).
   Stopwatch probe_clock;
   const DpAtTarget at =
-      run_dp_at(instance, bisection.t_star, k_, backend, limits);
+      run_dp_at(instance, bisection.t_star, k_, final_backend, limits);
   const double final_probe_seconds = probe_clock.elapsed_seconds();
   Schedule schedule = reconstruct_full_schedule(instance, at);
 
@@ -134,6 +150,7 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
     final_probe.config_count = at.configs.count();
     final_probe.entries_computed = at.run.stats.entries_computed;
     final_probe.config_scans = at.run.stats.config_scans;
+    final_probe.configs_pruned = at.run.stats.configs_pruned;
     final_probe.dp_seconds = final_probe_seconds;
     bisection.trace.push_back(std::move(final_probe));
   }
@@ -147,11 +164,13 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   double dp_seconds = 0.0;
   std::uint64_t entries = 0;
   std::uint64_t scans = 0;
+  std::uint64_t pruned = 0;
   std::size_t max_table = at.space.size();
   for (const BisectionIteration& it : bisection.trace) {
     dp_seconds += it.dp_seconds;
     entries += it.entries_computed;
     scans += it.config_scans;
+    pruned += it.configs_pruned;
     max_table = std::max(max_table, it.table_size);
   }
   result.stats["k"] = k_;
@@ -163,6 +182,7 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   result.stats["dp_seconds"] = dp_seconds;
   result.stats["entries_computed"] = static_cast<double>(entries);
   result.stats["config_scans"] = static_cast<double>(scans);
+  result.stats["configs_pruned"] = static_cast<double>(pruned);
   result.stats["max_table_size"] = static_cast<double>(max_table);
   result.stats["final_long_jobs"] = static_cast<double>(at.rounded.total_long_jobs);
   result.stats["final_levels"] = static_cast<double>(at.space.max_level() + 1);

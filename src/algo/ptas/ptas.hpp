@@ -48,6 +48,17 @@ struct PtasOptions {
   /// reproducing the cost profile behind the paper's speedup figures.
   /// Ignored by kTopDown (global only). Results are identical either way.
   DpKernel kernel = DpKernel::kGlobalConfigs;
+  /// Level enumeration of the kParallelBucketed/kSpmd engines: LevelWalker
+  /// rank/unrank slicing (kWalker, the fast path) or the legacy precomputed
+  /// LevelIndex (kIndexed baseline). Identical tables either way.
+  LevelIteration iteration = LevelIteration::kWalker;
+  /// Level-prefix pruning of the global-config kernel (kOff = pre-pruning
+  /// baseline). Identical tables either way.
+  LevelPruning pruning = LevelPruning::kOn;
+  /// When true (default), search probes run with values-only DP tables —
+  /// bisection/multisection only read OPT(N), so the choice array is dead
+  /// weight there. The final reconstruction run always keeps choices.
+  bool values_only_probes = true;
   /// Resource budgets for each DP probe.
   DpLimits limits;
   /// Concurrent probes per search round (extension beyond the paper):
@@ -90,7 +101,10 @@ class PtasSolver final : public Solver {
   [[nodiscard]] const PtasOptions& options() const { return options_; }
 
  private:
-  DpBackendFn make_backend() const;
+  /// Builds the DP backend for the configured engine; `mode` selects the
+  /// table storage (values-only for search probes, values+choices for the
+  /// final reconstruction run).
+  DpBackendFn make_backend(DpTableMode mode) const;
 
   PtasOptions options_;
   int k_;

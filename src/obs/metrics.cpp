@@ -17,6 +17,7 @@ const char* counter_name(Counter counter) {
     case Counter::kDpLevels: return "dp.levels";
     case Counter::kDpEntries: return "dp.entries";
     case Counter::kDpConfigScans: return "dp.config_scans";
+    case Counter::kDpConfigsPruned: return "dp.configs_pruned";
     case Counter::kBisectionProbes: return "bisection.probes";
     case Counter::kLpSolves: return "lp.solves";
     case Counter::kMipNodes: return "mip.nodes";
@@ -157,12 +158,14 @@ void DpRunRecorder::level_end(int level, std::uint64_t entries,
 }
 
 void DpRunRecorder::add_worker(unsigned worker, std::uint64_t entries,
-                               std::uint64_t scans) {
+                               std::uint64_t scans, std::uint64_t pruned) {
   if (metrics_ == nullptr) return;
   record_.per_worker_entries.push_back(entries);
   record_.per_worker_scans.push_back(scans);
+  record_.per_worker_pruned.push_back(pruned);
   metrics_->add(worker, Counter::kDpEntries, entries);
   metrics_->add(worker, Counter::kDpConfigScans, scans);
+  metrics_->add(worker, Counter::kDpConfigsPruned, pruned);
 }
 
 void DpRunRecorder::finish() {

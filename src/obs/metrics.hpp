@@ -55,13 +55,14 @@ enum class Counter : unsigned {
   kDpLevels,           ///< anti-diagonal levels swept
   kDpEntries,          ///< DP entries computed by this worker
   kDpConfigScans,      ///< configuration candidates inspected by this worker
+  kDpConfigsPruned,    ///< candidates skipped via the level-prefix bound
   kBisectionProbes,    ///< DP probes issued by bisection/multisection
   kLpSolves,           ///< simplex invocations
   kMipNodes,           ///< branch-and-bound nodes expanded
   kResilientSolves,    ///< ResilientSolver::solve calls
   kResilientFallbacks, ///< resilient solves that degraded past the PTAS
 };
-inline constexpr std::size_t kCounterCount = 14;
+inline constexpr std::size_t kCounterCount = 15;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);
@@ -112,6 +113,7 @@ struct DpRunRecord {
   std::vector<DpLevelSample> per_level;            ///< empty for sequential fills
   std::vector<std::uint64_t> per_worker_entries;   ///< index = worker id
   std::vector<std::uint64_t> per_worker_scans;
+  std::vector<std::uint64_t> per_worker_pruned;    ///< level-bound skips
 };
 
 /// Nanoseconds on the process-wide monotonic clock (steady_clock, origin at
@@ -278,8 +280,9 @@ class DpRunRecorder {
   /// Records one finished level: entry count and wall time.
   void level_end(int level, std::uint64_t entries, std::uint64_t begin_ns);
 
-  /// Records one worker's entry/scan totals (call once per worker).
-  void add_worker(unsigned worker, std::uint64_t entries, std::uint64_t scans);
+  /// Records one worker's entry/scan/pruned totals (call once per worker).
+  void add_worker(unsigned worker, std::uint64_t entries, std::uint64_t scans,
+                  std::uint64_t pruned);
 
   /// Publishes the record (run counters, timer, span, structured record).
   void finish();

@@ -71,6 +71,7 @@ JsonValue metrics_to_json(const Metrics& metrics) {
       run["total_ns"] = record.total_ns;
       run["per_worker_entries"] = uint_array(record.per_worker_entries);
       run["per_worker_scans"] = uint_array(record.per_worker_scans);
+      run["per_worker_pruned"] = uint_array(record.per_worker_pruned);
       JsonValue levels = JsonValue::make_array();
       for (const DpLevelSample& sample : record.per_level) {
         JsonValue level = JsonValue::make_object();

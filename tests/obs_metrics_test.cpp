@@ -202,7 +202,7 @@ TEST(Metrics, RecorderInactiveWithoutCollector) {
   EXPECT_FALSE(recorder.active());
   EXPECT_EQ(recorder.level_begin(), 0u);
   recorder.level_end(0, 5, 0);
-  recorder.add_worker(0, 5, 7);
+  recorder.add_worker(0, 5, 7, 3);
   recorder.finish();  // must not crash
 }
 

@@ -149,6 +149,80 @@ TEST(ConfigEnum, EnforcesTheConfigBudget) {
   EXPECT_THROW((void)enumerate_configs(rounded, space, 10), ResourceLimitError);
 }
 
+TEST(ConfigEnum, ConfigsAreLevelSortedWithCorrectPrefix) {
+  const RoundedInstance rounded = make_rounded({9, 13, 17}, {3, 2, 2}, 40);
+  const StateSpace space({3, 2, 2}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  const auto dims = static_cast<std::size_t>(configs.dims);
+  ASSERT_EQ(configs.levels.size(), configs.count());
+
+  // Levels are the digit sums, non-decreasing across the sorted set, and
+  // within a level the encoded offsets keep the lexicographic enumeration
+  // order (the counting sort is stable), i.e. strictly increase.
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    std::int32_t level = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      level += configs.digits[c * dims + d];
+    }
+    EXPECT_EQ(configs.levels[c], level) << "config " << c;
+    if (c > 0) {
+      EXPECT_GE(configs.levels[c], configs.levels[c - 1]);
+      if (configs.levels[c] == configs.levels[c - 1]) {
+        EXPECT_GT(configs.offsets[c], configs.offsets[c - 1]);
+      }
+    }
+  }
+
+  // level_prefix[l] counts configs of level <= l; prefix_count clamps.
+  const std::int32_t max_level = configs.levels.back();
+  for (std::int32_t l = 0; l <= max_level; ++l) {
+    std::size_t expected = 0;
+    for (const std::int32_t level : configs.levels) {
+      if (level <= l) ++expected;
+    }
+    EXPECT_EQ(configs.prefix_count(l), expected) << "level " << l;
+  }
+  EXPECT_EQ(configs.prefix_count(0), 0u);  // configs are non-zero vectors
+  EXPECT_EQ(configs.prefix_count(-1), 0u);
+  EXPECT_EQ(configs.prefix_count(max_level + 10), configs.count());
+}
+
+TEST(ConfigEnum, PackedDigitsMirrorTheDigitArray) {
+  const RoundedInstance rounded = make_rounded({9, 13, 17}, {3, 2, 2}, 40);
+  const StateSpace space({3, 2, 2}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  ASSERT_TRUE(configs.packable);
+  ASSERT_EQ(configs.packed.size(), configs.count());
+  const auto dims = static_cast<std::size_t>(configs.dims);
+  for (std::size_t c = 0; c < configs.count(); ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      EXPECT_EQ(static_cast<int>((configs.packed[c] >> (8 * d)) & 0xff),
+                configs.digits[c * dims + d])
+          << "config " << c << " dim " << d;
+    }
+    EXPECT_EQ(configs.packed[c] >> (8 * dims), 0u) << "config " << c;
+  }
+}
+
+TEST(ConfigEnum, WideDigitsAreNotPackable) {
+  // A class count above 127 cannot be packed into a byte with a spare high
+  // bit; the kernel must fall back to the scalar fits loop.
+  const RoundedInstance rounded = make_rounded({1}, {200}, 300);
+  const StateSpace space({200}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  EXPECT_FALSE(configs.packable);
+  EXPECT_TRUE(configs.packed.empty());
+  EXPECT_GT(configs.count(), 0u);
+}
+
+TEST(ConfigEnum, EmptySetHasEmptyPrefix) {
+  const RoundedInstance rounded = make_rounded({}, {}, 30);
+  const StateSpace space({}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  EXPECT_EQ(configs.prefix_count(0), 0u);
+  EXPECT_EQ(configs.prefix_count(5), 0u);
+}
+
 TEST(ConfigFits, ComparesComponentwise) {
   const std::vector<int> v{2, 3, 1};
   EXPECT_TRUE(config_fits(std::vector<int>{2, 3, 1}, v));

@@ -159,21 +159,111 @@ TEST(DpCrossCheck, AllVariantsAndSchedulesMatchSequentialOnRandomShapes) {
 
     for (const ParallelDpVariant variant : kVariants) {
       for (const LoopSchedule schedule : kSchedules) {
+        for (const LevelIteration iteration :
+             {LevelIteration::kWalker, LevelIteration::kIndexed}) {
+          ParallelDpOptions options;
+          options.executor = &executor;
+          options.variant = variant;
+          options.schedule = schedule;
+          options.spmd_threads = 4;
+          options.iteration = iteration;
+          const DpRun run = dp_parallel(rounded, space, configs, options);
+          const std::string what = parallel_dp_variant_name(variant) + "/" +
+                                   loop_schedule_name(schedule) + "/" +
+                                   level_iteration_name(iteration) + " round " +
+                                   std::to_string(round);
+          expect_identical_tables(reference, run, what);
+          // Entries-processed totals are identical too: every realisation
+          // computes each of the sigma entries exactly once, independent of
+          // how iterations were assigned to workers.
+          EXPECT_EQ(run.stats.entries_computed, reference.stats.entries_computed)
+              << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(DpCrossCheck, PruningAndTableModesAgreeAcrossKernelsAndVariants) {
+  // The level-prefix bound, the values-only probe mode, and the walker
+  // iteration are pure optimisations: every combination must reproduce the
+  // unpruned full-table reference — byte for byte where choices exist, value
+  // for value everywhere — while only the scan accounting changes.
+  Xoshiro256StarStar rng(0xFACADE);
+  ThreadPoolExecutor executor(4);
+  for (int round = 0; round < 6; ++round) {
+    const Time target = uniform_int(rng, 25, 60);
+    const int dims = static_cast<int>(uniform_int(rng, 1, 3));
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      sizes.push_back(uniform_int(rng, target / 4 + 1, target));
+      counts.push_back(static_cast<int>(uniform_int(rng, 1, 5)));
+    }
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const std::string tag = " round " + std::to_string(round);
+
+    // Unpruned reference: the pre-optimisation kernel's exact behaviour.
+    const DpRun unpruned =
+        dp_bottom_up(rounded, space, configs, DpKernel::kGlobalConfigs, {},
+                     DpTableMode::kValuesAndChoices, LevelPruning::kOff);
+    EXPECT_EQ(unpruned.stats.configs_pruned, 0u);
+    EXPECT_EQ(unpruned.stats.config_scans,
+              (space.size() - 1) * configs.count());
+
+    // Level-pruned vs unpruned: byte-identical, strictly fewer-or-equal
+    // scans, and exact scan/prune conservation.
+    const DpRun pruned = dp_bottom_up(rounded, space, configs);
+    expect_identical_tables(unpruned, pruned, "pruned" + tag);
+    EXPECT_LE(pruned.stats.config_scans, unpruned.stats.config_scans);
+    EXPECT_EQ(pruned.stats.config_scans + pruned.stats.configs_pruned,
+              unpruned.stats.config_scans);
+
+    // The paper-faithful per-entry enumeration kernel agrees too (its
+    // canonical argmin falls out of the lexicographic enumeration order).
+    const DpRun enumerated = dp_bottom_up(rounded, space, configs,
+                                          DpKernel::kPerEntryEnum);
+    expect_identical_tables(unpruned, enumerated, "per-entry-enum" + tag);
+
+    // Values-only mode: same values and OPT(N), no choice array.
+    const DpRun values_only =
+        dp_bottom_up(rounded, space, configs, DpKernel::kGlobalConfigs, {},
+                     DpTableMode::kValuesOnly);
+    EXPECT_FALSE(values_only.table.has_choices());
+    EXPECT_EQ(values_only.machines_needed, unpruned.machines_needed);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      ASSERT_EQ(values_only.table.value(i), unpruned.table.value(i))
+          << "values-only entry " << i << tag;
+    }
+
+    // Parallel values-only probes (the bisection fast path) across both
+    // iteration modes: value-identical, conservation holds per run.
+    for (const ParallelDpVariant variant :
+         {ParallelDpVariant::kBucketed, ParallelDpVariant::kSpmd}) {
+      for (const LevelIteration iteration :
+           {LevelIteration::kWalker, LevelIteration::kIndexed}) {
         ParallelDpOptions options;
         options.executor = &executor;
         options.variant = variant;
-        options.schedule = schedule;
         options.spmd_threads = 4;
+        options.iteration = iteration;
+        options.table_mode = DpTableMode::kValuesOnly;
         const DpRun run = dp_parallel(rounded, space, configs, options);
         const std::string what = parallel_dp_variant_name(variant) + "/" +
-                                 loop_schedule_name(schedule) + " round " +
-                                 std::to_string(round);
-        expect_identical_tables(reference, run, what);
-        // Entries-processed totals are identical too: every realisation
-        // computes each of the sigma entries exactly once, independent of
-        // how iterations were assigned to workers.
-        EXPECT_EQ(run.stats.entries_computed, reference.stats.entries_computed)
+                                 level_iteration_name(iteration) +
+                                 " values-only" + tag;
+        EXPECT_FALSE(run.table.has_choices()) << what;
+        EXPECT_EQ(run.machines_needed, unpruned.machines_needed) << what;
+        for (std::size_t i = 0; i < space.size(); ++i) {
+          ASSERT_EQ(run.table.value(i), unpruned.table.value(i))
+              << what << " entry " << i;
+        }
+        EXPECT_EQ(run.stats.config_scans + run.stats.configs_pruned,
+                  unpruned.stats.config_scans)
             << what;
+        EXPECT_LE(run.stats.config_scans, unpruned.stats.config_scans) << what;
       }
     }
   }

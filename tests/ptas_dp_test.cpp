@@ -292,9 +292,24 @@ TEST(DpStats, ConfigScansAreConsistentAcrossVariants) {
   options.variant = ParallelDpVariant::kBucketed;
   options.executor = &executor;
   const DpRun par = dp_parallel(f.rounded, f.space, f.configs, options);
-  // Every variant inspects all |C| configs for every non-origin entry.
+  // Conservation: for every non-origin entry each of the |C| configs is
+  // either scanned or pruned by the level bound, identically across
+  // variants (the pruning decision depends only on the entry's level).
   EXPECT_EQ(par.stats.config_scans, bottom.stats.config_scans);
-  EXPECT_EQ(bottom.stats.config_scans,
+  EXPECT_EQ(par.stats.configs_pruned, bottom.stats.configs_pruned);
+  EXPECT_EQ(bottom.stats.config_scans + bottom.stats.configs_pruned,
+            (f.space.size() - 1) * f.configs.count());
+  // The level bound actually bites on this instance.
+  EXPECT_GT(bottom.stats.configs_pruned, 0u);
+  EXPECT_LE(bottom.stats.config_scans,
+            (f.space.size() - 1) * f.configs.count());
+
+  // With pruning disabled the pre-PR accounting holds exactly.
+  const DpRun unpruned =
+      dp_bottom_up(f.rounded, f.space, f.configs, DpKernel::kGlobalConfigs, {},
+                   DpTableMode::kValuesAndChoices, LevelPruning::kOff);
+  EXPECT_EQ(unpruned.stats.configs_pruned, 0u);
+  EXPECT_EQ(unpruned.stats.config_scans,
             (f.space.size() - 1) * f.configs.count());
 }
 

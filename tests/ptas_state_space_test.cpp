@@ -113,5 +113,82 @@ TEST(StateSpace, ZeroCountDimensionsAreDegenerate) {
   EXPECT_EQ(digits, (std::vector<int>{0, 2, 0}));
 }
 
+// ---------------------------------------------------------------------------
+// level_counts and LevelWalker: the decode-free anti-diagonal machinery.
+// ---------------------------------------------------------------------------
+
+TEST(StateSpace, LevelCountsMatchHistogram) {
+  // The convolution formula and the O(sigma) sweep must agree everywhere.
+  const std::vector<std::vector<int>> shapes = {
+      {2, 3}, {4}, {1, 1, 1, 1}, {0, 2, 0}, {3, 2, 2}, {}};
+  for (const auto& shape : shapes) {
+    const StateSpace space(shape, kBig);
+    EXPECT_EQ(space.level_counts(), space.level_histogram());
+  }
+}
+
+TEST(LevelWalker, WalksEveryLevelInIndexOrder) {
+  const std::vector<std::vector<int>> shapes = {
+      {2, 3}, {4}, {1, 1, 1, 1}, {0, 2, 0}, {3, 2, 2}};
+  for (const auto& shape : shapes) {
+    const StateSpace space(shape, kBig);
+    LevelWalker walker(space);
+    const std::vector<std::size_t> histogram = space.level_histogram();
+    std::size_t visited = 0;
+    for (int level = 0; level <= space.max_level(); ++level) {
+      ASSERT_EQ(walker.level_size(level),
+                histogram[static_cast<std::size_t>(level)]);
+      if (walker.level_size(level) == 0) continue;
+      walker.seek(level, 0);
+      std::size_t previous = 0;
+      for (std::uint64_t rank = 0; rank < walker.level_size(level); ++rank) {
+        const std::size_t index = walker.index();
+        // Digits must be consistent with the index and sum to the level.
+        EXPECT_EQ(space.encode(walker.digits()), index);
+        EXPECT_EQ(space.level_of(index), level);
+        if (rank > 0) EXPECT_GT(index, previous);  // strictly increasing
+        previous = index;
+        ++visited;
+        const bool more = walker.next();
+        EXPECT_EQ(more, rank + 1 < walker.level_size(level));
+      }
+    }
+    EXPECT_EQ(visited, space.size());  // every entry on exactly one level
+  }
+}
+
+TEST(LevelWalker, SeekAgreesWithSequentialWalk) {
+  const StateSpace space({3, 2, 2}, kBig);
+  LevelWalker sequential(space);
+  LevelWalker seeker(space);
+  for (int level = 0; level <= space.max_level(); ++level) {
+    const std::uint64_t width = sequential.level_size(level);
+    if (width == 0) continue;
+    sequential.seek(level, 0);
+    for (std::uint64_t rank = 0; rank < width; ++rank) {
+      seeker.seek(level, rank);
+      EXPECT_EQ(seeker.index(), sequential.index())
+          << "level " << level << " rank " << rank;
+      if (rank + 1 < width) sequential.next();
+    }
+  }
+}
+
+TEST(LevelWalker, DegenerateSpaces) {
+  // Dimensionless space: a single origin entry on level 0.
+  const StateSpace empty({}, kBig);
+  LevelWalker walker(empty);
+  EXPECT_EQ(walker.level_size(0), 1u);
+  walker.seek(0, 0);
+  EXPECT_EQ(walker.index(), 0u);
+  EXPECT_FALSE(walker.next());
+
+  // Out-of-range seeks and levels are rejected.
+  const StateSpace space({2, 1}, kBig);
+  LevelWalker bounded(space);
+  EXPECT_THROW((void)bounded.level_size(space.max_level() + 1), InternalError);
+  EXPECT_THROW(bounded.seek(0, 1), InternalError);
+}
+
 }  // namespace
 }  // namespace pcmax

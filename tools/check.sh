@@ -7,6 +7,10 @@
 #   tools/check.sh release    # Release tree + full suite only
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
 #
+# The Release run repeats the `bench-smoke` label explicitly at the end so
+# bench bit-rot (flag parsing, JSON export) fails loudly even when someone
+# trims the main ctest invocation.
+#
 # Build trees live in build-check/ and build-tsan/ so they never clobber a
 # developer's main build/ directory.
 set -euo pipefail
@@ -20,6 +24,8 @@ run_release() {
   cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-check -j "$jobs"
   ctest --test-dir build-check --output-on-failure -j "$jobs"
+  echo "== Release tree: bench smoke =="
+  ctest --test-dir build-check --output-on-failure -L bench-smoke
 }
 
 run_tsan() {
