@@ -1,0 +1,200 @@
+// Batch service throughput: SolveService vs a sequential solve loop.
+//
+// The acceptance scenario for the service tier: a mixed batch (default 64
+// requests, half of them job-order permutations of earlier requests) pushed
+// through the service with 8 workers must beat solving the same requests
+// one-by-one with a fresh ResilientSolver each. Two effects contribute:
+//  * fingerprint dedup — permuted duplicates hit the LRU cache and skip the
+//    whole solve (this is what survives on a single-core machine);
+//  * worker parallelism — distinct requests solve concurrently (only helps
+//    when physical cores are available).
+//
+// Both arms see the identical request sequence. The service solves every
+// request in canonical space (responses depend only on the job multiset),
+// so the cross-checks are: every response schedule is valid for the
+// submitted ordering, and responses sharing a fingerprint report the same
+// makespan whether they hit the cache or not.
+//
+// `--json <path>` writes a pcmax.bench.service.v1 document; the tracked
+// snapshot is BENCH_service.json in the repo root.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/instance_gen.hpp"
+#include "core/resilient_solver.hpp"
+#include "obs/metrics.hpp"
+#include "service/batch_report.hpp"
+#include "service/solve_service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table_printer.hpp"
+
+using namespace pcmax;
+
+namespace {
+
+/// The mixed request set: `requests` instances, of which `duplicate_percent`
+/// are job-order permutations of earlier unique ones. Deterministic in
+/// `seed`, duplicates interleaved round-robin across the tail of the batch.
+std::vector<Instance> build_request_set(int requests, int duplicate_percent,
+                                        int m, int n, std::uint64_t seed) {
+  const int duplicates = requests * duplicate_percent / 100;
+  const int unique = requests - duplicates;
+  std::vector<Instance> set;
+  set.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < unique; ++i) {
+    set.push_back(generate_instance(InstanceFamily::kUniform1To100, m, n, seed,
+                                    static_cast<std::uint64_t>(i)));
+  }
+  std::mt19937_64 rng(seed ^ 0x5eedULL);
+  for (int d = 0; d < duplicates; ++d) {
+    const Instance& original = set[static_cast<std::size_t>(d % unique)];
+    std::vector<Time> times(original.times().begin(), original.times().end());
+    std::shuffle(times.begin(), times.end(), rng);
+    set.emplace_back(original.machines(), std::move(times));
+  }
+  // Interleave so duplicates do not all trail the batch (their originals
+  // still precede them, so each duplicate can find a warm cache entry).
+  for (std::size_t i = static_cast<std::size_t>(unique); i < set.size(); ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(unique) +
+        rng() % (i - static_cast<std::size_t>(unique) + 1);
+    std::swap(set[i], set[j]);
+  }
+  return set;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Throughput of the batch solve service (dedup cache + worker pool) "
+      "versus a sequential one-request-at-a-time solve loop.");
+  cli.add_int("requests", 64, "batch size");
+  cli.add_int("duplicates-percent", 50,
+              "percent of the batch that permutes an earlier request");
+  cli.add_int("workers", 8, "service worker threads");
+  cli.add_int("m", 10, "machines per instance");
+  cli.add_int("n", 50, "jobs per instance");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_string("json", "", "write results as JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int requests = static_cast<int>(cli.get_int("requests"));
+  const int duplicate_percent =
+      static_cast<int>(cli.get_int("duplicates-percent"));
+  const unsigned workers = static_cast<unsigned>(cli.get_int("workers"));
+  const int m = static_cast<int>(cli.get_int("m"));
+  const int n = static_cast<int>(cli.get_int("n"));
+  const double epsilon = cli.get_double("epsilon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::vector<Instance> set =
+      build_request_set(requests, duplicate_percent, m, n, seed);
+
+  // Arm 1: the baseline a service replaces — solve each request in
+  // submission order with a fresh resilient solver, no cache, no threads.
+  std::vector<Time> sequential_makespans;
+  sequential_makespans.reserve(set.size());
+  const std::uint64_t seq_begin = obs::monotonic_ns();
+  for (const Instance& instance : set) {
+    ResilientOptions options;
+    options.ptas.epsilon = epsilon;
+    const SolverResult result = ResilientSolver(options).solve(instance);
+    sequential_makespans.push_back(result.makespan);
+  }
+  const double seq_seconds =
+      static_cast<double>(obs::monotonic_ns() - seq_begin) * 1e-9;
+
+  // Arm 2: the same requests through the service.
+  ServiceOptions options;
+  options.workers = workers;
+  options.queue_capacity = set.size();  // admission never degrades the bench
+  options.epsilon = epsilon;
+  std::vector<SolveRequest> batch;
+  batch.reserve(set.size());
+  for (const Instance& instance : set) {
+    batch.push_back(SolveRequest{instance});
+  }
+  std::vector<SolveResponse> responses;
+  ServiceStats stats;
+  const std::uint64_t svc_begin = obs::monotonic_ns();
+  double svc_seconds = 0.0;
+  {
+    SolveService service(options);
+    responses = service.solve_batch(std::move(batch));
+    svc_seconds = static_cast<double>(obs::monotonic_ns() - svc_begin) * 1e-9;
+    stats = service.stats();
+  }
+
+  // Cross-checks: schedules valid for the submitted ordering; one makespan
+  // per fingerprint (cache hits indistinguishable from fresh solves).
+  int mismatches = 0;
+  std::map<std::string, Time> by_fingerprint;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].schedule.is_valid(set[i])) ++mismatches;
+    const auto [it, inserted] = by_fingerprint.emplace(
+        responses[i].fingerprint.to_hex(), responses[i].makespan);
+    if (!inserted && it->second != responses[i].makespan) ++mismatches;
+  }
+
+  const double seq_rps =
+      seq_seconds > 0.0 ? static_cast<double>(set.size()) / seq_seconds : 0.0;
+  const double svc_rps =
+      svc_seconds > 0.0 ? static_cast<double>(set.size()) / svc_seconds : 0.0;
+  const double speedup = svc_seconds > 0.0 ? seq_seconds / svc_seconds : 0.0;
+
+  std::cout << "=== service throughput: " << requests << " requests ("
+            << duplicate_percent << "% permuted duplicates), m=" << m
+            << ", n=" << n << ", eps=" << epsilon << ", workers=" << workers
+            << " ===\n";
+  TablePrinter table({"arm", "seconds", "req/s", "cache hits", "degraded"});
+  table.add_row({"sequential loop", TablePrinter::fmt(seq_seconds, 4),
+                 TablePrinter::fmt(seq_rps, 2), "-", "-"});
+  table.add_row({"solve service", TablePrinter::fmt(svc_seconds, 4),
+                 TablePrinter::fmt(svc_rps, 2),
+                 std::to_string(stats.cache.hits),
+                 std::to_string(stats.degraded)});
+  std::cout << table.to_string() << "speedup: " << TablePrinter::fmt(speedup, 2)
+            << "x   cross-check failures: " << mismatches << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    JsonValue root = JsonValue::make_object();
+    root["schema"] = "pcmax.bench.service.v1";
+    JsonValue& params = root["params"];
+    params["requests"] = requests;
+    params["duplicates_percent"] = duplicate_percent;
+    params["workers"] = workers;
+    params["m"] = m;
+    params["n"] = n;
+    params["epsilon"] = epsilon;
+    params["seed"] = static_cast<std::int64_t>(seed);
+    JsonValue& sequential = root["sequential"];
+    sequential["seconds"] = seq_seconds;
+    sequential["requests_per_second"] = seq_rps;
+    JsonValue& service_json = root["service"];
+    service_json["seconds"] = svc_seconds;
+    service_json["requests_per_second"] = svc_rps;
+    service_json["cache_hits"] = stats.cache.hits;
+    service_json["cache_misses"] = stats.cache.misses;
+    service_json["degraded"] = stats.degraded;
+    root["speedup"] = speedup;
+    root["crosscheck_failures"] = mismatches;
+    root["batch_report"] = batch_report(options, responses, stats, svc_seconds);
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "cannot open --json output file '" << json_path << "'\n";
+      return 1;
+    }
+    out << root.dump(/*pretty=*/true) << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}

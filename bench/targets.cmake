@@ -9,8 +9,8 @@ function(pcmax_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
-    pcmax_harness pcmax_sim pcmax_mip pcmax_exact pcmax_algo pcmax_core
-    pcmax_parallel pcmax_obs pcmax_util)
+    pcmax_harness pcmax_service pcmax_sim pcmax_mip pcmax_exact pcmax_algo
+    pcmax_core pcmax_parallel pcmax_obs pcmax_util)
 endfunction()
 
 # NO_MAIN: the bench provides its own main() (e.g. to add flags like --json
@@ -41,6 +41,7 @@ pcmax_add_bench(scaling_analysis)
 pcmax_add_bench(baselines_shootout)
 pcmax_add_bench(robustness_analysis)
 pcmax_add_bench(epsilon_sweep)
+pcmax_add_bench(service_throughput)
 pcmax_add_micro(micro_dp NO_MAIN)
 pcmax_add_micro(micro_parallel)
 
@@ -55,6 +56,10 @@ add_test(NAME bench_smoke_micro_dp
          COMMAND micro_dp --benchmark_filter=BM_DpBottomUp
                  --benchmark_min_time=0.01
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_micro.json)
+add_test(NAME bench_smoke_service
+         COMMAND service_throughput --requests 8 --duplicates-percent 50
+                 --workers 2 --m 4 --n 16
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_service.json)
 set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
-                     bench_smoke_micro_dp
+                     bench_smoke_micro_dp bench_smoke_service
                      PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

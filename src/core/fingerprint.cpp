@@ -1,0 +1,154 @@
+#include "core/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/// Fibonacci-hash finaliser of splitmix64 (Steele et al.); full avalanche.
+std::uint64_t mix64(std::uint64_t x) {
+  x += kGolden;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string Fingerprint::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+Fingerprinter::Fingerprinter()
+    // First 16 hex digits of sqrt(2)-1 and sqrt(3)-1: arbitrary fixed seeds
+    // with no special structure ("nothing up my sleeve").
+    : a_(0x6a09e667f3bcc908ULL), b_(0xbb67ae8584caa73bULL) {}
+
+void Fingerprinter::absorb(std::uint64_t word) {
+  // Two dependent lanes: the second lane folds in the first so the pair
+  // never degenerates to two copies of the same 64-bit state.
+  a_ = mix64(a_ ^ word);
+  b_ = mix64(b_ + std::rotl(word, 31) + (a_ ^ kGolden));
+  ++length_;
+}
+
+void Fingerprinter::absorb_int(std::int64_t value) {
+  absorb(static_cast<std::uint64_t>(value));
+}
+
+void Fingerprinter::absorb_double(double value) {
+  absorb(std::bit_cast<std::uint64_t>(value));
+}
+
+void Fingerprinter::absorb_bytes(const std::string& bytes) {
+  absorb(bytes.size());
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const char c : bytes) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      absorb(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) absorb(word);
+}
+
+Fingerprint Fingerprinter::finish() const {
+  // Length-mix and cross-fold so prefix inputs do not share a fingerprint
+  // prefix, then one more avalanche per lane.
+  const std::uint64_t hi = mix64(a_ ^ (length_ * kGolden) ^ std::rotl(b_, 17));
+  const std::uint64_t lo = mix64(b_ + (length_ ^ kGolden) + std::rotl(a_, 43));
+  return Fingerprint{hi, lo};
+}
+
+namespace {
+
+std::vector<int> stable_rank_order(const Instance& instance) {
+  std::vector<int> order(static_cast<std::size_t>(instance.jobs()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.time(a) < instance.time(b);
+  });
+  return order;
+}
+
+Instance sorted_instance(const Instance& instance,
+                         const std::vector<int>& order) {
+  std::vector<Time> times;
+  times.reserve(order.size());
+  for (const int job : order) times.push_back(instance.time(job));
+  return Instance(instance.machines(), std::move(times));
+}
+
+Fingerprint canonical_fingerprint(const Instance& canonical) {
+  Fingerprinter fp;
+  fp.absorb_bytes("pcmax.instance.v1");
+  fp.absorb_int(canonical.machines());
+  fp.absorb_int(canonical.jobs());
+  for (const Time t : canonical.times()) fp.absorb_int(t);
+  return fp.finish();
+}
+
+}  // namespace
+
+CanonicalInstance::CanonicalInstance(const Instance& instance)
+    : CanonicalInstance(instance, stable_rank_order(instance)) {}
+
+CanonicalInstance::CanonicalInstance(const Instance& instance,
+                                     std::vector<int> order)
+    : canonical_(sorted_instance(instance, order)),
+      perm_(std::move(order)),
+      fingerprint_(canonical_fingerprint(canonical_)) {}
+
+Schedule CanonicalInstance::lift(const std::vector<int>& assignment) const {
+  PCMAX_REQUIRE(assignment.size() == perm_.size(),
+                "canonical assignment has wrong job count");
+  Schedule schedule(canonical_.machines());
+  for (std::size_t rank = 0; rank < assignment.size(); ++rank) {
+    schedule.assign(assignment[rank], perm_[rank]);
+  }
+  return schedule;
+}
+
+std::vector<int> CanonicalInstance::project(const Schedule& schedule) const {
+  // assignment() validates completeness against the canonical twin, which
+  // has the same machine count and job count as the original.
+  const std::vector<int> by_job = schedule.assignment(canonical_);
+  std::vector<int> by_rank(perm_.size());
+  for (std::size_t rank = 0; rank < perm_.size(); ++rank) {
+    by_rank[rank] = by_job[static_cast<std::size_t>(perm_[rank])];
+  }
+  return by_rank;
+}
+
+Fingerprint request_fingerprint(const CanonicalInstance& canonical,
+                                double epsilon) {
+  Fingerprinter fp;
+  fp.absorb_bytes("pcmax.request.v1");
+  const Fingerprint& instance_fp = canonical.fingerprint();
+  fp.absorb(instance_fp.hi);
+  fp.absorb(instance_fp.lo);
+  fp.absorb_double(epsilon);
+  return fp.finish();
+}
+
+}  // namespace pcmax

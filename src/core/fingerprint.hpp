@@ -1,0 +1,115 @@
+// Instance canonicalization and 128-bit fingerprinting.
+//
+// The batch solve service (src/service) dedups semantically identical
+// requests: two instances that differ only in job order describe the same
+// P || C_max problem and must map to the same cache key. Canonicalization
+// sorts the job vector (ascending, stable), remembers the sort permutation,
+// and hashes machine count + sorted times into a 128-bit fingerprint — wide
+// enough that collisions are never expected in practice, while the cache
+// still verifies the canonical form on every hit so even a collision
+// degrades to a miss, never to a wrong answer.
+//
+// The hash is a fixed-seed two-lane splitmix64 sponge: pure 64-bit integer
+// arithmetic, no platform or endianness dependence, so fingerprints are
+// stable across runs and machines and safe to use in golden files.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace pcmax {
+
+/// A 128-bit content fingerprint. Value type, ordered, hashable.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex digits, hi first (e.g. "3f....0a").
+  [[nodiscard]] std::string to_hex() const;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend std::strong_ordering operator<=>(const Fingerprint&,
+                                          const Fingerprint&) = default;
+};
+
+/// Hash functor for unordered containers keyed by Fingerprint.
+struct FingerprintHasher {
+  std::size_t operator()(const Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Streaming 128-bit hasher. Deterministic: fixed seeds, fixed mixing, no
+/// host-dependent state. Absorb words, then finish().
+class Fingerprinter {
+ public:
+  Fingerprinter();
+
+  /// Absorbs one 64-bit word.
+  void absorb(std::uint64_t word);
+  /// Absorbs a signed value as its two's-complement bit pattern.
+  void absorb_int(std::int64_t value);
+  /// Absorbs a double as its IEEE-754 bit pattern.
+  void absorb_double(double value);
+  /// Absorbs a byte string (length-prefixed, so "ab"+"c" != "a"+"bc").
+  void absorb_bytes(const std::string& bytes);
+
+  /// Finalises (length-mixed). The hasher may keep absorbing afterwards;
+  /// finish() itself is side-effect free.
+  [[nodiscard]] Fingerprint finish() const;
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t length_ = 0;
+};
+
+/// An instance in canonical form: job times sorted ascending (stable), with
+/// the sort permutation retained so canonical-space schedules can be mapped
+/// back to the original job numbering.
+class CanonicalInstance {
+ public:
+  explicit CanonicalInstance(const Instance& instance);
+
+  /// The canonical twin: same machines, times sorted ascending.
+  [[nodiscard]] const Instance& instance() const { return canonical_; }
+
+  /// permutation()[rank] = original job index holding canonical rank `rank`.
+  /// Stable: equal times keep their original relative order.
+  [[nodiscard]] const std::vector<int>& permutation() const { return perm_; }
+
+  /// Fingerprint of the canonical form (machines, n, sorted times).
+  /// Permutation-invariant by construction.
+  [[nodiscard]] const Fingerprint& fingerprint() const { return fingerprint_; }
+
+  /// Lifts a canonical-space machine assignment (machine of canonical rank r)
+  /// to a schedule on the original job numbering. The result is valid for
+  /// the original instance whenever `assignment` is valid for the canonical
+  /// one, because rank r and job permutation()[r] have equal times.
+  [[nodiscard]] Schedule lift(const std::vector<int>& assignment) const;
+
+  /// Projects a schedule of the original instance into canonical space:
+  /// result[r] = machine of job permutation()[r].
+  [[nodiscard]] std::vector<int> project(const Schedule& schedule) const;
+
+ private:
+  CanonicalInstance(const Instance& instance, std::vector<int> order);
+
+  Instance canonical_;
+  std::vector<int> perm_;
+  Fingerprint fingerprint_;
+};
+
+/// Fingerprint of a solve REQUEST: the canonical instance plus the solve
+/// parameters that determine the result (epsilon). Two requests with equal
+/// request fingerprints are interchangeable for caching purposes.
+Fingerprint request_fingerprint(const CanonicalInstance& canonical,
+                                double epsilon);
+
+}  // namespace pcmax

@@ -38,8 +38,9 @@ SolverResult ResilientSolver::solve(const Instance& instance) {
   std::string algorithm;
   std::string reason;
 
-  // Stage 1: the PTAS, all-or-nothing under the effective token.
-  {
+  // Stage 1: the PTAS, all-or-nothing under the effective token. The
+  // admission layer of a caller may disable it outright (cheap path).
+  if (options_.ptas_enabled) {
     Stopwatch stage;
     PtasOptions ptas_options = options_.ptas;
     ptas_options.cancel = token;
@@ -55,6 +56,9 @@ SolverResult ResilientSolver::solve(const Instance& instance) {
       reason = std::string("resource-limit: ") + e.what();
     }
     result.stats["stage_ptas_seconds"] = stage.elapsed_seconds();
+  } else {
+    reason = "ptas-skipped";
+    result.stats["stage_ptas_seconds"] = 0.0;
   }
 
   // Stages 2+3: constructive fallback + polish. Both rungs terminate
@@ -92,13 +96,17 @@ SolverResult ResilientSolver::solve(const Instance& instance) {
     }
   }
 
+  const std::string effective_reason = reason.empty() ? "none" : reason;
   result.notes["algorithm_used"] = algorithm;
-  result.notes["degradation_reason"] = reason.empty() ? "none" : reason;
+  result.notes["degradation_reason"] = effective_reason;
   result.seconds = sw.elapsed_seconds();
 
   if (metrics != nullptr) {
-    metrics->note("algorithm_used", algorithm);
-    metrics->note("degradation_reason", reason.empty() ? "none" : reason);
+    // One note written as a single consistent pair. Two separate keys would
+    // race pair-wise under concurrent solves: "algorithm_used" from solve A
+    // could be observed next to "degradation_reason" from solve B. A lone
+    // last-write-wins key cannot mix provenance from two solves.
+    metrics->note("resilient.last_solve", algorithm + ";" + effective_reason);
     metrics->add_span("resilient.solve", 0, solve_begin, obs::monotonic_ns());
   }
   return result;

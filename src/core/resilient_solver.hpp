@@ -25,6 +25,13 @@
 // Errors that are NOT resource-shaped (InvalidArgumentError, a hostile
 // executor's std::runtime_error, logic errors) propagate unchanged —
 // degradation must not mask bugs.
+//
+// Thread safety: concurrent solve() calls (distinct solver instances or the
+// same one) are safe and keep their provenance independent — all per-solve
+// state is local, the resilient.* counters are atomic, and the single
+// metrics note "resilient.last_solve" is written as one consistent
+// "<algorithm>;<reason>" pair (last solve wins wholesale; pairs from two
+// concurrent solves are never interleaved).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +47,13 @@ struct ResilientOptions {
   /// Configuration of the preferred solver (stage 1). Its `cancel` field is
   /// replaced by the driver's effective token (external cancel + deadline).
   PtasOptions ptas;
+
+  /// When false, stage 1 is skipped entirely and the solve goes straight to
+  /// the MULTIFIT/LPT + local-search rungs ("cheap path"). Used by the solve
+  /// service when the admission layer decides a request cannot afford the
+  /// PTAS (queue saturated, deadline nearly spent). The result is marked
+  /// degraded with degradation_reason "ptas-skipped".
+  bool ptas_enabled = true;
 
   /// Wall-clock budget for the whole solve in milliseconds; 0 = unlimited.
   /// The budget covers the PTAS attempt; the fallback rungs run under the

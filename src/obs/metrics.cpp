@@ -23,6 +23,11 @@ const char* counter_name(Counter counter) {
     case Counter::kMipNodes: return "mip.nodes";
     case Counter::kResilientSolves: return "resilient.solves";
     case Counter::kResilientFallbacks: return "resilient.fallbacks";
+    case Counter::kServiceRequests: return "service.requests";
+    case Counter::kServiceCacheHits: return "service.cache.hits";
+    case Counter::kServiceCacheMisses: return "service.cache.misses";
+    case Counter::kServiceCacheEvictions: return "service.cache.evictions";
+    case Counter::kServiceDegraded: return "service.degraded";
   }
   throw InvalidArgumentError("unknown counter");
 }
@@ -35,6 +40,7 @@ const char* timer_name(Timer timer) {
     case Timer::kDpLevel: return "dp.level";
     case Timer::kBisectionProbe: return "bisection.probe";
     case Timer::kLpSolve: return "lp.solve";
+    case Timer::kServiceRequest: return "service.request";
   }
   throw InvalidArgumentError("unknown timer");
 }

@@ -61,8 +61,13 @@ enum class Counter : unsigned {
   kMipNodes,           ///< branch-and-bound nodes expanded
   kResilientSolves,    ///< ResilientSolver::solve calls
   kResilientFallbacks, ///< resilient solves that degraded past the PTAS
+  kServiceRequests,       ///< requests processed by a SolveService worker
+  kServiceCacheHits,      ///< result-cache hits (verified, served from cache)
+  kServiceCacheMisses,    ///< result-cache misses (includes collision misses)
+  kServiceCacheEvictions, ///< LRU evictions from the result cache
+  kServiceDegraded,       ///< requests answered via a degraded (cheap) path
 };
-inline constexpr std::size_t kCounterCount = 15;
+inline constexpr std::size_t kCounterCount = 20;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);
@@ -75,8 +80,9 @@ enum class Timer : unsigned {
   kDpLevel,         ///< one anti-diagonal level sweep
   kBisectionProbe,  ///< round + enumerate + DP of one probe
   kLpSolve,         ///< one simplex solve
+  kServiceRequest,  ///< end-to-end request latency inside a service worker
 };
-inline constexpr std::size_t kTimerCount = 6;
+inline constexpr std::size_t kTimerCount = 7;
 
 /// Stable name used as the JSON key (e.g. "barrier.wait").
 const char* timer_name(Timer timer);

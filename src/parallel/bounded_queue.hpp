@@ -1,0 +1,101 @@
+// A bounded MPMC queue with blocking backpressure.
+//
+// The solve service's admission layer: producers (request submitters) block
+// in push() while the queue is at capacity, so a flood of submissions slows
+// the callers down instead of growing memory without bound; consumers
+// (solver workers) block in pop() until work arrives. close() initiates a
+// drain: further pushes are refused, queued items are still handed out, and
+// pop() returns nullopt once the queue is empty — the worker-loop exit
+// signal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` >= 1: the maximum number of queued (not yet popped) items.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PCMAX_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns true when the item was
+  /// enqueued, false when the queue was closed (item not enqueued).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then returns nullopt).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Refuses further pushes; queued items remain poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Current number of queued items (a racy snapshot, for admission
+  /// heuristics and stats only).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Largest queue depth ever observed.
+  [[nodiscard]] std::size_t high_watermark() const {
+    std::lock_guard lock(mutex_);
+    return high_watermark_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pcmax

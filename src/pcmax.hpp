@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/bounds.hpp"
+#include "core/fingerprint.hpp"
 #include "core/instance.hpp"
 #include "core/instance_gen.hpp"
 #include "core/schedule.hpp"
@@ -33,8 +34,14 @@
 #include "obs/metrics.hpp"
 #include "obs/metrics_json.hpp"
 
+#include "parallel/bounded_queue.hpp"
 #include "parallel/executor.hpp"
+#include "parallel/executor_lanes.hpp"
 #include "parallel/parallel_sort.hpp"
+
+#include "service/batch_report.hpp"
+#include "service/result_cache.hpp"
+#include "service/solve_service.hpp"
 
 #include "sim/event_sim.hpp"
 #include "sim/robustness.hpp"

@@ -1,0 +1,67 @@
+#include "service/batch_report.hpp"
+
+#include <set>
+#include <string>
+
+namespace pcmax {
+
+JsonValue batch_report(const ServiceOptions& options,
+                       const std::vector<SolveResponse>& responses,
+                       const ServiceStats& stats, double total_seconds) {
+  JsonValue report = JsonValue::make_object();
+  report["schema"] = "pcmax.batch.v1";
+
+  JsonValue& config = report["config"];
+  config["workers"] = options.workers;
+  config["lane_width"] = options.lane_width;
+  config["lanes"] = options.lanes == 0 ? options.workers : options.lanes;
+  config["queue_capacity"] = static_cast<std::int64_t>(options.queue_capacity);
+  config["cache_capacity"] = static_cast<std::int64_t>(options.cache_capacity);
+  config["epsilon"] = options.epsilon;
+  config["default_time_limit_ms"] = options.default_time_limit_ms;
+
+  std::set<std::string> unique;
+  for (const SolveResponse& response : responses) {
+    unique.insert(response.fingerprint.to_hex());
+  }
+
+  JsonValue& summary = report["summary"];
+  summary["requests"] = static_cast<std::int64_t>(responses.size());
+  summary["cache_hits"] = stats.cache.hits;
+  summary["cache_misses"] = stats.cache.misses;
+  summary["cache_evictions"] = stats.cache.evictions;
+  summary["cache_collisions"] = stats.cache.collisions;
+  summary["degraded"] = stats.degraded;
+  summary["unique_fingerprints"] = static_cast<std::int64_t>(unique.size());
+  summary["queue_high_watermark"] =
+      static_cast<std::int64_t>(stats.queue_high_watermark);
+  summary["total_seconds"] = total_seconds;
+  summary["throughput_rps"] =
+      total_seconds > 0.0
+          ? static_cast<double>(responses.size()) / total_seconds
+          : 0.0;
+
+  JsonValue requests = JsonValue::make_array();
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const SolveResponse& response = responses[i];
+    JsonValue entry = JsonValue::make_object();
+    entry["index"] = static_cast<std::int64_t>(i);
+    entry["machines"] = response.machines;
+    entry["jobs"] = response.jobs;
+    entry["fingerprint"] = response.fingerprint.to_hex();
+    entry["makespan"] = response.makespan;
+    entry["algorithm"] = response.algorithm;
+    entry["cache_hit"] = response.cache_hit;
+    entry["degraded"] = response.degraded;
+    entry["degradation_reason"] = response.degradation_reason;
+    entry["proven_optimal"] = response.proven_optimal;
+    entry["queue_seconds"] = response.queue_seconds;
+    entry["solve_seconds"] = response.solve_seconds;
+    entry["seconds"] = response.seconds;
+    requests.append(std::move(entry));
+  }
+  report["requests"] = std::move(requests);
+  return report;
+}
+
+}  // namespace pcmax

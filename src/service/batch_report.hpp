@@ -1,0 +1,31 @@
+// The "pcmax.batch.v1" machine-readable batch report.
+//
+// One schema shared by the CLI (`pcmax batch --json`), the service
+// throughput bench (BENCH_service.json embeds one report per arm), and the
+// golden-file test (tests/service_golden_test.cpp) — so the report layout is
+// pinned in exactly one place. Key order is insertion order (util/json keeps
+// objects ordered), which is what makes the dump golden-testable.
+//
+// Layout:
+//   schema   "pcmax.batch.v1"
+//   config   service knobs that shaped the run
+//   summary  batch-level counters + throughput
+//   requests one object per response, in request order
+#pragma once
+
+#include <vector>
+
+#include "service/solve_service.hpp"
+#include "util/json.hpp"
+
+namespace pcmax {
+
+/// Builds the report. `total_seconds` is the caller-measured wall time of
+/// the whole batch (0 yields throughput_rps = 0, used by golden tests that
+/// scrub timing).
+[[nodiscard]] JsonValue batch_report(const ServiceOptions& options,
+                                     const std::vector<SolveResponse>& responses,
+                                     const ServiceStats& stats,
+                                     double total_seconds);
+
+}  // namespace pcmax

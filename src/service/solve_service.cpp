@@ -1,0 +1,264 @@
+#include "service/solve_service.hpp"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+
+namespace {
+
+double ns_to_seconds(std::uint64_t begin_ns, std::uint64_t end_ns) {
+  return static_cast<double>(end_ns - begin_ns) * 1e-9;
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions options)
+    : options_(std::move(options)) {
+  PCMAX_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  PCMAX_REQUIRE(options_.lane_width >= 1, "lane width must be at least 1");
+  PCMAX_REQUIRE(options_.epsilon > 0, "service default epsilon must be > 0");
+  PCMAX_REQUIRE(options_.default_time_limit_ms >= 0,
+                "default time limit must be non-negative (0 = unlimited)");
+  PCMAX_REQUIRE(options_.deadline_near_ms >= 0,
+                "deadline-near threshold must be non-negative");
+  queue_ = std::make_unique<BoundedQueue<Pending>>(options_.queue_capacity);
+  const unsigned lanes =
+      options_.lanes == 0 ? options_.workers : options_.lanes;
+  lanes_ = std::make_unique<ExecutorLanes>(lanes, options_.lane_width);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  }
+  workers_.reserve(options_.workers);
+  for (unsigned w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolveService::~SolveService() {
+  shutting_down_.store(true, std::memory_order_relaxed);
+  queue_->close();  // drain semantics: queued requests still get answers
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<SolveResponse> SolveService::submit(SolveRequest request) {
+  PCMAX_REQUIRE(!shutting_down_.load(std::memory_order_relaxed),
+                "service is shutting down");
+  Pending pending{std::move(request)};
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // The per-request budget starts at ADMISSION: time spent waiting in the
+  // queue is spent budget, which is what lets the dispatch-time admission
+  // check degrade requests whose wait consumed almost all of it.
+  const std::int64_t limit_ms = pending.request.time_limit_ms < 0
+                                    ? options_.default_time_limit_ms
+                                    : pending.request.time_limit_ms;
+  if (limit_ms > 0) {
+    pending.deadline = Deadline::after_ms(limit_ms);
+    pending.token =
+        CancellationToken::linked(pending.request.cancel, pending.deadline);
+  } else {
+    pending.token = pending.request.cancel;
+  }
+  pending.enqueue_ns = obs::monotonic_ns();
+  std::future<SolveResponse> future = pending.promise.get_future();
+  if (!queue_->push(std::move(pending))) {
+    throw Error("service is shutting down");
+  }
+  return future;
+}
+
+std::vector<SolveResponse> SolveService::solve_batch(
+    std::vector<SolveRequest> requests) {
+  std::vector<std::future<SolveResponse>> futures;
+  futures.reserve(requests.size());
+  for (SolveRequest& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  std::vector<SolveResponse> responses;
+  responses.reserve(futures.size());
+  for (std::future<SolveResponse>& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.cache = cache_->stats();
+  stats.queue_high_watermark = queue_->high_watermark();
+  return stats;
+}
+
+void SolveService::worker_loop() {
+  while (auto pending = queue_->pop()) {
+    process(std::move(*pending));
+  }
+}
+
+void SolveService::process(Pending pending) {
+  obs::Metrics* metrics = obs::current();
+  const std::uint64_t dispatch_ns = obs::monotonic_ns();
+  SolveResponse response;
+  try {
+    try {
+      response = handle(pending);
+    } catch (const ResourceLimitError& e) {
+      // A budget (or injected fault) tripped outside the resilient solver's
+      // own rungs: answer with the degraded path, never with an exception.
+      response =
+          cheap_solve(pending, std::string("resource-limit: ") + e.what());
+    }
+  } catch (...) {
+    // Everything else (InvalidArgumentError, logic errors) is a bug or a
+    // caller error; deliver it through the future unchanged.
+    pending.promise.set_exception(std::current_exception());
+    return;
+  }
+  const std::uint64_t done_ns = obs::monotonic_ns();
+  response.id = pending.id;
+  response.machines = pending.request.instance.machines();
+  response.jobs = pending.request.instance.jobs();
+  response.queue_seconds = ns_to_seconds(pending.enqueue_ns, dispatch_ns);
+  response.solve_seconds = ns_to_seconds(dispatch_ns, done_ns);
+  response.seconds = ns_to_seconds(pending.enqueue_ns, done_ns);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (response.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    metrics->add(0, obs::Counter::kServiceRequests);
+    if (response.degraded) metrics->add(0, obs::Counter::kServiceDegraded);
+    metrics->add_timer(obs::Timer::kServiceRequest, done_ns - dispatch_ns);
+    metrics->add_span("service.request", 0, pending.enqueue_ns, done_ns);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+SolveResponse SolveService::handle(Pending& pending) {
+  fault_hit("service.request");
+  const double epsilon = effective_epsilon(pending.request);
+  const CanonicalInstance canonical(pending.request.instance);
+  const Fingerprint key = request_fingerprint(canonical, epsilon);
+
+  std::string cache_note = cache_ != nullptr ? "miss" : "disabled";
+  if (cache_ != nullptr) {
+    std::optional<CacheEntry> entry;
+    try {
+      fault_hit("service.cache");
+      entry = cache_->lookup(key, canonical.instance());
+    } catch (const ResourceLimitError& e) {
+      // A failing cache must cost a recompute, never availability.
+      cache_note = std::string("lookup-bypassed: ") + e.what();
+    }
+    if (entry.has_value()) {
+      SolveResponse response;
+      response.fingerprint = key;
+      response.cache_hit = true;
+      response.makespan = entry->makespan;
+      response.algorithm = entry->algorithm;
+      response.proven_optimal = entry->proven_optimal;
+      // Lift the canonical-space assignment through THIS request's sort
+      // permutation: valid for its job numbering, same makespan.
+      response.schedule = canonical.lift(entry->assignment);
+      response.schedule.validate(pending.request.instance);
+      response.notes["cache"] = "hit";
+      return response;
+    }
+  }
+
+  // Admission decision: a saturated queue or a nearly-spent deadline sends
+  // the request down the cheap path instead of starting a doomed PTAS.
+  std::string forced_reason;
+  const std::size_t watermark = options_.saturation_watermark == 0
+                                    ? options_.queue_capacity
+                                    : options_.saturation_watermark;
+  if (queue_->size() >= watermark) {
+    forced_reason = "queue-saturated";
+  } else if (pending.deadline.has_limit() &&
+             pending.deadline.remaining_seconds() * 1000.0 <
+                 static_cast<double>(options_.deadline_near_ms)) {
+    forced_reason = "deadline-near";
+  }
+
+  SolveResponse response =
+      run_solver(pending, canonical, forced_reason.empty(), forced_reason);
+  response.fingerprint = key;
+  response.notes["cache"] = cache_note;
+
+  // Only full-fidelity results enter the cache: a degraded answer must
+  // never be served to a future caller with a healthy budget.
+  if (cache_ != nullptr && response.degradation_reason == "none") {
+    try {
+      fault_hit("service.cache");
+      CacheEntry entry{canonical.instance(), canonical.project(response.schedule),
+                       response.makespan, response.algorithm,
+                       response.proven_optimal};
+      cache_->insert(key, std::move(entry));
+    } catch (const ResourceLimitError& e) {
+      response.notes["cache"] = std::string("store-skipped: ") + e.what();
+    }
+  }
+  return response;
+}
+
+SolveResponse SolveService::cheap_solve(Pending& pending,
+                                        const std::string& reason) {
+  const double epsilon = effective_epsilon(pending.request);
+  const CanonicalInstance canonical(pending.request.instance);
+  SolveResponse response =
+      run_solver(pending, canonical, /*use_ptas=*/false, reason);
+  response.fingerprint = request_fingerprint(canonical, epsilon);
+  response.notes["cache"] = "skipped-degraded";
+  return response;
+}
+
+SolveResponse SolveService::run_solver(Pending& pending,
+                                       const CanonicalInstance& canonical,
+                                       bool use_ptas,
+                                       const std::string& forced_reason) {
+  ResilientOptions resilient;
+  resilient.ptas.epsilon = effective_epsilon(pending.request);
+  resilient.ptas_enabled = use_ptas;
+  resilient.multifit_iterations = options_.multifit_iterations;
+  resilient.local_search_rounds = options_.local_search_rounds;
+  resilient.cancel = pending.token;  // request cancel + admission deadline
+
+  const ExecutorLanes::Lease lease = lanes_->acquire();
+  if (options_.lane_width > 1) {
+    // Parallel engine on the leased lane; bit-compatible with the
+    // sequential bottom-up fill (see tests/ptas_dp_crosscheck_test.cpp), so
+    // cache entries and responses do not depend on the lane width.
+    resilient.ptas.engine = DpEngine::kParallelBucketed;
+    resilient.ptas.executor = &lease.executor();
+  }
+  // Solve the CANONICAL twin, not the submitted ordering. The PTAS maps
+  // concrete jobs into rounded value classes in job order, and two jobs in
+  // one class have different true times — so its makespan is not
+  // permutation-invariant. Solving in canonical space and lifting through
+  // the request's sort permutation makes every response a pure function of
+  // the problem (machines + job multiset + epsilon), so cache hits and
+  // misses for one fingerprint are indistinguishable.
+  SolverResult result = ResilientSolver(resilient).solve(canonical.instance());
+
+  SolveResponse response;
+  response.makespan = result.makespan;
+  response.schedule = canonical.lift(
+      result.schedule.assignment(canonical.instance()));
+  response.algorithm = result.notes["algorithm_used"];
+  response.degradation_reason = forced_reason.empty()
+                                    ? result.notes["degradation_reason"]
+                                    : forced_reason;
+  response.degraded = response.degradation_reason != "none";
+  response.proven_optimal = result.proven_optimal;
+  return response;
+}
+
+double SolveService::effective_epsilon(const SolveRequest& request) const {
+  return request.epsilon > 0 ? request.epsilon : options_.epsilon;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,207 @@
+// Batch solve service: admission-controlled, deduplicating, degradation-
+// aware front end over the solver stack.
+//
+// One-instance-at-a-time Solver::solve() makes every caller pay full PTAS
+// cost, even for a request someone else just solved, and gives concurrent
+// callers nothing to share. SolveService turns the library into a serving
+// tier:
+//
+//  * submissions enter a BOUNDED QUEUE — producers block while it is full
+//    (backpressure), so load shows up as latency at the edge, not as
+//    unbounded memory in the middle;
+//  * every request is CANONICALIZED and FINGERPRINTED (core/fingerprint):
+//    permuted duplicates share one 128-bit key, and an LRU RESULT CACHE
+//    short-circuits them — a hit lifts the cached canonical-space schedule
+//    through the request's own sort permutation. Misses solve the CANONICAL
+//    twin and lift too, so a response is a pure function of the problem
+//    (machines, job multiset, epsilon) — the same makespan whether it was
+//    computed fresh or served from cache, in any job order;
+//  * the ADMISSION layer degrades per request instead of failing: when the
+//    queue is saturated at dispatch, or a request's deadline is nearly
+//    spent, the solve skips the PTAS and takes the always-terminating
+//    MULTIFIT/LPT + local-search path (ResilientSolver with ptas_enabled =
+//    false); a tripped budget mid-solve degrades the same way. Responses
+//    carry honest provenance (algorithm, degradation_reason, cache_hit);
+//  * solver parallelism comes from a SHARED set of persistent executor
+//    lanes (parallel/executor_lanes): per-request parallelism is capped at
+//    the lane width, so one big PTAS solve can never starve small requests,
+//    and no threads are spawned per request.
+//
+// Worker-thread errors that are resource-shaped degrade; anything else
+// (InvalidArgumentError, logic errors) is delivered through the request's
+// future via set_exception — the service never converts bugs into results.
+//
+// Results that DEGRADED are never cached: a cache must only ever serve the
+// full-fidelity answer for a key. Fault sites "service.request" and
+// "service.cache" (util/fault) let tests trip either path deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/instance.hpp"
+#include "core/resilient_solver.hpp"
+#include "core/schedule.hpp"
+#include "parallel/bounded_queue.hpp"
+#include "parallel/executor_lanes.hpp"
+#include "service/result_cache.hpp"
+#include "util/deadline.hpp"
+
+namespace pcmax {
+
+/// Static configuration of a SolveService.
+struct ServiceOptions {
+  /// Solver worker threads draining the queue (>= 1).
+  unsigned workers = 2;
+
+  /// Per-request parallelism cap: width of each executor lane. 1 = fully
+  /// sequential solves (lanes degenerate to inline execution).
+  unsigned lane_width = 1;
+
+  /// Number of shared executor lanes; 0 = one per worker. Fewer lanes than
+  /// workers adds a second admission gate below the queue.
+  unsigned lanes = 0;
+
+  /// Bounded request-queue capacity (backpressure threshold).
+  std::size_t queue_capacity = 64;
+
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+
+  /// PTAS accuracy for requests that do not set their own.
+  double epsilon = 0.3;
+
+  /// Wall-clock budget applied to requests that do not set their own, in
+  /// milliseconds from ADMISSION (queue wait spends budget); 0 = unlimited.
+  std::int64_t default_time_limit_ms = 0;
+
+  /// Queue depth at dispatch at/above which a request degrades to the cheap
+  /// path ("queue-saturated"). 0 = queue_capacity, i.e. degrade only while
+  /// the queue is completely full behind this request.
+  std::size_t saturation_watermark = 0;
+
+  /// A request whose remaining budget is below this at dispatch degrades to
+  /// the cheap path ("deadline-near") instead of starting a doomed PTAS.
+  std::int64_t deadline_near_ms = 5;
+
+  /// Fallback-rung tuning forwarded to ResilientSolver.
+  int multifit_iterations = 10;
+  std::uint64_t local_search_rounds = 10'000;
+};
+
+/// One solve request. Copyable value; the instance is taken by value.
+struct SolveRequest {
+  explicit SolveRequest(Instance problem) : instance(std::move(problem)) {}
+
+  Instance instance;
+  /// PTAS accuracy; <= 0 uses the service default.
+  double epsilon = 0.0;
+  /// Wall-clock budget in ms from admission; < 0 uses the service default,
+  /// 0 means unlimited.
+  std::int64_t time_limit_ms = -1;
+  /// Optional external cancellation, observed in addition to the deadline.
+  CancellationToken cancel;
+};
+
+/// One solve response, with full provenance.
+struct SolveResponse {
+  std::uint64_t id = 0;            ///< submission sequence number
+  int machines = 0;                ///< m of the submitted instance
+  int jobs = 0;                    ///< n of the submitted instance
+  Time makespan = 0;
+  Schedule schedule{1};            ///< complete valid schedule for the request
+  std::string algorithm;           ///< rung that produced the result
+  std::string degradation_reason = "none";  ///< "none" when full fidelity
+  bool degraded = false;
+  bool cache_hit = false;
+  bool proven_optimal = false;
+  Fingerprint fingerprint;         ///< request fingerprint (dedup key)
+  double queue_seconds = 0.0;      ///< admission -> dispatch
+  double solve_seconds = 0.0;      ///< dispatch -> response
+  double seconds = 0.0;            ///< admission -> response (end-to-end)
+  std::map<std::string, std::string> notes;  ///< extra textual provenance
+};
+
+/// Counter snapshot of a running service.
+struct ServiceStats {
+  std::uint64_t requests = 0;   ///< responses produced
+  std::uint64_t degraded = 0;   ///< responses answered via a degraded path
+  CacheStats cache;             ///< zeroed when caching is disabled
+  std::size_t queue_high_watermark = 0;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+
+  /// Closes admission, drains every queued request (all futures resolve),
+  /// and joins the workers.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submits one request. Blocks while the queue is full (backpressure);
+  /// throws Error once the service is shutting down.
+  std::future<SolveResponse> submit(SolveRequest request);
+
+  /// Submits a whole batch and waits for every response. Responses are
+  /// returned in request order. Exceptions from individual requests
+  /// propagate when their response is collected.
+  std::vector<SolveResponse> solve_batch(std::vector<SolveRequest> requests);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    explicit Pending(SolveRequest r) : request(std::move(r)) {}
+
+    SolveRequest request;
+    std::promise<SolveResponse> promise;
+    std::uint64_t id = 0;
+    std::uint64_t enqueue_ns = 0;
+    CancellationToken token;  ///< request cancel + admission-time deadline
+    Deadline deadline;        ///< the admission-time deadline itself
+  };
+
+  void worker_loop();
+  void process(Pending pending);
+  /// The full pipeline: fingerprint, cache probe, admission decision, solve,
+  /// cache store. May throw ResourceLimitError from a fault site.
+  [[nodiscard]] SolveResponse handle(Pending& pending);
+  /// The degraded path: MULTIFIT/LPT + polish, never the PTAS, no caching.
+  [[nodiscard]] SolveResponse cheap_solve(Pending& pending,
+                                          const std::string& reason);
+  /// Runs ResilientSolver on a leased lane — always on the CANONICAL twin,
+  /// lifting the schedule back through the request's permutation, so the
+  /// response is a pure function of (machines, job multiset, epsilon).
+  /// `forced_reason` non-empty means the admission layer disabled the PTAS
+  /// and names why.
+  [[nodiscard]] SolveResponse run_solver(Pending& pending,
+                                         const CanonicalInstance& canonical,
+                                         bool use_ptas,
+                                         const std::string& forced_reason);
+  [[nodiscard]] double effective_epsilon(const SolveRequest& request) const;
+
+  ServiceOptions options_;
+  std::unique_ptr<BoundedQueue<Pending>> queue_;
+  std::unique_ptr<ExecutorLanes> lanes_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace pcmax

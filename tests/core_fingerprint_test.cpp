@@ -1,0 +1,183 @@
+// Canonicalization + fingerprinting: permutation invariance, sensitivity,
+// lift/project correctness, and cross-platform stability (pinned values).
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/instance_gen.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance permuted(const Instance& instance, std::uint64_t seed) {
+  std::vector<Time> times(instance.times().begin(), instance.times().end());
+  std::mt19937_64 rng(seed);
+  std::shuffle(times.begin(), times.end(), rng);
+  return Instance(instance.machines(), std::move(times));
+}
+
+TEST(Fingerprint, HexIs32LowercaseDigits) {
+  const Fingerprint fp{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(fp.to_hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Fingerprint{}.to_hex(), std::string(32, '0'));
+}
+
+TEST(Fingerprint, OrderingAndEquality) {
+  const Fingerprint a{1, 2};
+  const Fingerprint b{1, 3};
+  const Fingerprint c{2, 0};
+  EXPECT_EQ(a, (Fingerprint{1, 2}));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(FingerprintHasher{}(a), FingerprintHasher{}(c));
+}
+
+TEST(Fingerprinter, LengthPrefixingSeparatesByteSplits) {
+  Fingerprinter ab_c;
+  ab_c.absorb_bytes("ab");
+  ab_c.absorb_bytes("c");
+  Fingerprinter a_bc;
+  a_bc.absorb_bytes("a");
+  a_bc.absorb_bytes("bc");
+  EXPECT_NE(ab_c.finish(), a_bc.finish());
+}
+
+TEST(Fingerprinter, FinishIsSideEffectFree) {
+  Fingerprinter hasher;
+  hasher.absorb(42);
+  const Fingerprint first = hasher.finish();
+  EXPECT_EQ(first, hasher.finish());
+  hasher.absorb(43);
+  EXPECT_NE(first, hasher.finish());
+}
+
+TEST(CanonicalInstance, SortsTimesAndKeepsStablePermutation) {
+  const Instance instance(2, {5, 3, 5, 1, 3});
+  const CanonicalInstance canonical(instance);
+  const std::vector<Time> expected{1, 3, 3, 5, 5};
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         canonical.instance().times().begin()));
+  // Stable: ties keep submission order. Ranks of the two 3s are jobs 1, 4;
+  // ranks of the two 5s are jobs 0, 2.
+  EXPECT_EQ(canonical.permutation(), (std::vector<int>{3, 1, 4, 0, 2}));
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(instance.time(canonical.permutation()[r]),
+              canonical.instance().time(static_cast<int>(r)));
+  }
+}
+
+TEST(CanonicalInstance, FingerprintIsPermutationInvariant) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To100, 5, 40, 7, 0);
+  const CanonicalInstance base(instance);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CanonicalInstance twin(permuted(instance, seed));
+    EXPECT_EQ(base.fingerprint(), twin.fingerprint());
+    EXPECT_EQ(base.instance(), twin.instance());
+  }
+}
+
+TEST(CanonicalInstance, FingerprintSeparatesNearbyInstances) {
+  const Instance base(4, {2, 3, 5, 7, 11});
+  const CanonicalInstance fp_base(base);
+  // One more machine.
+  EXPECT_NE(fp_base.fingerprint(),
+            CanonicalInstance(Instance(5, {2, 3, 5, 7, 11})).fingerprint());
+  // One changed time.
+  EXPECT_NE(fp_base.fingerprint(),
+            CanonicalInstance(Instance(4, {2, 3, 5, 7, 12})).fingerprint());
+  // One dropped job.
+  EXPECT_NE(fp_base.fingerprint(),
+            CanonicalInstance(Instance(4, {2, 3, 5, 7})).fingerprint());
+}
+
+TEST(CanonicalInstance, LiftProjectRoundTrips) {
+  const Instance instance =
+      generate_instance(InstanceFamily::kUniform1To10, 4, 25, 11, 0);
+  const CanonicalInstance canonical(instance);
+  std::mt19937_64 rng(3);
+  std::vector<int> assignment(static_cast<std::size_t>(instance.jobs()));
+  for (int& machine : assignment) {
+    machine = static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                           instance.machines()));
+  }
+  const Schedule lifted = canonical.lift(assignment);
+  lifted.validate(instance);
+  EXPECT_EQ(canonical.project(lifted), assignment);
+  // Lifting preserves the load multiset (rank r and job perm[r] have equal
+  // times), hence the makespan.
+  std::vector<Time> canonical_loads(
+      static_cast<std::size_t>(instance.machines()), 0);
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    canonical_loads[static_cast<std::size_t>(assignment[r])] +=
+        canonical.instance().time(static_cast<int>(r));
+  }
+  std::vector<Time> lifted_loads = lifted.loads(instance);
+  std::sort(canonical_loads.begin(), canonical_loads.end());
+  std::sort(lifted_loads.begin(), lifted_loads.end());
+  EXPECT_EQ(canonical_loads, lifted_loads);
+}
+
+TEST(CanonicalInstance, SweepHasNoCollisions) {
+  // Distinct problems across the paper families must map to distinct keys;
+  // permuted twins must collide exactly.
+  std::map<std::string, Instance> seen;
+  int distinct = 0;
+  for (const InstanceFamily family : all_families()) {
+    for (int m : {2, 3, 5}) {
+      for (int n : {8, 13, 21}) {
+        for (std::uint64_t index = 0; index < 4; ++index) {
+          const Instance instance = generate_instance(family, m, n, 99, index);
+          const CanonicalInstance canonical(instance);
+          const std::string key = canonical.fingerprint().to_hex();
+          const auto [it, inserted] = seen.emplace(key, canonical.instance());
+          if (inserted) {
+            ++distinct;
+          } else {
+            // Same key must mean the same canonical problem.
+            EXPECT_EQ(it->second, canonical.instance()) << key;
+          }
+          EXPECT_EQ(CanonicalInstance(permuted(instance, index + 1))
+                        .fingerprint()
+                        .to_hex(),
+                    key);
+        }
+      }
+    }
+  }
+  EXPECT_GE(distinct, 100);
+}
+
+TEST(RequestFingerprint, BindsEpsilonIntoTheKey) {
+  const Instance instance(3, {4, 8, 15, 16, 23, 42});
+  const CanonicalInstance canonical(instance);
+  const Fingerprint eps03 = request_fingerprint(canonical, 0.3);
+  EXPECT_EQ(eps03, request_fingerprint(canonical, 0.3));
+  EXPECT_NE(eps03, request_fingerprint(canonical, 0.2));
+  EXPECT_NE(eps03, canonical.fingerprint());
+}
+
+TEST(Fingerprint, PinnedReferenceValues) {
+  // Golden files embed fingerprints, so the hash must never change silently.
+  // These values pin the algorithm (fixed seeds, two-lane splitmix64); if
+  // this test fails, every golden file embedding fingerprints is stale too.
+  const CanonicalInstance canonical(Instance(3, {4, 8, 15, 16, 23, 42}));
+  EXPECT_EQ(canonical.fingerprint().to_hex(),
+            CanonicalInstance(Instance(3, {42, 23, 16, 15, 8, 4}))
+                .fingerprint()
+                .to_hex());
+  const std::string instance_hex = canonical.fingerprint().to_hex();
+  const std::string request_hex = request_fingerprint(canonical, 0.3).to_hex();
+  // Recorded from the reference implementation (see commit introducing it).
+  EXPECT_EQ(instance_hex, "687375a7b3626862645667c4fae4b7c3");
+  EXPECT_EQ(request_hex, "76a2978c8505f97e9a422775156ac488");
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "algo/ptas/dp_parallel.hpp"
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
 #include "mip/pcmax_ip.hpp"
+#include "service/solve_service.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -224,6 +227,112 @@ TEST(FaultInjection, CancelAtNthMipNodeReturnsIncumbent) {
   result.schedule.validate(instance);
   ASSERT_TRUE(result.notes.count("limit_reason"));
   EXPECT_EQ(result.notes.at("limit_reason"), "cancelled");
+}
+
+// --- batch-service fault sites ---
+
+TEST(FaultInjection, ServiceRequestFaultDegradesWithProvenance) {
+  // An injected ResourceLimitError at the request site must answer via the
+  // degraded path (valid schedule, honest reason), never via the future's
+  // exception — and the degraded result must never be cached.
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 1;
+  FaultInjector injector("service.request", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  SolveService service(options);
+  const SolveResponse faulted = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(injector.fired());
+  faulted.schedule.validate(instance);
+  EXPECT_TRUE(faulted.degraded);
+  EXPECT_EQ(faulted.degradation_reason.find("resource-limit"), 0u)
+      << faulted.degradation_reason;
+  EXPECT_FALSE(faulted.cache_hit);
+  // The follow-up must MISS (no poisoned cache), solve healthily, and only
+  // then seed the cache.
+  const SolveResponse fresh = service.submit(SolveRequest{instance}).get();
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_FALSE(fresh.degraded) << fresh.degradation_reason;
+  const SolveResponse cached = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(cached.makespan, fresh.makespan);
+}
+
+TEST(FaultInjection, ServiceCacheLookupFaultBypassesToARecompute) {
+  // A failing cache lookup costs a recompute, never availability — and the
+  // response stays full-fidelity (not degraded).
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 1;
+  FaultInjector injector("service.cache", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  SolveService service(options);
+  const SolveResponse bypassed = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(injector.fired());
+  bypassed.schedule.validate(instance);
+  EXPECT_FALSE(bypassed.degraded) << bypassed.degradation_reason;
+  EXPECT_FALSE(bypassed.cache_hit);
+  ASSERT_TRUE(bypassed.notes.count("cache"));
+  EXPECT_EQ(bypassed.notes.at("cache").find("lookup-bypassed"), 0u)
+      << bypassed.notes.at("cache");
+  // The store after the bypassed lookup succeeded: next request hits.
+  const SolveResponse hit = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.makespan, bypassed.makespan);
+}
+
+TEST(FaultInjection, ServiceCacheStoreFaultSkipsCachingButAnswers) {
+  // Hit ordering on the "service.cache" site: hit 1 = first request's
+  // lookup, hit 2 = its store. Firing at the store must deliver the healthy
+  // answer and simply leave the cache cold.
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 1;
+  FaultInjector injector("service.cache", /*fire_at=*/2,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  SolveService service(options);
+  const SolveResponse skipped = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(injector.fired());
+  skipped.schedule.validate(instance);
+  EXPECT_FALSE(skipped.degraded) << skipped.degradation_reason;
+  ASSERT_TRUE(skipped.notes.count("cache"));
+  EXPECT_EQ(skipped.notes.at("cache").find("store-skipped"), 0u)
+      << skipped.notes.at("cache");
+  // Nothing was cached: the next request misses, solves, and stores.
+  const SolveResponse fresh = service.submit(SolveRequest{instance}).get();
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.makespan, skipped.makespan);
+  EXPECT_TRUE(service.submit(SolveRequest{instance}).get().cache_hit);
+}
+
+TEST(FaultInjection, ServiceQueueDrainsUnderARequestFault) {
+  // One fault in the middle of a batch must not stall the queue: every
+  // future resolves, exactly one response is degraded.
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 0;  // force every request through a full solve
+  FaultInjector injector("service.request", /*fire_at=*/3,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  int degraded = 0;
+  {
+    SolveService service(options);
+    std::vector<std::future<SolveResponse>> futures;
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(service.submit(SolveRequest{instance}));
+    }
+    for (auto& future : futures) {
+      const SolveResponse response = future.get();
+      response.schedule.validate(instance);
+      if (response.degraded) ++degraded;
+    }
+  }
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(degraded, 1);
 }
 
 TEST(FaultInjection, InjectorFiresExactlyOnce) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 #include "algo/lpt.hpp"
 #include "core/instance_gen.hpp"
@@ -153,11 +154,80 @@ TEST(ResilientSolver, RecordsMetricsCountersAndNotes) {
   }
   EXPECT_EQ(metrics.counter_total(obs::Counter::kResilientSolves), 2u);
   EXPECT_EQ(metrics.counter_total(obs::Counter::kResilientFallbacks), 1u);
-  bool saw_algorithm = false;
+  bool saw_last_solve = false;
   for (const auto& [key, value] : metrics.notes()) {
-    if (key == "algorithm_used") saw_algorithm = true;
+    if (key == "resilient.last_solve") {
+      saw_last_solve = true;
+      // The value is one consistent "<algorithm>;<reason>" pair.
+      EXPECT_NE(value.find(';'), std::string::npos) << value;
+    }
   }
-  EXPECT_TRUE(saw_algorithm);
+  EXPECT_TRUE(saw_last_solve);
+}
+
+TEST(ResilientSolver, CheapPathSkipsThePtas) {
+  // ptas_enabled=false is the service's saturated-queue path: straight to
+  // the constructive rungs, honest "ptas-skipped" provenance.
+  const Instance instance = small_instance();
+  ResilientOptions options;
+  options.ptas_enabled = false;
+  const SolverResult result = ResilientSolver(options).solve(instance);
+  result.schedule.validate(instance);
+  EXPECT_EQ(result.notes.at("degradation_reason"), "ptas-skipped");
+  const std::string& algorithm = result.notes.at("algorithm_used");
+  EXPECT_TRUE(algorithm.find("MULTIFIT") == 0 || algorithm.find("LPT") == 0)
+      << algorithm;
+  EXPECT_EQ(result.stats.at("stage_ptas_seconds"), 0.0);
+  const SolverResult lpt = LptSolver().solve(instance);
+  EXPECT_LE(result.makespan, lpt.makespan);
+}
+
+TEST(ResilientSolver, ConcurrentSolvesKeepProvenanceConsistent) {
+  // Satellite bugfix check: two solves racing on the same ambient collector
+  // must keep per-result notes correct, count resilient.* exactly, and never
+  // publish a metrics note that mixes one solve's algorithm with the other's
+  // reason. (The old two-key scheme could interleave pair-wise.)
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const Instance instance = small_instance();
+  constexpr int kRounds = 4;
+  obs::Metrics metrics(2);
+  {
+    obs::MetricsScope scope(metrics);
+    std::thread degrading([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        ResilientOptions options;
+        options.ptas.limits.max_table_entries = 4;  // always trips
+        const SolverResult result = ResilientSolver(options).solve(instance);
+        EXPECT_EQ(result.notes.at("degradation_reason").find("resource-limit"),
+                  0u);
+      }
+    });
+    std::thread healthy([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        const SolverResult result =
+            ResilientSolver(ResilientOptions{}).solve(instance);
+        EXPECT_EQ(result.notes.at("degradation_reason"), "none");
+        EXPECT_NE(result.notes.at("algorithm_used").find("PTAS"),
+                  std::string::npos);
+      }
+    });
+    degrading.join();
+    healthy.join();
+  }
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kResilientSolves),
+            2u * kRounds);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kResilientFallbacks),
+            static_cast<std::uint64_t>(kRounds));
+  for (const auto& [key, value] : metrics.notes()) {
+    if (key != "resilient.last_solve") continue;
+    // Whole-pair writes: the surviving note is one of the two valid pairs,
+    // never a cross-solve mixture.
+    const bool healthy_pair = value.find("PTAS;none") == 0;
+    const bool degraded_pair =
+        value.find(";resource-limit") != std::string::npos &&
+        (value.find("MULTIFIT") == 0 || value.find("LPT") == 0);
+    EXPECT_TRUE(healthy_pair || degraded_pair) << value;
+  }
 }
 
 TEST(ResilientSolver, RejectsBadOptions) {

@@ -7,9 +7,9 @@
 #   tools/check.sh release    # Release tree + full suite only
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
 #
-# The Release run repeats the `bench-smoke` label explicitly at the end so
-# bench bit-rot (flag parsing, JSON export) fails loudly even when someone
-# trims the main ctest invocation.
+# The Release run repeats the `bench-smoke` and `service` labels explicitly
+# at the end so bench bit-rot (flag parsing, JSON export) and batch-service
+# regressions fail loudly even when someone trims the main ctest invocation.
 #
 # Build trees live in build-check/ and build-tsan/ so they never clobber a
 # developer's main build/ directory.
@@ -26,6 +26,8 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -j "$jobs"
   echo "== Release tree: bench smoke =="
   ctest --test-dir build-check --output-on-failure -L bench-smoke
+  echo "== Release tree: service suite =="
+  ctest --test-dir build-check --output-on-failure -L service
 }
 
 run_tsan() {

@@ -2,13 +2,19 @@
 //
 //   pcmax generate --family "U(1,100)" --m 10 --n 50 --count 20 --out set.txt
 //   pcmax solve    --file set.txt --solver parallel-ptas --epsilon 0.3
+//   pcmax batch    --file set.txt --workers 4 --repeat 2 --json report.json
 //   pcmax info     --file set.txt
 //
 // `solve` prints one result line per instance and (with --schedules) the
-// full schedules in the text format of core/io.
+// full schedules in the text format of core/io. `batch` pushes the file
+// through the SolveService (fingerprint dedup cache, bounded queue,
+// admission control) and can emit the pcmax.batch.v1 JSON report.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <random>
 
 #include "pcmax.hpp"
 #include "core/io.hpp"
@@ -230,6 +236,125 @@ int cmd_solve(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_batch(int argc, const char* const* argv) {
+  CliParser cli(
+      "pcmax batch: run an instance file through the batch solve service "
+      "(fingerprint dedup cache, bounded queue, admission control).");
+  cli.add_string("file", "", "instance file (required)");
+  cli.add_int("workers", 2, "service worker threads");
+  cli.add_int("lane-width", 1, "per-request parallelism cap (executor lane width)");
+  cli.add_int("lanes", 0, "shared executor lanes (0 = one per worker)");
+  cli.add_int("queue", 64, "bounded request-queue capacity");
+  cli.add_int("cache", 1024, "result-cache capacity in entries (0 disables)");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  cli.add_int("time-limit-ms", 0,
+              "per-request budget from admission in ms (0 = unlimited)");
+  cli.add_int("limit", 0, "use only the first N instances (0 = all)");
+  cli.add_int("repeat", 1,
+              "submit the file N times; repeats permute each job vector, so "
+              "they dedup against the first pass via the fingerprint cache");
+  cli.add_int("seed", 42, "RNG seed for the repeat permutations");
+  cli.add_string("json", "", "write the pcmax.batch.v1 report to this path");
+  cli.add_string("metrics", "",
+                 "write a JSON runtime-metrics profile to this path");
+  if (!cli.parse(argc, argv)) return 0;
+  PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
+  PCMAX_REQUIRE(cli.get_int("repeat") >= 1, "--repeat must be at least 1");
+
+  auto instances = read_instances_file(cli.get_string("file"));
+  if (cli.get_int("limit") > 0 &&
+      instances.size() > static_cast<std::size_t>(cli.get_int("limit"))) {
+    instances.erase(
+        instances.begin() + static_cast<std::ptrdiff_t>(cli.get_int("limit")),
+        instances.end());
+  }
+  std::vector<SolveRequest> requests;
+  requests.reserve(instances.size() *
+                   static_cast<std::size_t>(cli.get_int("repeat")));
+  std::mt19937_64 rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  for (std::int64_t r = 0; r < cli.get_int("repeat"); ++r) {
+    for (const Instance& instance : instances) {
+      if (r == 0) {
+        requests.push_back(SolveRequest{instance});
+      } else {
+        // A permuted twin: same job multiset, different order — exercises
+        // the canonicalization layer, hits the cache.
+        std::vector<Time> times(instance.times().begin(),
+                                instance.times().end());
+        std::shuffle(times.begin(), times.end(), rng);
+        requests.push_back(
+            SolveRequest{Instance(instance.machines(), std::move(times))});
+      }
+    }
+  }
+
+  ServiceOptions options;
+  options.workers = static_cast<unsigned>(cli.get_int("workers"));
+  options.lane_width = static_cast<unsigned>(cli.get_int("lane-width"));
+  options.lanes = static_cast<unsigned>(cli.get_int("lanes"));
+  options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+  options.cache_capacity = static_cast<std::size_t>(cli.get_int("cache"));
+  options.epsilon = cli.get_double("epsilon");
+  options.default_time_limit_ms = cli.get_int("time-limit-ms");
+
+  const std::string metrics_path = cli.get_string("metrics");
+  std::optional<obs::Metrics> metrics;
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (!metrics_path.empty()) {
+    metrics.emplace(options.workers);
+    metrics_scope.emplace(*metrics);
+  }
+
+  std::vector<SolveResponse> responses;
+  ServiceStats stats;
+  const std::uint64_t begin_ns = obs::monotonic_ns();
+  double total_seconds = 0.0;
+  {
+    SolveService service(options);
+    responses = service.solve_batch(std::move(requests));
+    total_seconds =
+        static_cast<double>(obs::monotonic_ns() - begin_ns) * 1e-9;
+    stats = service.stats();
+  }
+
+  if (metrics.has_value()) {
+    metrics_scope.reset();  // stop collecting before exporting
+    obs::write_metrics_file(metrics_path, *metrics);
+    std::cerr << "wrote metrics profile to " << metrics_path << "\n";
+  }
+
+  const JsonValue report = batch_report(options, responses, stats, total_seconds);
+  if (!cli.get_string("json").empty()) {
+    std::ofstream out(cli.get_string("json"));
+    PCMAX_REQUIRE(out.good(), "cannot open --json path for writing");
+    out << report.dump(/*pretty=*/true) << "\n";
+    std::cerr << "wrote batch report to " << cli.get_string("json") << "\n";
+  }
+
+  TablePrinter table({"#", "m", "n", "makespan", "algorithm", "cache",
+                      "degraded", "seconds"});
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const SolveResponse& response = responses[i];
+    table.add_row({std::to_string(i), std::to_string(response.machines),
+                   std::to_string(response.jobs),
+                   std::to_string(response.makespan), response.algorithm,
+                   response.cache_hit ? "hit" : "miss",
+                   response.degraded ? response.degradation_reason : "-",
+                   TablePrinter::fmt(response.seconds, 4)});
+  }
+  std::cout << table.to_string();
+  const JsonValue& summary = report.at("summary");
+  std::cout << "requests: " << summary.at("requests").as_int()
+            << "  cache hits: " << summary.at("cache_hits").as_int()
+            << "  misses: " << summary.at("cache_misses").as_int()
+            << "  degraded: " << summary.at("degraded").as_int()
+            << "  unique: " << summary.at("unique_fingerprints").as_int()
+            << "  throughput: "
+            << TablePrinter::fmt(summary.at("throughput_rps").as_double(), 2)
+            << " req/s\n";
+  return 0;
+}
+
 int cmd_info(int argc, const char* const* argv) {
   CliParser cli("pcmax info: summarise an instance file.");
   cli.add_string("file", "", "instance file (required)");
@@ -257,7 +382,8 @@ int cmd_info(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: pcmax <generate|solve|info> [flags]   (--help per subcommand)\n";
+      "usage: pcmax <generate|solve|batch|info> [flags]   (--help per "
+      "subcommand)\n";
   if (argc < 2) {
     std::cerr << usage;
     return 2;
@@ -266,6 +392,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "solve") return cmd_solve(argc - 1, argv + 1);
+    if (command == "batch") return cmd_batch(argc - 1, argv + 1);
     if (command == "info") return cmd_info(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;
     return 2;
