@@ -9,8 +9,9 @@ function(pcmax_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
-    pcmax_harness pcmax_service pcmax_sim pcmax_mip pcmax_exact pcmax_algo
-    pcmax_core pcmax_parallel pcmax_obs pcmax_util)
+    pcmax_harness pcmax_service pcmax_sim pcmax_portfolio pcmax_mip
+    pcmax_exact pcmax_resilient pcmax_algo pcmax_core pcmax_parallel
+    pcmax_obs pcmax_util)
 endfunction()
 
 # NO_MAIN: the bench provides its own main() (e.g. to add flags like --json
@@ -42,6 +43,7 @@ pcmax_add_bench(baselines_shootout)
 pcmax_add_bench(robustness_analysis)
 pcmax_add_bench(epsilon_sweep)
 pcmax_add_bench(service_throughput)
+pcmax_add_bench(portfolio_race)
 pcmax_add_micro(micro_dp NO_MAIN)
 pcmax_add_micro(micro_parallel)
 
@@ -60,6 +62,10 @@ add_test(NAME bench_smoke_service
          COMMAND service_throughput --requests 8 --duplicates-percent 50
                  --workers 2 --m 4 --n 16
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_service.json)
+add_test(NAME bench_smoke_portfolio
+         COMMAND portfolio_race --limit-sizes 1 --exact-seconds 1
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_portfolio.json)
 set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
                      bench_smoke_micro_dp bench_smoke_service
+                     bench_smoke_portfolio
                      PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

@@ -1,5 +1,7 @@
 #include "algo/ptas/bisection.hpp"
 
+#include <algorithm>
+
 #include "core/bounds.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -7,6 +9,21 @@
 #include "util/stopwatch.hpp"
 
 namespace pcmax {
+
+Time clamp_upper_bound_to_incumbent(const DpLimits& limits, Time lb, Time ub,
+                                    bool* clamped) {
+  *clamped = false;
+  if (limits.incumbent == nullptr || !limits.incumbent->has_value()) return ub;
+  const Time best = limits.incumbent->best();
+  if (best >= ub) return ub;
+  *clamped = true;
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->add(0, obs::Counter::kPortfolioBoundTightenings);
+  }
+  // best >= lb always holds for a realisable makespan (lb <= OPT <= best);
+  // the max() is belt-and-braces against a caller publishing junk.
+  return std::max(lb, best);
+}
 
 DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
                      const DpBackendFn& dp, const DpLimits& limits) {
@@ -45,7 +62,9 @@ BisectionResult bisect_target_makespan(const Instance& instance, int k,
   result.ub0 = makespan_upper_bound(instance);
 
   Time lb = result.lb0;
-  Time ub = result.ub0;
+  Time ub = clamp_upper_bound_to_incumbent(limits, lb, result.ub0,
+                                           &result.incumbent_clamped);
+  result.ub_start = ub;
   while (lb < ub) {
     const Time target = lb + (ub - lb) / 2;
     Stopwatch sw;

@@ -9,11 +9,14 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "algo/ptas/config_enum.hpp"
 #include "algo/ptas/dp_sequential.hpp"
 #include "algo/ptas/rounding.hpp"
 #include "algo/ptas/state_space.hpp"
 #include "core/instance.hpp"
+#include "core/solve_context.hpp"
 
 namespace pcmax {
 
@@ -30,6 +33,15 @@ struct DpLimits {
   /// config enumeration (rides along with the budgets, which already reach
   /// every probe site). The DP backend carries its own copy.
   CancellationToken cancel;
+  /// Optional shared incumbent board (core/solve_context.hpp). When set,
+  /// the search reads it ONCE at start and clamps its initial upper bound
+  /// to the published makespan. Sound: a published makespan M is the
+  /// makespan of an actual schedule, whose long jobs fit within M, and
+  /// rounding only shrinks them — so the rounded DP at target M is
+  /// feasible, exactly the invariant the search needs of its UB. Read-once
+  /// keeps the probe sequence a pure function of (instance, k, start
+  /// bound), which is what makes a portfolio race reproducible.
+  std::shared_ptr<const IncumbentBoard> incumbent;
 };
 
 /// Everything produced by one DP probe at a fixed target T.
@@ -43,6 +55,12 @@ struct DpAtTarget {
 /// Rounds, enumerates configurations, and runs `dp` at target makespan T.
 DpAtTarget run_dp_at(const Instance& instance, Time target, int k,
                      const DpBackendFn& dp, const DpLimits& limits);
+
+/// Applies the read-once incumbent clamp described on DpLimits::incumbent:
+/// returns min(ub, board best) floored at lb, sets *clamped, and counts a
+/// portfolio.bound_tightenings hit when the board actually lowered ub.
+Time clamp_upper_bound_to_incumbent(const DpLimits& limits, Time lb, Time ub,
+                                    bool* clamped);
 
 /// Trace entry for one bisection probe.
 struct BisectionIteration {
@@ -62,6 +80,10 @@ struct BisectionResult {
   Time t_star = 0;  ///< smallest DP-feasible target found (LB == UB)
   Time lb0 = 0;     ///< initial lower bound, Eq. (1)
   Time ub0 = 0;     ///< initial upper bound, Eq. (2)
+  /// Effective initial upper bound: ub0, or the shared incumbent when that
+  /// was tighter (incumbent_clamped == true; "bound-tightening hit").
+  Time ub_start = 0;
+  bool incumbent_clamped = false;
   std::vector<BisectionIteration> trace;
 };
 

@@ -83,6 +83,11 @@ struct ParallelDpOptions {
   /// every range chunk, so a cancel is honoured within one anti-diagonal.
   /// The DP is all-or-nothing: a stop throws DeadlineExceededError /
   /// CancelledError; a half-filled table is never returned.
+  ///
+  /// API v2 note: at the solver level this is internal plumbing — pass the
+  /// signal via SolveContext.cancel to PtasSolver::solve(instance, context)
+  /// and it lands here automatically. Set it directly only when driving
+  /// dp_parallel() standalone (tests, benches).
   CancellationToken cancel;
 };
 

@@ -15,6 +15,8 @@ BisectionResult MultisectionResult::as_bisection() const {
   result.t_star = t_star;
   result.lb0 = lb0;
   result.ub0 = ub0;
+  result.ub_start = ub_start;
+  result.incumbent_clamped = incumbent_clamped;
   for (const MultisectionRound& round : rounds) {
     for (const BisectionIteration& probe : round.probes) {
       result.trace.push_back(probe);
@@ -33,7 +35,9 @@ MultisectionResult multisect_target_makespan(const Instance& instance, int k,
   result.ub0 = makespan_upper_bound(instance);
 
   Time lb = result.lb0;
-  Time ub = result.ub0;
+  Time ub = clamp_upper_bound_to_incumbent(limits, lb, result.ub0,
+                                           &result.incumbent_clamped);
+  result.ub_start = ub;
   while (lb < ub) {
     // Per-round stop check; the probes themselves re-check on entry and the
     // DP backends poll within, so a cancel lands inside a round as well (the

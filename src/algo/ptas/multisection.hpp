@@ -30,6 +30,11 @@ struct MultisectionResult {
   Time t_star = 0;
   Time lb0 = 0;
   Time ub0 = 0;
+  /// Effective initial upper bound after the read-once incumbent clamp
+  /// (see DpLimits::incumbent); equals ub0 when no board was set or it
+  /// held nothing tighter.
+  Time ub_start = 0;
+  bool incumbent_clamped = false;
   std::vector<MultisectionRound> rounds;
 
   /// Flattens the rounds into a bisection-style trace (for the simulator).

@@ -48,12 +48,12 @@ std::string PtasSolver::name() const {
   }
 }
 
-DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
+DpBackendFn PtasSolver::make_backend(DpTableMode mode,
+                                     const CancellationToken& cancel) const {
   switch (options_.engine) {
     case DpEngine::kBottomUp: {
       const DpKernel kernel = options_.kernel;
       const LevelPruning pruning = options_.pruning;
-      const CancellationToken cancel = options_.cancel;
       return [kernel, cancel, mode, pruning](const RoundedInstance& rounded,
                                              const StateSpace& space,
                                              const ConfigSet& configs) {
@@ -62,7 +62,6 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
       };
     }
     case DpEngine::kTopDown: {
-      const CancellationToken cancel = options_.cancel;
       return [cancel, mode](const RoundedInstance& rounded, const StateSpace& space,
                             const ConfigSet& configs) {
         return dp_top_down(rounded, space, configs, cancel, mode);
@@ -80,7 +79,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
       dp_options.iteration = options_.iteration;
       dp_options.pruning = options_.pruning;
       dp_options.table_mode = mode;
-      dp_options.cancel = options_.cancel;
+      dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
         return dp_parallel(rounded, space, configs, dp_options);
@@ -94,7 +93,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
       dp_options.iteration = options_.iteration;
       dp_options.pruning = options_.pruning;
       dp_options.table_mode = mode;
-      dp_options.cancel = options_.cancel;
+      dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
         return dp_parallel(rounded, space, configs, dp_options);
@@ -104,21 +103,40 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode) const {
   throw InvalidArgumentError("unknown DP engine");
 }
 
-PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
+SolveContext PtasSolver::legacy_context(bool* used_legacy_cancel) const {
+  // Prefer the limits-level token when both legacy fields are set — that is
+  // what the pre-v2 code did (solve_with_trace only copied options_.cancel
+  // into limits when limits.cancel was unset).
+  const CancellationToken& legacy = options_.limits.cancel.valid()
+                                        ? options_.limits.cancel
+                                        : options_.cancel;
+  *used_legacy_cancel = legacy.valid();
+  return SolveContext::with_token(legacy);
+}
+
+PtasResult PtasSolver::solve_impl(const Instance& instance,
+                                  const SolveContext& context) {
   Stopwatch sw;
+  const ContextScopes scopes(context);
+  const CancellationToken stop = context.effective_token();
+
   // Search probes only read OPT(N), so they can run values-only (halved
   // table memory and write traffic); the final run at T* must keep choices
   // for the reconstruction walk.
   const DpBackendFn probe_backend =
       make_backend(options_.values_only_probes ? DpTableMode::kValuesOnly
-                                               : DpTableMode::kValuesAndChoices);
+                                               : DpTableMode::kValuesAndChoices,
+                   stop);
   const DpBackendFn final_backend =
-      make_backend(DpTableMode::kValuesAndChoices);
+      make_backend(DpTableMode::kValuesAndChoices, stop);
 
   // The token rides along with the DP budgets, which already reach every
   // probe site (bisection, multisection, and the reconstruction probe).
+  // The incumbent board, when the context carries one, clamps the search's
+  // initial upper bound (read once — see DpLimits::incumbent).
   DpLimits limits = options_.limits;
-  if (!limits.cancel.valid()) limits.cancel = options_.cancel;
+  limits.cancel = stop;
+  if (limits.incumbent == nullptr) limits.incumbent = context.incumbent;
 
   // Search for the target makespan: the paper's bisection (Alg. 1
   // Lines 5-30), or the speculative multisection extension.
@@ -179,6 +197,8 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
   result.stats["t_star"] = static_cast<double>(bisection.t_star);
   result.stats["lb0"] = static_cast<double>(bisection.lb0);
   result.stats["ub0"] = static_cast<double>(bisection.ub0);
+  result.stats["ub_start"] = static_cast<double>(bisection.ub_start);
+  result.stats["incumbent_clamped"] = bisection.incumbent_clamped ? 1.0 : 0.0;
   result.stats["dp_seconds"] = dp_seconds;
   result.stats["entries_computed"] = static_cast<double>(entries);
   result.stats["config_scans"] = static_cast<double>(scans);
@@ -193,12 +213,34 @@ PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
     result.bisection.t_star = bisection.t_star;
     result.bisection.lb0 = bisection.lb0;
     result.bisection.ub0 = bisection.ub0;
+    result.bisection.ub_start = bisection.ub_start;
+    result.bisection.incumbent_clamped = bisection.incumbent_clamped;
   }
   return result;
 }
 
+PtasResult PtasSolver::solve_with_trace(const Instance& instance) {
+  bool used_legacy_cancel = false;
+  const SolveContext context = legacy_context(&used_legacy_cancel);
+  PtasResult result = solve_impl(instance, context);
+  if (used_legacy_cancel) {
+    note_deprecated_field(result, "PtasOptions.cancel", "SolveContext.cancel");
+  }
+  return result;
+}
+
+PtasResult PtasSolver::solve_with_trace(const Instance& instance,
+                                        const SolveContext& context) {
+  return solve_impl(instance, context);
+}
+
 SolverResult PtasSolver::solve(const Instance& instance) {
   return solve_with_trace(instance);
+}
+
+SolverResult PtasSolver::solve(const Instance& instance,
+                               const SolveContext& context) {
+  return solve_impl(instance, context);
 }
 
 }  // namespace pcmax

@@ -21,33 +21,60 @@ ResilientSolver::ResilientSolver(ResilientOptions options)
 }
 
 SolverResult ResilientSolver::solve(const Instance& instance) {
+  SolveContext context = SolveContext::with_token(options_.cancel);
+  if (options_.time_limit_ms > 0) {
+    context.deadline = Deadline::after_ms(options_.time_limit_ms);
+  }
+  SolverResult result = solve_impl(instance, context);
+  if (options_.cancel.valid()) {
+    note_deprecated_field(result, "ResilientOptions.cancel",
+                          "SolveContext.cancel");
+  }
+  if (options_.time_limit_ms > 0) {
+    note_deprecated_field(result, "ResilientOptions.time_limit_ms",
+                          "SolveContext.deadline");
+  }
+  return result;
+}
+
+SolverResult ResilientSolver::solve(const Instance& instance,
+                                    const SolveContext& context) {
+  return solve_impl(instance, context);
+}
+
+SolverResult ResilientSolver::solve_impl(const Instance& instance,
+                                         const SolveContext& context) {
   Stopwatch sw;
+  const ContextScopes scopes(context);
   obs::Metrics* metrics = obs::current();
   const std::uint64_t solve_begin = metrics != nullptr ? obs::monotonic_ns() : 0;
   if (metrics != nullptr) metrics->add(0, obs::Counter::kResilientSolves);
 
   // Effective stop signal: the caller's token, plus this solve's deadline
-  // layered on top (the caller's token is observed, never mutated).
-  CancellationToken token = options_.cancel;
-  if (options_.time_limit_ms > 0) {
-    token = CancellationToken::linked(options_.cancel,
-                                      Deadline::after_ms(options_.time_limit_ms));
-  }
+  // layered on top (the caller's token is observed, never mutated). Inner
+  // solvers get the context minus its scopes (installed above, once).
+  const SolveContext inner = context.without_scopes();
+  const CancellationToken token = inner.effective_token();
 
   SolverResult result;
   std::string algorithm;
   std::string reason;
 
-  // Stage 1: the PTAS, all-or-nothing under the effective token. The
-  // admission layer of a caller may disable it outright (cheap path).
-  if (options_.ptas_enabled) {
+  // Stage 1: the preferred solver when one is injected (e.g. the portfolio
+  // as the top rung), else the PTAS — all-or-nothing under the effective
+  // token. The admission layer of a caller may disable the PTAS outright
+  // (cheap path).
+  if (options_.preferred != nullptr || options_.ptas_enabled) {
     Stopwatch stage;
-    PtasOptions ptas_options = options_.ptas;
-    ptas_options.cancel = token;
     try {
-      PtasSolver solver(ptas_options);
-      result = solver.solve(instance);
-      algorithm = solver.name();
+      if (options_.preferred != nullptr) {
+        result = options_.preferred->solve(instance, inner);
+        algorithm = options_.preferred->name();
+      } else {
+        PtasSolver solver(options_.ptas);
+        result = solver.solve(instance, inner);
+        algorithm = solver.name();
+      }
     } catch (const DeadlineExceededError&) {
       reason = "deadline";
     } catch (const CancelledError&) {

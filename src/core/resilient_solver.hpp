@@ -48,20 +48,35 @@ struct ResilientOptions {
   /// replaced by the driver's effective token (external cancel + deadline).
   PtasOptions ptas;
 
+  /// Optional externally-owned stage-1 solver (API v2). When set, stage 1
+  /// runs THIS solver (via its contextual entry point) instead of
+  /// constructing a PtasSolver from `ptas` — this is how the portfolio
+  /// becomes the ladder's top rung without a core -> portfolio dependency.
+  /// Non-owning; must outlive the ResilientSolver. Any resource-shaped
+  /// throw degrades down the ladder exactly like a PTAS failure.
+  Solver* preferred = nullptr;
+
   /// When false, stage 1 is skipped entirely and the solve goes straight to
   /// the MULTIFIT/LPT + local-search rungs ("cheap path"). Used by the solve
   /// service when the admission layer decides a request cannot afford the
   /// PTAS (queue saturated, deadline nearly spent). The result is marked
-  /// degraded with degradation_reason "ptas-skipped".
+  /// degraded with degradation_reason "ptas-skipped". Ignored when
+  /// `preferred` is set.
   bool ptas_enabled = true;
 
-  /// Wall-clock budget for the whole solve in milliseconds; 0 = unlimited.
-  /// The budget covers the PTAS attempt; the fallback rungs run under the
-  /// same (then typically expired) token and still terminate promptly.
+  /// DEPRECATED (API v2): pass the budget via SolveContext.deadline and
+  /// call solve(instance, context) instead. Still honoured by the legacy
+  /// solve(instance) path (with a one-time deprecation note). Wall-clock
+  /// budget for the whole solve in milliseconds; 0 = unlimited. The budget
+  /// covers the stage-1 attempt; the fallback rungs run under the same
+  /// (then typically expired) token and still terminate promptly.
   std::int64_t time_limit_ms = 0;
 
-  /// External cancellation signal layered under the deadline. The driver
-  /// links its per-solve deadline to this token without mutating it.
+  /// DEPRECATED (API v2): pass the token via SolveContext.cancel and call
+  /// solve(instance, context) instead. Still honoured by the legacy
+  /// solve(instance) path (with a one-time deprecation note). External
+  /// cancellation signal layered under the deadline; the driver links its
+  /// per-solve deadline to this token without mutating it.
   CancellationToken cancel;
 
   /// Binary-search depth of the MULTIFIT fallback rung.
@@ -80,12 +95,21 @@ class ResilientSolver final : public Solver {
 
   /// Never throws DeadlineExceededError / CancelledError /
   /// ResourceLimitError; always returns a complete valid schedule with
-  /// makespan at most the LPT bound.
+  /// makespan at most the LPT bound. Legacy (v1) entry point: honours the
+  /// deprecated ResilientOptions.cancel / time_limit_ms fields.
   SolverResult solve(const Instance& instance) override;
+
+  /// API v2 entry point: stop signal, deadline, and incumbent board come
+  /// from the context; same availability guarantee as solve(instance).
+  SolverResult solve(const Instance& instance,
+                     const SolveContext& context) override;
 
   [[nodiscard]] const ResilientOptions& options() const { return options_; }
 
  private:
+  SolverResult solve_impl(const Instance& instance,
+                          const SolveContext& context);
+
   ResilientOptions options_;
 };
 

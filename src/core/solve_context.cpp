@@ -1,0 +1,76 @@
+#include "core/solve_context.hpp"
+
+#include <mutex>
+#include <set>
+
+#include "core/solver.hpp"
+
+namespace pcmax {
+
+bool IncumbentBoard::publish(Time makespan) {
+  fault_hit("portfolio.incumbent");
+  Time current = best_.load(std::memory_order_relaxed);
+  while (makespan < current) {
+    if (best_.compare_exchange_weak(current, makespan,
+                                    std::memory_order_relaxed)) {
+      updates_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Metrics* metrics = obs::current()) {
+        metrics->add(0, obs::Counter::kPortfolioIncumbentUpdates);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+SolveContext SolveContext::with_time_limit_ms(std::int64_t ms) {
+  SolveContext context;
+  if (ms > 0) context.deadline = Deadline::after_ms(ms);
+  return context;
+}
+
+SolveContext SolveContext::with_token(CancellationToken token) {
+  SolveContext context;
+  context.cancel = std::move(token);
+  return context;
+}
+
+CancellationToken SolveContext::effective_token() const {
+  if (!deadline.has_limit()) return cancel;
+  return CancellationToken::linked(cancel, deadline);
+}
+
+std::optional<std::int64_t> SolveContext::remaining_ms() const {
+  if (!deadline.has_limit()) return std::nullopt;
+  const double seconds = deadline.remaining_seconds();
+  if (seconds <= 0.0) return 0;
+  return static_cast<std::int64_t>(seconds * 1000.0);
+}
+
+namespace {
+
+std::mutex g_deprecation_mutex;
+std::set<std::string>& warned_fields() {
+  static std::set<std::string> fields;
+  return fields;
+}
+
+}  // namespace
+
+bool note_deprecated_field(SolverResult& result, const std::string& field,
+                           const std::string& replacement) {
+  {
+    const std::lock_guard<std::mutex> lock(g_deprecation_mutex);
+    if (!warned_fields().insert(field).second) return false;
+  }
+  result.notes["deprecation." + field] =
+      field + " is deprecated; pass " + replacement + " instead";
+  return true;
+}
+
+void reset_deprecation_notes_for_testing() {
+  const std::lock_guard<std::mutex> lock(g_deprecation_mutex);
+  warned_fields().clear();
+}
+
+}  // namespace pcmax

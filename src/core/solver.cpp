@@ -1,4 +1,13 @@
-// Solver is an interface; this translation unit anchors its vtable.
+// Solver is an interface; this translation unit anchors its vtable and the
+// default SolveContext entry point.
 #include "core/solver.hpp"
 
-namespace pcmax {}  // namespace pcmax
+namespace pcmax {
+
+SolverResult Solver::solve(const Instance& instance,
+                           const SolveContext& context) {
+  const ContextScopes scopes(context);
+  return solve(instance);
+}
+
+}  // namespace pcmax

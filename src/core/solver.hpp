@@ -10,6 +10,7 @@
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "core/solve_context.hpp"
 
 namespace pcmax {
 
@@ -39,6 +40,19 @@ class Solver {
   /// Solves `instance` and returns a complete schedule with statistics.
   /// Implementations fill `seconds` with their own wall time.
   virtual SolverResult solve(const Instance& instance) = 0;
+
+  /// API v2 entry point: solves under a SolveContext (deadline, cancellation,
+  /// shared incumbent board, optional metrics/fault scopes) threaded once
+  /// instead of per-options-struct knobs. The default implementation
+  /// installs the context's scopes and forwards to solve(instance) — correct
+  /// for solvers with no cooperative-stop support (LS, LPT, LDM). Solvers
+  /// that poll a token or read the incumbent board override this to merge
+  /// the context into their configuration.
+  ///
+  /// Derived classes that override either overload should add
+  /// `using Solver::solve;` so both stay visible on the concrete type.
+  virtual SolverResult solve(const Instance& instance,
+                             const SolveContext& context);
 };
 
 }  // namespace pcmax

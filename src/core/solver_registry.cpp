@@ -1,0 +1,136 @@
+#include "core/solver_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "algo/ldm.hpp"
+#include "algo/list_scheduling.hpp"
+#include "algo/lpt.hpp"
+#include "algo/multifit.hpp"
+#include "algo/ptas/ptas.hpp"
+#include "core/resilient_solver.hpp"
+#include "exact/exact.hpp"
+#include "exact/subset_dp.hpp"
+#include "mip/pcmax_ip.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+
+void SolverRegistry::register_solver(const std::string& name, Factory factory) {
+  PCMAX_REQUIRE(factory != nullptr, "solver factory must be callable");
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    throw InvalidArgumentError("solver name already registered: " + name);
+  }
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(const std::string& name,
+                                               const SolverBuild& build) const {
+  Factory factory;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw InvalidArgumentError("unknown solver: " + name +
+                               " (registered: " + known + ")");
+  }
+  return factory(build);
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) result.push_back(name);
+  return result;  // std::map iterates sorted
+}
+
+namespace {
+
+PtasOptions ptas_options_from(const SolverBuild& build, DpEngine engine) {
+  PtasOptions options;
+  options.epsilon = build.epsilon;
+  options.engine = engine;
+  options.executor = build.executor;
+  options.spmd_threads = std::max(1u, build.threads);
+  return options;
+}
+
+void register_builtins(SolverRegistry& registry) {
+  registry.register_solver("lpt", [](const SolverBuild&) {
+    return std::make_unique<LptSolver>();
+  });
+  registry.register_solver("ls", [](const SolverBuild&) {
+    return std::make_unique<ListSchedulingSolver>();
+  });
+  registry.register_solver("ldm", [](const SolverBuild&) {
+    return std::make_unique<LdmSolver>();
+  });
+  registry.register_solver("multifit", [](const SolverBuild& build) {
+    return std::make_unique<MultifitSolver>(build.multifit_iterations);
+  });
+  registry.register_solver("ptas", [](const SolverBuild& build) {
+    return std::make_unique<PtasSolver>(
+        ptas_options_from(build, DpEngine::kBottomUp));
+  });
+  registry.register_solver("parallel-ptas", [](const SolverBuild& build) {
+    PCMAX_REQUIRE(build.executor != nullptr,
+                  "parallel-ptas requires SolverBuild.executor");
+    return std::make_unique<PtasSolver>(
+        ptas_options_from(build, DpEngine::kParallelBucketed));
+  });
+  registry.register_solver("spmd-ptas", [](const SolverBuild& build) {
+    return std::make_unique<PtasSolver>(
+        ptas_options_from(build, DpEngine::kSpmd));
+  });
+  registry.register_solver("subset-dp", [](const SolverBuild& build) {
+    return std::make_unique<SubsetDpSolver>(build.subset_dp_max_total);
+  });
+  registry.register_solver("ip", [](const SolverBuild& build) {
+    ExactSolverOptions options;
+    options.max_total_seconds = build.exact_seconds;
+    return std::make_unique<ExactSolver>(options);
+  });
+  registry.register_solver("milp", [](const SolverBuild& build) {
+    MipOptions options;
+    options.max_nodes = build.milp_max_nodes;
+    options.max_seconds = build.exact_seconds;
+    return std::make_unique<PcmaxIpSolver>(options);
+  });
+  registry.register_solver("resilient", [](const SolverBuild& build) {
+    ResilientOptions options;
+    options.ptas = ptas_options_from(build, DpEngine::kBottomUp);
+    options.ptas_enabled = build.ptas_enabled;
+    options.multifit_iterations = build.multifit_iterations;
+    options.local_search_rounds = build.local_search_rounds;
+    return std::make_unique<ResilientSolver>(options);
+  });
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::global() {
+  // Leaked singleton (never destroyed): factories may be consulted from
+  // worker threads during static destruction of a client binary.
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace pcmax

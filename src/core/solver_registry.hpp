@@ -1,0 +1,97 @@
+// Uniform solver construction — the registry half of API v2.
+//
+// Before this, every driver grew its own solver-construction switch: the CLI
+// had make_solver(), the solve service hand-built ResilientOptions, the
+// benches instantiated concrete classes, and adding a solver meant touching
+// each of them. SolverRegistry centralises the mapping
+//
+//     name  →  factory(SolverBuild)  →  unique_ptr<Solver>
+//
+// so the CLI, the resilient ladder, the portfolio racer list, and the solve
+// service all construct solvers the same way, and a new solver registers
+// once. The process-wide global() instance comes preloaded with every
+// built-in solver; tests and plugins may register additional factories (or
+// build private registries) without touching the builtins.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/solver.hpp"
+
+namespace pcmax {
+
+class Executor;
+
+/// Construction-time parameters a factory may consult. One flat struct
+/// rather than per-solver option types: a driver fills in what it has and
+/// every factory picks what it needs (unused fields are ignored), which is
+/// what lets heterogeneous racers share one configuration.
+struct SolverBuild {
+  /// PTAS accuracy (k = ceil(1/epsilon)).
+  double epsilon = 0.3;
+
+  /// Thread count for solvers that own their threads ("spmd-ptas").
+  unsigned threads = 1;
+
+  /// Executor for the pool-based parallel engines ("parallel-ptas").
+  /// Non-owning; must outlive the constructed solver.
+  Executor* executor = nullptr;
+
+  /// Wall-clock budget of the exact solvers ("ip", "milp"), seconds.
+  double exact_seconds = 300.0;
+
+  /// Node budget of the "milp" branch-and-bound.
+  std::uint64_t milp_max_nodes = 200'000;
+
+  /// Total-processing-time cap of the "subset-dp" pseudo-polynomial DP.
+  Time subset_dp_max_total = 1'000'000;
+
+  /// Binary-search depth of "multifit" (and the resilient fallback rung).
+  int multifit_iterations = 10;
+
+  /// Round cap of the resilient local-search polish rung.
+  std::uint64_t local_search_rounds = 10'000;
+
+  /// Stage-1 toggle of the "resilient" ladder.
+  bool ptas_enabled = true;
+};
+
+/// Name -> factory map. Thread-safe; factories must be thread-safe to call.
+class SolverRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Solver>(const SolverBuild& build)>;
+
+  /// Registers `factory` under `name`; throws InvalidArgumentError when the
+  /// name is already taken (builtins included).
+  void register_solver(const std::string& name, Factory factory);
+
+  /// True when `name` is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Constructs the named solver. Throws InvalidArgumentError for unknown
+  /// names (the message lists what IS registered, for CLI error quality).
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name,
+                                               const SolverBuild& build) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The process-wide registry, preloaded with the built-in solvers:
+  /// lpt, ls, ldm, multifit, ptas, parallel-ptas, spmd-ptas, subset-dp,
+  /// ip, milp, resilient.
+  static SolverRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace pcmax

@@ -1,9 +1,13 @@
 #include "exact/exact.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "algo/lpt.hpp"
 #include "algo/multifit.hpp"
 #include "core/bounds.hpp"
 #include "exact/lower_bounds.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pcmax {
@@ -11,7 +15,24 @@ namespace pcmax {
 ExactSolver::ExactSolver(ExactSolverOptions options) : options_(options) {}
 
 SolverResult ExactSolver::solve(const Instance& instance) {
+  SolveContext context = SolveContext::with_token(options_.probe_limits.cancel);
+  SolverResult result = solve_impl(instance, context);
+  if (options_.probe_limits.cancel.valid()) {
+    note_deprecated_field(result, "ExactSolverOptions.probe_limits.cancel",
+                          "SolveContext.cancel");
+  }
+  return result;
+}
+
+SolverResult ExactSolver::solve(const Instance& instance,
+                                const SolveContext& context) {
+  return solve_impl(instance, context);
+}
+
+SolverResult ExactSolver::solve_impl(const Instance& instance,
+                                     const SolveContext& context) {
   Stopwatch sw;
+  const ContextScopes scopes(context);
   SolverResult result;
 
   // Strong incumbent: LPT, improved by MULTIFIT when it does better. This
@@ -27,12 +48,33 @@ SolverResult ExactSolver::solve(const Instance& instance) {
   Time ub = incumbent.makespan;
   Schedule best = std::move(incumbent.schedule);
 
+  // Read-once incumbent-board clamp: a published makespan is the makespan
+  // of an actual schedule, hence a feasible capacity — a valid search UB
+  // even though the certifying schedule lives with another solver. Our own
+  // `best` is NOT replaced; if the search closes the interval below it, the
+  // result carries certified_value instead of a better schedule.
+  const std::shared_ptr<IncumbentBoard>& board = context.incumbent;
+  Time external_cutoff = IncumbentBoard::kNone;
+  bool clamped = false;
+  if (board != nullptr && board->has_value()) {
+    external_cutoff = board->best();
+    if (external_cutoff < ub) {
+      ub = std::max(lb, external_cutoff);
+      clamped = true;
+      if (obs::Metrics* metrics = obs::current()) {
+        metrics->add(0, obs::Counter::kPortfolioBoundTightenings);
+      }
+    }
+  }
+
   std::uint64_t nodes = 0;
   std::uint64_t probes = 0;
   bool proven = true;
   const char* limit_reason = "";
 
-  const CancellationToken& cancel = options_.probe_limits.cancel;
+  FeasibilitySearchLimits probe_limits = options_.probe_limits;
+  probe_limits.cancel = context.effective_token();
+  const CancellationToken& cancel = probe_limits.cancel;
   while (lb < ub) {
     // Anytime semantics: a cancel or an exhausted total budget returns the
     // incumbent without an optimality proof, never an exception.
@@ -50,7 +92,7 @@ SolverResult ExactSolver::solve(const Instance& instance) {
     Schedule witness(instance.machines());
     FeasibilityStats stats;
     const Feasibility answer =
-        pack_within(instance, mid, options_.probe_limits, &witness, &stats);
+        pack_within(instance, mid, probe_limits, &witness, &stats);
     nodes += stats.nodes;
     ++probes;
 
@@ -60,6 +102,7 @@ SolverResult ExactSolver::solve(const Instance& instance) {
         // The witness can beat the probed capacity; its makespan is itself
         // a feasible capacity, which tightens the interval for free.
         ub = std::min(mid, best.makespan(instance));
+        if (board != nullptr) board->publish(best.makespan(instance));
         break;
       case Feasibility::kInfeasible:
         lb = mid + 1;
@@ -82,6 +125,13 @@ SolverResult ExactSolver::solve(const Instance& instance) {
   result.stats["probes"] = static_cast<double>(probes);
   result.stats["lower_bound"] = static_cast<double>(lb);
   if (!proven && limit_reason[0] != '\0') result.notes["limit_reason"] = limit_reason;
+  if (external_cutoff != IncumbentBoard::kNone) {
+    result.stats["external_cutoff"] = static_cast<double>(external_cutoff);
+    result.stats["incumbent_clamped"] = clamped ? 1.0 : 0.0;
+    // A closed interval proves OPT == lb even when our own schedule is
+    // worse (the certifying schedule is the board's).
+    if (proven) result.notes["certified_value"] = std::to_string(lb);
+  }
   return result;
 }
 

@@ -142,6 +142,15 @@ struct MipSearch {
   const Instance& instance;
   const MipOptions& options;
   Deadline deadline;
+  /// Effective stop signal: the context token (v2) or the deprecated
+  /// MipOptions.cancel lifted into a context (v1).
+  CancellationToken stop;
+  /// Shared incumbent board from the context; publish-side handle.
+  std::shared_ptr<IncumbentBoard> board;
+  /// Read-once snapshot of the board at search start (kNone without one).
+  /// Reading once keeps the node sequence a pure function of
+  /// (instance, options, snapshot) — a portfolio race stays replayable.
+  Time external_cutoff = IncumbentBoard::kNone;
 
   Time incumbent_makespan;
   std::vector<int> incumbent_assignment;
@@ -151,13 +160,29 @@ struct MipSearch {
   bool budget_exhausted = false;
   const char* limit_reason = "";  // set when budget_exhausted
 
-  MipSearch(const Instance& inst, const MipOptions& opts)
+  MipSearch(const Instance& inst, const MipOptions& opts,
+            const SolveContext& context)
       : instance(inst), options(opts),
-        deadline(Deadline::after_seconds(opts.max_seconds)) {
+        deadline(Deadline::after_seconds(opts.max_seconds)),
+        stop(context.effective_token()), board(context.incumbent) {
     SolverResult lpt = LptSolver().solve(inst);
     incumbent_makespan = lpt.makespan;
     incumbent_assignment = lpt.schedule.assignment(inst);
     global_lb = improved_lower_bound(inst);
+    if (board != nullptr && board->has_value()) {
+      external_cutoff = board->best();
+      if (external_cutoff < incumbent_makespan) {
+        if (obs::Metrics* metrics = obs::current()) {
+          metrics->add(0, obs::Counter::kPortfolioBoundTightenings);
+        }
+      }
+    }
+  }
+
+  /// Prune cutoff: no node whose bound reaches this value can improve on
+  /// what some cooperating solver already holds.
+  [[nodiscard]] Time cutoff() const {
+    return std::min(incumbent_makespan, external_cutoff);
   }
 
   /// True once any budget has tripped; records why. The search is anytime:
@@ -167,11 +192,10 @@ struct MipSearch {
     if (budget_exhausted) return true;
     if (nodes > options.max_nodes) {
       limit_reason = "node-budget";
-    } else if (options.cancel.valid() && options.cancel.cancel_requested()) {
+    } else if (stop.valid() && stop.cancel_requested()) {
       limit_reason = "cancelled";
     } else if (nodes % kClockPeriod == 0 &&
-               (deadline.expired() ||
-                (options.cancel.valid() && options.cancel.should_stop()))) {
+               (deadline.expired() || (stop.valid() && stop.should_stop()))) {
       limit_reason = deadline.expired() ? "deadline" : "cancelled";
     } else {
       return false;
@@ -182,7 +206,7 @@ struct MipSearch {
 
   void dfs(NodeState& state) {
     if (budget_exhausted) return;
-    if (incumbent_makespan == global_lb) return;  // already optimal
+    if (cutoff() <= global_lb) return;  // cutoff certified optimal already
     ++nodes;
     fault_hit("mip.node");
     if (obs::Metrics* metrics = obs::current()) {
@@ -205,7 +229,7 @@ struct MipSearch {
     // Integral bound: all processing times are integers, so C* >= ceil(z).
     const Time bound = std::max<Time>(
         global_lb, static_cast<Time>(std::ceil(relax.objective - 1e-6)));
-    if (bound >= incumbent_makespan) return;  // cannot strictly improve
+    if (bound >= cutoff()) return;  // cannot strictly improve on the cutoff
 
     // Find the most fractional assignment variable.
     const int F = static_cast<int>(node.free_jobs.size());
@@ -244,6 +268,7 @@ struct MipSearch {
       if (makespan < incumbent_makespan) {
         incumbent_makespan = makespan;
         incumbent_assignment = std::move(assignment);
+        if (board != nullptr) board->publish(makespan);
       }
       return;
     }
@@ -271,6 +296,21 @@ struct MipSearch {
 PcmaxIpSolver::PcmaxIpSolver(MipOptions options) : options_(options) {}
 
 SolverResult PcmaxIpSolver::solve(const Instance& instance) {
+  SolveContext context = SolveContext::with_token(options_.cancel);
+  SolverResult result = solve_impl(instance, context);
+  if (options_.cancel.valid()) {
+    note_deprecated_field(result, "MipOptions.cancel", "SolveContext.cancel");
+  }
+  return result;
+}
+
+SolverResult PcmaxIpSolver::solve(const Instance& instance,
+                                  const SolveContext& context) {
+  return solve_impl(instance, context);
+}
+
+SolverResult PcmaxIpSolver::solve_impl(const Instance& instance,
+                                       const SolveContext& context) {
   if (instance.machines() > 64) {
     // The forbidden sets are 64-bit masks; more machines than bits is a
     // structural capacity limit, reported in the uniform format.
@@ -279,7 +319,8 @@ SolverResult PcmaxIpSolver::solve(const Instance& instance) {
         static_cast<std::uint64_t>(instance.machines())));
   }
   Stopwatch sw;
-  MipSearch search(instance, options_);
+  const ContextScopes scopes(context);
+  MipSearch search(instance, options_, context);
 
   NodeState state;
   state.fixed.assign(static_cast<std::size_t>(instance.jobs()), -1);
@@ -290,11 +331,23 @@ SolverResult PcmaxIpSolver::solve(const Instance& instance) {
   result.schedule =
       Schedule::from_assignment(instance.machines(), search.incumbent_assignment);
   result.makespan = result.schedule.makespan(instance);
-  result.proven_optimal = !search.budget_exhausted;
   result.seconds = sw.elapsed_seconds();
   result.stats["nodes"] = static_cast<double>(search.nodes);
   result.stats["lp_solves"] = static_cast<double>(search.lp_solves);
+  // A complete search proved OPT >= cutoff(). With no external snapshot the
+  // cutoff IS the incumbent, so this reduces to the pre-v2 semantics; with
+  // one, the cutoff VALUE is certified optimal even when the certifying
+  // schedule lives with another cooperating solver.
+  const bool complete = !search.budget_exhausted;
+  result.proven_optimal =
+      complete && search.incumbent_makespan <= search.external_cutoff;
   if (search.budget_exhausted) result.notes["limit_reason"] = search.limit_reason;
+  if (search.external_cutoff != IncumbentBoard::kNone) {
+    result.stats["external_cutoff"] = static_cast<double>(search.external_cutoff);
+    if (complete) {
+      result.notes["certified_value"] = std::to_string(search.cutoff());
+    }
+  }
   return result;
 }
 

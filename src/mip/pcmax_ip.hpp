@@ -29,20 +29,38 @@ struct MipOptions {
   std::uint64_t max_nodes = 200'000;
   double max_seconds = 60.0;
   LpOptions lp;
-  /// Cooperative stop signal, polled per node (flag) with the wall clock
-  /// sampled at an amortised interval.
+  /// DEPRECATED (API v2): pass the stop signal via SolveContext.cancel and
+  /// call solve(instance, context) instead. Still honoured by the legacy
+  /// solve(instance) path, which stamps a one-time deprecation note into
+  /// SolverResult::notes. Semantics unchanged: polled per node (flag) with
+  /// the wall clock sampled at an amortised interval.
   CancellationToken cancel;
 };
 
 /// Branch-and-bound MILP solver for the P||Cmax integer program.
+///
+/// API v2: solve(instance, context) additionally cooperates with a shared
+/// IncumbentBoard when the context carries one. The board is snapshotted
+/// ONCE at solve start (keeping the search deterministic for a fixed start
+/// bound): the snapshot tightens the prune cutoff below the LPT seed, and
+/// every incumbent the search adopts is published back to the board. When
+/// the search runs to completion it has proven OPT >= cutoff, so the result
+/// carries notes["certified_value"] = min(own incumbent, snapshot) — the
+/// portfolio uses this to certify a racer's makespan as optimal even when
+/// the certifying schedule lives with another racer.
 class PcmaxIpSolver final : public Solver {
  public:
   explicit PcmaxIpSolver(MipOptions options = {});
 
   [[nodiscard]] std::string name() const override { return "MILP"; }
   SolverResult solve(const Instance& instance) override;
+  SolverResult solve(const Instance& instance,
+                     const SolveContext& context) override;
 
  private:
+  SolverResult solve_impl(const Instance& instance,
+                          const SolveContext& context);
+
   MipOptions options_;
 };
 

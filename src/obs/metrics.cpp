@@ -28,6 +28,11 @@ const char* counter_name(Counter counter) {
     case Counter::kServiceCacheMisses: return "service.cache.misses";
     case Counter::kServiceCacheEvictions: return "service.cache.evictions";
     case Counter::kServiceDegraded: return "service.degraded";
+    case Counter::kPortfolioRaces: return "portfolio.races";
+    case Counter::kPortfolioRacers: return "portfolio.racers";
+    case Counter::kPortfolioRacersCancelled: return "portfolio.racers_cancelled";
+    case Counter::kPortfolioIncumbentUpdates: return "portfolio.incumbent_updates";
+    case Counter::kPortfolioBoundTightenings: return "portfolio.bound_tightenings";
   }
   throw InvalidArgumentError("unknown counter");
 }

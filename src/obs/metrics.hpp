@@ -66,8 +66,13 @@ enum class Counter : unsigned {
   kServiceCacheMisses,    ///< result-cache misses (includes collision misses)
   kServiceCacheEvictions, ///< LRU evictions from the result cache
   kServiceDegraded,       ///< requests answered via a degraded (cheap) path
+  kPortfolioRaces,             ///< PortfolioSolver::solve calls
+  kPortfolioRacers,            ///< racers launched across all races
+  kPortfolioRacersCancelled,   ///< racers stopped by the race controller
+  kPortfolioIncumbentUpdates,  ///< improving IncumbentBoard publishes
+  kPortfolioBoundTightenings,  ///< bisection UBs clamped by the incumbent
 };
-inline constexpr std::size_t kCounterCount = 20;
+inline constexpr std::size_t kCounterCount = 25;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);

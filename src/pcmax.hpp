@@ -12,8 +12,11 @@
 #include "core/schedule.hpp"
 #include "core/gantt.hpp"
 #include "core/io.hpp"
-#include "core/resilient_solver.hpp"
+#include "core/solve_context.hpp"
 #include "core/solver.hpp"
+#include "core/solver_registry.hpp"
+#include "core/resilient_solver.hpp"
+#include "core/portfolio.hpp"
 
 #include "algo/list_scheduling.hpp"
 #include "algo/lpt.hpp"

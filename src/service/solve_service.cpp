@@ -220,21 +220,12 @@ SolveResponse SolveService::run_solver(Pending& pending,
                                        const CanonicalInstance& canonical,
                                        bool use_ptas,
                                        const std::string& forced_reason) {
-  ResilientOptions resilient;
-  resilient.ptas.epsilon = effective_epsilon(pending.request);
-  resilient.ptas_enabled = use_ptas;
-  resilient.multifit_iterations = options_.multifit_iterations;
-  resilient.local_search_rounds = options_.local_search_rounds;
-  resilient.cancel = pending.token;  // request cancel + admission deadline
+  // API v2: the stop signal rides in a SolveContext instead of the solver
+  // option structs (whose cancel fields are deprecated — using them here
+  // would stamp deprecation notes into every response).
+  SolveContext context = SolveContext::with_token(pending.token);
 
   const ExecutorLanes::Lease lease = lanes_->acquire();
-  if (options_.lane_width > 1) {
-    // Parallel engine on the leased lane; bit-compatible with the
-    // sequential bottom-up fill (see tests/ptas_dp_crosscheck_test.cpp), so
-    // cache entries and responses do not depend on the lane width.
-    resilient.ptas.engine = DpEngine::kParallelBucketed;
-    resilient.ptas.executor = &lease.executor();
-  }
   // Solve the CANONICAL twin, not the submitted ordering. The PTAS maps
   // concrete jobs into rounded value classes in job order, and two jobs in
   // one class have different true times — so its makespan is not
@@ -242,7 +233,38 @@ SolveResponse SolveService::run_solver(Pending& pending,
   // the request's sort permutation makes every response a pure function of
   // the problem (machines + job multiset + epsilon), so cache hits and
   // misses for one fingerprint are indistinguishable.
-  SolverResult result = ResilientSolver(resilient).solve(canonical.instance());
+  SolverResult result;
+  if (options_.mode == ServiceMode::kPortfolio && use_ptas) {
+    PortfolioOptions portfolio;
+    portfolio.build.epsilon = effective_epsilon(pending.request);
+    portfolio.build.multifit_iterations = options_.multifit_iterations;
+    portfolio.build.local_search_rounds = options_.local_search_rounds;
+    // Sequential race on this worker: deterministic winner (responses must
+    // stay pure functions of the problem for cache coherence), and no
+    // competition with other workers for the leased lane.
+    portfolio.max_concurrent = 1;
+    if (options_.lane_width > 1) {
+      // Auto-selection adds the parallel-ptas racer on the leased lane;
+      // bit-compatible with the sequential fill, so responses still do not
+      // depend on the lane width.
+      portfolio.build.executor = &lease.executor();
+    }
+    result = PortfolioSolver(portfolio).solve(canonical.instance(), context);
+  } else {
+    ResilientOptions resilient;
+    resilient.ptas.epsilon = effective_epsilon(pending.request);
+    resilient.ptas_enabled = use_ptas;
+    resilient.multifit_iterations = options_.multifit_iterations;
+    resilient.local_search_rounds = options_.local_search_rounds;
+    if (options_.lane_width > 1) {
+      // Parallel engine on the leased lane; bit-compatible with the
+      // sequential bottom-up fill (see tests/ptas_dp_crosscheck_test.cpp),
+      // so cache entries and responses do not depend on the lane width.
+      resilient.ptas.engine = DpEngine::kParallelBucketed;
+      resilient.ptas.executor = &lease.executor();
+    }
+    result = ResilientSolver(resilient).solve(canonical.instance(), context);
+  }
 
   SolveResponse response;
   response.makespan = result.makespan;

@@ -49,6 +49,7 @@
 
 #include "core/fingerprint.hpp"
 #include "core/instance.hpp"
+#include "core/portfolio.hpp"
 #include "core/resilient_solver.hpp"
 #include "core/schedule.hpp"
 #include "parallel/bounded_queue.hpp"
@@ -58,8 +59,23 @@
 
 namespace pcmax {
 
+/// Which solver stack answers full-fidelity (non-degraded) requests.
+enum class ServiceMode {
+  /// The graceful-degradation ladder: PTAS -> MULTIFIT/LPT + polish.
+  kResilient,
+  /// The portfolio racing engine (core/portfolio.hpp) in sequential mode:
+  /// racers share an incumbent board and run in deterministic list order,
+  /// so responses stay pure functions of the problem and remain cacheable.
+  /// Degraded requests (admission or budget) still take the cheap
+  /// resilient path.
+  kPortfolio,
+};
+
 /// Static configuration of a SolveService.
 struct ServiceOptions {
+  /// Solver stack for full-fidelity requests.
+  ServiceMode mode = ServiceMode::kResilient;
+
   /// Solver worker threads draining the queue (>= 1).
   unsigned workers = 2;
 

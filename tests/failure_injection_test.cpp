@@ -13,6 +13,7 @@
 #include "algo/ptas/dp_parallel.hpp"
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
+#include "core/portfolio.hpp"
 #include "mip/pcmax_ip.hpp"
 #include "service/solve_service.hpp"
 #include "util/error.hpp"
@@ -333,6 +334,49 @@ TEST(FaultInjection, ServiceQueueDrainsUnderARequestFault) {
   }
   EXPECT_TRUE(injector.fired());
   EXPECT_EQ(degraded, 1);
+}
+
+TEST(FaultInjection, PortfolioRacerFaultDegradesToTheSurvivors) {
+  // Site "portfolio.racer" fires in run_racer before the solver is even
+  // constructed: the first racer (lpt, list order) crashes, the race
+  // continues on the survivors, and the crash is recorded as provenance.
+  const Instance instance = fault_instance();
+  PortfolioOptions options;
+  options.racers = {"lpt", "multifit", "ptas"};
+  options.max_concurrent = 1;
+  FaultInjector injector("portfolio.racer", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  const PortfolioResult result =
+      PortfolioSolver(options).race(instance, SolveContext::unlimited());
+  EXPECT_TRUE(injector.fired());
+  result.schedule.validate(instance);
+  EXPECT_NE(result.winner, "lpt");
+  const std::string& provenance = result.notes.at("racer.lpt");
+  EXPECT_NE(provenance.find("failed: resource-limit"), std::string::npos)
+      << provenance;
+}
+
+TEST(FaultInjection, PortfolioIncumbentFaultCrashesOnlyThePublisher) {
+  // Site "portfolio.incumbent" fires inside IncumbentBoard::publish — the
+  // first racer dies exactly at its publication point, after a full solve.
+  // Survivors publish unharmed (the injector fires once) and win the race.
+  const Instance instance = fault_instance();
+  PortfolioOptions options;
+  options.racers = {"lpt", "multifit", "ptas"};
+  options.max_concurrent = 1;
+  FaultInjector injector("portfolio.incumbent", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  const PortfolioResult result =
+      PortfolioSolver(options).race(instance, SolveContext::unlimited());
+  EXPECT_TRUE(injector.fired());
+  result.schedule.validate(instance);
+  EXPECT_NE(result.winner, "lpt");
+  EXPECT_NE(result.notes.at("racer.lpt").find("failed: resource-limit"),
+            std::string::npos);
+  // The survivors' publishes went through: the board saw real updates.
+  EXPECT_GE(result.stats.at("incumbent_updates"), 1.0);
 }
 
 TEST(FaultInjection, InjectorFiresExactlyOnce) {

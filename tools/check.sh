@@ -7,9 +7,11 @@
 #   tools/check.sh release    # Release tree + full suite only
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
 #
-# The Release run repeats the `bench-smoke` and `service` labels explicitly
-# at the end so bench bit-rot (flag parsing, JSON export) and batch-service
-# regressions fail loudly even when someone trims the main ctest invocation.
+# The Release run repeats the `bench-smoke`, `service`, and `headers` labels
+# explicitly at the end so bench bit-rot (flag parsing, JSON export),
+# batch-service regressions, and non-self-contained public headers
+# (tools/check_headers.sh) fail loudly even when someone trims the main
+# ctest invocation.
 #
 # Build trees live in build-check/ and build-tsan/ so they never clobber a
 # developer's main build/ directory.
@@ -28,6 +30,8 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -L bench-smoke
   echo "== Release tree: service suite =="
   ctest --test-dir build-check --output-on-failure -L service
+  echo "== Release tree: header self-containment =="
+  ctest --test-dir build-check --output-on-failure -L headers
 }
 
 run_tsan() {

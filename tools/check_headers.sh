@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must compile
+# as the FIRST include of a translation unit. Umbrella regressions (a header
+# silently leaning on whatever its includers happened to include before it)
+# are invisible to the normal build — the .cpp files include headers in
+# lucky orders — so this sweep compiles a one-line TU per header:
+#
+#     #include "<header>"
+#     int main() { return 0; }
+#
+# with only -I src on the include path. Registered as the `check_headers`
+# ctest (label `headers`, see tools/CMakeLists.txt) and run by
+# tools/check.sh.
+#
+# Usage: tools/check_headers.sh [compiler]   (default: $CXX, else c++)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+compiler="${1:-${CXX:-c++}}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+checked=0
+failed=0
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  printf '#include "%s"\nint main() { return 0; }\n' "$header" \
+    > "$tmpdir/tu.cpp"
+  if ! "$compiler" -std=c++20 -fsyntax-only -I src \
+      "$tmpdir/tu.cpp" 2> "$tmpdir/errors.txt"; then
+    echo "NOT SELF-CONTAINED: src/$header"
+    sed 's/^/    /' "$tmpdir/errors.txt"
+    failed=$((failed + 1))
+  fi
+done < <(cd src && find . -name '*.hpp' | sed 's|^\./||' | sort)
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_headers.sh: found no headers under src/ — wrong directory?" >&2
+  exit 2
+fi
+if [ "$failed" -ne 0 ]; then
+  echo "check_headers.sh: $failed of $checked headers are not self-contained"
+  exit 1
+fi
+echo "check_headers.sh: all $checked headers are self-contained"

@@ -2,6 +2,7 @@
 //
 //   pcmax generate --family "U(1,100)" --m 10 --n 50 --count 20 --out set.txt
 //   pcmax solve    --file set.txt --solver parallel-ptas --epsilon 0.3
+//   pcmax race     --file set.txt --racers lpt,multifit,ptas,milp --report
 //   pcmax batch    --file set.txt --workers 4 --repeat 2 --json report.json
 //   pcmax info     --file set.txt
 //
@@ -60,98 +61,73 @@ int cmd_generate(int argc, const char* const* argv) {
   return 0;
 }
 
-/// PTAS adapter for --on-limit=throw: arms a fresh wall-clock deadline for
-/// every solve, so each instance gets the full budget and a typed
-/// DeadlineExceededError when it runs out.
-class DeadlinePtasSolver final : public Solver {
- public:
-  DeadlinePtasSolver(PtasOptions options, std::int64_t limit_ms)
-      : options_(std::move(options)), limit_ms_(limit_ms) {}
-
-  [[nodiscard]] std::string name() const override {
-    return PtasSolver(options_).name();
-  }
-
-  SolverResult solve(const Instance& instance) override {
-    PtasOptions options = options_;
-    options.cancel =
-        CancellationToken::with_deadline(Deadline::after_ms(limit_ms_));
-    return PtasSolver(std::move(options)).solve(instance);
-  }
-
- private:
-  PtasOptions options_;
-  std::int64_t limit_ms_;
-};
-
-std::unique_ptr<Solver> wrap_ptas(PtasOptions options, std::int64_t time_limit_ms,
-                                  bool fallback) {
-  if (fallback) {
-    // Graceful degradation (the default): never throws for resource
-    // reasons; falls back MULTIFIT -> LPT -> local search on a limit trip.
-    ResilientOptions resilient;
-    resilient.ptas = std::move(options);
-    resilient.time_limit_ms = time_limit_ms;
-    return std::make_unique<ResilientSolver>(std::move(resilient));
-  }
-  if (time_limit_ms > 0) {
-    return std::make_unique<DeadlinePtasSolver>(std::move(options), time_limit_ms);
-  }
-  return std::make_unique<PtasSolver>(std::move(options));
+/// Shared construction flags -> the registry's SolverBuild. The exact
+/// solvers are anytime: a wall-clock limit caps their budget so they return
+/// the incumbent rather than throwing.
+SolverBuild build_from_cli(double epsilon, unsigned threads, Executor* executor,
+                           double exact_seconds, std::int64_t time_limit_ms) {
+  SolverBuild build;
+  build.epsilon = epsilon;
+  build.threads = threads;
+  build.executor = executor;
+  build.exact_seconds =
+      time_limit_ms > 0
+          ? std::min(exact_seconds, static_cast<double>(time_limit_ms) / 1000.0)
+          : exact_seconds;
+  return build;
 }
 
-std::unique_ptr<Solver> make_solver(const std::string& name, double epsilon,
-                                    unsigned threads, Executor* executor,
-                                    double exact_budget,
-                                    std::int64_t time_limit_ms, bool fallback) {
-  // The exact solvers are anytime: a wall-clock limit caps their budget and
-  // they return the incumbent rather than throwing.
-  if (time_limit_ms > 0) {
-    exact_budget =
-        std::min(exact_budget, static_cast<double>(time_limit_ms) / 1000.0);
+std::string registered_solvers_help() {
+  std::string help = "one of:";
+  for (const std::string& name : SolverRegistry::global().names()) {
+    help += " " + name;
   }
-  if (name == "ls") return std::make_unique<ListSchedulingSolver>();
-  if (name == "lpt") return std::make_unique<LptSolver>();
-  if (name == "multifit") return std::make_unique<MultifitSolver>();
-  if (name == "ptas") {
-    PtasOptions options;
-    options.epsilon = epsilon;
-    return wrap_ptas(std::move(options), time_limit_ms, fallback);
+  return help;
+}
+
+bool is_ptas_family(const std::string& name) {
+  return name == "ptas" || name == "parallel-ptas" || name == "spmd-ptas";
+}
+
+/// Constructs the requested solver from the global registry. PTAS-family
+/// solvers with --on-limit=fallback ride as the resilient ladder's stage-1
+/// rung (never throw for resource reasons; degrade MULTIFIT -> LPT + local
+/// search); everything else is the registry solver unwrapped, with the
+/// per-instance budget delivered through the SolveContext at solve time.
+std::unique_ptr<Solver> make_solver(const std::string& name,
+                                    const SolverBuild& build, bool fallback) {
+  const SolverRegistry& registry = SolverRegistry::global();
+  std::unique_ptr<Solver> solver = registry.create(name, build);
+  if (fallback && is_ptas_family(name)) {
+    struct ResilientWrapper final : Solver {
+      ResilientWrapper(std::unique_ptr<Solver> stage1, const SolverBuild& b)
+          : preferred(std::move(stage1)) {
+        ResilientOptions options;
+        options.preferred = preferred.get();
+        options.multifit_iterations = b.multifit_iterations;
+        options.local_search_rounds = b.local_search_rounds;
+        ladder = std::make_unique<ResilientSolver>(std::move(options));
+      }
+      [[nodiscard]] std::string name() const override { return ladder->name(); }
+      SolverResult solve(const Instance& instance) override {
+        return ladder->solve(instance);
+      }
+      SolverResult solve(const Instance& instance,
+                         const SolveContext& context) override {
+        return ladder->solve(instance, context);
+      }
+      std::unique_ptr<Solver> preferred;  // stage 1, owned (ladder borrows it)
+      std::unique_ptr<ResilientSolver> ladder;
+    };
+    return std::make_unique<ResilientWrapper>(std::move(solver), build);
   }
-  if (name == "parallel-ptas") {
-    PtasOptions options;
-    options.epsilon = epsilon;
-    options.engine = DpEngine::kParallelBucketed;
-    options.executor = executor;
-    return wrap_ptas(std::move(options), time_limit_ms, fallback);
-  }
-  if (name == "spmd-ptas") {
-    PtasOptions options;
-    options.epsilon = epsilon;
-    options.engine = DpEngine::kSpmd;
-    options.spmd_threads = threads;
-    return wrap_ptas(std::move(options), time_limit_ms, fallback);
-  }
-  if (name == "ip") {
-    ExactSolverOptions options;
-    options.max_total_seconds = exact_budget;
-    return std::make_unique<ExactSolver>(options);
-  }
-  if (name == "milp") {
-    MipOptions options;
-    options.max_seconds = exact_budget;
-    return std::make_unique<PcmaxIpSolver>(options);
-  }
-  throw InvalidArgumentError(
-      "unknown solver '" + name +
-      "' (expect: ls, lpt, multifit, ptas, parallel-ptas, spmd-ptas, ip, milp)");
+  return solver;
 }
 
 int cmd_solve(int argc, const char* const* argv) {
   CliParser cli("pcmax solve: run a solver over an instance file.");
   cli.add_string("file", "", "instance file (required)");
-  cli.add_string("solver", "parallel-ptas",
-                 "ls | lpt | multifit | ptas | parallel-ptas | spmd-ptas | ip | milp");
+  cli.add_string("solver", "parallel-ptas", registered_solvers_help());
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
   cli.add_double("exact-seconds", 60.0, "budget for the exact solvers");
@@ -185,10 +161,12 @@ int cmd_solve(int argc, const char* const* argv) {
       cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
                                  : ThreadPool::hardware_threads();
   ThreadPoolExecutor executor(threads);
+  const std::int64_t time_limit_ms = cli.get_int("time-limit-ms");
+  const SolverBuild build =
+      build_from_cli(cli.get_double("epsilon"), threads, &executor,
+                     cli.get_double("exact-seconds"), time_limit_ms);
   const std::unique_ptr<Solver> solver =
-      make_solver(cli.get_string("solver"), cli.get_double("epsilon"), threads,
-                  &executor, cli.get_double("exact-seconds"),
-                  cli.get_int("time-limit-ms"), on_limit == "fallback");
+      make_solver(cli.get_string("solver"), build, on_limit == "fallback");
 
   const std::string metrics_path = cli.get_string("metrics");
   std::optional<obs::Metrics> metrics;
@@ -202,7 +180,11 @@ int cmd_solve(int argc, const char* const* argv) {
                       "certified", "algorithm", "degraded"});
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const Instance& instance = instances[i];
-    const SolverResult result = solver->solve(instance);
+    // A fresh per-instance context: each instance gets the full wall-clock
+    // budget (0 = unlimited), enforced through the v2 SolveContext instead
+    // of the deprecated per-struct cancel fields.
+    const SolverResult result =
+        solver->solve(instance, SolveContext::with_time_limit_ms(time_limit_ms));
     result.schedule.validate(instance);
     // Provenance from the graceful-degradation driver (or the anytime exact
     // solvers' limit reason); plain solvers report their own name.
@@ -236,6 +218,106 @@ int cmd_solve(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_race(int argc, const char* const* argv) {
+  CliParser cli(
+      "pcmax race: race a portfolio of solvers over a shared incumbent "
+      "bound (core/portfolio). Tier-0 heuristics seed the board, heavy "
+      "racers tighten against it, and a certified optimum cancels the rest.");
+  cli.add_string("file", "", "instance file (required)");
+  cli.add_string("racers", "",
+                 "comma-separated racer list (empty = auto-select per "
+                 "instance); " +
+                     registered_solvers_help());
+  cli.add_double("epsilon", 0.3, "PTAS accuracy");
+  cli.add_int("threads", 0, "executor threads (0 = hardware concurrency)");
+  cli.add_int("concurrent", 0,
+              "max concurrently running heavy racers (0 = all at once, "
+              "1 = deterministic sequential race)");
+  cli.add_double("exact-seconds", 60.0, "budget for the exact racers");
+  cli.add_int("time-limit-ms", 0,
+              "wall-clock budget per instance in ms (0 = unlimited)");
+  cli.add_int("limit", 0, "race only the first N instances (0 = all)");
+  cli.add_bool("report", false, "also print the per-racer reports");
+  cli.add_string("metrics", "",
+                 "write a JSON runtime-metrics profile to this path");
+  if (!cli.parse(argc, argv)) return 0;
+  PCMAX_REQUIRE(!cli.get_string("file").empty(), "--file is required");
+  PCMAX_REQUIRE(cli.get_int("time-limit-ms") >= 0,
+                "--time-limit-ms must be non-negative");
+
+  auto instances = read_instances_file(cli.get_string("file"));
+  if (cli.get_int("limit") > 0 &&
+      instances.size() > static_cast<std::size_t>(cli.get_int("limit"))) {
+    instances.erase(
+        instances.begin() + static_cast<std::ptrdiff_t>(cli.get_int("limit")),
+        instances.end());
+  }
+
+  const unsigned threads =
+      cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
+                                 : ThreadPool::hardware_threads();
+  ThreadPoolExecutor executor(threads);
+  const std::int64_t time_limit_ms = cli.get_int("time-limit-ms");
+
+  PortfolioOptions options;
+  options.build = build_from_cli(cli.get_double("epsilon"), threads, &executor,
+                                 cli.get_double("exact-seconds"), time_limit_ms);
+  options.max_concurrent = static_cast<unsigned>(cli.get_int("concurrent"));
+  const std::string racers = cli.get_string("racers");
+  for (std::size_t begin = 0; begin < racers.size();) {
+    std::size_t end = racers.find(',', begin);
+    if (end == std::string::npos) end = racers.size();
+    if (end > begin) options.racers.push_back(racers.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  PortfolioSolver solver(options);
+
+  const std::string metrics_path = cli.get_string("metrics");
+  std::optional<obs::Metrics> metrics;
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (!metrics_path.empty()) {
+    metrics.emplace(threads);
+    metrics_scope.emplace(*metrics);
+  }
+
+  TablePrinter table({"#", "m", "n", "LB", "makespan", "winner", "certified",
+                      "racers", "cancelled", "seconds"});
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& instance = instances[i];
+    const PortfolioResult result = solver.race(
+        instance, SolveContext::with_time_limit_ms(time_limit_ms));
+    result.schedule.validate(instance);
+    table.add_row({std::to_string(i), std::to_string(instance.machines()),
+                   std::to_string(instance.jobs()),
+                   std::to_string(makespan_lower_bound(instance)),
+                   std::to_string(result.makespan), result.winner,
+                   result.proven_optimal ? "yes" : "-",
+                   std::to_string(result.racers.size()),
+                   TablePrinter::fmt(result.stats.at("racers_cancelled"), 0),
+                   TablePrinter::fmt(result.seconds, 4)});
+    if (cli.get_bool("report")) {
+      std::cout << "# instance " << i << "\n";
+      for (const RacerReport& report : result.racers) {
+        std::cout << "  " << report.name << ": " << report.status
+                  << "  makespan=" << report.makespan
+                  << "  seconds=" << TablePrinter::fmt(report.seconds, 4)
+                  << "  start_bound="
+                  << (report.start_bound == IncumbentBoard::kNone
+                          ? std::string("none")
+                          : std::to_string(report.start_bound))
+                  << (report.certified ? "  [certified]" : "") << "\n";
+      }
+    }
+  }
+  if (metrics.has_value()) {
+    metrics_scope.reset();  // stop collecting before exporting
+    obs::write_metrics_file(metrics_path, *metrics);
+    std::cerr << "wrote metrics profile to " << metrics_path << "\n";
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
 int cmd_batch(int argc, const char* const* argv) {
   CliParser cli(
       "pcmax batch: run an instance file through the batch solve service "
@@ -246,6 +328,9 @@ int cmd_batch(int argc, const char* const* argv) {
   cli.add_int("lanes", 0, "shared executor lanes (0 = one per worker)");
   cli.add_int("queue", 64, "bounded request-queue capacity");
   cli.add_int("cache", 1024, "result-cache capacity in entries (0 disables)");
+  cli.add_string("mode", "resilient",
+                 "full-fidelity solver stack: 'resilient' (degradation "
+                 "ladder) or 'portfolio' (sequential racer portfolio)");
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
   cli.add_int("time-limit-ms", 0,
               "per-request budget from admission in ms (0 = unlimited)");
@@ -288,7 +373,12 @@ int cmd_batch(int argc, const char* const* argv) {
     }
   }
 
+  const std::string mode = cli.get_string("mode");
+  PCMAX_REQUIRE(mode == "resilient" || mode == "portfolio",
+                "--mode must be 'resilient' or 'portfolio'");
   ServiceOptions options;
+  options.mode =
+      mode == "portfolio" ? ServiceMode::kPortfolio : ServiceMode::kResilient;
   options.workers = static_cast<unsigned>(cli.get_int("workers"));
   options.lane_width = static_cast<unsigned>(cli.get_int("lane-width"));
   options.lanes = static_cast<unsigned>(cli.get_int("lanes"));
@@ -382,7 +472,7 @@ int cmd_info(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: pcmax <generate|solve|batch|info> [flags]   (--help per "
+      "usage: pcmax <generate|solve|race|batch|info> [flags]   (--help per "
       "subcommand)\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -392,6 +482,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "solve") return cmd_solve(argc - 1, argv + 1);
+    if (command == "race") return cmd_race(argc - 1, argv + 1);
     if (command == "batch") return cmd_batch(argc - 1, argv + 1);
     if (command == "info") return cmd_info(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;
