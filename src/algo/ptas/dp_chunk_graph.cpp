@@ -1,0 +1,95 @@
+#include "algo/ptas/dp_chunk_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+std::uint64_t DpChunkGraph::total_dependencies() const {
+  std::uint64_t total = 0;
+  for (const DpChunk& chunk : chunks) total += chunk.dep_chunks;
+  return total;
+}
+
+DpChunkGraph build_chunk_graph(const StateSpace& space, std::size_t target) {
+  PCMAX_REQUIRE(target >= 1, "chunk target must be at least 1");
+  DpChunkGraph graph;
+  graph.target = target;
+
+  LevelWalker walker(space);
+  const int levels = space.max_level() + 1;
+
+  // Pass 1: chunk counts per level. Every level of a non-empty space has at
+  // least one entry (a greedy fill realises any digit sum <= max_level), so
+  // every level contributes at least one chunk.
+  graph.level_first.assign(static_cast<std::size_t>(levels) + 1, 0);
+  std::uint64_t total = 0;
+  for (int l = 0; l < levels; ++l) {
+    const std::uint64_t width = walker.level_size(l);
+    PCMAX_CHECK(width >= 1, "empty anti-diagonal level");
+    total += (width + target - 1) / target;
+    PCMAX_CHECK(total <= std::numeric_limits<std::uint32_t>::max(),
+                "chunk graph exceeds 32-bit id space");
+    graph.level_first[static_cast<std::size_t>(l) + 1] =
+        static_cast<std::uint32_t>(total);
+  }
+  graph.chunks.resize(total);
+
+  // Pass 2: rank ranges and dependency prefixes. dep_chunks of chunk j on
+  // level l >= 1 covers the level-(l-1) ranks [0, H_j) where H_j counts the
+  // previous-level entries lexicographically below the chunk's last entry.
+  for (int l = 0; l < levels; ++l) {
+    const std::uint32_t first = graph.level_first[static_cast<std::size_t>(l)];
+    const std::uint32_t last =
+        graph.level_first[static_cast<std::size_t>(l) + 1];
+    const std::uint64_t width = walker.level_size(l);
+    for (std::uint32_t g = first; g < last; ++g) {
+      DpChunk& chunk = graph.chunks[g];
+      chunk.level = l;
+      chunk.rank_begin = static_cast<std::uint64_t>(g - first) * target;
+      chunk.rank_end = std::min<std::uint64_t>(chunk.rank_begin + target, width);
+      if (l == 0) continue;
+      walker.seek(l, chunk.rank_end - 1);
+      const std::uint64_t hull = walker.rank_lower_bound(l - 1, walker.digits());
+      // Every entry with digit sum l has a unit predecessor below it, so the
+      // hull is non-empty; rounding up to whole chunks only widens it.
+      PCMAX_CHECK(hull >= 1, "level chunk has an empty predecessor hull");
+      const std::uint64_t deps = (hull + target - 1) / target;
+      const std::uint32_t prev_chunks =
+          first - graph.level_first[static_cast<std::size_t>(l) - 1];
+      PCMAX_CHECK(deps <= prev_chunks, "predecessor hull exceeds previous level");
+      chunk.dep_chunks = static_cast<std::uint32_t>(deps);
+    }
+  }
+
+  // Pass 3: successor suffixes. dep_chunks is nondecreasing within a level
+  // (later chunks have lexicographically larger last entries, hence larger
+  // hulls), so the dependants of the c-th level-l chunk are exactly the
+  // level-(l+1) chunks with dep_chunks > c — a suffix found by bisection.
+  const auto total32 = static_cast<std::uint32_t>(total);
+  for (int l = 0; l < levels; ++l) {
+    const std::uint32_t first = graph.level_first[static_cast<std::size_t>(l)];
+    const std::uint32_t last =
+        graph.level_first[static_cast<std::size_t>(l) + 1];
+    const std::uint32_t next_first = last;
+    const std::uint32_t next_last =
+        l + 1 < levels ? graph.level_first[static_cast<std::size_t>(l) + 2]
+                       : total32;
+    for (std::uint32_t g = first; g < last; ++g) {
+      const std::uint32_t c = g - first;
+      const auto* begin = graph.chunks.data() + next_first;
+      const auto* end = graph.chunks.data() + next_last;
+      const auto* split = std::partition_point(
+          begin, end,
+          [c](const DpChunk& succ) { return succ.dep_chunks <= c; });
+      graph.chunks[g].succ_begin =
+          next_first + static_cast<std::uint32_t>(split - begin);
+      graph.chunks[g].succ_end = next_last;
+    }
+  }
+  return graph;
+}
+
+}  // namespace pcmax

@@ -1,13 +1,16 @@
 #include "algo/ptas/dp_parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <limits>
 #include <optional>
 #include <thread>
 
+#include "algo/ptas/dp_chunk_graph.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/barrier.hpp"
+#include "parallel/work_stealing.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -28,6 +31,14 @@ std::string level_iteration_name(LevelIteration iteration) {
     case LevelIteration::kIndexed: return "indexed";
   }
   throw InvalidArgumentError("unknown level iteration");
+}
+
+std::string dp_sync_mode_name(DpSyncMode mode) {
+  switch (mode) {
+    case DpSyncMode::kBarrier: return "barrier";
+    case DpSyncMode::kCounters: return "counters";
+  }
+  throw InvalidArgumentError("unknown DP sync mode");
 }
 
 namespace {
@@ -59,6 +70,15 @@ namespace {
 constexpr std::size_t kLevelComputeChunk = 1;
 constexpr std::size_t kScanChunk = 64;
 constexpr std::size_t kBucketChunk = 16;
+
+// Chunk-size clamp of the kCounters graph sweep. The nominal target splits
+// the *widest* anti-diagonal into ~4 chunks per worker (steal slack without
+// excessive graph size); the floor keeps one-entry tail levels from turning
+// into per-entry tasks whose spawn cost dwarfs a ~24 ns kernel entry, and
+// the ceiling bounds tail imbalance the same way kBucketChunk does for the
+// dynamic schedule.
+constexpr std::size_t kCounterChunkMin = 16;
+constexpr std::size_t kCounterChunkMax = 256;
 
 /// Amortisation period of the in-range cancellation polls (and the SPMD
 /// stop-flag polls): one acquire load every 256 entries keeps the poll cost
@@ -126,6 +146,7 @@ struct alignas(64) WorkerCounters {
   std::uint64_t entries = 0;
   std::uint64_t scans = 0;
   std::uint64_t pruned = 0;
+  std::uint64_t waits = 0;  ///< kCounters only: non-final dependency decrements
 };
 
 /// Folds the per-worker counters into the run stats and, when a metrics
@@ -449,6 +470,103 @@ void run_spmd(const RoundedInstance& rounded, const StateSpace& space,
   publish_run(recorder, counters, run);
 }
 
+void run_counters(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, DpKernel kernel,
+                  LevelIteration iteration, LevelPruning pruning,
+                  WorkStealingPool& pool, const CancellationToken& cancel,
+                  DpRun& run, const char* variant) {
+  const unsigned workers = pool.size();
+  std::vector<WorkerCounters> counters(workers);
+
+  LevelWalker proto(space);
+  std::uint64_t max_width = 1;
+  for (int l = 0; l <= space.max_level(); ++l) {
+    max_width = std::max(max_width, proto.level_size(l));
+  }
+  const std::size_t target =
+      std::clamp(static_cast<std::size_t>(max_width / (4 * workers)),
+                 kCounterChunkMin, kCounterChunkMax);
+  const DpChunkGraph graph = build_chunk_graph(space, target);
+
+  // kIndexed baseline inputs, computed sequentially (the pool owns the
+  // threads; per-level slot order equals walker rank order because the
+  // counting sort emits each level's indices ascending).
+  std::vector<std::int32_t> levels;
+  LevelIndex index;
+  if (iteration == LevelIteration::kIndexed) {
+    SequentialExecutor seq;
+    levels = compute_levels(space, seq, cancel);
+    index = build_level_index(space, levels);
+  }
+
+  obs::DpRunRecorder recorder(variant, "graph", space.size(),
+                              space.max_level() + 1);
+
+  std::vector<std::atomic<std::uint32_t>> deps(graph.chunks.size());
+  std::vector<std::uint32_t> roots;
+  for (std::size_t j = 0; j < graph.chunks.size(); ++j) {
+    deps[j].store(graph.chunks[j].dep_chunks, std::memory_order_relaxed);
+    if (graph.chunks[j].dep_chunks == 0) {
+      roots.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  const bool armed = cancel.valid();
+  std::vector<LevelWalker> walkers(workers, proto);
+  std::vector<std::vector<int>> scratch(
+      workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
+
+  auto body = [&](std::uint32_t id, WorkStealingPool::TaskContext& ctx) {
+    const DpChunk& chunk = graph.chunks[id];
+    const unsigned worker = ctx.worker();
+    WorkerCounters& wc = counters[worker];
+    fault_hit("dp.chunk");
+    CancelCheck range_check(cancel, kCancelPollPeriod);
+    if (iteration == LevelIteration::kWalker) {
+      LevelWalker& walker = walkers[worker];
+      walker.seek(chunk.level, chunk.rank_begin);
+      for (std::uint64_t rank = chunk.rank_begin; rank < chunk.rank_end;
+           ++rank) {
+        if (armed) range_check.poll();
+        process_entry(walker.index(), walker.digits(), chunk.level, rounded,
+                      space, configs, kernel, pruning, run.table, wc);
+        if (rank + 1 < chunk.rank_end) walker.next();
+      }
+    } else {
+      const std::size_t base =
+          index.level_begin[static_cast<std::size_t>(chunk.level)];
+      for (std::uint64_t rank = chunk.rank_begin; rank < chunk.rank_end;
+           ++rank) {
+        if (armed) range_check.poll();
+        process_index(index.order[base + rank], chunk.level, rounded, space,
+                      configs, kernel, pruning, run.table, scratch[worker], wc);
+      }
+    }
+    // Publication chain of the table writes above: the acq_rel decrement
+    // makes them visible to whichever worker performs the final decrement,
+    // and the spawn hands them on through the deque slot's release/acquire
+    // edge, so a dependant chunk always reads completed predecessors.
+    for (std::uint32_t succ = chunk.succ_begin; succ < chunk.succ_end; ++succ) {
+      if (deps[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ctx.spawn(succ);
+      } else {
+        ++wc.waits;
+      }
+    }
+  };
+  pool.run_tasks(roots, graph.chunks.size(), body, cancel);
+
+  publish_run(recorder, counters, run);
+  if (obs::Metrics* metrics = obs::current()) {
+    for (std::size_t w = 0; w < counters.size(); ++w) {
+      if (counters[w].waits > 0) {
+        metrics->add(static_cast<unsigned>(w), obs::Counter::kDpChunkWaits,
+                     counters[w].waits);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
@@ -463,20 +581,40 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
     case ParallelDpVariant::kScanPerLevel:
       PCMAX_REQUIRE(options.executor != nullptr,
                     "scan-per-level variant needs an executor");
+      PCMAX_REQUIRE(options.sync_mode == DpSyncMode::kBarrier,
+                    "scan-per-level supports only barrier sync");
       run_scan_per_level(rounded, space, configs, options.kernel,
                          options.pruning, *options.executor, options.schedule,
                          options.cancel, run);
       break;
     case ParallelDpVariant::kBucketed:
       PCMAX_REQUIRE(options.executor != nullptr, "bucketed variant needs an executor");
-      run_bucketed(rounded, space, configs, options.kernel, options.iteration,
-                   options.pruning, *options.executor, options.schedule,
-                   options.cancel, run);
+      if (options.sync_mode == DpSyncMode::kCounters) {
+        auto* ws = dynamic_cast<WorkStealingExecutor*>(options.executor);
+        PCMAX_REQUIRE(ws != nullptr,
+                      "counters sync needs the work-stealing executor");
+        run_counters(rounded, space, configs, options.kernel, options.iteration,
+                     options.pruning, ws->pool(), options.cancel, run,
+                     "bucketed-counters");
+      } else {
+        run_bucketed(rounded, space, configs, options.kernel, options.iteration,
+                     options.pruning, *options.executor, options.schedule,
+                     options.cancel, run);
+      }
       break;
     case ParallelDpVariant::kSpmd:
       PCMAX_REQUIRE(options.spmd_threads >= 1, "spmd needs at least one thread");
-      run_spmd(rounded, space, configs, options.kernel, options.iteration,
-               options.pruning, options.spmd_threads, options.cancel, run);
+      if (options.sync_mode == DpSyncMode::kCounters) {
+        // SPMD owns its threads; the counters realisation keeps that shape
+        // with a run-scoped pool of the same width.
+        WorkStealingPool pool(options.spmd_threads);
+        run_counters(rounded, space, configs, options.kernel, options.iteration,
+                     options.pruning, pool, options.cancel, run,
+                     "spmd-counters");
+      } else {
+        run_spmd(rounded, space, configs, options.kernel, options.iteration,
+                 options.pruning, options.spmd_threads, options.cancel, run);
+      }
       break;
   }
 

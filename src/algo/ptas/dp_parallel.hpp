@@ -58,6 +58,26 @@ enum class LevelIteration {
 /// Human-readable iteration name for reports.
 std::string level_iteration_name(LevelIteration iteration);
 
+/// Inter-level synchronisation of kBucketed/kSpmd.
+enum class DpSyncMode {
+  /// Full synchronisation between consecutive anti-diagonals: an executor
+  /// fork/join per level (kBucketed) or an SPMD barrier (kSpmd). Every
+  /// worker pays the sync cost max_level times even on one-entry levels.
+  kBarrier,
+  /// Barrier-free: levels are cut into rank chunks and a chunk becomes
+  /// runnable the moment its per-chunk dependency counter (derived from
+  /// the lexicographic predecessor hull, see dp_chunk_graph.hpp) drains,
+  /// so narrow levels pipeline instead of serialising the whole pool.
+  /// Runs on the work-stealing pool: kBucketed requires the executor to
+  /// be a WorkStealingExecutor; kSpmd spins up an ephemeral pool of
+  /// spmd_threads. Not applicable to kScanPerLevel (whose per-level
+  /// full-table scan is inherently level-synchronised).
+  kCounters,
+};
+
+/// Human-readable sync-mode name for reports.
+std::string dp_sync_mode_name(DpSyncMode mode);
+
 /// Options of one parallel DP run.
 struct ParallelDpOptions {
   /// Executor running the parallel loops (kScanPerLevel/kBucketed); must
@@ -76,6 +96,10 @@ struct ParallelDpOptions {
   /// Level-prefix bound of the global-config kernel (kOff = pre-pruning
   /// baseline; identical tables either way).
   LevelPruning pruning = LevelPruning::kOn;
+  /// Inter-level synchronisation of kBucketed/kSpmd (see DpSyncMode).
+  /// Identical tables either way; kCounters trades the per-level barrier
+  /// for chunk dependency counters on the work-stealing pool.
+  DpSyncMode sync_mode = DpSyncMode::kBarrier;
   /// Values-only tables skip the choice array — sufficient for feasibility
   /// probes that only read OPT(N).
   DpTableMode table_mode = DpTableMode::kValuesAndChoices;

@@ -78,6 +78,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode,
       dp_options.kernel = options_.kernel;
       dp_options.iteration = options_.iteration;
       dp_options.pruning = options_.pruning;
+      dp_options.sync_mode = options_.sync_mode;
       dp_options.table_mode = mode;
       dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
@@ -92,6 +93,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode,
       dp_options.kernel = options_.kernel;
       dp_options.iteration = options_.iteration;
       dp_options.pruning = options_.pruning;
+      dp_options.sync_mode = options_.sync_mode;
       dp_options.table_mode = mode;
       dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,

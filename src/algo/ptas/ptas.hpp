@@ -55,6 +55,11 @@ struct PtasOptions {
   /// Level-prefix pruning of the global-config kernel (kOff = pre-pruning
   /// baseline). Identical tables either way.
   LevelPruning pruning = LevelPruning::kOn;
+  /// Inter-level synchronisation of kParallelBucketed/kSpmd: per-level
+  /// barrier (default) or barrier-free chunk dependency counters on the
+  /// work-stealing pool (kCounters; kParallelBucketed then requires
+  /// `executor` to be a WorkStealingExecutor). Identical tables either way.
+  DpSyncMode sync_mode = DpSyncMode::kBarrier;
   /// When true (default), search probes run with values-only DP tables —
   /// bisection/multisection only read OPT(N), so the choice array is dead
   /// weight there. The final reconstruction run always keeps choices.

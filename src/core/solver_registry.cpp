@@ -60,12 +60,20 @@ std::vector<std::string> SolverRegistry::names() const {
 
 namespace {
 
+DpSyncMode dp_sync_from(const std::string& name) {
+  if (name == "barrier") return DpSyncMode::kBarrier;
+  if (name == "counters") return DpSyncMode::kCounters;
+  throw InvalidArgumentError("unknown DP sync mode: " + name +
+                             " (expected barrier|counters)");
+}
+
 PtasOptions ptas_options_from(const SolverBuild& build, DpEngine engine) {
   PtasOptions options;
   options.epsilon = build.epsilon;
   options.engine = engine;
   options.executor = build.executor;
   options.spmd_threads = std::max(1u, build.threads);
+  options.sync_mode = dp_sync_from(build.dp_sync);
   return options;
 }
 

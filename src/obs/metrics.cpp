@@ -12,12 +12,15 @@ const char* counter_name(Counter counter) {
     case Counter::kPoolTasks: return "pool.tasks";
     case Counter::kPoolIterations: return "pool.iterations";
     case Counter::kPoolDynamicClaims: return "pool.dynamic_claims";
+    case Counter::kPoolSteals: return "pool.steals";
+    case Counter::kPoolParks: return "pool.parks";
     case Counter::kBarrierWaits: return "barrier.waits";
     case Counter::kDpRuns: return "dp.runs";
     case Counter::kDpLevels: return "dp.levels";
     case Counter::kDpEntries: return "dp.entries";
     case Counter::kDpConfigScans: return "dp.config_scans";
     case Counter::kDpConfigsPruned: return "dp.configs_pruned";
+    case Counter::kDpChunkWaits: return "dp.chunk_waits";
     case Counter::kBisectionProbes: return "bisection.probes";
     case Counter::kLpSolves: return "lp.solves";
     case Counter::kMipNodes: return "mip.nodes";

@@ -50,12 +50,15 @@ enum class Counter : unsigned {
   kPoolTasks,          ///< range-body invocations
   kPoolIterations,     ///< loop iterations processed
   kPoolDynamicClaims,  ///< successful kDynamic chunk claims
+  kPoolSteals,         ///< work items taken from another worker's shard/deque
+  kPoolParks,          ///< idle park episodes of work-stealing workers
   kBarrierWaits,       ///< Barrier::arrive_and_wait calls
   kDpRuns,             ///< DP table fills (one per bisection probe)
   kDpLevels,           ///< anti-diagonal levels swept
   kDpEntries,          ///< DP entries computed by this worker
   kDpConfigScans,      ///< configuration candidates inspected by this worker
   kDpConfigsPruned,    ///< candidates skipped via the level-prefix bound
+  kDpChunkWaits,       ///< counter-mode dependency decrements that kept a chunk waiting
   kBisectionProbes,    ///< DP probes issued by bisection/multisection
   kLpSolves,           ///< simplex invocations
   kMipNodes,           ///< branch-and-bound nodes expanded
@@ -72,7 +75,7 @@ enum class Counter : unsigned {
   kPortfolioIncumbentUpdates,  ///< improving IncumbentBoard publishes
   kPortfolioBoundTightenings,  ///< bisection UBs clamped by the incumbent
 };
-inline constexpr std::size_t kCounterCount = 25;
+inline constexpr std::size_t kCounterCount = 28;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);

@@ -28,6 +28,13 @@ class BoundedQueue {
     PCMAX_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
   }
 
+  /// The destructor acquires the mutex once: a peer that was inside
+  /// push()/pop() when its item was handed over has then fully left its
+  /// critical section, so the owner may destroy the queue as soon as it
+  /// knows (by protocol, e.g. having popped the last item) that no further
+  /// calls will start.
+  ~BoundedQueue() { std::lock_guard<std::mutex> lock(mutex_); }
+
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
@@ -40,7 +47,12 @@ class BoundedQueue {
     if (closed_) return false;
     items_.push_back(std::move(item));
     if (items_.size() > high_watermark_) high_watermark_ = items_.size();
-    lock.unlock();
+    // Notify while still holding the lock. Notifying after unlock() — the
+    // classic "optimisation" — races with destruction: once the item is
+    // visible, a consumer can pop it and the owner can destroy the queue
+    // while this thread is still inside notify_one() on the (now destroyed)
+    // condition variable. Under the lock, the destructor's mutex acquire
+    // cannot complete until the notify has returned.
     not_empty_.notify_one();
     return true;
   }
@@ -53,8 +65,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.notify_one();  // under the lock; see push()
     return item;
   }
 

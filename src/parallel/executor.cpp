@@ -39,6 +39,29 @@ void ThreadPoolExecutor::parallel_for_ranges(std::size_t n,
   pool_.run(n, body, schedule, chunk, cancel);
 }
 
+WorkStealingExecutor::WorkStealingExecutor(unsigned num_threads)
+    : pool_(num_threads) {}
+
+void WorkStealingExecutor::parallel_for_ranges(std::size_t n,
+                                               const ThreadPool::RangeBody& body,
+                                               LoopSchedule schedule,
+                                               std::size_t chunk,
+                                               const CancellationToken& cancel) {
+  switch (schedule) {
+    case LoopSchedule::kStatic:
+      pool_.parallel_for_1d(n, body, /*chunk=*/0, cancel);
+      break;
+    case LoopSchedule::kRoundRobin:
+      // The strided assignment has no work-stealing analogue; singleton
+      // claims give the same granularity with stealable slices.
+      pool_.parallel_for_1d(n, body, /*chunk=*/1, cancel);
+      break;
+    case LoopSchedule::kDynamic:
+      pool_.parallel_for_1d(n, body, std::max<std::size_t>(1, chunk), cancel);
+      break;
+  }
+}
+
 #if defined(PCMAX_HAVE_OPENMP)
 OpenMPExecutor::OpenMPExecutor(unsigned num_threads) : num_threads_(num_threads) {
   PCMAX_REQUIRE(num_threads >= 1, "OpenMP executor needs at least one thread");
@@ -94,6 +117,9 @@ std::unique_ptr<Executor> make_executor(const std::string& backend,
   }
   if (backend == "threadpool") {
     return std::make_unique<ThreadPoolExecutor>(num_threads);
+  }
+  if (backend == "workstealing" || backend == "work-stealing") {
+    return std::make_unique<WorkStealingExecutor>(num_threads);
   }
   if (backend == "openmp") {
 #if defined(PCMAX_HAVE_OPENMP)

@@ -6,6 +6,10 @@
 //  * SequentialExecutor — inline execution; used by the sequential PTAS and
 //    as the P=1 baseline of all speedup experiments.
 //  * ThreadPoolExecutor — our own persistent pool (src/parallel/thread_pool).
+//  * WorkStealingExecutor — the work-stealing pool (src/parallel/
+//    work_stealing): per-worker atomic range shards with slice stealing
+//    instead of a shared claim counter, plus the task-graph substrate the
+//    barrier-free DP sweep (DpSyncMode::kCounters) runs on.
 //  * OpenMPExecutor     — optional backend using `#pragma omp`, kept for
 //    comparison with the paper's OpenMP implementation (compiled only when
 //    the toolchain provides OpenMP).
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
 
 namespace pcmax {
 
@@ -78,6 +83,29 @@ class ThreadPoolExecutor final : public Executor {
   ThreadPool pool_;
 };
 
+/// Executor backed by the work-stealing pool. The schedule maps onto the
+/// claim granularity of the range-split machinery: kStatic picks the
+/// auto-chunk (~8 claims per worker), kRoundRobin claims single iterations,
+/// kDynamic claims `chunk`-sized slices — in every case idle workers steal
+/// remaining slices from loaded peers, which is the point of the backend.
+class WorkStealingExecutor final : public Executor {
+ public:
+  /// Creates the executor with its own pool of `num_threads` workers.
+  explicit WorkStealingExecutor(unsigned num_threads);
+
+  [[nodiscard]] unsigned concurrency() const override { return pool_.size(); }
+  [[nodiscard]] std::string name() const override { return "workstealing"; }
+  void parallel_for_ranges(std::size_t n, const ThreadPool::RangeBody& body,
+                           LoopSchedule schedule, std::size_t chunk,
+                           const CancellationToken& cancel) override;
+
+  /// Direct access to the underlying pool (task-graph episodes, SPMD).
+  [[nodiscard]] WorkStealingPool& pool() { return pool_; }
+
+ private:
+  WorkStealingPool pool_;
+};
+
 #if defined(PCMAX_HAVE_OPENMP)
 /// Executor backed by OpenMP worksharing, mirroring the paper's
 /// implementation substrate.
@@ -96,9 +124,9 @@ class OpenMPExecutor final : public Executor {
 };
 #endif  // PCMAX_HAVE_OPENMP
 
-/// Creates an executor by backend name: "sequential", "threadpool", or
-/// "openmp" (if compiled in). Throws InvalidArgumentError for unknown names
-/// or an unavailable backend.
+/// Creates an executor by backend name: "sequential", "threadpool",
+/// "workstealing", or "openmp" (if compiled in). Throws InvalidArgumentError
+/// for unknown names or an unavailable backend.
 std::unique_ptr<Executor> make_executor(const std::string& backend,
                                         unsigned num_threads);
 

@@ -4,17 +4,23 @@
 // ThreadPool per request would pay thread spawn/join on every solve, and an
 // uncapped per-request pool would let one big solve oversubscribe the
 // machine and starve small requests. ExecutorLanes fixes both: a fixed set
-// of persistent ThreadPoolExecutors, each `lane_width` threads wide, shared
-// by all requests. A request acquires a lane (blocking while all lanes are
-// busy — a second layer of admission control under the request queue), runs
-// its parallel regions on it, and returns it on scope exit. Per-request
+// of persistent executors, each `lane_width` threads wide, shared by all
+// requests. A request acquires a lane (blocking while all lanes are busy —
+// a second layer of admission control under the request queue), runs its
+// parallel regions on it, and returns it on scope exit. Per-request
 // parallelism is therefore hard-capped at lane_width, and total solver
 // parallelism at lanes * lane_width, no matter how large a request is.
+//
+// Lanes default to the work-stealing backend, which also unlocks the
+// barrier-free DP sweep (DpSyncMode::kCounters) for solves running on a
+// lane; the `backend` parameter keeps the legacy "threadpool" lanes
+// constructible for comparison.
 #pragma once
 
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "parallel/executor.hpp"
@@ -25,7 +31,10 @@ class ExecutorLanes {
  public:
   /// Creates `lanes` persistent executors of `lane_width` threads each
   /// (both >= 1). A lane of width 1 degenerates to inline execution.
-  ExecutorLanes(unsigned lanes, unsigned lane_width);
+  /// `backend` is any make_executor name except "sequential" (lanes must
+  /// accept any width).
+  ExecutorLanes(unsigned lanes, unsigned lane_width,
+                const std::string& backend = "workstealing");
 
   ExecutorLanes(const ExecutorLanes&) = delete;
   ExecutorLanes& operator=(const ExecutorLanes&) = delete;
@@ -66,7 +75,7 @@ class ExecutorLanes {
   void release(std::size_t index);
 
   const unsigned lane_width_;
-  std::vector<std::unique_ptr<ThreadPoolExecutor>> executors_;
+  std::vector<std::unique_ptr<Executor>> executors_;
   std::mutex mutex_;
   std::condition_variable lane_free_;
   std::vector<std::size_t> free_;  // indices of free lanes (LIFO for warmth)

@@ -53,10 +53,16 @@ ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    // Drain before join: wait for any in-flight region's bookkeeping to
+    // fully retire before flipping the shutdown flag, and notify while
+    // still holding the lock. Without the wait, a destructor racing the
+    // tail of run() (on another thread) could tear down the condition
+    // variables while that thread was still signalling them.
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [&] { return region_ == nullptr; });
     shutting_down_ = true;
+    start_cv_.notify_all();
   }
-  start_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
@@ -178,8 +184,8 @@ void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule
     region_ = &region;
     still_running_ = num_threads_ - 1;
     ++epoch_;
+    start_cv_.notify_all();  // under the lock: drain-before-join discipline
   }
-  start_cv_.notify_all();
 
   work_on(region, 0);  // the caller is worker 0
 
@@ -187,8 +193,10 @@ void ThreadPool::run(std::size_t n, const RangeBody& body, LoopSchedule schedule
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return still_running_ == 0; });
     region_ = nullptr;
+    // notify_all (not _one) under the lock: both a waiting run() caller and
+    // a destructor waiting for quiescence may be parked on idle_cv_.
+    idle_cv_.notify_all();
   }
-  idle_cv_.notify_one();
   if (region.error) std::rethrow_exception(region.error);
 }
 

@@ -1,0 +1,152 @@
+// Regression tests for the drain-before-join shutdown discipline.
+//
+// The latent race this pins down: a synchronisation primitive that notifies
+// its condition variable AFTER unlocking lets a peer observe the handed-over
+// state, finish its protocol, and let the owner destroy the primitive while
+// the notifier is still inside notify_one() on a freed condition variable.
+// The fix is notify-under-lock everywhere plus destructors that take the
+// mutex (BoundedQueue) or wait for quiescence before tearing down threads
+// (ThreadPool, WorkStealingPool). These tests destroy each primitive at the
+// EARLIEST protocol-legal moment, thousands of times, with the destruction
+// racing the tail of a peer's push/run — under TSan/ASan (`ctest -L
+// sanitize`) the old notify-after-unlock ordering fails here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "parallel/bounded_queue.hpp"
+#include "parallel/executor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(ShutdownRace, QueueDestroyedRightAfterFinalPop) {
+  // Owner pops the last expected item and immediately destroys the queue
+  // while the producer may still be inside push()'s notify. The destructor's
+  // mutex acquire is what makes this legal; notify-after-unlock makes it a
+  // use-after-free.
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    auto queue = std::make_unique<BoundedQueue<int>>(1);
+    std::thread producer([&] { queue->push(round); });
+    const std::optional<int> item = queue->pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_EQ(*item, round);
+    queue.reset();  // destroy while the producer may still be in push()
+    producer.join();
+  }
+}
+
+TEST(ShutdownRace, QueueDestroyedRightAfterProducerUnblocks) {
+  // Mirror image: a producer blocked on a full queue is released by pop()'s
+  // not_full notify; the producer then owns the queue's destruction.
+  constexpr int kRounds = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    auto queue = std::make_unique<BoundedQueue<int>>(1);
+    ASSERT_TRUE(queue->push(1));  // fill
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+      ASSERT_TRUE(queue->push(2));  // blocks until the consumer pops
+      pushed.store(true);
+      queue.reset();  // destroy while the consumer may still be in pop()
+    });
+    const std::optional<int> item = queue->pop();
+    ASSERT_TRUE(item.has_value());
+    producer.join();
+    ASSERT_TRUE(pushed.load());
+  }
+}
+
+TEST(ShutdownRace, QueueCloseDrainDestroy) {
+  constexpr int kRounds = 500;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(4);
+    std::thread consumer([&] {
+      while (queue.pop().has_value()) {
+      }
+    });
+    for (int i = 0; i < 8; ++i) queue.push(i);
+    queue.close();
+    consumer.join();
+    EXPECT_FALSE(queue.push(99)) << "closed queue must refuse pushes";
+    // Queue destroyed here, right after the consumer drained it.
+  }
+}
+
+TEST(ShutdownRace, ThreadPoolDestroyedRightAfterRun) {
+  // run() returns the moment the region's last worker checks out; the
+  // destructor must drain (wait for region_ == nullptr, notify under the
+  // lock) before joining — destroy immediately to race that wind-down.
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    const unsigned threads = 2 + static_cast<unsigned>(round % 3);
+    std::atomic<std::size_t> covered{0};
+    {
+      ThreadPool pool(threads);
+      pool.run(64, [&](std::size_t begin, std::size_t end, unsigned) {
+        covered.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }  // destructor races the workers' region wind-down
+    ASSERT_EQ(covered.load(), 64u);
+  }
+}
+
+TEST(ShutdownRace, ThreadPoolDestroyedWithNoRegionEverRun) {
+  for (int round = 0; round < 300; ++round) {
+    ThreadPool pool(4);  // construct + destroy: join before any epoch bump
+  }
+}
+
+TEST(ShutdownRace, WorkStealingPoolDestroyedRightAfterEpisode) {
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    const unsigned threads = 2 + static_cast<unsigned>(round % 3);
+    std::atomic<std::size_t> covered{0};
+    {
+      WorkStealingPool pool(threads);
+      if (round % 2 == 0) {
+        pool.parallel_for_1d(64, [&](std::size_t begin, std::size_t end,
+                                     unsigned) {
+          covered.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      } else {
+        const std::uint32_t roots[] = {0};
+        pool.run_tasks(roots, 64,
+                       [&](std::uint32_t task,
+                           WorkStealingPool::TaskContext& ctx) {
+                         covered.fetch_add(1, std::memory_order_relaxed);
+                         if (task + 1 < 64) ctx.spawn(task + 1);
+                       });
+      }
+    }  // destructor races the episode wind-down (incl. parked workers)
+    ASSERT_EQ(covered.load(), 64u);
+  }
+}
+
+TEST(ShutdownRace, ExecutorsDestroyedRightAfterParallelFor) {
+  for (int round = 0; round < 100; ++round) {
+    for (const char* backend : {"threadpool", "workstealing"}) {
+      std::atomic<std::size_t> covered{0};
+      {
+        const std::unique_ptr<Executor> executor = make_executor(backend, 3);
+        executor->parallel_for_ranges(
+            32,
+            [&](std::size_t begin, std::size_t end, unsigned) {
+              covered.fetch_add(end - begin, std::memory_order_relaxed);
+            },
+            LoopSchedule::kDynamic, /*chunk=*/1);
+      }
+      ASSERT_EQ(covered.load(), 32u) << backend;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

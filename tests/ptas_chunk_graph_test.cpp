@@ -1,0 +1,202 @@
+// Property tests of the barrier-free DP's chunk-dependency graph
+// (dp_chunk_graph.hpp) against exhaustive decode-based references on tiny
+// state spaces:
+//  * rank_lower_bound must equal a brute-force count of smaller-index
+//    entries of the level (ranking is the correctness linchpin — the
+//    dependency hull is derived from it);
+//  * the graph's structural invariants (partition, monotone dependency
+//    prefixes, successor suffixes) hold on random shapes;
+//  * the transitive closure of the prefix dependencies covers EVERY DP
+//    predecessor v - c (all non-zero c <= v, not just unit steps) of every
+//    entry of every chunk — the property that makes a counter-driven sweep
+//    read only completed entries under any execution order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "algo/ptas/dp_chunk_graph.hpp"
+#include "algo/ptas/state_space.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+constexpr std::size_t kBig = std::size_t{1} << 40;
+
+std::vector<int> digits_of(const StateSpace& space, std::size_t index) {
+  std::vector<int> digits(static_cast<std::size_t>(space.dims()));
+  space.decode(index, digits);
+  return digits;
+}
+
+/// Brute-force rank: number of level-`level` entries with a smaller flat
+/// index than `index` (flat-index order == lexicographic order).
+std::uint64_t brute_rank(const StateSpace& space, int level, std::size_t index) {
+  std::uint64_t rank = 0;
+  for (std::size_t u = 0; u < index; ++u) {
+    if (space.level_of(u) == level) ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::vector<int>> test_shapes() {
+  return {{2, 2}, {3}, {1, 1, 1}, {2, 3, 1}, {4, 2}, {1, 2, 2, 1}};
+}
+
+TEST(ChunkGraph, RankLowerBoundMatchesExhaustiveCount) {
+  for (const std::vector<int>& counts : test_shapes()) {
+    const StateSpace space(counts, kBig);
+    const LevelWalker walker(space);
+    for (std::size_t v = 0; v < space.size(); ++v) {
+      const std::vector<int> digits = digits_of(space, v);
+      for (int level = 0; level <= space.max_level(); ++level) {
+        EXPECT_EQ(walker.rank_lower_bound(level, digits),
+                  brute_rank(space, level, v))
+            << "index " << v << " level " << level;
+      }
+    }
+  }
+}
+
+TEST(ChunkGraph, StructureInvariants) {
+  Xoshiro256StarStar rng(0x6A5F);
+  for (int round = 0; round < 20; ++round) {
+    const int dims = static_cast<int>(uniform_int(rng, 1, 4));
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      counts.push_back(static_cast<int>(uniform_int(rng, 1, 4)));
+    }
+    const StateSpace space(counts, kBig);
+    const LevelWalker walker(space);
+    const auto target = static_cast<std::size_t>(uniform_int(rng, 1, 5));
+    const DpChunkGraph graph = build_chunk_graph(space, target);
+    EXPECT_EQ(graph.target, target);
+
+    const int levels = space.max_level() + 1;
+    ASSERT_EQ(graph.level_first.size(), static_cast<std::size_t>(levels) + 1);
+    EXPECT_EQ(graph.level_first.front(), 0u);
+    EXPECT_EQ(graph.level_first.back(), graph.chunks.size());
+
+    std::uint64_t dep_total = 0;
+    for (int l = 0; l < levels; ++l) {
+      const std::uint32_t first = graph.level_first[static_cast<std::size_t>(l)];
+      const std::uint32_t last =
+          graph.level_first[static_cast<std::size_t>(l) + 1];
+      const std::uint64_t width = walker.level_size(l);
+      ASSERT_EQ(last - first, (width + target - 1) / target) << "level " << l;
+      std::uint64_t expect_begin = 0;
+      std::uint32_t prev_deps = 0;
+      for (std::uint32_t g = first; g < last; ++g) {
+        const DpChunk& chunk = graph.chunks[g];
+        EXPECT_EQ(chunk.level, l);
+        // Chunks partition the level's rank range contiguously.
+        EXPECT_EQ(chunk.rank_begin, expect_begin);
+        EXPECT_LT(chunk.rank_begin, chunk.rank_end);
+        EXPECT_LE(chunk.rank_end - chunk.rank_begin, target);
+        expect_begin = chunk.rank_end;
+        // Dependency prefixes: zero exactly on level 0, nondecreasing
+        // within a level, never exceeding the previous level's chunk count.
+        if (l == 0) {
+          EXPECT_EQ(chunk.dep_chunks, 0u);
+        } else {
+          EXPECT_GE(chunk.dep_chunks, 1u);
+          EXPECT_GE(chunk.dep_chunks, prev_deps);
+          EXPECT_LE(chunk.dep_chunks,
+                    first - graph.level_first[static_cast<std::size_t>(l) - 1]);
+        }
+        prev_deps = chunk.dep_chunks;
+        dep_total += chunk.dep_chunks;
+        // Successor suffix == the next-level chunks whose prefix covers
+        // this chunk, by direct scan.
+        const std::uint32_t next_first = last;
+        const std::uint32_t next_last =
+            l + 1 < levels ? graph.level_first[static_cast<std::size_t>(l) + 2]
+                           : static_cast<std::uint32_t>(graph.chunks.size());
+        EXPECT_EQ(chunk.succ_end, next_last);
+        const std::uint32_t c = g - first;
+        for (std::uint32_t j = next_first; j < next_last; ++j) {
+          const bool edge = graph.chunks[j].dep_chunks > c;
+          EXPECT_EQ(j >= chunk.succ_begin, edge)
+              << "level " << l << " chunk " << c << " -> " << j;
+        }
+      }
+      EXPECT_EQ(expect_begin, width) << "level " << l;
+    }
+    EXPECT_EQ(graph.total_dependencies(), dep_total);
+  }
+}
+
+TEST(ChunkGraph, DependencyClosureCoversAllPredecessors) {
+  Xoshiro256StarStar rng(0xC105);
+  for (int round = 0; round < 15; ++round) {
+    const int dims = static_cast<int>(uniform_int(rng, 1, 3));
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      counts.push_back(static_cast<int>(uniform_int(rng, 1, 4)));
+    }
+    const StateSpace space(counts, kBig);
+    const auto target = static_cast<std::size_t>(uniform_int(rng, 1, 4));
+    const DpChunkGraph graph = build_chunk_graph(space, target);
+    const auto nchunks = static_cast<std::uint32_t>(graph.chunks.size());
+
+    // Chunk id of a flat index, via the brute-force rank.
+    auto chunk_of = [&](std::size_t index) {
+      const int level = space.level_of(index);
+      const std::uint64_t rank = brute_rank(space, level, index);
+      return graph.level_first[static_cast<std::size_t>(level)] +
+             static_cast<std::uint32_t>(rank / target);
+    };
+
+    // done_before[j] = the chunks guaranteed complete before j STARTS: its
+    // dependency prefix plus, transitively, everything those waited for.
+    // (Ids ascend with level, so a forward pass is topological.)
+    std::vector<std::vector<char>> done_before(
+        nchunks, std::vector<char>(nchunks, 0));
+    for (std::uint32_t j = 0; j < nchunks; ++j) {
+      const DpChunk& chunk = graph.chunks[j];
+      if (chunk.level == 0) continue;
+      const std::uint32_t prev_first =
+          graph.level_first[static_cast<std::size_t>(chunk.level) - 1];
+      for (std::uint32_t p = prev_first; p < prev_first + chunk.dep_chunks;
+           ++p) {
+        done_before[j][p] = 1;
+        for (std::uint32_t q = 0; q < nchunks; ++q) {
+          if (done_before[p][q]) done_before[j][q] = 1;
+        }
+      }
+    }
+
+    // Every DP predecessor v - c (any non-zero c <= v, i.e. any config the
+    // kernel could subtract) must live in a chunk complete before v's chunk
+    // starts, whatever order runnable chunks execute in.
+    for (std::size_t v = 1; v < space.size(); ++v) {
+      const std::vector<int> digits = digits_of(space, v);
+      const std::uint32_t owner = chunk_of(v);
+      // Odometer over all sub-vectors c <= digits.
+      std::vector<int> c(digits.size(), 0);
+      for (;;) {
+        std::size_t d = c.size();
+        while (d-- > 0) {
+          if (c[d] < digits[d]) {
+            ++c[d];
+            break;
+          }
+          c[d] = 0;
+        }
+        if (d == std::numeric_limits<std::size_t>::max()) break;  // wrapped
+        std::vector<int> pred(digits.size());
+        for (std::size_t i = 0; i < pred.size(); ++i) pred[i] = digits[i] - c[i];
+        const std::uint32_t pred_chunk = chunk_of(space.encode(pred));
+        ASSERT_TRUE(done_before[owner][pred_chunk])
+            << "entry " << v << " predecessor chunk " << pred_chunk
+            << " not complete before chunk " << owner << " (target " << target
+            << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

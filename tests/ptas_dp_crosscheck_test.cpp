@@ -10,13 +10,18 @@
 // identical number of entry computations, across randomized shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "algo/ptas/config_enum.hpp"
+#include "algo/ptas/dp_chunk_graph.hpp"
 #include "algo/ptas/dp_parallel.hpp"
 #include "algo/ptas/dp_sequential.hpp"
 #include "core/instance.hpp"
 #include "exact/bin_feasibility.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/executor.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace pcmax {
@@ -266,6 +271,143 @@ TEST(DpCrossCheck, PruningAndTableModesAgreeAcrossKernelsAndVariants) {
         EXPECT_LE(run.stats.config_scans, unpruned.stats.config_scans) << what;
       }
     }
+  }
+}
+
+TEST(DpCrossCheck, SyncModePoolThreadMatrixMatchesSequential) {
+  // The determinism matrix gating the work-stealing pool and the
+  // barrier-free counters sweep:
+  //   {bucketed, spmd} x {walker, indexed} x {barrier, counters}
+  //   x {threadpool, workstealing} x threads {1, 3, 8}
+  // Every admissible combination must reproduce the sequential bottom-up
+  // table byte for byte (values AND argmin choices), compute each entry
+  // exactly once, and conserve scans + pruned against the unpruned scan
+  // total. (bucketed+counters needs the work-stealing executor — the
+  // threadpool cell is the rejection asserted after the matrix.)
+  Xoshiro256StarStar rng(0xB00C5);
+  for (int round = 0; round < 3; ++round) {
+    const Time target = uniform_int(rng, 25, 60);
+    const int dims = static_cast<int>(uniform_int(rng, 2, 3));
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      sizes.push_back(uniform_int(rng, target / 4 + 1, target));
+      counts.push_back(static_cast<int>(uniform_int(rng, 1, 5)));
+    }
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun unpruned =
+        dp_bottom_up(rounded, space, configs, DpKernel::kGlobalConfigs, {},
+                     DpTableMode::kValuesAndChoices, LevelPruning::kOff);
+    const DpRun reference = dp_bottom_up(rounded, space, configs);
+
+    for (const unsigned threads : {1u, 3u, 8u}) {
+      for (const char* backend : {"threadpool", "workstealing"}) {
+        const std::unique_ptr<Executor> executor =
+            make_executor(backend, threads);
+        for (const ParallelDpVariant variant :
+             {ParallelDpVariant::kBucketed, ParallelDpVariant::kSpmd}) {
+          for (const LevelIteration iteration :
+               {LevelIteration::kWalker, LevelIteration::kIndexed}) {
+            for (const DpSyncMode sync :
+                 {DpSyncMode::kBarrier, DpSyncMode::kCounters}) {
+              if (sync == DpSyncMode::kCounters &&
+                  variant == ParallelDpVariant::kBucketed &&
+                  std::string(backend) != "workstealing") {
+                continue;  // inadmissible: rejection asserted below
+              }
+              ParallelDpOptions options;
+              options.executor = executor.get();
+              options.variant = variant;
+              options.spmd_threads = threads;
+              options.iteration = iteration;
+              options.sync_mode = sync;
+              const std::string what =
+                  parallel_dp_variant_name(variant) + "/" +
+                  level_iteration_name(iteration) + "/" +
+                  dp_sync_mode_name(sync) + "/" + backend + "/t" +
+                  std::to_string(threads) + " round " + std::to_string(round);
+              const DpRun run = dp_parallel(rounded, space, configs, options);
+              expect_identical_tables(reference, run, what);
+              EXPECT_EQ(run.stats.entries_computed, space.size()) << what;
+              EXPECT_EQ(run.stats.config_scans + run.stats.configs_pruned,
+                        unpruned.stats.config_scans)
+                  << what;
+
+              // Values-only probe mode of the same cell: value equality
+              // against the reference, no choice array.
+              options.table_mode = DpTableMode::kValuesOnly;
+              const DpRun probe = dp_parallel(rounded, space, configs, options);
+              EXPECT_FALSE(probe.table.has_choices()) << what;
+              EXPECT_EQ(probe.machines_needed, reference.machines_needed)
+                  << what;
+              for (std::size_t i = 0; i < space.size(); ++i) {
+                ASSERT_EQ(probe.table.value(i), reference.table.value(i))
+                    << what << " values-only entry " << i;
+              }
+              EXPECT_EQ(probe.stats.config_scans + probe.stats.configs_pruned,
+                        unpruned.stats.config_scans)
+                  << what;
+            }
+          }
+        }
+      }
+    }
+
+    // Inadmissible cells reject loudly instead of silently degrading.
+    const std::unique_ptr<Executor> threadpool = make_executor("threadpool", 2);
+    ParallelDpOptions bad;
+    bad.executor = threadpool.get();
+    bad.variant = ParallelDpVariant::kBucketed;
+    bad.sync_mode = DpSyncMode::kCounters;
+    EXPECT_THROW(dp_parallel(rounded, space, configs, bad),
+                 InvalidArgumentError);
+    bad.variant = ParallelDpVariant::kScanPerLevel;
+    EXPECT_THROW(dp_parallel(rounded, space, configs, bad),
+                 InvalidArgumentError);
+  }
+}
+
+TEST(DpCrossCheck, ChunkWaitsTotalIsDeterministic) {
+  if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "PCMAX_METRICS is OFF";
+  // dp.chunk_waits counts the dependency decrements that did NOT release a
+  // chunk. Every edge of the chunk graph decrements exactly once and exactly
+  // one decrement releases each non-root chunk, so the total is a property
+  // of the graph — total_dependencies() - (chunks - roots) — and identical
+  // on every run, whatever order the work-stealing pool executed chunks in.
+  const RoundedInstance rounded = make_rounded({8, 12, 19}, {4, 4, 3}, 38);
+  const std::vector<int> counts{4, 4, 3};
+  const StateSpace space(counts, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  constexpr unsigned kThreads = 3;
+  WorkStealingExecutor executor(kThreads);
+
+  // Mirror run_counters' chunk-target choice (dp_parallel.cpp) to derive the
+  // expected total from the graph itself.
+  LevelWalker walker(space);
+  std::uint64_t max_width = 1;
+  for (int l = 0; l <= space.max_level(); ++l) {
+    max_width = std::max(max_width, walker.level_size(l));
+  }
+  const std::size_t target =
+      std::clamp(static_cast<std::size_t>(max_width / (4 * kThreads)),
+                 std::size_t{16}, std::size_t{256});
+  const DpChunkGraph graph = build_chunk_graph(space, target);
+  const std::uint64_t expected =
+      graph.total_dependencies() -
+      (graph.chunks.size() - graph.level_first[1]);
+
+  for (int run = 0; run < 3; ++run) {
+    obs::Metrics metrics(kThreads);
+    const obs::MetricsScope scope(metrics);
+    ParallelDpOptions options;
+    options.executor = &executor;
+    options.variant = ParallelDpVariant::kBucketed;
+    options.sync_mode = DpSyncMode::kCounters;
+    dp_parallel(rounded, space, configs, options);
+    EXPECT_EQ(metrics.counter_total(obs::Counter::kDpChunkWaits), expected)
+        << "run " << run;
   }
 }
 

@@ -11,7 +11,8 @@
 # explicitly at the end so bench bit-rot (flag parsing, JSON export),
 # batch-service regressions, and non-self-contained public headers
 # (tools/check_headers.sh) fail loudly even when someone trims the main
-# ctest invocation.
+# ctest invocation. bench-smoke includes micro_pool, the work-stealing pool
+# microbench whose barrier-vs-counters numbers back BENCH_executor.json.
 #
 # Build trees live in build-check/ and build-tsan/ so they never clobber a
 # developer's main build/ directory.

@@ -65,11 +65,13 @@ int cmd_generate(int argc, const char* const* argv) {
 /// solvers are anytime: a wall-clock limit caps their budget so they return
 /// the incumbent rather than throwing.
 SolverBuild build_from_cli(double epsilon, unsigned threads, Executor* executor,
-                           double exact_seconds, std::int64_t time_limit_ms) {
+                           double exact_seconds, std::int64_t time_limit_ms,
+                           const std::string& dp_sync = "barrier") {
   SolverBuild build;
   build.epsilon = epsilon;
   build.threads = threads;
   build.executor = executor;
+  build.dp_sync = dp_sync;
   build.exact_seconds =
       time_limit_ms > 0
           ? std::min(exact_seconds, static_cast<double>(time_limit_ms) / 1000.0)
@@ -130,6 +132,12 @@ int cmd_solve(int argc, const char* const* argv) {
   cli.add_string("solver", "parallel-ptas", registered_solvers_help());
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
   cli.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  cli.add_string("pool", "workstealing",
+                 "executor backend for the parallel engines: 'workstealing' "
+                 "(Chase-Lev deques) or 'threadpool' (fork-join baseline)");
+  cli.add_string("dp-sync", "barrier",
+                 "parallel-DP level synchronisation: 'barrier' or 'counters' "
+                 "(barrier-free chunk graph; needs --pool=workstealing)");
   cli.add_double("exact-seconds", 60.0, "budget for the exact solvers");
   cli.add_bool("schedules", false, "also print the full schedules");
   cli.add_int("limit", 0, "solve only the first N instances (0 = all)");
@@ -160,11 +168,13 @@ int cmd_solve(int argc, const char* const* argv) {
   const unsigned threads =
       cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
                                  : ThreadPool::hardware_threads();
-  ThreadPoolExecutor executor(threads);
+  const std::unique_ptr<Executor> executor =
+      make_executor(cli.get_string("pool"), threads);
   const std::int64_t time_limit_ms = cli.get_int("time-limit-ms");
   const SolverBuild build =
-      build_from_cli(cli.get_double("epsilon"), threads, &executor,
-                     cli.get_double("exact-seconds"), time_limit_ms);
+      build_from_cli(cli.get_double("epsilon"), threads, executor.get(),
+                     cli.get_double("exact-seconds"), time_limit_ms,
+                     cli.get_string("dp-sync"));
   const std::unique_ptr<Solver> solver =
       make_solver(cli.get_string("solver"), build, on_limit == "fallback");
 
@@ -230,6 +240,12 @@ int cmd_race(int argc, const char* const* argv) {
                      registered_solvers_help());
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
   cli.add_int("threads", 0, "executor threads (0 = hardware concurrency)");
+  cli.add_string("pool", "workstealing",
+                 "executor backend shared by the racers: 'workstealing' or "
+                 "'threadpool'");
+  cli.add_string("dp-sync", "barrier",
+                 "parallel-DP level synchronisation of the parallel-ptas "
+                 "racer: 'barrier' or 'counters'");
   cli.add_int("concurrent", 0,
               "max concurrently running heavy racers (0 = all at once, "
               "1 = deterministic sequential race)");
@@ -256,12 +272,14 @@ int cmd_race(int argc, const char* const* argv) {
   const unsigned threads =
       cli.get_int("threads") > 0 ? static_cast<unsigned>(cli.get_int("threads"))
                                  : ThreadPool::hardware_threads();
-  ThreadPoolExecutor executor(threads);
+  const std::unique_ptr<Executor> executor =
+      make_executor(cli.get_string("pool"), threads);
   const std::int64_t time_limit_ms = cli.get_int("time-limit-ms");
 
   PortfolioOptions options;
-  options.build = build_from_cli(cli.get_double("epsilon"), threads, &executor,
-                                 cli.get_double("exact-seconds"), time_limit_ms);
+  options.build = build_from_cli(cli.get_double("epsilon"), threads,
+                                 executor.get(), cli.get_double("exact-seconds"),
+                                 time_limit_ms, cli.get_string("dp-sync"));
   options.max_concurrent = static_cast<unsigned>(cli.get_int("concurrent"));
   const std::string racers = cli.get_string("racers");
   for (std::size_t begin = 0; begin < racers.size();) {
