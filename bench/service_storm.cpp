@@ -1,0 +1,420 @@
+// Overload storm harness: the SolveService under three open-loop arrival
+// mixes, 10^5 requests each by default.
+//
+//  * poisson      — exponential inter-arrival gaps at --rate req/s over a
+//                   pool of --uniques distinct problems (natural duplicate
+//                   traffic: the pool is much smaller than the request
+//                   count, so the dedup cache is constantly in play);
+//  * bursty       — the same pool, but arrivals come in back-to-back bursts
+//                   of --burst requests separated by idle gaps sized so the
+//                   AVERAGE rate matches --rate. Bursts larger than the
+//                   queue force the tiered admission layer to shed;
+//  * duplicate-heavy — the adversarial coalescing mix: waves of --wave
+//                   requests, each wave one FRESH instance plus wave-1
+//                   job-order permutations of it, all flooded at once. The
+//                   cache cannot help inside a wave (nothing is stored
+//                   until the first solve finishes), so without coalescing
+//                   every worker burns a redundant full solve per wave.
+//
+// The dispatcher is OPEN-LOOP: requests are submitted on the arrival
+// schedule whether or not earlier ones completed (the tiered policy sheds
+// instead of blocking), and futures are harvested afterwards. Per mix the
+// bench reports p50/p99/p999 end-to-end latency, shed rate, coalesce rate,
+// breaker trips, and cache hit rate.
+//
+// The duplicate-heavy mix runs twice — coalescing on and off, equal
+// workers — and reports the throughput ratio (the acceptance bar is
+// >= 1.3x). Both arms are cross-checked response-by-response against an
+// unloaded single-worker reference service fed the identical request
+// sequence: every non-shed full-fidelity response must carry the same
+// makespan AND the same schedule as the reference (responses are pure
+// functions of the canonical problem, loaded or not).
+//
+// `--json <path>` writes a pcmax.bench.storm.v1 document; the tracked
+// snapshot is BENCH_storm.json in the repo root.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/instance_gen.hpp"
+#include "obs/metrics.hpp"
+#include "service/solve_service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+
+using namespace pcmax;
+
+namespace {
+
+/// One scheduled submission: which pool instance, and when (ns from start).
+struct Arrival {
+  std::size_t pool_index = 0;
+  std::uint64_t offset_ns = 0;
+};
+
+/// Everything measured about one storm run.
+struct StormOutcome {
+  std::string name;
+  std::uint64_t requests = 0;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double shed_rate = 0.0;
+  double coalesce_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t internal_errors = 0;
+};
+
+/// Drives one open-loop storm: submits `arrivals` against a fresh service
+/// on schedule (sleeping only when more than 1 ms ahead — behind schedule
+/// means submit immediately, never pace down to the service), harvests all
+/// futures, and snapshots the stats. Responses land in submission order.
+StormOutcome run_storm(const std::string& name,
+                       const std::vector<Instance>& pool,
+                       const std::vector<Arrival>& arrivals,
+                       const ServiceOptions& options,
+                       std::vector<SolveResponse>* responses_out = nullptr) {
+  SolveService service(options);
+  std::vector<std::future<SolveResponse>> futures;
+  futures.reserve(arrivals.size());
+  const std::uint64_t start = obs::monotonic_ns();
+  for (const Arrival& arrival : arrivals) {
+    const std::uint64_t target = start + arrival.offset_ns;
+    const std::uint64_t now = obs::monotonic_ns();
+    if (target > now && target - now > 1'000'000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(target - now));
+    }
+    futures.push_back(service.submit(SolveRequest{pool[arrival.pool_index]}));
+  }
+  std::vector<SolveResponse> responses;
+  responses.reserve(futures.size());
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(futures.size());
+  for (std::future<SolveResponse>& future : futures) {
+    responses.push_back(future.get());
+    latencies_ms.push_back(responses.back().seconds * 1e3);
+  }
+  const double seconds =
+      static_cast<double>(obs::monotonic_ns() - start) * 1e-9;
+  const ServiceStats stats = service.stats();
+
+  StormOutcome outcome;
+  outcome.name = name;
+  outcome.requests = stats.requests;
+  outcome.seconds = seconds;
+  outcome.rps = seconds > 0.0
+                    ? static_cast<double>(arrivals.size()) / seconds
+                    : 0.0;
+  outcome.p50_ms = percentile(latencies_ms, 50.0);
+  outcome.p99_ms = percentile(latencies_ms, 99.0);
+  outcome.p999_ms = percentile(latencies_ms, 99.9);
+  const double total = static_cast<double>(stats.requests);
+  if (total > 0.0) {
+    outcome.shed_rate =
+        static_cast<double>(stats.shed_quota + stats.shed_overload) / total;
+    outcome.coalesce_rate = static_cast<double>(stats.coalesced) / total;
+  }
+  const std::uint64_t probes = stats.cache.hits + stats.cache.misses;
+  outcome.cache_hit_rate =
+      probes > 0 ? static_cast<double>(stats.cache.hits) /
+                       static_cast<double>(probes)
+                 : 0.0;
+  outcome.breaker_trips = stats.breaker.trips;
+  outcome.degraded = stats.degraded;
+  outcome.internal_errors = stats.internal_errors;
+  if (responses_out != nullptr) *responses_out = std::move(responses);
+  return outcome;
+}
+
+/// A pool of `uniques` distinct problems for the poisson/bursty mixes.
+std::vector<Instance> build_pool(int uniques, int m, int n,
+                                 std::uint64_t seed) {
+  std::vector<Instance> pool;
+  pool.reserve(static_cast<std::size_t>(uniques));
+  for (int i = 0; i < uniques; ++i) {
+    pool.push_back(generate_instance(InstanceFamily::kUniform1To100, m, n,
+                                     seed, static_cast<std::uint64_t>(i)));
+  }
+  return pool;
+}
+
+/// Exponential inter-arrival gaps at `rate` req/s, uniform pool picks.
+std::vector<Arrival> poisson_arrivals(int requests, std::size_t pool_size,
+                                      double rate, std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x9015504eULL);
+  std::exponential_distribution<double> gap(rate);
+  std::vector<Arrival> arrivals(static_cast<std::size_t>(requests));
+  double clock_s = 0.0;
+  for (Arrival& arrival : arrivals) {
+    clock_s += gap(rng);
+    arrival.pool_index = rng() % pool_size;
+    arrival.offset_ns = static_cast<std::uint64_t>(clock_s * 1e9);
+  }
+  return arrivals;
+}
+
+/// Back-to-back bursts of `burst` requests; idle gaps keep the average
+/// arrival rate at `rate` req/s, so each burst hits at ~2x the queue's
+/// sustainable intake.
+std::vector<Arrival> bursty_arrivals(int requests, std::size_t pool_size,
+                                     int burst, double rate,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0xb5457ULL);
+  std::vector<Arrival> arrivals(static_cast<std::size_t>(requests));
+  const double period_s = static_cast<double>(burst) / rate;
+  for (int i = 0; i < requests; ++i) {
+    const int wave = i / burst;
+    arrivals[static_cast<std::size_t>(i)].pool_index = rng() % pool_size;
+    arrivals[static_cast<std::size_t>(i)].offset_ns =
+        static_cast<std::uint64_t>(static_cast<double>(wave) * period_s * 1e9);
+  }
+  return arrivals;
+}
+
+/// The adversarial duplicate-heavy mix: `requests / wave` waves, each one
+/// fresh instance followed by wave-1 job-order permutations, all at t=0
+/// (a flood). Returns the pool and the arrival order together — the pool
+/// holds every permuted copy so the canonicalization layer does real work.
+std::pair<std::vector<Instance>, std::vector<Arrival>> duplicate_heavy_mix(
+    int requests, int wave, int m, int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0xd0bbULL);
+  std::vector<Instance> pool;
+  pool.reserve(static_cast<std::size_t>(requests));
+  const int waves = std::max(1, requests / wave);
+  for (int w = 0; w < waves && static_cast<int>(pool.size()) < requests; ++w) {
+    const Instance base = generate_instance(InstanceFamily::kUniform1To100, m,
+                                            n, seed,
+                                            static_cast<std::uint64_t>(w));
+    pool.push_back(base);
+    for (int d = 1; d < wave && static_cast<int>(pool.size()) < requests;
+         ++d) {
+      std::vector<Time> times(base.times().begin(), base.times().end());
+      std::shuffle(times.begin(), times.end(), rng);
+      pool.emplace_back(base.machines(), std::move(times));
+    }
+  }
+  std::vector<Arrival> arrivals(pool.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i].pool_index = i;  // offset stays 0: submit as fast as possible
+  }
+  return {std::move(pool), std::move(arrivals)};
+}
+
+/// Counts responses that differ from the unloaded reference: a non-shed
+/// response must carry the reference's exact makespan and schedule.
+int crosscheck(const std::vector<SolveResponse>& got,
+               const std::vector<SolveResponse>& reference) {
+  int mismatches = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].shed) continue;  // structured reject: nothing to compare
+    if (got[i].makespan != reference[i].makespan ||
+        !(got[i].schedule == reference[i].schedule)) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+std::vector<std::string> outcome_row(const StormOutcome& o) {
+  return {o.name,
+          TablePrinter::fmt(o.seconds, 3),
+          TablePrinter::fmt(o.rps, 0),
+          TablePrinter::fmt(o.p50_ms, 2),
+          TablePrinter::fmt(o.p99_ms, 2),
+          TablePrinter::fmt(o.p999_ms, 2),
+          TablePrinter::fmt(100.0 * o.shed_rate, 1) + "%",
+          TablePrinter::fmt(100.0 * o.coalesce_rate, 1) + "%",
+          TablePrinter::fmt(100.0 * o.cache_hit_rate, 1) + "%",
+          std::to_string(o.breaker_trips)};
+}
+
+JsonValue outcome_json(const StormOutcome& o) {
+  JsonValue mix = JsonValue::make_object();
+  mix["requests"] = o.requests;
+  mix["seconds"] = o.seconds;
+  mix["requests_per_second"] = o.rps;
+  mix["p50_ms"] = o.p50_ms;
+  mix["p99_ms"] = o.p99_ms;
+  mix["p999_ms"] = o.p999_ms;
+  mix["shed_rate"] = o.shed_rate;
+  mix["coalesce_rate"] = o.coalesce_rate;
+  mix["cache_hit_rate"] = o.cache_hit_rate;
+  mix["breaker_trips"] = o.breaker_trips;
+  mix["degraded"] = o.degraded;
+  mix["internal_errors"] = o.internal_errors;
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Storm harness: the solve service under open-loop poisson, bursty and "
+      "adversarial duplicate-heavy arrival mixes, with a coalescing on/off "
+      "throughput comparison cross-checked against an unloaded reference.");
+  cli.add_int("requests", 100000, "requests per mix");
+  cli.add_int("workers", 8, "service worker threads (both coalescing arms)");
+  cli.add_double("rate", 40000.0, "poisson/bursty arrival rate, req/s");
+  cli.add_int("uniques", 256, "distinct problems in the poisson/bursty pool");
+  cli.add_int("burst", 1024, "bursty mix: requests per burst");
+  cli.add_int("queue", 512, "queue capacity for the tiered (shedding) mixes");
+  cli.add_int("m", 3, "machines per instance (poisson/bursty)");
+  cli.add_int("n", 12, "jobs per instance (poisson/bursty)");
+  cli.add_int("wave", 64, "duplicate-heavy mix: duplicates per wave");
+  cli.add_int("heavy-m", 8, "machines per instance (duplicate-heavy)");
+  cli.add_int("heavy-n", 40, "jobs per instance (duplicate-heavy)");
+  cli.add_double("epsilon", 0.3, "PTAS accuracy (poisson/bursty)");
+  cli.add_double("heavy-epsilon", 0.2,
+                 "PTAS accuracy for the duplicate-heavy mix; tighter than "
+                 "--epsilon so one full solve dwarfs a cache probe and "
+                 "redundant concurrent solves actually cost something");
+  cli.add_int("seed", 42, "base RNG seed");
+  cli.add_double("min-coalesce-speedup", 0.0,
+                 "fail unless coalescing-on beats coalescing-off by this "
+                 "factor on the duplicate-heavy mix (0 = report only)");
+  cli.add_string("json", "", "write results as JSON to this path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int requests = static_cast<int>(cli.get_int("requests"));
+  const unsigned workers = static_cast<unsigned>(cli.get_int("workers"));
+  const double rate = cli.get_double("rate");
+  const int uniques = static_cast<int>(cli.get_int("uniques"));
+  const int burst = static_cast<int>(cli.get_int("burst"));
+  const auto queue = static_cast<std::size_t>(cli.get_int("queue"));
+  const int m = static_cast<int>(cli.get_int("m"));
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int wave = static_cast<int>(cli.get_int("wave"));
+  const int heavy_m = static_cast<int>(cli.get_int("heavy-m"));
+  const int heavy_n = static_cast<int>(cli.get_int("heavy-n"));
+  const double epsilon = cli.get_double("epsilon");
+  const double heavy_epsilon = cli.get_double("heavy-epsilon");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double min_speedup = cli.get_double("min-coalesce-speedup");
+
+  // The shedding mixes: tiered admission over a deliberately small queue.
+  ServiceOptions tiered;
+  tiered.workers = workers;
+  tiered.queue_capacity = queue;
+  tiered.cache_capacity = 4096;
+  tiered.epsilon = epsilon;
+  tiered.shed_policy = ShedPolicy::kTiered;
+
+  const std::vector<Instance> pool = build_pool(uniques, m, n, seed);
+  std::cout << "=== service storm: " << requests << " requests/mix, workers="
+            << workers << ", rate=" << rate << "/s, queue=" << queue
+            << ", eps=" << epsilon << " ===\n";
+
+  const StormOutcome poisson = run_storm(
+      "poisson", pool,
+      poisson_arrivals(requests, pool.size(), rate, seed), tiered);
+  const StormOutcome bursty = run_storm(
+      "bursty", pool,
+      bursty_arrivals(requests, pool.size(), burst, rate, seed), tiered);
+
+  // The coalescing arms solve identical floods with identical options,
+  // differing ONLY in options.coalesce; blocking (static) admission keeps
+  // every request full-fidelity so the comparison is solve-for-solve.
+  const auto [heavy_pool, heavy_arrivals] =
+      duplicate_heavy_mix(requests, wave, heavy_m, heavy_n, seed);
+  ServiceOptions flood;
+  flood.workers = workers;
+  flood.queue_capacity = heavy_pool.size() + 1;  // never block, never shed
+  flood.cache_capacity = 4096;
+  flood.epsilon = heavy_epsilon;
+  std::vector<SolveResponse> on_responses;
+  flood.coalesce = true;
+  const StormOutcome dup_on = run_storm("dup-heavy(coalesce)", heavy_pool,
+                                        heavy_arrivals, flood, &on_responses);
+  std::vector<SolveResponse> off_responses;
+  flood.coalesce = false;
+  const StormOutcome dup_off = run_storm("dup-heavy(no-coalesce)", heavy_pool,
+                                         heavy_arrivals, flood,
+                                         &off_responses);
+  const double coalesce_speedup =
+      dup_on.seconds > 0.0 ? dup_off.seconds / dup_on.seconds : 0.0;
+
+  // Unloaded reference: one worker, no storm, same request sequence. Every
+  // stormed response must be byte-identical to this one in makespan and
+  // schedule (responses are pure functions of the canonical problem).
+  ServiceOptions unloaded;
+  unloaded.workers = 1;
+  unloaded.queue_capacity = heavy_pool.size() + 1;
+  unloaded.cache_capacity = 4096;
+  unloaded.epsilon = heavy_epsilon;
+  std::vector<SolveRequest> reference_batch;
+  reference_batch.reserve(heavy_pool.size());
+  for (const Instance& instance : heavy_pool) {
+    reference_batch.push_back(SolveRequest{instance});
+  }
+  SolveService reference_service(unloaded);
+  const std::vector<SolveResponse> reference =
+      reference_service.solve_batch(std::move(reference_batch));
+  const int mismatches =
+      crosscheck(on_responses, reference) + crosscheck(off_responses, reference);
+
+  TablePrinter table({"mix", "seconds", "req/s", "p50 ms", "p99 ms",
+                      "p999 ms", "shed", "coalesced", "cache hit", "trips"});
+  for (const StormOutcome* o : {&poisson, &bursty, &dup_on, &dup_off}) {
+    table.add_row(outcome_row(*o));
+  }
+  std::cout << table.to_string() << "coalesce speedup: "
+            << TablePrinter::fmt(coalesce_speedup, 2)
+            << "x   cross-check failures: " << mismatches << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    JsonValue root = JsonValue::make_object();
+    root["schema"] = "pcmax.bench.storm.v1";
+    JsonValue& params = root["params"];
+    params["requests_per_mix"] = requests;
+    params["workers"] = workers;
+    params["rate_rps"] = rate;
+    params["uniques"] = uniques;
+    params["burst"] = burst;
+    params["queue_capacity"] = static_cast<std::uint64_t>(queue);
+    params["m"] = m;
+    params["n"] = n;
+    params["wave"] = wave;
+    params["heavy_m"] = heavy_m;
+    params["heavy_n"] = heavy_n;
+    params["epsilon"] = epsilon;
+    params["heavy_epsilon"] = heavy_epsilon;
+    params["seed"] = static_cast<std::int64_t>(seed);
+    JsonValue& mixes = root["mixes"];
+    mixes["poisson"] = outcome_json(poisson);
+    mixes["bursty"] = outcome_json(bursty);
+    mixes["duplicate_heavy_coalesce_on"] = outcome_json(dup_on);
+    mixes["duplicate_heavy_coalesce_off"] = outcome_json(dup_off);
+    root["coalesce_speedup"] = coalesce_speedup;
+    root["crosscheck_failures"] = mismatches;
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "cannot open --json output file '" << json_path << "'\n";
+      return 1;
+    }
+    out << root.dump(/*pretty=*/true) << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (mismatches != 0) return 1;
+  if (min_speedup > 0.0 && coalesce_speedup < min_speedup) {
+    std::cerr << "coalesce speedup " << coalesce_speedup << " below required "
+              << min_speedup << "\n";
+    return 1;
+  }
+  return 0;
+}

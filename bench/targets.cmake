@@ -43,6 +43,7 @@ pcmax_add_bench(baselines_shootout)
 pcmax_add_bench(robustness_analysis)
 pcmax_add_bench(epsilon_sweep)
 pcmax_add_bench(service_throughput)
+pcmax_add_bench(service_storm)
 pcmax_add_bench(portfolio_race)
 pcmax_add_bench(micro_pool)
 pcmax_add_micro(micro_dp NO_MAIN)
@@ -63,6 +64,11 @@ add_test(NAME bench_smoke_service
          COMMAND service_throughput --requests 8 --duplicates-percent 50
                  --workers 2 --m 4 --n 16
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_service.json)
+add_test(NAME bench_smoke_storm
+         COMMAND service_storm --requests 192 --rate 100000 --uniques 24
+                 --burst 96 --queue 64 --wave 16 --heavy-m 4 --heavy-n 16
+                 --heavy-epsilon 0.3 --workers 2
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_storm.json)
 add_test(NAME bench_smoke_portfolio
          COMMAND portfolio_race --limit-sizes 1 --exact-seconds 1
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_portfolio.json)
@@ -71,5 +77,6 @@ add_test(NAME bench_smoke_micro_pool
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_micro_pool.json)
 set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
                      bench_smoke_micro_dp bench_smoke_service
-                     bench_smoke_portfolio bench_smoke_micro_pool
+                     bench_smoke_storm bench_smoke_portfolio
+                     bench_smoke_micro_pool
                      PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

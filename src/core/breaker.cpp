@@ -1,0 +1,164 @@
+#include "core/breaker.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+
+namespace {
+
+void record(obs::Counter counter) {
+  obs::Metrics* metrics = obs::current();
+  if (metrics != nullptr) metrics->add(0, counter);
+}
+
+void record_transition() {
+  obs::Metrics* metrics = obs::current();
+  if (metrics == nullptr) return;
+  const std::uint64_t now = obs::monotonic_ns();
+  metrics->add_span("breaker.transition", 0, now, now);
+}
+
+}  // namespace
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  throw InvalidArgumentError("unknown breaker state");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  PCMAX_REQUIRE(options_.failure_threshold >= 1,
+                "breaker failure threshold must be at least 1");
+  PCMAX_REQUIRE(options_.open_rejects >= 1,
+                "breaker open-reject cooldown must be at least 1");
+}
+
+CircuitBreaker::Key& CircuitBreaker::entry(const std::string& key) {
+  return keys_[key];  // default-constructed closed on first use
+}
+
+void CircuitBreaker::trip(Key& key) {
+  key.state = BreakerState::kOpen;
+  key.consecutive_failures = 0;
+  key.rejects_this_episode = 0;
+  key.probe_in_flight = false;
+  ++key.stats.trips;
+  record(obs::Counter::kBreakerTrips);
+  record_transition();
+}
+
+bool CircuitBreaker::allow(const std::string& key) {
+  fault_hit("breaker.allow");
+  std::lock_guard lock(mutex_);
+  Key& k = entry(key);
+  switch (k.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++k.stats.rejects;
+      ++k.rejects_this_episode;
+      record(obs::Counter::kBreakerOpenRejects);
+      if (k.rejects_this_episode >= options_.open_rejects) {
+        // Cooldown served: the NEXT attempt probes.
+        k.state = BreakerState::kHalfOpen;
+        k.probe_in_flight = false;
+        record_transition();
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      if (k.probe_in_flight) {
+        ++k.stats.rejects;
+        record(obs::Counter::kBreakerOpenRejects);
+        return false;
+      }
+      k.probe_in_flight = true;
+      ++k.stats.probes;
+      record(obs::Counter::kBreakerProbes);
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::on_success(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  Key& k = entry(key);
+  ++k.stats.successes;
+  k.consecutive_failures = 0;
+  if (k.state == BreakerState::kHalfOpen) {
+    k.state = BreakerState::kClosed;
+    k.probe_in_flight = false;
+    ++k.stats.closes;
+    record(obs::Counter::kBreakerCloses);
+    record_transition();
+  }
+}
+
+void CircuitBreaker::on_failure(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  Key& k = entry(key);
+  ++k.stats.failures;
+  switch (k.state) {
+    case BreakerState::kClosed:
+      if (++k.consecutive_failures >= options_.failure_threshold) trip(k);
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to open, cooldown restarts.
+      trip(k);
+      break;
+    case BreakerState::kOpen:
+      // A late failure from an attempt admitted before the trip; the
+      // breaker is already open, nothing more to do.
+      break;
+  }
+}
+
+void CircuitBreaker::on_abandon(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  Key& k = entry(key);
+  if (k.state == BreakerState::kHalfOpen) k.probe_in_flight = false;
+}
+
+BreakerState CircuitBreaker::state(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+BreakerKeyStats CircuitBreaker::stats(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) return BreakerKeyStats{};
+  BreakerKeyStats stats = it->second.stats;
+  stats.state = it->second.state;
+  stats.consecutive_failures = it->second.consecutive_failures;
+  return stats;
+}
+
+std::vector<std::string> CircuitBreaker::keys() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(keys_.size());
+  for (const auto& [name, unused] : keys_) names.push_back(name);
+  return names;
+}
+
+BreakerKeyStats CircuitBreaker::totals() const {
+  std::lock_guard lock(mutex_);
+  BreakerKeyStats totals;
+  for (const auto& [unused, k] : keys_) {
+    totals.trips += k.stats.trips;
+    totals.rejects += k.stats.rejects;
+    totals.probes += k.stats.probes;
+    totals.closes += k.stats.closes;
+    totals.failures += k.stats.failures;
+    totals.successes += k.stats.successes;
+  }
+  return totals;
+}
+
+}  // namespace pcmax

@@ -1,0 +1,126 @@
+// Circuit breakers keyed by solver name: failure memory for heavy rungs.
+//
+// The resilient ladder degrades one request at a time: a PTAS that just blew
+// its deadline throws, the request falls to MULTIFIT/LPT — and the very next
+// request retries the same doomed PTAS from scratch. Under sustained
+// overload that retry tax is paid on every request. A circuit breaker gives
+// the service FAILURE MEMORY per solver:
+//
+//   closed ──(failure_threshold consecutive failures)──▶ open
+//   open   ──(open_rejects rejected attempts)──────────▶ half-open
+//   half-open ──probe succeeds──▶ closed
+//   half-open ──probe fails────▶ open  (and the reject count restarts)
+//
+//  * CLOSED: attempts are admitted; consecutive resource-shaped failures
+//    (ResourceLimitError, deadline exceedance) are counted, and any success
+//    resets the count. Reaching `failure_threshold` TRIPS the breaker.
+//  * OPEN: attempts are rejected up front — the caller routes straight to
+//    the next rung of the ladder without paying the doomed attempt. The
+//    cooldown is counted in REJECTED ATTEMPTS, not wall time, so trip/
+//    recover sequences replay deterministically in tests.
+//  * HALF-OPEN: after `open_rejects` rejections, exactly one attempt is
+//    admitted as a PROBE. Its outcome decides: success closes the breaker,
+//    failure re-opens it. Attempts arriving while the probe is in flight
+//    are rejected.
+//
+// All transitions happen inside allow()/on_success()/on_failure() — there is
+// no timer thread — and each is mirrored to the ambient obs::Metrics
+// collector (breaker.trips / breaker.open_rejects / breaker.probes /
+// breaker.closes counters and a "breaker.transition" span per state change).
+// Thread-safe: one mutex over the key map; the per-call work is a map lookup
+// and a few integer updates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pcmax {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Stable lower-case name ("closed", "open", "half-open") for provenance
+/// notes and reports.
+const char* breaker_state_name(BreakerState state);
+
+/// Tuning of every key tracked by one CircuitBreaker.
+struct BreakerOptions {
+  /// Consecutive failures that trip a closed (or half-open) key. >= 1.
+  int failure_threshold = 3;
+
+  /// Rejected attempts while open before the next attempt is admitted as a
+  /// half-open probe. >= 1. Counted in attempts, not wall time, so breaker
+  /// sequences are deterministic under test.
+  std::uint64_t open_rejects = 8;
+};
+
+/// Counter snapshot of one breaker key.
+struct BreakerKeyStats {
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;   ///< failures since the last success (closed)
+  std::uint64_t trips = 0;        ///< -> open transitions
+  std::uint64_t rejects = 0;      ///< attempts rejected while open/half-open
+  std::uint64_t probes = 0;       ///< half-open attempts admitted
+  std::uint64_t closes = 0;       ///< half-open -> closed transitions
+  std::uint64_t failures = 0;     ///< on_failure calls
+  std::uint64_t successes = 0;    ///< on_success calls
+};
+
+/// A registry of per-key (solver-name) breaker state machines. Keys are
+/// created lazily in the closed state on first use.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// May the caller attempt `key` now? Counts a rejection when the answer is
+  /// no; admits exactly one probe per half-open episode. Hits fault site
+  /// "breaker.allow" (may throw under an armed injector — call it where a
+  /// ResourceLimitError is survivable).
+  [[nodiscard]] bool allow(const std::string& key);
+
+  /// Reports a successful attempt: resets the failure streak; a half-open
+  /// probe success closes the key.
+  void on_success(const std::string& key);
+
+  /// Reports a resource-shaped failure: trips the key once the streak
+  /// reaches failure_threshold; a half-open probe failure re-opens it.
+  void on_failure(const std::string& key);
+
+  /// Reports an attempt that ended without a verdict (e.g. cancelled by the
+  /// caller): releases a half-open probe slot so a later attempt can probe
+  /// again; no failure streak or state changes otherwise. Every admitted
+  /// attempt must report exactly one of success / failure / abandon, or a
+  /// half-open key would wedge with its probe slot held forever.
+  void on_abandon(const std::string& key);
+
+  [[nodiscard]] BreakerState state(const std::string& key) const;
+  [[nodiscard]] BreakerKeyStats stats(const std::string& key) const;
+  /// Every key seen so far, in lexicographic order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+  /// Totals across all keys.
+  [[nodiscard]] BreakerKeyStats totals() const;
+  [[nodiscard]] const BreakerOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    std::uint64_t rejects_this_episode = 0;  ///< rejects since last trip
+    bool probe_in_flight = false;
+    BreakerKeyStats stats;
+  };
+
+  Key& entry(const std::string& key);  // callers hold mutex_
+  void trip(Key& key);                 // callers hold mutex_
+
+  const BreakerOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Key> keys_;
+};
+
+}  // namespace pcmax

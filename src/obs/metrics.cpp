@@ -31,6 +31,14 @@ const char* counter_name(Counter counter) {
     case Counter::kServiceCacheMisses: return "service.cache.misses";
     case Counter::kServiceCacheEvictions: return "service.cache.evictions";
     case Counter::kServiceDegraded: return "service.degraded";
+    case Counter::kServiceShedQuota: return "service.shed.quota";
+    case Counter::kServiceShedOverload: return "service.shed.overload";
+    case Counter::kServiceCoalesced: return "service.coalesced";
+    case Counter::kServiceInternalErrors: return "service.internal_errors";
+    case Counter::kBreakerTrips: return "breaker.trips";
+    case Counter::kBreakerOpenRejects: return "breaker.open_rejects";
+    case Counter::kBreakerProbes: return "breaker.probes";
+    case Counter::kBreakerCloses: return "breaker.closes";
     case Counter::kPortfolioRaces: return "portfolio.races";
     case Counter::kPortfolioRacers: return "portfolio.racers";
     case Counter::kPortfolioRacersCancelled: return "portfolio.racers_cancelled";

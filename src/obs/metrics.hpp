@@ -69,13 +69,21 @@ enum class Counter : unsigned {
   kServiceCacheMisses,    ///< result-cache misses (includes collision misses)
   kServiceCacheEvictions, ///< LRU evictions from the result cache
   kServiceDegraded,       ///< requests answered via a degraded (cheap) path
+  kServiceShedQuota,      ///< requests shed at admission by a tenant quota
+  kServiceShedOverload,   ///< requests shed by overload (queue full / pressure)
+  kServiceCoalesced,      ///< duplicate requests that shared an in-flight solve
+  kServiceInternalErrors, ///< unknown worker exceptions turned into responses
+  kBreakerTrips,          ///< closed/half-open -> open transitions
+  kBreakerOpenRejects,    ///< attempts rejected while a breaker was open
+  kBreakerProbes,         ///< half-open trial attempts admitted
+  kBreakerCloses,         ///< half-open -> closed transitions (probe succeeded)
   kPortfolioRaces,             ///< PortfolioSolver::solve calls
   kPortfolioRacers,            ///< racers launched across all races
   kPortfolioRacersCancelled,   ///< racers stopped by the race controller
   kPortfolioIncumbentUpdates,  ///< improving IncumbentBoard publishes
   kPortfolioBoundTightenings,  ///< bisection UBs clamped by the incumbent
 };
-inline constexpr std::size_t kCounterCount = 28;
+inline constexpr std::size_t kCounterCount = 36;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);

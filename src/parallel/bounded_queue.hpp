@@ -57,6 +57,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push for load-shedding admission layers: enqueues only
+  /// when there is room right now. Returns nullopt on success; hands the
+  /// item BACK when the queue is full or closed, so the caller can resolve
+  /// it some other way (e.g. a structured shed response) instead of losing
+  /// it inside a moved-from parameter.
+  [[nodiscard]] std::optional<T> try_push(T item) {
+    std::unique_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return item;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    not_empty_.notify_one();  // under the lock; see push()
+    return std::nullopt;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained
   /// (then returns nullopt).
   std::optional<T> pop() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/bounds.hpp"
+#include "core/breaker.hpp"
 #include "core/fingerprint.hpp"
 #include "core/instance.hpp"
 #include "core/instance_gen.hpp"

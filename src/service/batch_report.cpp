@@ -19,6 +19,10 @@ JsonValue batch_report(const ServiceOptions& options,
   config["cache_capacity"] = static_cast<std::int64_t>(options.cache_capacity);
   config["epsilon"] = options.epsilon;
   config["default_time_limit_ms"] = options.default_time_limit_ms;
+  config["shed_policy"] =
+      options.shed_policy == ShedPolicy::kTiered ? "tiered" : "static";
+  config["coalesce"] = options.coalesce;
+  config["breaker_enabled"] = options.breaker_enabled;
 
   std::set<std::string> unique;
   for (const SolveResponse& response : responses) {
@@ -40,6 +44,16 @@ JsonValue batch_report(const ServiceOptions& options,
       total_seconds > 0.0
           ? static_cast<double>(responses.size()) / total_seconds
           : 0.0;
+  // Overload-layer counters (appended so pre-existing fields keep their
+  // byte-exact positions in golden files).
+  summary["shed_quota"] = stats.shed_quota;
+  summary["shed_overload"] = stats.shed_overload;
+  summary["coalesced"] = stats.coalesced;
+  summary["internal_errors"] = stats.internal_errors;
+  summary["breaker_trips"] = stats.breaker.trips;
+  summary["breaker_open_rejects"] = stats.breaker.rejects;
+  summary["breaker_probes"] = stats.breaker.probes;
+  summary["breaker_closes"] = stats.breaker.closes;
 
   JsonValue requests = JsonValue::make_array();
   for (std::size_t i = 0; i < responses.size(); ++i) {
@@ -58,6 +72,9 @@ JsonValue batch_report(const ServiceOptions& options,
     entry["queue_seconds"] = response.queue_seconds;
     entry["solve_seconds"] = response.solve_seconds;
     entry["seconds"] = response.seconds;
+    entry["tenant"] = response.tenant;
+    entry["shed"] = response.shed;
+    entry["coalesced"] = response.coalesced;
     requests.append(std::move(entry));
   }
   report["requests"] = std::move(requests);

@@ -8,9 +8,16 @@
 //
 // Layout:
 //   schema   "pcmax.batch.v1"
-//   config   service knobs that shaped the run
-//   summary  batch-level counters + throughput
-//   requests one object per response, in request order
+//   config   service knobs that shaped the run (incl. shed_policy,
+//            coalesce, breaker_enabled)
+//   summary  batch-level counters + throughput, plus the overload layer:
+//            shed_quota / shed_overload / coalesced / internal_errors and
+//            breaker_trips / _open_rejects / _probes / _closes
+//   requests one object per response, in request order (incl. tenant,
+//            shed, coalesced)
+//
+// New fields are APPENDED within each object, so pre-existing fields stay
+// byte-stable across schema growth.
 #pragma once
 
 #include <vector>

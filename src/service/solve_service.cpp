@@ -1,5 +1,6 @@
 #include "service/solve_service.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -15,6 +16,16 @@ double ns_to_seconds(std::uint64_t begin_ns, std::uint64_t end_ns) {
   return static_cast<double>(end_ns - begin_ns) * 1e-9;
 }
 
+void bump(obs::Counter counter) {
+  obs::Metrics* metrics = obs::current();
+  if (metrics != nullptr) metrics->add(0, counter);
+}
+
+/// Outcomes a full-fidelity attempt can report to the breaker.
+bool breaker_failure(const std::string& reason) {
+  return reason == "deadline" || reason.rfind("resource-limit", 0) == 0;
+}
+
 }  // namespace
 
 SolveService::SolveService(ServiceOptions options)
@@ -26,12 +37,29 @@ SolveService::SolveService(ServiceOptions options)
                 "default time limit must be non-negative (0 = unlimited)");
   PCMAX_REQUIRE(options_.deadline_near_ms >= 0,
                 "deadline-near threshold must be non-negative");
+  PCMAX_REQUIRE(options_.lite_pressure > 0,
+                "lite pressure threshold must be positive");
+  PCMAX_REQUIRE(options_.heavy_pressure >= options_.lite_pressure &&
+                    options_.shed_pressure >= options_.heavy_pressure,
+                "pressure thresholds must be non-decreasing");
   queue_ = std::make_unique<BoundedQueue<Pending>>(options_.queue_capacity);
   const unsigned lanes =
       options_.lanes == 0 ? options_.workers : options_.lanes;
   lanes_ = std::make_unique<ExecutorLanes>(lanes, options_.lane_width);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  }
+  breaker_ = std::make_unique<CircuitBreaker>(options_.breaker);
+  if (!options_.tenant_weights.empty()) {
+    unsigned total_weight = 0;
+    for (const auto& [tenant, weight] : options_.tenant_weights) {
+      PCMAX_REQUIRE(weight >= 1, "tenant weights must be at least 1");
+      total_weight += weight;
+    }
+    for (const auto& [tenant, weight] : options_.tenant_weights) {
+      tenant_caps_[tenant] = std::max<std::size_t>(
+          1, options_.queue_capacity * weight / total_weight);
+    }
   }
   workers_.reserve(options_.workers);
   for (unsigned w = 0; w < options_.workers; ++w) {
@@ -65,7 +93,40 @@ std::future<SolveResponse> SolveService::submit(SolveRequest request) {
   }
   pending.enqueue_ns = obs::monotonic_ns();
   std::future<SolveResponse> future = pending.promise.get_future();
+
+  // Tenant quota: a capped tenant may hold only its weighted share of the
+  // queue. The check-and-increment is atomic under tenant_mutex_; the slot
+  // is returned when a worker pops the request (worker_loop).
+  const std::string& tenant = pending.request.tenant;
+  const auto cap = tenant_caps_.find(tenant);
+  if (cap != tenant_caps_.end()) {
+    std::lock_guard lock(tenant_mutex_);
+    std::size_t& queued = tenant_queued_[tenant];
+    if (queued >= cap->second) {
+      SolveResponse shed =
+          make_shed_response(pending.request, "shed:tenant-quota",
+                             /*overload=*/false);
+      finish(pending, std::move(shed), pending.enqueue_ns);
+      return future;
+    }
+    ++queued;
+  }
+
+  if (options_.shed_policy == ShedPolicy::kTiered) {
+    // Open-loop admission: a full queue sheds instead of blocking the
+    // submitter, so the arrival loop stays responsive under a storm.
+    std::optional<Pending> rejected = queue_->try_push(std::move(pending));
+    if (rejected.has_value()) {
+      release_tenant_slot(rejected->request.tenant);
+      SolveResponse shed =
+          make_shed_response(rejected->request, "shed:queue-full",
+                             /*overload=*/true);
+      finish(*rejected, std::move(shed), rejected->enqueue_ns);
+    }
+    return future;
+  }
   if (!queue_->push(std::move(pending))) {
+    release_tenant_slot(tenant);
     throw Error("service is shutting down");
   }
   return future;
@@ -90,55 +151,67 @@ ServiceStats SolveService::stats() const {
   ServiceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.shed_quota = shed_quota_.load(std::memory_order_relaxed);
+  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) stats.cache = cache_->stats();
+  stats.breaker = breaker_->totals();
   stats.queue_high_watermark = queue_->high_watermark();
   return stats;
 }
 
 void SolveService::worker_loop() {
   while (auto pending = queue_->pop()) {
+    // The quota counts QUEUED requests; the slot frees at dispatch. Done
+    // here (not in process) so coalescing re-dispatch cannot double-free.
+    release_tenant_slot(pending->request.tenant);
     process(std::move(*pending));
   }
 }
 
 void SolveService::process(Pending pending) {
-  obs::Metrics* metrics = obs::current();
   const std::uint64_t dispatch_ns = obs::monotonic_ns();
   SolveResponse response;
   try {
     try {
-      response = handle(pending);
+      std::optional<SolveResponse> handled = handle(pending);
+      // A parked coalescing follower: its promise now belongs to the
+      // in-flight leader, which will resolve it on completion.
+      if (!handled.has_value()) return;
+      response = std::move(*handled);
     } catch (const ResourceLimitError& e) {
       // A budget (or injected fault) tripped outside the resilient solver's
       // own rungs: answer with the degraded path, never with an exception.
-      response =
-          cheap_solve(pending, std::string("resource-limit: ") + e.what());
+      try {
+        response =
+            cheap_solve(pending, std::string("resource-limit: ") + e.what());
+      } catch (const ResourceLimitError& inner) {
+        // Even the degraded rung tripped: shed with provenance rather than
+        // drop the request or retry a path that just proved unavailable.
+        response = make_shed_response(pending.request,
+                                      "shed:resource-exhausted",
+                                      /*overload=*/true);
+        response.notes["resource_limit"] = inner.what();
+      }
     }
-  } catch (...) {
-    // Everything else (InvalidArgumentError, logic errors) is a bug or a
-    // caller error; deliver it through the future unchanged.
+  } catch (const Error&) {
+    // Typed pcmax errors (InvalidArgumentError, InternalError, ...) are
+    // bugs or caller errors; deliver them through the future unchanged —
+    // the service never converts a bug into a result.
     pending.promise.set_exception(std::current_exception());
     return;
+  } catch (const std::exception& e) {
+    // Unknown exceptions must not kill the worker or hang the future:
+    // answer with a structured internal-error response.
+    response = internal_error_response(pending.request, e.what());
+  } catch (...) {
+    response = internal_error_response(pending.request, "unknown exception");
   }
-  const std::uint64_t done_ns = obs::monotonic_ns();
-  response.id = pending.id;
-  response.machines = pending.request.instance.machines();
-  response.jobs = pending.request.instance.jobs();
-  response.queue_seconds = ns_to_seconds(pending.enqueue_ns, dispatch_ns);
-  response.solve_seconds = ns_to_seconds(dispatch_ns, done_ns);
-  response.seconds = ns_to_seconds(pending.enqueue_ns, done_ns);
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  if (response.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
-  if (metrics != nullptr) {
-    metrics->add(0, obs::Counter::kServiceRequests);
-    if (response.degraded) metrics->add(0, obs::Counter::kServiceDegraded);
-    metrics->add_timer(obs::Timer::kServiceRequest, done_ns - dispatch_ns);
-    metrics->add_span("service.request", 0, pending.enqueue_ns, done_ns);
-  }
-  pending.promise.set_value(std::move(response));
+  finish(pending, std::move(response), dispatch_ns);
 }
 
-SolveResponse SolveService::handle(Pending& pending) {
+std::optional<SolveResponse> SolveService::handle(Pending& pending) {
   fault_hit("service.request");
   const double epsilon = effective_epsilon(pending.request);
   const CanonicalInstance canonical(pending.request.instance);
@@ -170,39 +243,175 @@ SolveResponse SolveService::handle(Pending& pending) {
     }
   }
 
-  // Admission decision: a saturated queue or a nearly-spent deadline sends
-  // the request down the cheap path instead of starting a doomed PTAS.
+  // Admission decision: map the pressure signal (queue depth, deadline
+  // headroom, breaker state) onto a solver tier — or shed outright.
+  Tier tier = Tier::kFull;
   std::string forced_reason;
-  const std::size_t watermark = options_.saturation_watermark == 0
-                                    ? options_.queue_capacity
-                                    : options_.saturation_watermark;
-  if (queue_->size() >= watermark) {
-    forced_reason = "queue-saturated";
-  } else if (pending.deadline.has_limit() &&
-             pending.deadline.remaining_seconds() * 1000.0 <
-                 static_cast<double>(options_.deadline_near_ms)) {
-    forced_reason = "deadline-near";
-  }
-
-  SolveResponse response =
-      run_solver(pending, canonical, forced_reason.empty(), forced_reason);
-  response.fingerprint = key;
-  response.notes["cache"] = cache_note;
-
-  // Only full-fidelity results enter the cache: a degraded answer must
-  // never be served to a future caller with a healthy budget.
-  if (cache_ != nullptr && response.degradation_reason == "none") {
-    try {
-      fault_hit("service.cache");
-      CacheEntry entry{canonical.instance(), canonical.project(response.schedule),
-                       response.makespan, response.algorithm,
-                       response.proven_optimal};
-      cache_->insert(key, std::move(entry));
-    } catch (const ResourceLimitError& e) {
-      response.notes["cache"] = std::string("store-skipped: ") + e.what();
+  bool breaker_blocked = false;
+  const std::size_t depth = queue_->size();
+  const bool deadline_near =
+      pending.deadline.has_limit() &&
+      pending.deadline.remaining_seconds() * 1000.0 <
+          static_cast<double>(options_.deadline_near_ms);
+  if (options_.shed_policy == ShedPolicy::kStatic) {
+    // PR 4 semantics: a saturated queue or a nearly-spent deadline sends
+    // the request down the cheap path instead of starting a doomed PTAS.
+    const std::size_t watermark = options_.saturation_watermark == 0
+                                      ? options_.queue_capacity
+                                      : options_.saturation_watermark;
+    if (depth >= watermark) {
+      tier = Tier::kLite;
+      forced_reason = "queue-saturated";
+    } else if (deadline_near) {
+      tier = Tier::kLite;
+      forced_reason = "deadline-near";
+    } else if (options_.breaker_enabled && !breaker_->allow(solver_key())) {
+      breaker_blocked = true;
+      tier = Tier::kLite;
+      forced_reason = std::string("breaker-open:") + solver_key();
+    }
+  } else {
+    double pressure = static_cast<double>(depth) /
+                      static_cast<double>(options_.queue_capacity);
+    if (deadline_near) pressure += 0.5;
+    // The breaker is only consulted when the request would otherwise take
+    // the full-fidelity rung: its reject count mirrors skipped attempts.
+    if (options_.breaker_enabled && pressure < options_.lite_pressure &&
+        !breaker_->allow(solver_key())) {
+      breaker_blocked = true;
+      pressure += 0.5;
+    }
+    if (pressure >= options_.shed_pressure) {
+      SolveResponse shed = make_shed_response(pending.request, "shed:pressure",
+                                              /*overload=*/true);
+      shed.fingerprint = key;
+      return shed;
+    }
+    if (pressure >= options_.heavy_pressure) {
+      tier = Tier::kHeuristic;
+      forced_reason = breaker_blocked
+                          ? std::string("breaker-open:") + solver_key()
+                          : "pressure-heavy";
+    } else if (pressure >= options_.lite_pressure || breaker_blocked) {
+      tier = Tier::kLite;
+      if (breaker_blocked) {
+        forced_reason = std::string("breaker-open:") + solver_key();
+      } else {
+        forced_reason = deadline_near ? "deadline-near" : "pressure-lite";
+      }
     }
   }
+
+  // Coalescing gate (full-fidelity tier only): the first miss of a
+  // fingerprint leads; concurrent duplicates park behind it and receive
+  // the leader's canonical-space result instead of racing redundant solves.
+  bool leader = false;
+  if (tier == Tier::kFull && options_.coalesce) {
+    std::lock_guard lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      it->second.followers.push_back(std::move(pending));
+      return std::nullopt;
+    }
+    inflight_.emplace(key, Inflight{});
+    leader = true;
+  }
+
+  SolveResponse response;
+  try {
+    try {
+      response = run_solver(pending, canonical, tier, forced_reason);
+    } catch (const ResourceLimitError&) {
+      if (tier == Tier::kFull && options_.breaker_enabled) {
+        breaker_->on_failure(solver_key());
+      }
+      throw;
+    }
+    if (tier == Tier::kFull && options_.breaker_enabled) {
+      // Every admitted full-fidelity attempt reports exactly one verdict.
+      // "cancelled" is the caller's doing, not the solver's — it must not
+      // feed the failure streak, but it must release a probe slot.
+      const std::string& reason = response.degradation_reason;
+      if (reason == "none") {
+        breaker_->on_success(solver_key());
+      } else if (breaker_failure(reason)) {
+        breaker_->on_failure(solver_key());
+      } else {
+        breaker_->on_abandon(solver_key());
+      }
+    }
+    if (breaker_blocked) response.notes["breaker"] = "open-rerouted";
+    response.fingerprint = key;
+    response.notes["cache"] = cache_note;
+
+    // Only full-fidelity results enter the cache: a degraded answer must
+    // never be served to a future caller with a healthy budget.
+    if (cache_ != nullptr && response.degradation_reason == "none") {
+      try {
+        fault_hit("service.cache");
+        CacheEntry entry{canonical.instance(),
+                         canonical.project(response.schedule),
+                         response.makespan, response.algorithm,
+                         response.proven_optimal};
+        cache_->insert(key, std::move(entry));
+      } catch (const ResourceLimitError& e) {
+        response.notes["cache"] = std::string("store-skipped: ") + e.what();
+      }
+    }
+  } catch (...) {
+    // Leadership must not leak: hand parked followers back to the pipeline
+    // (there is no shareable result) before the error propagates.
+    if (leader) conclude_leadership(key, canonical, nullptr);
+    throw;
+  }
+  if (leader) conclude_leadership(key, canonical, &response);
   return response;
+}
+
+void SolveService::conclude_leadership(const Fingerprint& key,
+                                       const CanonicalInstance& canonical,
+                                       const SolveResponse* response) {
+  std::vector<Pending> followers;
+  {
+    std::lock_guard lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    followers = std::move(it->second.followers);
+    inflight_.erase(it);
+  }
+  if (followers.empty()) return;
+
+  // Degraded (or absent) leader results are never shared: a follower with a
+  // healthy budget must not inherit a neighbour's degradation.
+  if (response == nullptr || response->degradation_reason != "none") {
+    for (Pending& follower : followers) process(std::move(follower));
+    return;
+  }
+
+  // Share the result in CANONICAL space: each follower lifts it through its
+  // OWN sort permutation, so its response is exactly what a fresh solve or
+  // cache hit of its submitted ordering would have produced.
+  const std::vector<int> assignment = canonical.project(response->schedule);
+  for (Pending& follower : followers) {
+    const std::uint64_t delivery_ns = obs::monotonic_ns();
+    try {
+      SolveResponse shared;
+      shared.fingerprint = response->fingerprint;
+      shared.makespan = response->makespan;
+      shared.algorithm = response->algorithm;
+      shared.proven_optimal = response->proven_optimal;
+      shared.coalesced = true;
+      const CanonicalInstance follower_canonical(follower.request.instance);
+      shared.schedule = follower_canonical.lift(assignment);
+      shared.schedule.validate(follower.request.instance);
+      shared.notes["cache"] = "coalesced";
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      bump(obs::Counter::kServiceCoalesced);
+      finish(follower, std::move(shared), delivery_ns);
+    } catch (...) {
+      follower.promise.set_exception(std::current_exception());
+    }
+  }
 }
 
 SolveResponse SolveService::cheap_solve(Pending& pending,
@@ -210,7 +419,7 @@ SolveResponse SolveService::cheap_solve(Pending& pending,
   const double epsilon = effective_epsilon(pending.request);
   const CanonicalInstance canonical(pending.request.instance);
   SolveResponse response =
-      run_solver(pending, canonical, /*use_ptas=*/false, reason);
+      run_solver(pending, canonical, Tier::kLite, reason);
   response.fingerprint = request_fingerprint(canonical, epsilon);
   response.notes["cache"] = "skipped-degraded";
   return response;
@@ -218,7 +427,7 @@ SolveResponse SolveService::cheap_solve(Pending& pending,
 
 SolveResponse SolveService::run_solver(Pending& pending,
                                        const CanonicalInstance& canonical,
-                                       bool use_ptas,
+                                       Tier tier,
                                        const std::string& forced_reason) {
   // API v2: the stop signal rides in a SolveContext instead of the solver
   // option structs (whose cancel fields are deprecated — using them here
@@ -231,10 +440,10 @@ SolveResponse SolveService::run_solver(Pending& pending,
   // one class have different true times — so its makespan is not
   // permutation-invariant. Solving in canonical space and lifting through
   // the request's sort permutation makes every response a pure function of
-  // the problem (machines + job multiset + epsilon), so cache hits and
-  // misses for one fingerprint are indistinguishable.
+  // the problem (machines + job multiset + epsilon), so cache hits, misses
+  // and coalesced deliveries for one fingerprint are indistinguishable.
   SolverResult result;
-  if (options_.mode == ServiceMode::kPortfolio && use_ptas) {
+  if (options_.mode == ServiceMode::kPortfolio && tier == Tier::kFull) {
     PortfolioOptions portfolio;
     portfolio.build.epsilon = effective_epsilon(pending.request);
     portfolio.build.multifit_iterations = options_.multifit_iterations;
@@ -253,9 +462,12 @@ SolveResponse SolveService::run_solver(Pending& pending,
   } else {
     ResilientOptions resilient;
     resilient.ptas.epsilon = effective_epsilon(pending.request);
-    resilient.ptas_enabled = use_ptas;
+    resilient.ptas_enabled = tier == Tier::kFull;
     resilient.multifit_iterations = options_.multifit_iterations;
-    resilient.local_search_rounds = options_.local_search_rounds;
+    // The heuristic tier drops the local-search polish too: MULTIFIT/LPT
+    // only, the cheapest rung that still returns a valid schedule.
+    resilient.local_search_rounds =
+        tier == Tier::kHeuristic ? 0 : options_.local_search_rounds;
     if (options_.lane_width > 1) {
       // Parallel engine on the leased lane; bit-compatible with the
       // sequential bottom-up fill (see tests/ptas_dp_crosscheck_test.cpp),
@@ -277,6 +489,71 @@ SolveResponse SolveService::run_solver(Pending& pending,
   response.degraded = response.degradation_reason != "none";
   response.proven_optimal = result.proven_optimal;
   return response;
+}
+
+void SolveService::finish(Pending& pending, SolveResponse response,
+                          std::uint64_t dispatch_ns) {
+  obs::Metrics* metrics = obs::current();
+  const std::uint64_t done_ns = obs::monotonic_ns();
+  response.id = pending.id;
+  response.machines = pending.request.instance.machines();
+  response.jobs = pending.request.instance.jobs();
+  response.tenant = pending.request.tenant;
+  response.queue_seconds = ns_to_seconds(pending.enqueue_ns, dispatch_ns);
+  response.solve_seconds = ns_to_seconds(dispatch_ns, done_ns);
+  response.seconds = ns_to_seconds(pending.enqueue_ns, done_ns);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (response.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    metrics->add(0, obs::Counter::kServiceRequests);
+    if (response.degraded) metrics->add(0, obs::Counter::kServiceDegraded);
+    metrics->add_timer(obs::Timer::kServiceRequest, done_ns - dispatch_ns);
+    metrics->add_span("service.request", 0, pending.enqueue_ns, done_ns);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+SolveResponse SolveService::make_shed_response(const SolveRequest& request,
+                                               const std::string& reason,
+                                               bool overload) {
+  SolveResponse response;
+  response.schedule = Schedule(std::max(1, request.instance.machines()));
+  response.algorithm = "none";
+  response.degradation_reason = reason;
+  response.degraded = true;
+  response.shed = true;
+  response.notes["shed"] = overload ? "overload" : "tenant-quota";
+  if (overload) {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    bump(obs::Counter::kServiceShedOverload);
+  } else {
+    shed_quota_.fetch_add(1, std::memory_order_relaxed);
+    bump(obs::Counter::kServiceShedQuota);
+  }
+  return response;
+}
+
+SolveResponse SolveService::internal_error_response(
+    const SolveRequest& request, const std::string& what) {
+  SolveResponse response;
+  response.schedule = Schedule(std::max(1, request.instance.machines()));
+  response.algorithm = "none";
+  response.degradation_reason = "internal-error";
+  response.degraded = true;
+  response.shed = true;
+  response.notes["internal_error"] = what;
+  internal_errors_.fetch_add(1, std::memory_order_relaxed);
+  bump(obs::Counter::kServiceInternalErrors);
+  return response;
+}
+
+void SolveService::release_tenant_slot(const std::string& tenant) {
+  if (tenant_caps_.empty() || tenant_caps_.find(tenant) == tenant_caps_.end()) {
+    return;
+  }
+  std::lock_guard lock(tenant_mutex_);
+  const auto it = tenant_queued_.find(tenant);
+  if (it != tenant_queued_.end() && it->second > 0) --it->second;
 }
 
 double SolveService::effective_epsilon(const SolveRequest& request) const {

@@ -3,13 +3,70 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace pcmax {
 
 namespace {
-// Acquire/release so an injector's construction happens-before any hit
+
+// Acquire/release so a handler's construction happens-before any hit
 // observed by pool workers that see the installed pointer.
-std::atomic<FaultInjector*> g_injector{nullptr};
+std::atomic<FaultHandler*> g_handler{nullptr};
+
+// --- site registry ---
+//
+// The hot path must stay cheap (fault_hit sits inside pool workers), so
+// registration is keyed on POINTER identity first: a lock-free array of
+// already-seen `const char*` literals scanned linearly (a dozen entries in
+// practice). Only a never-seen pointer takes the mutex, where the NAME is
+// deduplicated (the same literal may be emitted per translation unit) and
+// appended to the registry in first-hit order.
+constexpr std::size_t kMaxSitePointers = 128;
+std::atomic<const char*> g_site_pointers[kMaxSitePointers];
+std::atomic<std::size_t> g_site_pointer_count{0};
+std::mutex g_registry_mutex;
+
+// Leaked on purpose: fault_hit may run from detached/pool threads during
+// static destruction; a leaked vector cannot be destroyed under it.
+std::vector<std::string>& site_names() {
+  static auto* names = new std::vector<std::string>();
+  return *names;
+}
+
+void register_site(const char* site) {
+  const std::size_t seen = g_site_pointer_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < seen; ++i) {
+    if (g_site_pointers[i].load(std::memory_order_relaxed) == site) return;
+  }
+  std::lock_guard lock(g_registry_mutex);
+  // Re-check under the lock: another thread may have cached this pointer.
+  const std::size_t now = g_site_pointer_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < now; ++i) {
+    if (g_site_pointers[i].load(std::memory_order_relaxed) == site) return;
+  }
+  bool known_name = false;
+  for (const std::string& name : site_names()) {
+    if (name == site) {
+      known_name = true;
+      break;
+    }
+  }
+  if (!known_name) site_names().emplace_back(site);
+  if (now < kMaxSitePointers) {
+    g_site_pointers[now].store(site, std::memory_order_relaxed);
+    g_site_pointer_count.store(now + 1, std::memory_order_release);
+  }
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(std::string site, std::uint64_t fire_at,
@@ -33,21 +90,98 @@ void FaultInjector::on_hit(const char* site) {
     case Action::kThrow:
       throw ResourceLimitError(resource_limit_message(
           "injected fault at '" + site_ + "'", fire_at_ - 1, fire_at_));
+    case Action::kThrowUnknown:
+      throw std::runtime_error("injected unknown fault at '" + site_ + "'");
   }
 }
 
-FaultScope::FaultScope(FaultInjector& injector)
-    : previous_(g_injector.load(std::memory_order_acquire)) {
-  g_injector.store(&injector, std::memory_order_release);
+ChaosInjector::ChaosInjector(ChaosOptions options,
+                             std::vector<std::string> sites)
+    : options_(options) {
+  PCMAX_REQUIRE(options_.min_gap >= 1, "chaos min_gap must be at least 1");
+  PCMAX_REQUIRE(options_.max_gap >= options_.min_gap,
+                "chaos max_gap must be >= min_gap");
+  sites_.reserve(sites.size());
+  for (std::string& name : sites) {
+    auto site = std::make_unique<Site>();
+    site->name = std::move(name);
+    // Independent per-site stream: the first SplitMix64 output of
+    // seed ^ hash(name) seeds the site's gap sequence.
+    site->stream_state = options_.seed ^ fnv1a(site->name);
+    site->next_fire.store(draw_gap(*site), std::memory_order_relaxed);
+    sites_.push_back(std::move(site));
+  }
+}
+
+std::uint64_t ChaosInjector::draw_gap(Site& site) {
+  SplitMix64 stream(site.stream_state);
+  const std::uint64_t draw = stream.next();
+  site.stream_state += 0x9e3779b97f4a7c15ULL;  // advance to the next draw
+  return options_.min_gap + draw % (options_.max_gap - options_.min_gap + 1);
+}
+
+std::vector<std::string> ChaosInjector::sites() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& site : sites_) names.push_back(site->name);
+  return names;
+}
+
+std::uint64_t ChaosInjector::fires(const std::string& site) const {
+  for (const auto& s : sites_) {
+    if (s->name == site) return s->fire_count.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+std::uint64_t ChaosInjector::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sites_) {
+    total += s->fire_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ChaosInjector::hits(const std::string& site) const {
+  for (const auto& s : sites_) {
+    if (s->name == site) return s->hits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+void ChaosInjector::on_hit(const char* site) {
+  for (const auto& s : sites_) {
+    if (std::strcmp(site, s->name.c_str()) != 0) continue;
+    const std::uint64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    // fetch_add hands every hit a unique ordinal, so exactly one thread can
+    // observe equality with the scheduled fire point.
+    if (hit != s->next_fire.load(std::memory_order_acquire)) return;
+    std::lock_guard lock(s->redraw_mutex);
+    s->fire_count.fetch_add(1, std::memory_order_relaxed);
+    s->next_fire.store(hit + draw_gap(*s), std::memory_order_release);
+    throw ResourceLimitError(resource_limit_message(
+        "chaos fault at '" + s->name + "'", hit - 1, hit));
+  }
+}
+
+FaultScope::FaultScope(FaultHandler& handler)
+    : previous_(g_handler.load(std::memory_order_acquire)) {
+  g_handler.store(&handler, std::memory_order_release);
 }
 
 FaultScope::~FaultScope() {
-  g_injector.store(previous_, std::memory_order_release);
+  g_handler.store(previous_, std::memory_order_release);
 }
 
 void fault_hit(const char* site) {
-  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
-  if (injector != nullptr) injector->on_hit(site);
+  register_site(site);
+  FaultHandler* handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) handler->on_hit(site);
+}
+
+std::vector<std::string> fault_sites() {
+  std::lock_guard lock(g_registry_mutex);
+  return site_names();
 }
 
 }  // namespace pcmax

@@ -2,39 +2,71 @@
 //
 // Timing-based cancellation tests are flaky by construction: "cancel after
 // 5 ms" lands at a different point of the algorithm on every run. The fault
-// injector replaces wall time with a deterministic event count: it is armed
-// on a named site ("pool.task", "dp.level", "bisection.probe", "mip.node")
-// and fires exactly once, at the Nth hit of that site, either cancelling a
-// token or throwing a ResourceLimitError — so a test can place a failure
-// "mid-DP, level 3" and get the same degradation path on every run.
+// layer replaces wall time with deterministic event counts. Instrumented
+// code calls fault_hit("site") at its natural progress points ("pool.task",
+// "dp.level", "bisection.probe", "service.request", ...); with no handler
+// armed this costs one relaxed atomic load plus a short pointer scan that
+// REGISTERS the site (see fault_sites below). The hook is compiled in
+// unconditionally (it is a handful of instructions at sites that each do
+// orders of magnitude more work) so release binaries and tests exercise
+// identical code.
 //
-// Instrumented code calls fault_hit("site") at its natural progress points;
-// with no injector armed this costs one relaxed atomic load. The hook is
-// compiled in unconditionally (it is a handful of instructions at sites that
-// each do orders of magnitude more work) so release binaries and tests
-// exercise identical code.
+// Two handlers are provided:
+//
+//  * FaultInjector — the single-shot injector: armed on one site, fires
+//    exactly once at the Nth hit (cancel a token, throw ResourceLimitError,
+//    or throw a non-pcmax std::runtime_error to exercise internal-error
+//    paths). The tool for placing ONE failure "mid-DP, level 3".
+//  * ChaosInjector — the multi-site chaos schedule: a seeded RNG assigns
+//    every armed site an independent, repeating sequence of fire points
+//    (hit counts), so a soak test can storm a live service with correlated
+//    failures at every registered site and still replay bit-identically
+//    from the seed. The tool for proving overload/chaos behavior end to
+//    end (tests/chaos_soak_test.cpp).
+//
+// SITE REGISTRY: every site name is recorded in a process-wide registry at
+// its first hit, and fault_sites() enumerates the registry — that is what
+// lets the chaos harness arm "every site this binary actually has" without
+// a hand-maintained list that silently goes stale when a new fault_hit is
+// added.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/deadline.hpp"
 
 namespace pcmax {
 
-/// An armed fault: at the `fire_at`th hit of `site` (1-based), performs the
-/// action. Thread-safe: hits may arrive concurrently from pool workers; the
-/// action fires exactly once.
-class FaultInjector {
+/// Receives every fault_hit while installed (see FaultScope). Implementations
+/// may throw from on_hit — call sites are only placed where a
+/// ResourceLimitError is survivable.
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+
+  /// Called by fault_hit for every site hit; `site` is a string literal.
+  virtual void on_hit(const char* site) = 0;
+};
+
+/// An armed single-shot fault: at the `fire_at`th hit of `site` (1-based),
+/// performs the action. Thread-safe: hits may arrive concurrently from pool
+/// workers; the action fires exactly once.
+class FaultInjector final : public FaultHandler {
  public:
   enum class Action {
-    kCancel,  ///< request_cancel() on the supplied token
-    kThrow,   ///< throw ResourceLimitError at the hit site
+    kCancel,        ///< request_cancel() on the supplied token
+    kThrow,         ///< throw ResourceLimitError at the hit site
+    kThrowUnknown,  ///< throw a plain std::runtime_error (not a pcmax Error):
+                    ///< exercises "unknown exception" internal-error paths
   };
 
   /// Arms a fault on `site`; `fire_at` >= 1. `token` is required for
-  /// kCancel and ignored for kThrow.
+  /// kCancel and ignored otherwise.
   FaultInjector(std::string site, std::uint64_t fire_at, Action action,
                 CancellationToken token = {});
 
@@ -48,9 +80,7 @@ class FaultInjector {
     return fired_.load(std::memory_order_relaxed);
   }
 
-  /// Called by fault_hit for every site hit; public for the free function,
-  /// not for direct use.
-  void on_hit(const char* site);
+  void on_hit(const char* site) override;
 
  private:
   const std::string site_;
@@ -61,24 +91,80 @@ class FaultInjector {
   std::atomic<bool> fired_{false};
 };
 
-/// Installs `injector` as the ambient fault injector for the duration of the
+/// Tuning of a ChaosInjector. Gaps are counted in HITS of the individual
+/// site, so a schedule is deterministic per site regardless of how sites
+/// interleave across threads.
+struct ChaosOptions {
+  /// Seed of the whole schedule; every site derives an independent stream.
+  std::uint64_t seed = 1;
+
+  /// A site fires every `min_gap + (stream() % (max_gap - min_gap + 1))`
+  /// hits, re-drawn after each fire (multi-shot). min_gap >= 1.
+  std::uint64_t min_gap = 16;
+  std::uint64_t max_gap = 256;
+};
+
+/// A deterministic multi-site, multi-shot chaos schedule: each armed site
+/// throws ResourceLimitError at seed-derived hit counts, forever. Thread-
+/// safe; fires are attributed to whichever thread reached the scheduled hit.
+class ChaosInjector final : public FaultHandler {
+ public:
+  /// Arms `sites` (typically fault_sites()). Unknown / never-hit sites are
+  /// harmless — they simply never fire.
+  ChaosInjector(ChaosOptions options, std::vector<std::string> sites);
+
+  /// Armed site names, in the order given.
+  [[nodiscard]] std::vector<std::string> sites() const;
+
+  /// Fires observed on `site` so far (0 for unarmed sites).
+  [[nodiscard]] std::uint64_t fires(const std::string& site) const;
+
+  /// Fires across all sites.
+  [[nodiscard]] std::uint64_t total_fires() const;
+
+  /// Hits observed on `site` so far (0 for unarmed sites).
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
+
+  void on_hit(const char* site) override;
+
+ private:
+  struct Site {
+    std::string name;
+    std::uint64_t stream_state = 0;            ///< per-site SplitMix64 state
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> next_fire{0};   ///< 1-based hit that fires
+    std::atomic<std::uint64_t> fire_count{0};
+    std::mutex redraw_mutex;                   ///< serialises stream draws
+  };
+
+  std::uint64_t draw_gap(Site& site);  // callers hold site.redraw_mutex
+
+  const ChaosOptions options_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+/// Installs `handler` as the ambient fault handler for the duration of the
 /// scope (restores the previous one on destruction). Install one scope at a
 /// time; arming is process-wide, like obs::MetricsScope.
 class FaultScope {
  public:
-  explicit FaultScope(FaultInjector& injector);
+  explicit FaultScope(FaultHandler& handler);
   ~FaultScope();
 
   FaultScope(const FaultScope&) = delete;
   FaultScope& operator=(const FaultScope&) = delete;
 
  private:
-  FaultInjector* previous_;
+  FaultHandler* previous_;
 };
 
-/// Progress-point hook: notifies the ambient injector, if any. `site` must
-/// be a string literal. May throw (Action::kThrow) — call it where a
-/// ResourceLimitError is already survivable.
+/// Progress-point hook: registers `site` (first hit only) and notifies the
+/// ambient handler, if any. `site` must be a string literal. May throw —
+/// call it where a ResourceLimitError is already survivable.
 void fault_hit(const char* site);
+
+/// Every site name observed by fault_hit so far, in first-hit order. The
+/// programmatically enumerable registry the chaos harness arms itself from.
+[[nodiscard]] std::vector<std::string> fault_sites();
 
 }  // namespace pcmax

@@ -1,0 +1,179 @@
+// Unit tests for the circuit breaker (src/core/breaker.hpp): the
+// closed -> open -> half-open -> closed lifecycle, probe management, and
+// deterministic replay of whole trip/recover sequences.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/breaker.hpp"
+#include "obs/metrics.hpp"
+
+namespace pcmax {
+namespace {
+
+BreakerOptions small_options() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_rejects = 4;
+  return options;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  CircuitBreaker breaker(small_options());
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow("ptas"));
+  EXPECT_TRUE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").rejects, 0u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(small_options());
+  breaker.on_failure("ptas");
+  breaker.on_failure("ptas");
+  breaker.on_success("ptas");  // streak broken at 2 of 3
+  breaker.on_failure("ptas");
+  breaker.on_failure("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kClosed);
+  breaker.on_failure("ptas");  // third consecutive: trips
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats("ptas").trips, 1u);
+}
+
+TEST(CircuitBreaker, ConsecutiveFailuresTripAndOpenRejects) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+  // The cooldown is counted in rejected attempts, not wall time.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_FALSE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").rejects, 4u);
+  // Cooldown served: the state moved to half-open and the NEXT attempt is
+  // admitted as the probe.
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").probes, 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  for (int i = 0; i < 4; ++i) (void)breaker.allow("ptas");
+  ASSERT_TRUE(breaker.allow("ptas"));  // the probe
+  // While the probe is in flight, every other attempt is rejected.
+  EXPECT_FALSE(breaker.allow("ptas"));
+  EXPECT_FALSE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").probes, 1u);
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  for (int i = 0; i < 4; ++i) (void)breaker.allow("ptas");
+  ASSERT_TRUE(breaker.allow("ptas"));
+  breaker.on_success("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats("ptas").closes, 1u);
+  EXPECT_TRUE(breaker.allow("ptas"));
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensAndCooldownRestarts) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  for (int i = 0; i < 4; ++i) (void)breaker.allow("ptas");
+  ASSERT_TRUE(breaker.allow("ptas"));
+  breaker.on_failure("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats("ptas").trips, 2u);
+  // A fresh full cooldown must be served before the next probe.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(breaker.allow("ptas"));
+  EXPECT_TRUE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").probes, 2u);
+}
+
+TEST(CircuitBreaker, AbandonReleasesTheProbeSlot) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  for (int i = 0; i < 4; ++i) (void)breaker.allow("ptas");
+  ASSERT_TRUE(breaker.allow("ptas"));
+  // The probe ended without a verdict (e.g. the caller cancelled): a later
+  // attempt must still be able to probe — the slot must not wedge.
+  breaker.on_abandon("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow("ptas"));
+  EXPECT_EQ(breaker.stats("ptas").probes, 2u);
+}
+
+TEST(CircuitBreaker, KeysAreIndependent) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+  EXPECT_EQ(breaker.state("portfolio"), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow("portfolio"));
+  const std::vector<std::string> keys = breaker.keys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"portfolio", "ptas"}));
+}
+
+TEST(CircuitBreaker, LateFailureWhileOpenDoesNotDoubleTrip) {
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  ASSERT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+  // An attempt admitted before the trip reports its failure late.
+  breaker.on_failure("ptas");
+  EXPECT_EQ(breaker.stats("ptas").trips, 1u);
+  EXPECT_EQ(breaker.state("ptas"), BreakerState::kOpen);
+}
+
+// The acceptance property behind count-based cooldowns: an identical
+// call sequence produces an identical state/stat trajectory, run to run.
+TEST(CircuitBreaker, WholeSequencesReplayDeterministically) {
+  const auto run = [] {
+    CircuitBreaker breaker(small_options());
+    std::vector<std::string> trace;
+    const auto step = [&](const std::string& what) {
+      if (what == "f") breaker.on_failure("ptas");
+      else if (what == "s") breaker.on_success("ptas");
+      else trace.push_back(breaker.allow("ptas") ? "admit" : "reject");
+      trace.push_back(breaker_state_name(breaker.state("ptas")));
+    };
+    for (const char* what :
+         {"f", "f", "a", "f", "a", "a", "a", "a", "a", "f", "a", "a", "a",
+          "a", "a", "s", "a", "f", "f", "f", "a"}) {
+      step(what);
+    }
+    const BreakerKeyStats stats = breaker.stats("ptas");
+    trace.push_back("trips=" + std::to_string(stats.trips));
+    trace.push_back("rejects=" + std::to_string(stats.rejects));
+    trace.push_back("probes=" + std::to_string(stats.probes));
+    trace.push_back("closes=" + std::to_string(stats.closes));
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CircuitBreaker, TransitionsMirrorIntoMetrics) {
+  obs::Metrics metrics(1);
+  obs::MetricsScope scope(metrics);
+  CircuitBreaker breaker(small_options());
+  for (int i = 0; i < 3; ++i) breaker.on_failure("ptas");
+  for (int i = 0; i < 4; ++i) (void)breaker.allow("ptas");
+  ASSERT_TRUE(breaker.allow("ptas"));
+  breaker.on_success("ptas");
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kBreakerTrips), 1u);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kBreakerOpenRejects), 4u);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kBreakerProbes), 1u);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kBreakerCloses), 1u);
+}
+
+TEST(CircuitBreaker, RejectsInvalidOptions) {
+  BreakerOptions zero_threshold;
+  zero_threshold.failure_threshold = 0;
+  EXPECT_ANY_THROW(CircuitBreaker{zero_threshold});
+  BreakerOptions zero_cooldown;
+  zero_cooldown.open_rejects = 0;
+  EXPECT_ANY_THROW(CircuitBreaker{zero_cooldown});
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -4,6 +4,7 @@
 // hangs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <stdexcept>
@@ -390,6 +391,59 @@ TEST(FaultInjection, InjectorFiresExactlyOnce) {
   EXPECT_EQ(injector.hits(), 2u);
   EXPECT_TRUE(injector.fired());
   EXPECT_TRUE(token.cancel_requested());
+}
+
+// Sites self-register on first hit, so the registry reflects what THIS
+// process actually executed (ctest runs every gtest case in its own
+// process — nothing from the suites above carries over). The test first
+// drives one clean pass through each instrumented subsystem, then asserts
+// the registry enumerates every site those paths hit. This is what keeps
+// the chaos harness's programmatically enumerated site list (fault_sites)
+// from silently going stale when a new fault_hit site is added:
+// arm-everything soaks arm what the binary actually has, not a
+// hand-maintained copy.
+TEST(FaultSiteRegistry, EnumeratesEverySiteTheSubsystemsHit) {
+  const Instance instance = fault_instance();
+  {
+    // Parallel PTAS: bisection.probe, dp.level, pool.task.
+    ThreadPoolExecutor executor(2);
+    PtasOptions options;
+    options.engine = DpEngine::kParallelScan;
+    options.executor = &executor;
+    PtasSolver(options).solve(instance).schedule.validate(instance);
+  }
+  {
+    // Branch-and-bound: mip.node.
+    const Instance small =
+        generate_instance(InstanceFamily::kUniform1To100, 3, 10, 7, 0);
+    PcmaxIpSolver(MipOptions{}).solve(small).schedule.validate(small);
+  }
+  {
+    // Service front end: service.request, service.cache, breaker.allow.
+    SolveService service(ServiceOptions{});
+    (void)service.submit(SolveRequest{instance}).get();
+  }
+  {
+    // Portfolio race: portfolio.racer, portfolio.incumbent.
+    PortfolioOptions options;
+    options.racers = {"lpt", "multifit"};
+    options.max_concurrent = 1;
+    PortfolioSolver(options)
+        .race(instance, SolveContext::unlimited())
+        .schedule.validate(instance);
+  }
+
+  const std::vector<std::string> sites = fault_sites();
+  for (const char* expected :
+       {"dp.level", "bisection.probe", "pool.task", "mip.node",
+        "service.request", "service.cache", "portfolio.racer",
+        "portfolio.incumbent", "breaker.allow"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << "site '" << expected << "' missing from the registry";
+  }
+  // A ChaosInjector armed from the registry covers exactly these names.
+  ChaosInjector chaos(ChaosOptions{}, sites);
+  EXPECT_EQ(chaos.sites(), sites);
 }
 
 }  // namespace

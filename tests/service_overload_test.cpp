@@ -1,0 +1,336 @@
+// The service's overload layer end to end: tiered load shedding, tenant
+// quotas, request coalescing, breaker re-routing, and the structured
+// internal-error path — all made deterministic with a gate FaultHandler
+// that parks the worker at a chosen fault site while the test arranges the
+// queue into the exact pressure state it wants to observe.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "core/instance_gen.hpp"
+#include "service/solve_service.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+namespace {
+
+/// Blocks the FIRST hit of one site until release(); later hits pass. Lets
+/// a test freeze a worker mid-request and build queue pressure behind it.
+class GateHandler final : public FaultHandler {
+ public:
+  explicit GateHandler(const char* site) : site_(site) {}
+
+  void on_hit(const char* site) override {
+    if (std::strcmp(site, site_) != 0) return;
+    std::unique_lock lock(mutex_);
+    if (released_ || blocked_) return;
+    blocked_ = true;
+    entered_.notify_all();
+    gate_.wait(lock, [&] { return released_; });
+  }
+
+  void wait_until_blocked() {
+    std::unique_lock lock(mutex_);
+    entered_.wait(lock, [&] { return blocked_; });
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    gate_.notify_all();
+  }
+
+ private:
+  const char* site_;
+  std::mutex mutex_;
+  std::condition_variable entered_;
+  std::condition_variable gate_;
+  bool blocked_ = false;
+  bool released_ = false;
+};
+
+Instance overload_instance(int seed) {
+  return generate_instance(InstanceFamily::kUniform1To100, 3, 12, seed, 0);
+}
+
+/// Big enough that the PTAS reliably runs its bisection loop — the gated
+/// coalescing tests park the leader at the "bisection.probe" site.
+Instance ptas_instance(int seed) {
+  return generate_instance(InstanceFamily::kUniform1To100, 5, 30, seed, 0);
+}
+
+// One frozen worker, a full queue behind it, then release: each drained
+// request sees a deterministic queue depth, so the tiered admission layer
+// walks the whole ladder — shed, heuristic, lite, full — in one cascade.
+TEST(ServiceOverload, TieredPressureWalksTheWholeLadder) {
+  GateHandler gate("service.request");
+  FaultScope scope(gate);
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.shed_policy = ShedPolicy::kTiered;
+  options.lite_pressure = 0.5;
+  options.heavy_pressure = 0.75;
+  options.shed_pressure = 1.0;
+  options.breaker_enabled = false;  // isolate the pressure signal
+  SolveService service(options);
+
+  std::vector<std::future<SolveResponse>> futures;
+  futures.push_back(service.submit(SolveRequest{overload_instance(1)}));
+  gate.wait_until_blocked();  // r0 is out of the queue, frozen in handle()
+  for (int seed = 2; seed <= 5; ++seed) {  // r1..r4 fill the queue exactly
+    futures.push_back(service.submit(SolveRequest{overload_instance(seed)}));
+  }
+  // r5 finds the queue full: shed at submit, resolved immediately.
+  futures.push_back(service.submit(SolveRequest{overload_instance(6)}));
+  SolveResponse overflow = futures.back().get();
+  EXPECT_TRUE(overflow.shed);
+  EXPECT_EQ(overflow.degradation_reason, "shed:queue-full");
+  EXPECT_EQ(overflow.algorithm, "none");
+
+  gate.release();
+  std::vector<SolveResponse> responses;
+  for (std::size_t i = 0; i + 1 < futures.size(); ++i) {
+    responses.push_back(futures[i].get());
+  }
+  // r0 dispatched against depth 4/4 = 1.0 -> shed; r1 against 3/4 ->
+  // heuristic; r2 against 2/4 -> lite; r3, r4 against low pressure -> full.
+  EXPECT_EQ(responses[0].degradation_reason, "shed:pressure");
+  EXPECT_TRUE(responses[0].shed);
+  EXPECT_EQ(responses[1].degradation_reason, "pressure-heavy");
+  EXPECT_FALSE(responses[1].shed);
+  EXPECT_EQ(responses[2].degradation_reason, "pressure-lite");
+  EXPECT_EQ(responses[3].degradation_reason, "none");
+  EXPECT_EQ(responses[4].degradation_reason, "none");
+  for (const SolveResponse& response : responses) {
+    if (!response.shed) EXPECT_GT(response.makespan, 0);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_overload, 2u);  // shed:queue-full + shed:pressure
+  EXPECT_EQ(stats.shed_quota, 0u);
+  EXPECT_EQ(stats.requests, 6u);
+}
+
+TEST(ServiceOverload, TenantQuotaShedsOnlyTheCappedTenant) {
+  GateHandler gate("service.request");
+  FaultScope scope(gate);
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.tenant_weights = {{"burst", 1}, {"steady", 3}};
+  // burst may hold 8*1/4 = 2 queue slots; steady 6; "" stays uncapped.
+  SolveService service(options);
+
+  const auto submit = [&](int seed, const std::string& tenant) {
+    SolveRequest request{overload_instance(seed)};
+    request.tenant = tenant;
+    return service.submit(std::move(request));
+  };
+  std::vector<std::future<SolveResponse>> kept;
+  kept.push_back(submit(1, "burst"));
+  gate.wait_until_blocked();  // the first burst request left the queue
+  kept.push_back(submit(2, "burst"));
+  kept.push_back(submit(3, "burst"));  // burst now holds its 2 slots
+  std::future<SolveResponse> over_quota = submit(4, "burst");
+  SolveResponse shed = over_quota.get();  // resolved without queueing
+  EXPECT_TRUE(shed.shed);
+  EXPECT_EQ(shed.degradation_reason, "shed:tenant-quota");
+  EXPECT_EQ(shed.tenant, "burst");
+
+  // Other tenants are untouched by burst's quota exhaustion.
+  kept.push_back(submit(5, "steady"));
+  kept.push_back(submit(6, ""));
+
+  gate.release();
+  for (std::future<SolveResponse>& future : kept) {
+    const SolveResponse response = future.get();
+    EXPECT_FALSE(response.shed);
+    EXPECT_GT(response.makespan, 0);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_quota, 1u);
+  EXPECT_EQ(stats.shed_overload, 0u);
+}
+
+// Concurrent duplicates of one fingerprint share the leader's in-flight
+// solve, and the shared responses are identical to an unloaded solve of
+// the same instance.
+TEST(ServiceOverload, CoalescingSharesOneInflightSolve) {
+  const Instance instance = ptas_instance(7);
+
+  // The canonical answer, from an idle single-worker service.
+  SolveResponse canonical_response;
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    SolveService service(options);
+    canonical_response =
+        service.submit(SolveRequest{instance}).get();
+    ASSERT_EQ(canonical_response.degradation_reason, "none");
+  }
+
+  // Freeze the leader INSIDE its solve: leadership is registered before
+  // run_solver, so every duplicate dispatched meanwhile must park.
+  GateHandler gate("bisection.probe");
+  FaultScope scope(gate);
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 32;
+  SolveService service(options);
+
+  std::vector<std::future<SolveResponse>> futures;
+  futures.push_back(service.submit(SolveRequest{instance}));
+  gate.wait_until_blocked();
+  constexpr int kFollowers = 7;
+  for (int i = 0; i < kFollowers; ++i) {
+    futures.push_back(service.submit(SolveRequest{instance}));
+  }
+  // Every follower probes the cache (miss) exactly once before parking:
+  // misses reaching 1 + kFollowers means all of them are parked.
+  while (service.stats().cache.misses <
+         static_cast<std::uint64_t>(1 + kFollowers)) {
+    std::this_thread::yield();
+  }
+  gate.release();
+
+  int coalesced = 0;
+  for (std::future<SolveResponse>& future : futures) {
+    const SolveResponse response = future.get();
+    EXPECT_EQ(response.degradation_reason, "none");
+    EXPECT_EQ(response.makespan, canonical_response.makespan);
+    EXPECT_EQ(response.schedule.assignment(instance),
+              canonical_response.schedule.assignment(instance));
+    EXPECT_FALSE(response.cache_hit);
+    if (response.coalesced) {
+      ++coalesced;
+      EXPECT_EQ(response.notes.at("cache"), "coalesced");
+    }
+    response.schedule.validate(instance);
+  }
+  EXPECT_EQ(coalesced, kFollowers);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kFollowers));
+  // One solve, one cache store: misses reflect probes, not extra solves.
+  EXPECT_EQ(stats.cache.misses, static_cast<std::uint64_t>(1 + kFollowers));
+}
+
+TEST(ServiceOverload, CoalescingOffSolvesEveryDuplicate) {
+  const Instance instance = ptas_instance(8);
+  GateHandler gate("bisection.probe");
+  FaultScope scope(gate);
+  ServiceOptions options;
+  options.workers = 2;
+  options.coalesce = false;
+  options.cache_capacity = 0;  // no dedup at all: every request solves
+  SolveService service(options);
+  std::vector<std::future<SolveResponse>> futures;
+  futures.push_back(service.submit(SolveRequest{instance}));
+  gate.wait_until_blocked();
+  futures.push_back(service.submit(SolveRequest{instance}));
+  gate.release();
+  for (std::future<SolveResponse>& future : futures) {
+    const SolveResponse response = future.get();
+    EXPECT_FALSE(response.coalesced);
+    EXPECT_EQ(response.degradation_reason, "none");
+  }
+  EXPECT_EQ(service.stats().coalesced, 0u);
+}
+
+// An unknown (non-pcmax) exception on the worker becomes a structured
+// internal-error response — never a dead worker or a hung future.
+TEST(ServiceOverload, UnknownExceptionBecomesStructuredResponse) {
+  FaultInjector injector("service.request", /*fire_at=*/1,
+                         FaultInjector::Action::kThrowUnknown);
+  FaultScope scope(injector);
+  ServiceOptions options;
+  options.workers = 1;
+  SolveService service(options);
+  const SolveResponse broken =
+      service.submit(SolveRequest{overload_instance(9)}).get();
+  EXPECT_TRUE(injector.fired());
+  EXPECT_TRUE(broken.degraded);
+  EXPECT_TRUE(broken.shed);
+  EXPECT_EQ(broken.degradation_reason, "internal-error");
+  EXPECT_NE(broken.notes.at("internal_error").find("injected unknown fault"),
+            std::string::npos);
+
+  // The worker survived: the next request is served normally.
+  const SolveResponse healthy =
+      service.submit(SolveRequest{overload_instance(9)}).get();
+  EXPECT_EQ(healthy.degradation_reason, "none");
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.internal_errors, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+}
+
+// Typed pcmax errors still propagate through the future: the service must
+// not convert caller bugs into results.
+TEST(ServiceOverload, TypedErrorsStillPropagateThroughTheFuture) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolveService service(options);
+  SolveRequest request{overload_instance(10)};
+  // k = ceil(1/eps) = 100 blows the PTAS accuracy bound (< 64):
+  // InvalidArgumentError from the worker thread.
+  request.epsilon = 0.01;
+  auto future = service.submit(std::move(request));
+  EXPECT_THROW((void)future.get(), InvalidArgumentError);
+  EXPECT_EQ(service.stats().internal_errors, 0u);
+}
+
+// Consecutive resource failures trip the breaker, open-breaker requests
+// re-route to the cheap rung up front, and a probe closes it again.
+TEST(ServiceOverload, BreakerTripsReroutesAndRecovers) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;  // every request must attempt a solve
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_rejects = 2;
+  SolveService service(options);
+
+  const auto degrade_reason = [&](int seed) {
+    return service.submit(SolveRequest{ptas_instance(seed)})
+        .get()
+        .degradation_reason;
+  };
+
+  // Two full-fidelity attempts whose PTAS rung blows a resource limit:
+  // the ladder degrades each to MULTIFIT/LPT with a "resource-limit: ..."
+  // reason, which is exactly what feeds the breaker's failure streak.
+  for (int i = 0; i < 2; ++i) {
+    FaultInjector injector("bisection.probe", /*fire_at=*/1,
+                           FaultInjector::Action::kThrow);
+    FaultScope scope(injector);
+    const SolveResponse response =
+        service.submit(SolveRequest{ptas_instance(20 + i)}).get();
+    EXPECT_TRUE(injector.fired());
+    EXPECT_TRUE(response.degraded);
+    EXPECT_EQ(response.degradation_reason.rfind("resource-limit", 0), 0u);
+  }
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kOpen);
+  EXPECT_GE(service.stats().breaker.trips, 1u);
+
+  // While open, full-fidelity requests are re-routed without an attempt.
+  EXPECT_EQ(degrade_reason(30), "breaker-open:ptas");
+  EXPECT_EQ(degrade_reason(31), "breaker-open:ptas");
+  // Cooldown (2 rejects) served: the next request probes and succeeds.
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kHalfOpen);
+  EXPECT_EQ(degrade_reason(32), "none");
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kClosed);
+  EXPECT_GE(service.stats().breaker.closes, 1u);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -7,12 +7,16 @@
 #   tools/check.sh release    # Release tree + full suite only
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
 #
-# The Release run repeats the `bench-smoke`, `service`, and `headers` labels
-# explicitly at the end so bench bit-rot (flag parsing, JSON export),
-# batch-service regressions, and non-self-contained public headers
-# (tools/check_headers.sh) fail loudly even when someone trims the main
-# ctest invocation. bench-smoke includes micro_pool, the work-stealing pool
-# microbench whose barrier-vs-counters numbers back BENCH_executor.json.
+# The Release run repeats the `bench-smoke`, `service`, `chaos`, and
+# `headers` labels explicitly at the end so bench bit-rot (flag parsing,
+# JSON export), batch-service regressions, chaos-harness drift (the soak in
+# tests/chaos_soak_test.cpp storms every registered fault site), and
+# non-self-contained public headers (tools/check_headers.sh) fail loudly
+# even when someone trims the main ctest invocation. bench-smoke includes
+# micro_pool (the work-stealing microbench behind BENCH_executor.json) and
+# service_storm (the overload harness behind BENCH_storm.json). The TSan
+# tree picks the chaos soak up twice: it carries both the `chaos` and
+# `sanitize` labels.
 #
 # Build trees live in build-check/ and build-tsan/ so they never clobber a
 # developer's main build/ directory.
@@ -31,6 +35,8 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -L bench-smoke
   echo "== Release tree: service suite =="
   ctest --test-dir build-check --output-on-failure -L service
+  echo "== Release tree: chaos soak =="
+  ctest --test-dir build-check --output-on-failure -L chaos
   echo "== Release tree: header self-containment =="
   ctest --test-dir build-check --output-on-failure -L headers
 }

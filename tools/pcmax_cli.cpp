@@ -352,6 +352,18 @@ int cmd_batch(int argc, const char* const* argv) {
   cli.add_double("epsilon", 0.3, "PTAS accuracy");
   cli.add_int("time-limit-ms", 0,
               "per-request budget from admission in ms (0 = unlimited)");
+  cli.add_string("shed-policy", "static",
+                 "admission policy: 'static' (block when full, degrade on "
+                 "saturation) or 'tiered' (pressure-tiered load shedding)");
+  cli.add_bool("coalesce", true,
+               "share one in-flight solve among concurrent duplicate "
+               "fingerprints");
+  cli.add_bool("breaker", true,
+               "circuit-break the full-fidelity rung after consecutive "
+               "resource failures");
+  cli.add_string("tenant", "",
+                 "tenant id stamped on every submitted request (admission "
+                 "quotas; empty = default tenant)");
   cli.add_int("limit", 0, "use only the first N instances (0 = all)");
   cli.add_int("repeat", 1,
               "submit the file N times; repeats permute each job vector, so "
@@ -404,6 +416,18 @@ int cmd_batch(int argc, const char* const* argv) {
   options.cache_capacity = static_cast<std::size_t>(cli.get_int("cache"));
   options.epsilon = cli.get_double("epsilon");
   options.default_time_limit_ms = cli.get_int("time-limit-ms");
+  const std::string shed_policy = cli.get_string("shed-policy");
+  PCMAX_REQUIRE(shed_policy == "static" || shed_policy == "tiered",
+                "--shed-policy must be 'static' or 'tiered'");
+  options.shed_policy =
+      shed_policy == "tiered" ? ShedPolicy::kTiered : ShedPolicy::kStatic;
+  options.coalesce = cli.get_bool("coalesce");
+  options.breaker_enabled = cli.get_bool("breaker");
+  if (!cli.get_string("tenant").empty()) {
+    for (SolveRequest& request : requests) {
+      request.tenant = cli.get_string("tenant");
+    }
+  }
 
   const std::string metrics_path = cli.get_string("metrics");
   std::optional<obs::Metrics> metrics;
@@ -456,6 +480,11 @@ int cmd_batch(int argc, const char* const* argv) {
             << "  cache hits: " << summary.at("cache_hits").as_int()
             << "  misses: " << summary.at("cache_misses").as_int()
             << "  degraded: " << summary.at("degraded").as_int()
+            << "  shed: "
+            << summary.at("shed_quota").as_int() +
+                   summary.at("shed_overload").as_int()
+            << "  coalesced: " << summary.at("coalesced").as_int()
+            << "  breaker trips: " << summary.at("breaker_trips").as_int()
             << "  unique: " << summary.at("unique_fingerprints").as_int()
             << "  throughput: "
             << TablePrinter::fmt(summary.at("throughput_rps").as_double(), 2)
