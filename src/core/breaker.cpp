@@ -120,6 +120,7 @@ void CircuitBreaker::on_failure(const std::string& key) {
 void CircuitBreaker::on_abandon(const std::string& key) {
   std::lock_guard lock(mutex_);
   Key& k = entry(key);
+  ++k.stats.abandons;
   if (k.state == BreakerState::kHalfOpen) k.probe_in_flight = false;
 }
 
@@ -157,6 +158,7 @@ BreakerKeyStats CircuitBreaker::totals() const {
     totals.closes += k.stats.closes;
     totals.failures += k.stats.failures;
     totals.successes += k.stats.successes;
+    totals.abandons += k.stats.abandons;
   }
   return totals;
 }

@@ -66,6 +66,7 @@ struct BreakerKeyStats {
   std::uint64_t closes = 0;       ///< half-open -> closed transitions
   std::uint64_t failures = 0;     ///< on_failure calls
   std::uint64_t successes = 0;    ///< on_success calls
+  std::uint64_t abandons = 0;     ///< on_abandon calls (no-verdict attempts)
 };
 
 /// A registry of per-key (solver-name) breaker state machines. Keys are

@@ -26,6 +26,52 @@ bool breaker_failure(const std::string& reason) {
   return reason == "deadline" || reason.rfind("resource-limit", 0) == 0;
 }
 
+/// RAII over one breaker consultation. Every admitted attempt must report
+/// exactly one verdict (see CircuitBreaker::on_abandon) or a half-open key
+/// wedges with its probe slot held forever; the destructor backstops every
+/// exit path — a request parked as a coalescing follower, a non-resource
+/// exception out of the solver — by reporting abandon when the scope unwinds
+/// with no explicit verdict.
+class BreakerAttempt {
+ public:
+  BreakerAttempt(CircuitBreaker& breaker, const char* key)
+      : breaker_(breaker), key_(key) {}
+  ~BreakerAttempt() {
+    if (admitted_ && !reported_) breaker_.on_abandon(key_);
+  }
+  BreakerAttempt(const BreakerAttempt&) = delete;
+  BreakerAttempt& operator=(const BreakerAttempt&) = delete;
+
+  /// Consults CircuitBreaker::allow (hits fault site "breaker.allow", may
+  /// throw). True = this attempt is admitted and owes a verdict.
+  [[nodiscard]] bool allow() {
+    admitted_ = breaker_.allow(key_);
+    return admitted_;
+  }
+  void success() {
+    if (take()) breaker_.on_success(key_);
+  }
+  void failure() {
+    if (take()) breaker_.on_failure(key_);
+  }
+  void abandon() {
+    if (take()) breaker_.on_abandon(key_);
+  }
+
+ private:
+  /// Claims the single verdict; false when not admitted or already reported.
+  bool take() {
+    if (!admitted_ || reported_) return false;
+    reported_ = true;
+    return true;
+  }
+
+  CircuitBreaker& breaker_;
+  const char* key_;
+  bool admitted_ = false;
+  bool reported_ = false;
+};
+
 }  // namespace
 
 SolveService::SolveService(ServiceOptions options)
@@ -248,6 +294,7 @@ std::optional<SolveResponse> SolveService::handle(Pending& pending) {
   Tier tier = Tier::kFull;
   std::string forced_reason;
   bool breaker_blocked = false;
+  BreakerAttempt attempt(*breaker_, solver_key());
   const std::size_t depth = queue_->size();
   const bool deadline_near =
       pending.deadline.has_limit() &&
@@ -265,7 +312,7 @@ std::optional<SolveResponse> SolveService::handle(Pending& pending) {
     } else if (deadline_near) {
       tier = Tier::kLite;
       forced_reason = "deadline-near";
-    } else if (options_.breaker_enabled && !breaker_->allow(solver_key())) {
+    } else if (options_.breaker_enabled && !attempt.allow()) {
       breaker_blocked = true;
       tier = Tier::kLite;
       forced_reason = std::string("breaker-open:") + solver_key();
@@ -273,11 +320,16 @@ std::optional<SolveResponse> SolveService::handle(Pending& pending) {
   } else {
     double pressure = static_cast<double>(depth) /
                       static_cast<double>(options_.queue_capacity);
-    if (deadline_near) pressure += 0.5;
+    // A nearly spent budget is weighted at the lite threshold, never less:
+    // a full PTAS launched against it is doomed, and its certain "deadline"
+    // failure would feed the breaker's streak — a storm of tiny-deadline
+    // requests must degrade themselves (as under the static policy), not
+    // trip the breaker for everyone else.
+    if (deadline_near) pressure += options_.lite_pressure;
     // The breaker is only consulted when the request would otherwise take
     // the full-fidelity rung: its reject count mirrors skipped attempts.
     if (options_.breaker_enabled && pressure < options_.lite_pressure &&
-        !breaker_->allow(solver_key())) {
+        !attempt.allow()) {
       breaker_blocked = true;
       pressure += 0.5;
     }
@@ -310,6 +362,10 @@ std::optional<SolveResponse> SolveService::handle(Pending& pending) {
     std::lock_guard lock(inflight_mutex_);
     const auto it = inflight_.find(key);
     if (it != inflight_.end()) {
+      // The in-flight leader owns the solve and its breaker verdict; this
+      // request's own admission ends verdict-less. Release it (a half-open
+      // probe slot must not wedge behind a parked follower).
+      attempt.abandon();
       it->second.followers.push_back(std::move(pending));
       return std::nullopt;
     }
@@ -322,23 +378,21 @@ std::optional<SolveResponse> SolveService::handle(Pending& pending) {
     try {
       response = run_solver(pending, canonical, tier, forced_reason);
     } catch (const ResourceLimitError&) {
-      if (tier == Tier::kFull && options_.breaker_enabled) {
-        breaker_->on_failure(solver_key());
-      }
+      attempt.failure();
       throw;
     }
-    if (tier == Tier::kFull && options_.breaker_enabled) {
-      // Every admitted full-fidelity attempt reports exactly one verdict.
-      // "cancelled" is the caller's doing, not the solver's — it must not
-      // feed the failure streak, but it must release a probe slot.
-      const std::string& reason = response.degradation_reason;
-      if (reason == "none") {
-        breaker_->on_success(solver_key());
-      } else if (breaker_failure(reason)) {
-        breaker_->on_failure(solver_key());
-      } else {
-        breaker_->on_abandon(solver_key());
-      }
+    // Every admitted full-fidelity attempt reports exactly one verdict
+    // (the BreakerAttempt destructor abandons any path missed here, e.g. a
+    // non-resource exception). "cancelled" is the caller's doing, not the
+    // solver's — it must not feed the failure streak, but it must release
+    // a probe slot.
+    const std::string& reason = response.degradation_reason;
+    if (reason == "none") {
+      attempt.success();
+    } else if (breaker_failure(reason)) {
+      attempt.failure();
+    } else {
+      attempt.abandon();
     }
     if (breaker_blocked) response.notes["breaker"] = "open-rerouted";
     response.fingerprint = key;

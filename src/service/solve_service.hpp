@@ -152,7 +152,9 @@ struct ServiceOptions {
 
   /// Tiered-policy thresholds over the pressure score
   /// (queue_depth/capacity, +0.5 when the breaker blocked full fidelity,
-  /// +0.5 when the deadline is near). Must be non-decreasing.
+  /// +lite_pressure when the deadline is near — a nearly spent budget
+  /// always degrades to at least the lite tier, so doomed full-fidelity
+  /// attempts never feed the breaker). Must be non-decreasing.
   double lite_pressure = 1.0;
   double heavy_pressure = 1.4;
   double shed_pressure = 1.9;

@@ -153,12 +153,22 @@ void ChaosInjector::on_hit(const char* site) {
   for (const auto& s : sites_) {
     if (std::strcmp(site, s->name.c_str()) != 0) continue;
     const std::uint64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
-    // fetch_add hands every hit a unique ordinal, so exactly one thread can
-    // observe equality with the scheduled fire point.
-    if (hit != s->next_fire.load(std::memory_order_acquire)) return;
+    // fetch_add hands every hit a unique ordinal. The comparison is >=,
+    // not ==: while one thread fires and republishes next_fire, others keep
+    // claiming ordinals, and the new fire point can be claimed before the
+    // store becomes visible — waiting for exact equality would then leave
+    // the site permanently quiet.
+    if (hit < s->next_fire.load(std::memory_order_acquire)) return;
     std::lock_guard lock(s->redraw_mutex);
+    // Re-check under the lock: a concurrent firer may have already advanced
+    // the schedule past this ordinal.
+    if (hit < s->next_fire.load(std::memory_order_relaxed)) return;
     s->fire_count.fetch_add(1, std::memory_order_relaxed);
-    s->next_fire.store(hit + draw_gap(*s), std::memory_order_release);
+    // Advance past every ordinal claimed so far, so the new fire point is
+    // still reachable by a future hit no matter how many raced past.
+    s->next_fire.store(
+        s->hits.load(std::memory_order_relaxed) + draw_gap(*s),
+        std::memory_order_release);
     throw ResourceLimitError(resource_limit_message(
         "chaos fault at '" + s->name + "'", hit - 1, hit));
   }

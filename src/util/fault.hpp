@@ -132,7 +132,7 @@ class ChaosInjector final : public FaultHandler {
     std::string name;
     std::uint64_t stream_state = 0;            ///< per-site SplitMix64 state
     std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> next_fire{0};   ///< 1-based hit that fires
+    std::atomic<std::uint64_t> next_fire{0};   ///< first 1-based hit that fires
     std::atomic<std::uint64_t> fire_count{0};
     std::mutex redraw_mutex;                   ///< serialises stream draws
   };

@@ -101,6 +101,7 @@ TEST(CircuitBreaker, AbandonReleasesTheProbeSlot) {
   // attempt must still be able to probe — the slot must not wedge.
   breaker.on_abandon("ptas");
   EXPECT_EQ(breaker.state("ptas"), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stats("ptas").abandons, 1u);
   EXPECT_TRUE(breaker.allow("ptas"));
   EXPECT_EQ(breaker.stats("ptas").probes, 2u);
 }

@@ -65,6 +65,50 @@ TEST(ChaosInjector, ScheduleReplaysBitIdenticallyFromTheSeed) {
   EXPECT_NE(first[0], first[1]);
 }
 
+// Concurrency regression: while one thread fires and republishes the next
+// fire point, the others keep claiming hit ordinals. With an EQUALITY
+// comparison the new fire point could be claimed before the store became
+// visible, and the site then never fired again. The >=-based schedule
+// guarantees the next fire point always stays within max_gap of the
+// ordinals already claimed — so after any amount of concurrent hammering,
+// one single-threaded burst of max_gap + 1 hits must produce a fire.
+TEST(ChaosInjector, ConcurrentHammerNeverSilencesASite) {
+  ChaosOptions options;
+  options.seed = 11;
+  options.min_gap = 2;
+  options.max_gap = 8;
+  ChaosInjector chaos(options, {"soak.hammer"});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kHitsPerThread = 20'000;
+  std::vector<std::thread> hammers;
+  hammers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    hammers.emplace_back([&chaos] {
+      for (std::uint64_t i = 0; i < kHitsPerThread; ++i) {
+        try {
+          chaos.on_hit("soak.hammer");
+        } catch (const ResourceLimitError&) {
+        }
+      }
+    });
+  }
+  for (std::thread& hammer : hammers) hammer.join();
+  EXPECT_EQ(chaos.hits("soak.hammer"), kThreads * kHitsPerThread);
+  EXPECT_GT(chaos.total_fires(), 0u);
+
+  const std::uint64_t fires_before = chaos.fires("soak.hammer");
+  bool fired = false;
+  for (std::uint64_t i = 0; i <= options.max_gap && !fired; ++i) {
+    try {
+      chaos.on_hit("soak.hammer");
+    } catch (const ResourceLimitError&) {
+      fired = true;
+    }
+  }
+  EXPECT_TRUE(fired) << "site went permanently quiet after the hammer";
+  EXPECT_EQ(chaos.fires("soak.hammer"), fires_before + 1);
+}
+
 TEST(ChaosInjector, DifferentSeedsProduceDifferentSchedules) {
   const auto fires = [](std::uint64_t seed) {
     ChaosOptions options;

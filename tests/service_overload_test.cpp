@@ -5,7 +5,9 @@
 // queue into the exact pressure state it wants to observe.
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstring>
 #include <future>
 #include <mutex>
@@ -54,6 +56,58 @@ class GateHandler final : public FaultHandler {
 
  private:
   const char* site_;
+  std::mutex mutex_;
+  std::condition_variable entered_;
+  std::condition_variable gate_;
+  bool blocked_ = false;
+  bool released_ = false;
+};
+
+/// Blocks the FIRST hit of one site until release() (like GateHandler) and
+/// throws ResourceLimitError on hits [throw_from, throw_to]; every other
+/// hit passes. Lets one test freeze a leader mid-solve AND deterministically
+/// fail the requests dispatched behind it.
+class GateThenThrowHandler final : public FaultHandler {
+ public:
+  GateThenThrowHandler(const char* site, std::uint64_t throw_from,
+                       std::uint64_t throw_to)
+      : site_(site), throw_from_(throw_from), throw_to_(throw_to) {}
+
+  void on_hit(const char* site) override {
+    if (std::strcmp(site, site_) != 0) return;
+    const std::uint64_t hit =
+        hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit == 1) {
+      std::unique_lock lock(mutex_);
+      blocked_ = true;
+      entered_.notify_all();
+      gate_.wait(lock, [&] { return released_; });
+      return;
+    }
+    if (hit >= throw_from_ && hit <= throw_to_) {
+      throw ResourceLimitError(resource_limit_message(
+          std::string("test fault at '") + site_ + "'", hit - 1, hit));
+    }
+  }
+
+  void wait_until_blocked() {
+    std::unique_lock lock(mutex_);
+    entered_.wait(lock, [&] { return blocked_; });
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    gate_.notify_all();
+  }
+
+ private:
+  const char* site_;
+  const std::uint64_t throw_from_;
+  const std::uint64_t throw_to_;
+  std::atomic<std::uint64_t> hits_{0};
   std::mutex mutex_;
   std::condition_variable entered_;
   std::condition_variable gate_;
@@ -330,6 +384,143 @@ TEST(ServiceOverload, BreakerTripsReroutesAndRecovers) {
   EXPECT_EQ(degrade_reason(32), "none");
   EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kClosed);
   EXPECT_GE(service.stats().breaker.closes, 1u);
+}
+
+// A half-open probe that dies to a NON-resource exception must abandon its
+// probe slot (the BreakerAttempt guard), never leak it: before the guard,
+// the leaked slot made allow() reject every future attempt, disabling the
+// full-fidelity tier forever.
+TEST(ServiceOverload, UnknownExceptionDuringProbeReleasesTheSlot) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;  // every request must attempt a solve
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_rejects = 2;
+  SolveService service(options);
+
+  // Trip: two resource failures on the PTAS rung.
+  for (int i = 0; i < 2; ++i) {
+    FaultInjector injector("bisection.probe", /*fire_at=*/1,
+                           FaultInjector::Action::kThrow);
+    FaultScope scope(injector);
+    (void)service.submit(SolveRequest{ptas_instance(40 + i)}).get();
+  }
+  ASSERT_EQ(service.breaker().state("ptas"), BreakerState::kOpen);
+  // Serve the cooldown: two rerouted requests.
+  for (int seed = 42; seed <= 43; ++seed) {
+    (void)service.submit(SolveRequest{ptas_instance(seed)}).get();
+  }
+  ASSERT_EQ(service.breaker().state("ptas"), BreakerState::kHalfOpen);
+
+  // The probe throws an unknown (non-pcmax) exception mid-solve: the
+  // request resolves as a structured internal error, and the probe slot is
+  // abandoned, not leaked.
+  {
+    FaultInjector injector("bisection.probe", /*fire_at=*/1,
+                           FaultInjector::Action::kThrowUnknown);
+    FaultScope scope(injector);
+    const SolveResponse broken =
+        service.submit(SolveRequest{ptas_instance(44)}).get();
+    EXPECT_EQ(broken.degradation_reason, "internal-error");
+  }
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kHalfOpen);
+  EXPECT_GE(service.breaker().stats("ptas").abandons, 1u);
+
+  // The slot is free: the next attempt probes, succeeds, and closes.
+  const SolveResponse healthy =
+      service.submit(SolveRequest{ptas_instance(45)}).get();
+  EXPECT_EQ(healthy.degradation_reason, "none");
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kClosed);
+}
+
+// A duplicate admitted as the half-open PROBE that then parks behind an
+// in-flight leader must release its probe slot as it parks — the leader
+// owns the solve's verdict, and a parked follower reports none.
+TEST(ServiceOverload, ParkedFollowerReleasesItsHalfOpenProbeSlot) {
+  // Hit 1 of bisection.probe freezes the leader mid-solve; hits 2-3 throw,
+  // tripping the breaker behind it; later hits pass.
+  GateThenThrowHandler handler("bisection.probe", /*throw_from=*/2,
+                               /*throw_to=*/3);
+  FaultScope scope(handler);
+  ServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 0;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_rejects = 2;
+  SolveService service(options);
+
+  // The leader is admitted while the breaker is CLOSED and freezes inside
+  // its solve, holding leadership of its fingerprint.
+  const Instance shared = ptas_instance(50);
+  std::future<SolveResponse> leader = service.submit(SolveRequest{shared});
+  handler.wait_until_blocked();
+
+  // Two resource failures behind it trip the breaker...
+  for (int seed = 51; seed <= 52; ++seed) {
+    const SolveResponse failed =
+        service.submit(SolveRequest{ptas_instance(seed)}).get();
+    EXPECT_EQ(failed.degradation_reason.rfind("resource-limit", 0), 0u);
+  }
+  ASSERT_EQ(service.breaker().state("ptas"), BreakerState::kOpen);
+  // ...and two rerouted requests serve the cooldown.
+  for (int seed = 53; seed <= 54; ++seed) {
+    EXPECT_EQ(service.submit(SolveRequest{ptas_instance(seed)})
+                  .get()
+                  .degradation_reason,
+              "breaker-open:ptas");
+  }
+  ASSERT_EQ(service.breaker().state("ptas"), BreakerState::kHalfOpen);
+
+  // The duplicate is admitted as probe #1, finds the frozen leader in
+  // flight, and parks — abandoning the probe slot on the way.
+  std::future<SolveResponse> follower = service.submit(SolveRequest{shared});
+  while (service.breaker().stats("ptas").abandons == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kHalfOpen);
+
+  // The slot is free again: a fresh request is admitted as probe #2,
+  // succeeds, and closes the breaker (with the leak, every attempt from
+  // here on was rejected with "breaker-open:ptas").
+  const SolveResponse probe =
+      service.submit(SolveRequest{ptas_instance(55)}).get();
+  EXPECT_EQ(probe.degradation_reason, "none");
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kClosed);
+  EXPECT_EQ(service.breaker().stats("ptas").probes, 2u);
+
+  handler.release();
+  const SolveResponse led = leader.get();
+  EXPECT_EQ(led.degradation_reason, "none");
+  const SolveResponse shared_result = follower.get();
+  EXPECT_TRUE(shared_result.coalesced);
+  EXPECT_EQ(shared_result.makespan, led.makespan);
+}
+
+// Under the tiered policy a nearly spent deadline weighs at least
+// lite_pressure: the request degrades itself ("deadline-near", like the
+// static policy) instead of launching a doomed PTAS whose certain failure
+// would feed the breaker's streak and trip it for everyone else.
+TEST(ServiceOverload, TieredDeadlineNearDegradesWithoutFeedingTheBreaker) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.cache_capacity = 0;
+  options.shed_policy = ShedPolicy::kTiered;
+  options.deadline_near_ms = 1'000'000;  // any finite budget is "near"
+  SolveService service(options);
+  for (int seed = 60; seed < 63; ++seed) {
+    SolveRequest request{overload_instance(seed)};
+    request.time_limit_ms = 5;
+    const SolveResponse response = service.submit(std::move(request)).get();
+    EXPECT_EQ(response.degradation_reason, "deadline-near");
+    EXPECT_FALSE(response.shed);
+    EXPECT_GT(response.makespan, 0);
+  }
+  // The doomed requests never reached the full-fidelity rung: no failure
+  // streak, no trip — the breaker stays closed for everyone else.
+  const BreakerKeyStats breaker = service.breaker().stats("ptas");
+  EXPECT_EQ(breaker.failures, 0u);
+  EXPECT_EQ(breaker.trips, 0u);
+  EXPECT_EQ(service.breaker().state("ptas"), BreakerState::kClosed);
 }
 
 }  // namespace
