@@ -56,6 +56,10 @@ add_test(NAME bench_smoke_ablation
 add_test(NAME bench_smoke_ablation_json
          COMMAND ablation_dp_variants --m 4 --n 16 --trials 1
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_ablation.json)
+add_test(NAME bench_smoke_ablation_schema
+         COMMAND bash ${CMAKE_SOURCE_DIR}/tools/check_ablation_schema.sh
+                 $<TARGET_FILE:ablation_dp_variants>
+                 ${CMAKE_SOURCE_DIR}/tests/golden/ablation_schema_prefix.txt)
 add_test(NAME bench_smoke_micro_dp
          COMMAND micro_dp --benchmark_filter=BM_DpBottomUp
                  --benchmark_min_time=0.01
@@ -76,6 +80,7 @@ add_test(NAME bench_smoke_micro_pool
          COMMAND micro_pool --threads 2 --trials 1 --tasks 1024
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_micro_pool.json)
 set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
+                     bench_smoke_ablation_schema
                      bench_smoke_micro_dp bench_smoke_service
                      bench_smoke_storm bench_smoke_portfolio
                      bench_smoke_micro_pool

@@ -84,6 +84,8 @@ BisectionResult bisect_target_makespan(const Instance& instance, int k,
     iteration.entries_computed = at.run.stats.entries_computed;
     iteration.config_scans = at.run.stats.config_scans;
     iteration.configs_pruned = at.run.stats.configs_pruned;
+    iteration.simd_blocks = at.run.stats.simd_blocks;
+    iteration.scalar_fallbacks = at.run.stats.scalar_fallbacks;
     iteration.dp_seconds = seconds;
     result.trace.push_back(std::move(iteration));
 

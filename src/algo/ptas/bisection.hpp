@@ -72,6 +72,8 @@ struct BisectionIteration {
   std::uint64_t entries_computed = 0;
   std::uint64_t config_scans = 0;
   std::uint64_t configs_pruned = 0;  ///< candidates skipped by the level bound
+  std::uint64_t simd_blocks = 0;       ///< full vector blocks (AVX kernels)
+  std::uint64_t scalar_fallbacks = 0;  ///< entries a vector kernel degraded on
   double dp_seconds = 0.0;     ///< wall time of the DP probe
 };
 

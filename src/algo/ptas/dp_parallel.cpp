@@ -144,8 +144,7 @@ namespace {
 /// Per-worker counters on separate cache lines to avoid false sharing.
 struct alignas(64) WorkerCounters {
   std::uint64_t entries = 0;
-  std::uint64_t scans = 0;
-  std::uint64_t pruned = 0;
+  DpScanCounters scan;      ///< scans/pruned/simd_blocks/scalar_fallbacks
   std::uint64_t waits = 0;  ///< kCounters only: non-final dependency decrements
 };
 
@@ -155,12 +154,25 @@ void publish_run(obs::DpRunRecorder& recorder,
                  const std::vector<WorkerCounters>& counters, DpRun& run) {
   for (std::size_t w = 0; w < counters.size(); ++w) {
     run.stats.entries_computed += counters[w].entries;
-    run.stats.config_scans += counters[w].scans;
-    run.stats.configs_pruned += counters[w].pruned;
+    accumulate_scan_counters(run.stats, counters[w].scan);
     recorder.add_worker(static_cast<unsigned>(w), counters[w].entries,
-                        counters[w].scans, counters[w].pruned);
+                        counters[w].scan.scans, counters[w].scan.pruned,
+                        counters[w].scan.simd_blocks,
+                        counters[w].scan.scalar_fallbacks);
   }
   recorder.finish();
+}
+
+/// Hides part of the next entry's predecessor-gather latency: touch the
+/// cache line of its densest predecessor (smallest encoded offset) while
+/// the current entry's scan is still in flight. `first_offset` 0 means "no
+/// configs" and disables the prefetch.
+inline void prefetch_first_predecessor(std::size_t next_index,
+                                       std::size_t first_offset,
+                                       const std::int32_t* values) {
+  if (first_offset != 0 && first_offset <= next_index) {
+    __builtin_prefetch(values + (next_index - first_offset));
+  }
 }
 
 /// Number of entries on each anti-diagonal, from the precomputed level
@@ -187,11 +199,11 @@ inline void process_entry(std::size_t index, std::span<const int> v, int level,
     return;
   }
   const EntryResult entry =
-      kernel == DpKernel::kGlobalConfigs
-          ? compute_entry(index, v, level, configs, table.values_data(),
-                          counters.scans, counters.pruned, pruning)
-          : compute_entry_enumerated(index, v, rounded, space,
-                                     table.values_data(), counters.scans);
+      kernel == DpKernel::kPerEntryEnum
+          ? compute_entry_enumerated(index, v, rounded, space,
+                                     table.values_data(), counters.scan.scans)
+          : compute_entry(index, v, level, configs, table.values_data(),
+                          counters.scan, pruning, kernel);
   table.set(index, entry.value, entry.choice);
   ++counters.entries;
 }
@@ -324,6 +336,8 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
     const std::vector<std::int32_t> levels =
         compute_levels(space, executor, cancel);
     const LevelIndex index = build_level_index(space, levels);
+    const std::size_t first_offset =
+        configs.count() > 0 ? configs.offsets[0] : 0;
     std::vector<std::vector<int>> scratch(
         workers, std::vector<int>(static_cast<std::size_t>(space.dims())));
     for (int level = 0; level <= space.max_level(); ++level) {
@@ -338,6 +352,11 @@ void run_bucketed(const RoundedInstance& rounded, const StateSpace& space,
             CancelCheck range_check(cancel, kCancelPollPeriod);
             for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
               if (armed) range_check.poll();
+              if (slot + 1 < slot_end) {
+                prefetch_first_predecessor(index.order[begin + slot + 1],
+                                           first_offset,
+                                           run.table.values_data());
+              }
               process_index(index.order[begin + slot], level, rounded, space,
                             configs, kernel, pruning, run.table,
                             scratch[worker], counters[worker]);
@@ -535,9 +554,15 @@ void run_counters(const RoundedInstance& rounded, const StateSpace& space,
     } else {
       const std::size_t base =
           index.level_begin[static_cast<std::size_t>(chunk.level)];
+      const std::size_t first_offset =
+          configs.count() > 0 ? configs.offsets[0] : 0;
       for (std::uint64_t rank = chunk.rank_begin; rank < chunk.rank_end;
            ++rank) {
         if (armed) range_check.poll();
+        if (rank + 1 < chunk.rank_end) {
+          prefetch_first_predecessor(index.order[base + rank + 1],
+                                     first_offset, run.table.values_data());
+        }
         process_index(index.order[base + rank], chunk.level, rounded, space,
                       configs, kernel, pruning, run.table, scratch[worker], wc);
       }
@@ -571,11 +596,13 @@ void run_counters(const RoundedInstance& rounded, const StateSpace& space,
 
 DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
                   const ConfigSet& configs, const ParallelDpOptions& options) {
-  DpRun run{DpTable(space.size(), options.table_mode), DpTable::kInfeasible,
-            DpStats{}};
+  const DpKernel kernel = resolve_dp_kernel(options.kernel);
+  DpRun run{DpTable(space.size(), options.table_mode, options.table_alloc),
+            DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
+  run.stats.kernel = kernel;
 
   switch (options.variant) {
     case ParallelDpVariant::kScanPerLevel:
@@ -583,7 +610,7 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
                     "scan-per-level variant needs an executor");
       PCMAX_REQUIRE(options.sync_mode == DpSyncMode::kBarrier,
                     "scan-per-level supports only barrier sync");
-      run_scan_per_level(rounded, space, configs, options.kernel,
+      run_scan_per_level(rounded, space, configs, kernel,
                          options.pruning, *options.executor, options.schedule,
                          options.cancel, run);
       break;
@@ -593,11 +620,11 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
         auto* ws = dynamic_cast<WorkStealingExecutor*>(options.executor);
         PCMAX_REQUIRE(ws != nullptr,
                       "counters sync needs the work-stealing executor");
-        run_counters(rounded, space, configs, options.kernel, options.iteration,
+        run_counters(rounded, space, configs, kernel, options.iteration,
                      options.pruning, ws->pool(), options.cancel, run,
                      "bucketed-counters");
       } else {
-        run_bucketed(rounded, space, configs, options.kernel, options.iteration,
+        run_bucketed(rounded, space, configs, kernel, options.iteration,
                      options.pruning, *options.executor, options.schedule,
                      options.cancel, run);
       }
@@ -608,11 +635,11 @@ DpRun dp_parallel(const RoundedInstance& rounded, const StateSpace& space,
         // SPMD owns its threads; the counters realisation keeps that shape
         // with a run-scoped pool of the same width.
         WorkStealingPool pool(options.spmd_threads);
-        run_counters(rounded, space, configs, options.kernel, options.iteration,
+        run_counters(rounded, space, configs, kernel, options.iteration,
                      options.pruning, pool, options.cancel, run,
                      "spmd-counters");
       } else {
-        run_spmd(rounded, space, configs, options.kernel, options.iteration,
+        run_spmd(rounded, space, configs, kernel, options.iteration,
                  options.pruning, options.spmd_threads, options.cancel, run);
       }
       break;

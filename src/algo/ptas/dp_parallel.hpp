@@ -88,8 +88,10 @@ struct ParallelDpOptions {
   LoopSchedule schedule = LoopSchedule::kRoundRobin;
   /// Thread count for the kSpmd variant.
   unsigned spmd_threads = 1;
-  /// Per-entry kernel: optimised global-config scan or paper-faithful
-  /// per-entry configuration enumeration (Alg. 3 Line 17).
+  /// Per-entry kernel: a configuration-scan kernel (kGlobalConfigs
+  /// auto-selects the fastest supported one; scalar/SWAR/AVX2/AVX-512 can
+  /// be forced) or the paper-faithful per-entry configuration enumeration
+  /// (Alg. 3 Line 17). Resolved once per run; recorded in DpStats::kernel.
   DpKernel kernel = DpKernel::kGlobalConfigs;
   /// Level enumeration of kBucketed/kSpmd (see LevelIteration).
   LevelIteration iteration = LevelIteration::kWalker;
@@ -103,6 +105,9 @@ struct ParallelDpOptions {
   /// Values-only tables skip the choice array — sufficient for feasibility
   /// probes that only read OPT(N).
   DpTableMode table_mode = DpTableMode::kValuesAndChoices;
+  /// Backing store of the DP table; kHugePage requests transparent huge
+  /// pages for tables of at least 2 MiB (advisory — see TableBuffer).
+  TableAlloc table_alloc = TableAlloc::kDefault;
   /// Cooperative stop signal, polled once per level and (amortised) inside
   /// every range chunk, so a cancel is honoured within one anti-diagonal.
   /// The DP is all-or-nothing: a stop throws DeadlineExceededError /

@@ -8,13 +8,14 @@
 namespace pcmax {
 
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
-                   const ConfigSet& configs, DpKernel kernel,
-                   const CancellationToken& cancel, DpTableMode mode,
-                   LevelPruning pruning) {
-  DpRun run{DpTable(space.size(), mode), DpTable::kInfeasible, DpStats{}};
+                   const ConfigSet& configs, const DpOptions& options) {
+  const DpKernel kernel = resolve_dp_kernel(options.kernel);
+  DpRun run{DpTable(space.size(), options.mode, options.table_alloc),
+            DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
+  run.stats.kernel = kernel;
   obs::DpRunRecorder recorder("bottom-up", "-", space.size(),
                               space.max_level() + 1);
 
@@ -25,9 +26,15 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
   // level) avoid a decode per entry.
   std::vector<int> digits(static_cast<std::size_t>(space.dims()), 0);
   const auto counts = space.counts();
+  const std::int32_t* values = run.table.values_data();
+  // Smallest encoded offset = densest predecessor stride; prefetching the
+  // next entry's gather through it hides part of the table-read latency.
+  const std::size_t first_offset =
+      configs.count() > 0 ? configs.offsets[0] : 0;
   int level = 0;
-  CancelCheck cancel_check(cancel, /*period=*/1024);
-  const bool armed = cancel.valid();
+  CancelCheck cancel_check(options.cancel, /*period=*/1024);
+  const bool armed = options.cancel.valid();
+  DpScanCounters counters;
   for (std::size_t index = 1; index < space.size(); ++index) {
     if (armed) cancel_check.poll();
     // Increment the mixed-radix odometer (last digit fastest).
@@ -40,23 +47,39 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
       level -= digits[d];
       digits[d] = 0;
     }
+    if (first_offset != 0 && index + 1 < space.size() &&
+        first_offset <= index + 1) {
+      __builtin_prefetch(values + (index + 1 - first_offset));
+    }
     const EntryResult entry =
-        kernel == DpKernel::kGlobalConfigs
-            ? compute_entry(index, digits, level, configs,
-                            run.table.values_data(), run.stats.config_scans,
-                            run.stats.configs_pruned, pruning)
-            : compute_entry_enumerated(index, digits, rounded, space,
-                                       run.table.values_data(),
-                                       run.stats.config_scans);
+        kernel == DpKernel::kPerEntryEnum
+            ? compute_entry_enumerated(index, digits, rounded, space, values,
+                                       counters.scans)
+            : compute_entry(index, digits, level, configs, values, counters,
+                            options.pruning, kernel);
     run.table.set(index, entry.value, entry.choice);
     ++run.stats.entries_computed;
   }
 
+  accumulate_scan_counters(run.stats, counters);
   recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans,
-                      run.stats.configs_pruned);
+                      run.stats.configs_pruned, run.stats.simd_blocks,
+                      run.stats.scalar_fallbacks);
   recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;
+}
+
+DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
+                   const ConfigSet& configs, DpKernel kernel,
+                   const CancellationToken& cancel, DpTableMode mode,
+                   LevelPruning pruning) {
+  DpOptions options;
+  options.kernel = kernel;
+  options.mode = mode;
+  options.pruning = pruning;
+  options.cancel = cancel;
+  return dp_bottom_up(rounded, space, configs, options);
 }
 
 namespace {
@@ -67,9 +90,11 @@ namespace {
 class TopDownEvaluator {
  public:
   TopDownEvaluator(const StateSpace& space, const ConfigSet& configs,
-                   const CancellationToken& cancel, DpRun& run)
+                   const CancellationToken& cancel, DpKernel kernel,
+                   DpRun& run, DpScanCounters& counters)
       : space_(space), configs_(configs), cancel_check_(cancel, /*period=*/1024),
-        armed_(cancel.valid()), run_(run) {}
+        armed_(cancel.valid()), kernel_(kernel), run_(run),
+        counters_(counters) {}
 
   void evaluate(std::size_t root) {
     if (run_.table.value(root) != DpTable::kUnset) return;
@@ -116,8 +141,8 @@ class TopDownEvaluator {
       if (!ready) continue;
       const EntryResult entry = compute_entry(index, digits, level, configs_,
                                               run_.table.values_data(),
-                                              run_.stats.config_scans,
-                                              run_.stats.configs_pruned);
+                                              counters_, LevelPruning::kOn,
+                                              kernel_);
       run_.table.set(index, entry.value, entry.choice);
       ++run_.stats.entries_computed;
       stack_.pop_back();
@@ -129,33 +154,55 @@ class TopDownEvaluator {
   const ConfigSet& configs_;
   CancelCheck cancel_check_;
   const bool armed_;
+  const DpKernel kernel_;
   DpRun& run_;
+  DpScanCounters& counters_;
   std::vector<std::size_t> stack_;
 };
 
 }  // namespace
 
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
-                  const ConfigSet& configs, const CancellationToken& cancel,
-                  DpTableMode mode) {
+                  const ConfigSet& configs, const DpOptions& options) {
   (void)rounded;
-  DpRun run{DpTable(space.size(), mode), DpTable::kInfeasible, DpStats{}};
+  // Per-entry enumeration makes no sense here (the readiness scan already
+  // walks the config list), so it maps to the auto-selected scan kernel.
+  const DpKernel kernel =
+      resolve_dp_kernel(options.kernel == DpKernel::kPerEntryEnum
+                            ? DpKernel::kGlobalConfigs
+                            : options.kernel);
+  DpRun run{DpTable(space.size(), options.mode, options.table_alloc),
+            DpTable::kInfeasible, DpStats{}};
   run.stats.table_size = space.size();
   run.stats.config_count = configs.count();
   run.stats.levels = space.max_level() + 1;
+  run.stats.kernel = kernel;
 
   // Top-down touches only reachable states, so its per-worker entry total is
   // at most (usually below) the state-space size.
   obs::DpRunRecorder recorder("top-down", "-", space.size(),
                               space.max_level() + 1);
-  TopDownEvaluator evaluator(space, configs, cancel, run);
+  DpScanCounters counters;
+  TopDownEvaluator evaluator(space, configs, options.cancel, kernel, run,
+                             counters);
   evaluator.evaluate(space.size() - 1);
 
+  accumulate_scan_counters(run.stats, counters);
   recorder.add_worker(0, run.stats.entries_computed, run.stats.config_scans,
-                      run.stats.configs_pruned);
+                      run.stats.configs_pruned, run.stats.simd_blocks,
+                      run.stats.scalar_fallbacks);
   recorder.finish();
   run.machines_needed = run.table.value(space.size() - 1);
   return run;
+}
+
+DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, const CancellationToken& cancel,
+                  DpTableMode mode) {
+  DpOptions options;
+  options.cancel = cancel;
+  options.mode = mode;
+  return dp_top_down(rounded, space, configs, options);
 }
 
 }  // namespace pcmax

@@ -24,13 +24,28 @@ struct DpRun {
   DpStats stats;
 };
 
-/// Bottom-up fill of the whole table in row-major order. `kernel` selects
-/// the optimised global-config scan or the paper-faithful per-entry
-/// enumeration; `pruning` toggles the level-prefix bound of the global
-/// kernel and `mode` the choice storage (identical values either way, and
-/// identical canonical choices whenever they are stored). A cancelled
-/// `cancel` token throws (amortised check every ~1k entries); the fill is
-/// all-or-nothing.
+/// Options of one sequential DP run. The kernel is resolved once at run
+/// start (resolve_dp_kernel) and recorded in DpStats::kernel.
+struct DpOptions {
+  DpKernel kernel = DpKernel::kGlobalConfigs;
+  DpTableMode mode = DpTableMode::kValuesAndChoices;
+  LevelPruning pruning = LevelPruning::kOn;
+  TableAlloc table_alloc = TableAlloc::kDefault;
+  CancellationToken cancel = {};
+};
+
+/// Bottom-up fill of the whole table in row-major order. `options.kernel`
+/// selects the configuration-scan kernel (kGlobalConfigs resolves to the
+/// fastest one the host supports; kPerEntryEnum replays the paper-faithful
+/// per-entry enumeration); `options.pruning` toggles the level-prefix bound
+/// of the scan kernels and `options.mode` the choice storage (identical
+/// values either way, and identical canonical choices whenever they are
+/// stored). A cancelled `options.cancel` token throws (amortised check
+/// every ~1k entries); the fill is all-or-nothing.
+DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
+                   const ConfigSet& configs, const DpOptions& options);
+
+/// Positional convenience overload of the options form above.
 DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
                    const ConfigSet& configs,
                    DpKernel kernel = DpKernel::kGlobalConfigs,
@@ -39,8 +54,14 @@ DpRun dp_bottom_up(const RoundedInstance& rounded, const StateSpace& space,
                    LevelPruning pruning = LevelPruning::kOn);
 
 /// Top-down memoised evaluation of OPT(N); only reachable entries are set.
-/// Always uses the global-config kernel (the readiness scan needs the
-/// config list anyway). Cancellation as in dp_bottom_up.
+/// The scan kernel follows `options.kernel` (kPerEntryEnum is mapped to the
+/// auto-selected scan kernel: the readiness scan needs the config list
+/// anyway); `options.pruning` is ignored — the readiness logic depends on
+/// the level-prefix bound. Cancellation as in dp_bottom_up.
+DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
+                  const ConfigSet& configs, const DpOptions& options);
+
+/// Positional convenience overload of the options form above.
 DpRun dp_top_down(const RoundedInstance& rounded, const StateSpace& space,
                   const ConfigSet& configs, const CancellationToken& cancel = {},
                   DpTableMode mode = DpTableMode::kValuesAndChoices);

@@ -7,16 +7,26 @@
 // recover the actual machine assignment (paper Alg. 1, Line 26). Search
 // probes that only need OPT(N) allocate values-only tables (kValuesOnly),
 // halving table memory and write traffic.
+//
+// The per-entry scan comes in a family of kernels (DpKernel below): the
+// paper-faithful per-entry enumeration, a scalar per-dimension fits test,
+// the SWAR packed-fits scan (one config word per iteration), and
+// runtime-dispatched AVX2/AVX-512 kernels that test 4/8 packed config
+// words (32/64 digit bytes) per vector op and vectorise the argmin
+// reduction as well. All kernels implement the same canonical argmin (min
+// predecessor value, ties towards the smallest encoded offset), so every
+// kernel fills byte-identical tables.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <cstddef>
 #include <span>
-#include <vector>
+#include <string_view>
 
 #include "algo/ptas/config_enum.hpp"
 #include "algo/ptas/state_space.hpp"
+#include "util/table_buffer.hpp"
 
 namespace pcmax {
 
@@ -30,6 +40,9 @@ enum class DpTableMode {
 };
 
 /// Flat storage of OPT values and (optionally) argmin configuration choices.
+/// Storage is structure-of-arrays — values and choices live in separate
+/// cache-line-aligned buffers, so values-only probes stream values
+/// contiguously and the SIMD gathers never pull choice bytes into cache.
 class DpTable {
  public:
   /// Value of an entry that has not been computed yet.
@@ -50,9 +63,12 @@ class DpTable {
   static constexpr std::int32_t kNoChoice = -1;
 
   /// Allocates a table with `size` unset entries (size must fit in the
-  /// int32 choice encoding).
+  /// int32 choice encoding). `alloc` selects the backing-store policy;
+  /// TableAlloc::kHugePage requests transparent huge pages for tables of
+  /// at least 2 MiB (advisory — see TableBuffer).
   explicit DpTable(std::size_t size,
-                   DpTableMode mode = DpTableMode::kValuesAndChoices);
+                   DpTableMode mode = DpTableMode::kValuesAndChoices,
+                   TableAlloc alloc = TableAlloc::kDefault);
 
   [[nodiscard]] std::size_t size() const { return values_.size(); }
 
@@ -77,18 +93,75 @@ class DpTable {
   [[nodiscard]] const std::int32_t* values_data() const { return values_.data(); }
 
  private:
-  std::vector<std::int32_t> values_;
-  std::vector<std::int32_t> choices_;  ///< empty in kValuesOnly mode
+  TableBuffer<std::int32_t> values_;
+  TableBuffer<std::int32_t> choices_;  ///< empty in kValuesOnly mode
 };
+
+/// Which configuration-scan kernel the DP uses per entry.
+enum class DpKernel {
+  /// Automatic: resolve to the fastest kernel the host supports
+  /// (select_best_kernel()) once per DP run. This is the default and the
+  /// historical name of the global-config-scan strategy, kept so existing
+  /// call sites keep their meaning ("scan the precomputed set C with the
+  /// best available fits test").
+  kGlobalConfigs,
+  /// Re-enumerate C_v per entry, exactly as paper Algorithm 3 Line 17
+  /// ("C_{v^i} <- all machine configurations of vector v^i"). Much more
+  /// per-entry work — this is the cost profile the paper measured, and the
+  /// profile the speedup figures replay.
+  kPerEntryEnum,
+  /// Scalar per-dimension fits test over the level-bounded prefix.
+  kScalar,
+  /// SWAR packed fits: one 8-byte config word per iteration
+  /// (subtract + high-bit mask over ConfigSet::packed).
+  kSwar,
+  /// AVX2: 4 packed config words (32 digit bytes) per 256-bit op, masked
+  /// predecessor gather, vectorised canonical-argmin reduction.
+  kAvx2,
+  /// AVX-512 (F+BW): 8 packed config words (64 digit bytes) per 512-bit op.
+  kAvx512,
+};
+
+/// Stable lowercase name of a kernel ("auto", "per-entry-enum", "scalar",
+/// "swar", "avx2", "avx512") for CLI flags, JSON output, and metrics notes.
+const char* dp_kernel_name(DpKernel kernel);
+
+/// Parses dp_kernel_name() output (case-sensitive). Throws
+/// InvalidArgumentError on an unknown name, listing the valid spellings.
+DpKernel dp_kernel_from_name(std::string_view name);
+
+/// True iff the kernel's code path is compiled into this binary. Scalar
+/// kernels are always compiled; kAvx2/kAvx512 require an x86-64 build
+/// without PCMAX_DISABLE_SIMD.
+bool dp_kernel_compiled(DpKernel kernel);
+
+/// True iff the kernel is compiled in AND the host CPU supports its ISA
+/// (cpuid probe for the vector kernels; always true for the scalar ones).
+bool dp_kernel_supported(DpKernel kernel);
+
+/// The fastest supported packed-scan kernel on this host:
+/// kAvx2 > kAvx512 > kSwar (AVX2 outranks AVX-512 by measurement — see
+/// dp_simd.cpp and docs/performance.md). Never returns a kernel that
+/// dp_kernel_supported() rejects.
+DpKernel select_best_kernel();
+
+/// Maps a requested kernel to the one the DP will actually run:
+/// kGlobalConfigs -> select_best_kernel(); an unsupported vector kernel
+/// degrades down the chain (kAvx512 -> kAvx2 -> kSwar); everything else is
+/// identity. The result always satisfies dp_kernel_supported().
+DpKernel resolve_dp_kernel(DpKernel requested);
 
 /// Statistics of one DP execution.
 struct DpStats {
   std::uint64_t entries_computed = 0;  ///< table entries evaluated
   std::uint64_t config_scans = 0;      ///< config candidates inspected
   std::uint64_t configs_pruned = 0;    ///< candidates skipped by the level bound
+  std::uint64_t simd_blocks = 0;       ///< full vector blocks processed
+  std::uint64_t scalar_fallbacks = 0;  ///< entries a vector kernel degraded on
   std::size_t table_size = 0;          ///< sigma
   std::size_t config_count = 0;        ///< |C|
   int levels = 0;                      ///< n' + 1 anti-diagonals
+  DpKernel kernel = DpKernel::kGlobalConfigs;  ///< resolved kernel that ran
 };
 
 /// Computed value/choice pair for one entry.
@@ -97,30 +170,103 @@ struct EntryResult {
   std::int32_t choice;
 };
 
-/// Which configuration-enumeration strategy the DP kernels use per entry.
-enum class DpKernel {
-  /// Scan the level-bounded prefix of the precomputed set C once per entry,
-  /// skipping configs that do not fit v. This repo's optimised kernel.
-  kGlobalConfigs,
-  /// Re-enumerate C_v per entry, exactly as paper Algorithm 3 Line 17
-  /// ("C_{v^i} <- all machine configurations of vector v^i"). Much more
-  /// per-entry work — this is the cost profile the paper measured, and the
-  /// profile the speedup figures replay.
-  kPerEntryEnum,
+/// Per-worker scan counter bundle threaded through compute_entry.
+/// simd_blocks counts full-width vector iterations of the AVX kernels;
+/// scalar_fallbacks counts entries where a *vector* kernel had to degrade
+/// to the SWAR/scalar path (unpackable config set, or a level prefix
+/// shorter than the vector width). The explicit scalar/SWAR kernels and
+/// the LevelPruning::kOff baseline never count as fallbacks — they are the
+/// requested behaviour, not a degradation.
+struct DpScanCounters {
+  std::uint64_t scans = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t simd_blocks = 0;
+  std::uint64_t scalar_fallbacks = 0;
 };
+
+/// Folds one worker's scan counters into run-level stats.
+inline void accumulate_scan_counters(DpStats& stats,
+                                     const DpScanCounters& counters) {
+  stats.config_scans += counters.scans;
+  stats.configs_pruned += counters.pruned;
+  stats.simd_blocks += counters.simd_blocks;
+  stats.scalar_fallbacks += counters.scalar_fallbacks;
+}
 
 /// Selects the fast or the baseline realisation of the global-config
 /// kernel's scan. kOn is the level-aware fast path: the scan covers only
 /// the level-bounded prefix of the (level-sorted) set, and the fits test
-/// uses the SWAR packed comparison when the set is packable. kOff replays
-/// the pre-optimisation kernel — full scan, scalar per-dimension fits — and
-/// exists as the baseline for the benches and the crosscheck tests. Both
-/// settings produce identical tables (the canonical argmin is
-/// order-independent, and pruned configs can never fit).
+/// uses the packed comparison of the selected kernel when the set is
+/// packable. kOff replays the pre-optimisation kernel — full scan, scalar
+/// per-dimension fits, whatever kernel was requested — and exists as the
+/// baseline for the benches and the crosscheck tests. Both settings
+/// produce identical tables (the canonical argmin is order-independent,
+/// and pruned configs can never fit).
 enum class LevelPruning {
   kOn,
   kOff,
 };
+
+namespace detail {
+
+/// High bits of the SWAR packed-fits test (see ConfigSet::packed).
+inline constexpr std::uint64_t kSwarHigh = 0x8080808080808080ull;
+
+/// Distance (in configs) of the software prefetch ahead of the SWAR scan.
+/// 16 configs is two cache lines of packed words — far enough to cover the
+/// gather latency, near enough to stay inside the level prefix most scans.
+inline constexpr std::size_t kSwarPrefetchDist = 16;
+
+/// SWAR packed-fits scan over configs [begin, end): folds every fitting
+/// config into the canonical (min predecessor value, ties to smallest
+/// offset) argmin held in best/best_choice. Shared by the SWAR kernel and
+/// the tails of the vector kernels, so tails stay bit-compatible for free.
+inline void swar_scan_range(std::size_t index, std::uint64_t pvh,
+                            const std::uint64_t* packed,
+                            const std::size_t* offsets,
+                            const std::int32_t* values, std::size_t begin,
+                            std::size_t end, std::int32_t& best,
+                            std::int32_t& best_choice) {
+  for (std::size_t c = begin; c < end; ++c) {
+    // Prefetch the predecessor value a few configs ahead. Non-fitting
+    // configs can have offset > index, so guard the subtraction — the
+    // prefetch must never form a wild address.
+    if (c + kSwarPrefetchDist < end &&
+        offsets[c + kSwarPrefetchDist] <= index) {
+      __builtin_prefetch(values + (index - offsets[c + kSwarPrefetchDist]));
+    }
+    if (((pvh - packed[c]) & kSwarHigh) == kSwarHigh) {
+      const std::int32_t predecessor = values[index - offsets[c]];
+      assert(predecessor != DpTable::kUnset &&
+             "DP ordering violated: predecessor not computed");
+      const auto choice = static_cast<std::int32_t>(offsets[c]);
+      if (predecessor < best || (predecessor == best && choice < best_choice)) {
+        best = predecessor;
+        best_choice = choice;
+      }
+    }
+  }
+}
+
+/// AVX2 scan over configs [0, count): same contract as swar_scan_range
+/// over the full range. Implemented in dp_simd.cpp with a per-function
+/// target("avx2") attribute; must only be called when
+/// dp_kernel_supported(DpKernel::kAvx2). simd_blocks is incremented once
+/// per full 4-config vector block.
+void entry_scan_avx2(std::size_t index, std::uint64_t pvh,
+                     const std::uint64_t* packed, const std::size_t* offsets,
+                     const std::int32_t* values, std::size_t count,
+                     std::uint64_t& simd_blocks, std::int32_t& best,
+                     std::int32_t& best_choice);
+
+/// AVX-512 (F+BW) scan: 8-config blocks, otherwise as entry_scan_avx2.
+void entry_scan_avx512(std::size_t index, std::uint64_t pvh,
+                       const std::uint64_t* packed, const std::size_t* offsets,
+                       const std::int32_t* values, std::size_t count,
+                       std::uint64_t& simd_blocks, std::int32_t& best,
+                       std::int32_t& best_choice);
+
+}  // namespace detail
 
 /// Evaluates the recurrence for entry `index` with digits `v` on
 /// anti-diagonal `level` (= digit sum of v) against the global config set:
@@ -128,49 +274,57 @@ enum class LevelPruning {
 /// canonically towards the smallest encoded offset. Only the level-bounded
 /// prefix of the (level-sorted) set is scanned — configs of level > `level`
 /// cannot fit. Entry 0 (v = 0) must be handled by the caller (OPT = 0). All
-/// predecessor entries must already be computed. `scans` is incremented by
-/// the number of configurations inspected, `pruned` by the number skipped
-/// through the level bound.
+/// predecessor entries must already be computed.
+///
+/// `kernel` selects the fits-test realisation and must already be resolved
+/// (resolve_dp_kernel); passing kGlobalConfigs or kPerEntryEnum here scans
+/// with SWAR. A vector kernel silently degrades to SWAR (counting a
+/// scalar_fallback) when the set is unpackable or the level prefix is
+/// shorter than the vector width. All kernels produce identical results.
 inline EntryResult compute_entry(std::size_t index, std::span<const int> v,
                                  int level, const ConfigSet& configs,
                                  const std::int32_t* values,
-                                 std::uint64_t& scans, std::uint64_t& pruned,
-                                 LevelPruning pruning = LevelPruning::kOn) {
+                                 DpScanCounters& counters,
+                                 LevelPruning pruning = LevelPruning::kOn,
+                                 DpKernel kernel = DpKernel::kSwar) {
   std::int32_t best = DpTable::kInfeasible;
   std::int32_t best_choice = DpTable::kNoChoice;
   const auto dims = static_cast<std::size_t>(configs.dims);
   const std::size_t* offsets = configs.offsets.data();
   const std::size_t count =
       pruning == LevelPruning::kOn ? configs.prefix_count(level) : configs.count();
-  scans += count;
-  pruned += configs.count() - count;
-  // Canonical argmin: min value, ties towards the smallest encoded offset.
-  // The explicit tie-break makes the result independent of the scan order
-  // (the level sort interleaves offsets across levels).
-  const auto consider = [&](std::size_t c) {
-    const std::int32_t predecessor = values[index - offsets[c]];
-    assert(predecessor != DpTable::kUnset &&
-           "DP ordering violated: predecessor not computed");
-    const auto choice = static_cast<std::int32_t>(offsets[c]);
-    if (predecessor < best || (predecessor == best && choice < best_choice)) {
-      best = predecessor;
-      best_choice = choice;
-    }
-  };
-  if (pruning == LevelPruning::kOn && configs.packable) {
-    // SWAR fits test (see ConfigSet::packed): every byte of the bytewise
+  counters.scans += count;
+  counters.pruned += configs.count() - count;
+  const bool vector_kernel =
+      kernel == DpKernel::kAvx2 || kernel == DpKernel::kAvx512;
+  if (pruning == LevelPruning::kOn && configs.packable &&
+      kernel != DpKernel::kScalar) {
+    // Packed fits test (see ConfigSet::packed): every byte of the bytewise
     // difference keeps its high bit iff s <= v in that dimension.
-    constexpr std::uint64_t kHigh = 0x8080808080808080ull;
     std::uint64_t pv = 0;
     for (std::size_t d = 0; d < dims; ++d) {
       pv |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(v[d])) << (8 * d);
     }
-    const std::uint64_t pvh = pv | kHigh;
+    const std::uint64_t pvh = pv | detail::kSwarHigh;
     const std::uint64_t* packed = configs.packed.data();
-    for (std::size_t c = 0; c < count; ++c) {
-      if (((pvh - packed[c]) & kHigh) == kHigh) consider(c);
+    if (kernel == DpKernel::kAvx2 && count >= 4) {
+      detail::entry_scan_avx2(index, pvh, packed, offsets, values, count,
+                              counters.simd_blocks, best, best_choice);
+    } else if (kernel == DpKernel::kAvx512 && count >= 8) {
+      detail::entry_scan_avx512(index, pvh, packed, offsets, values, count,
+                                counters.simd_blocks, best, best_choice);
+    } else {
+      if (vector_kernel) ++counters.scalar_fallbacks;
+      detail::swar_scan_range(index, pvh, packed, offsets, values, 0, count,
+                              best, best_choice);
     }
   } else {
+    if (vector_kernel && pruning == LevelPruning::kOn) {
+      ++counters.scalar_fallbacks;  // unpackable set: nothing to vectorise
+    }
+    // Canonical argmin: min value, ties towards the smallest encoded
+    // offset. The explicit tie-break makes the result independent of the
+    // scan order (the level sort interleaves offsets across levels).
     const int* digits = configs.digits.data();
     for (std::size_t c = 0; c < count; ++c) {
       const int* s = digits + c * dims;
@@ -181,7 +335,17 @@ inline EntryResult compute_entry(std::size_t index, std::span<const int> v,
           break;
         }
       }
-      if (fits) consider(c);
+      if (fits) {
+        const std::int32_t predecessor = values[index - offsets[c]];
+        assert(predecessor != DpTable::kUnset &&
+               "DP ordering violated: predecessor not computed");
+        const auto choice = static_cast<std::int32_t>(offsets[c]);
+        if (predecessor < best ||
+            (predecessor == best && choice < best_choice)) {
+          best = predecessor;
+          best_choice = choice;
+        }
+      }
     }
   }
   if (best == DpTable::kInfeasible) return {DpTable::kInfeasible, DpTable::kNoChoice};

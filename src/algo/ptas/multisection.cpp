@@ -77,6 +77,8 @@ MultisectionResult multisect_target_makespan(const Instance& instance, int k,
             probe.entries_computed = at.run.stats.entries_computed;
             probe.config_scans = at.run.stats.config_scans;
             probe.configs_pruned = at.run.stats.configs_pruned;
+            probe.simd_blocks = at.run.stats.simd_blocks;
+            probe.scalar_fallbacks = at.run.stats.scalar_fallbacks;
             probe.dp_seconds = sw.elapsed_seconds();
           } catch (...) {
             errors[p] = std::current_exception();

@@ -5,6 +5,7 @@
 
 #include "algo/ptas/multisection.hpp"
 #include "algo/ptas/reconstruct.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -52,19 +53,26 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode,
                                      const CancellationToken& cancel) const {
   switch (options_.engine) {
     case DpEngine::kBottomUp: {
-      const DpKernel kernel = options_.kernel;
-      const LevelPruning pruning = options_.pruning;
-      return [kernel, cancel, mode, pruning](const RoundedInstance& rounded,
-                                             const StateSpace& space,
-                                             const ConfigSet& configs) {
-        return dp_bottom_up(rounded, space, configs, kernel, cancel, mode,
-                            pruning);
+      DpOptions dp_options;
+      dp_options.kernel = options_.kernel;
+      dp_options.mode = mode;
+      dp_options.pruning = options_.pruning;
+      dp_options.table_alloc = options_.table_alloc;
+      dp_options.cancel = cancel;
+      return [dp_options](const RoundedInstance& rounded,
+                          const StateSpace& space, const ConfigSet& configs) {
+        return dp_bottom_up(rounded, space, configs, dp_options);
       };
     }
     case DpEngine::kTopDown: {
-      return [cancel, mode](const RoundedInstance& rounded, const StateSpace& space,
-                            const ConfigSet& configs) {
-        return dp_top_down(rounded, space, configs, cancel, mode);
+      DpOptions dp_options;
+      dp_options.kernel = options_.kernel;  // kPerEntryEnum maps to auto
+      dp_options.mode = mode;
+      dp_options.table_alloc = options_.table_alloc;
+      dp_options.cancel = cancel;
+      return [dp_options](const RoundedInstance& rounded,
+                          const StateSpace& space, const ConfigSet& configs) {
+        return dp_top_down(rounded, space, configs, dp_options);
       };
     }
     case DpEngine::kParallelScan:
@@ -80,6 +88,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode,
       dp_options.pruning = options_.pruning;
       dp_options.sync_mode = options_.sync_mode;
       dp_options.table_mode = mode;
+      dp_options.table_alloc = options_.table_alloc;
       dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
@@ -95,6 +104,7 @@ DpBackendFn PtasSolver::make_backend(DpTableMode mode,
       dp_options.pruning = options_.pruning;
       dp_options.sync_mode = options_.sync_mode;
       dp_options.table_mode = mode;
+      dp_options.table_alloc = options_.table_alloc;
       dp_options.cancel = cancel;
       return [dp_options](const RoundedInstance& rounded, const StateSpace& space,
                           const ConfigSet& configs) {
@@ -171,6 +181,8 @@ PtasResult PtasSolver::solve_impl(const Instance& instance,
     final_probe.entries_computed = at.run.stats.entries_computed;
     final_probe.config_scans = at.run.stats.config_scans;
     final_probe.configs_pruned = at.run.stats.configs_pruned;
+    final_probe.simd_blocks = at.run.stats.simd_blocks;
+    final_probe.scalar_fallbacks = at.run.stats.scalar_fallbacks;
     final_probe.dp_seconds = final_probe_seconds;
     bisection.trace.push_back(std::move(final_probe));
   }
@@ -185,12 +197,16 @@ PtasResult PtasSolver::solve_impl(const Instance& instance,
   std::uint64_t entries = 0;
   std::uint64_t scans = 0;
   std::uint64_t pruned = 0;
+  std::uint64_t simd_blocks = 0;
+  std::uint64_t scalar_fallbacks = 0;
   std::size_t max_table = at.space.size();
   for (const BisectionIteration& it : bisection.trace) {
     dp_seconds += it.dp_seconds;
     entries += it.entries_computed;
     scans += it.config_scans;
     pruned += it.configs_pruned;
+    simd_blocks += it.simd_blocks;
+    scalar_fallbacks += it.scalar_fallbacks;
     max_table = std::max(max_table, it.table_size);
   }
   result.stats["k"] = k_;
@@ -205,9 +221,19 @@ PtasResult PtasSolver::solve_impl(const Instance& instance,
   result.stats["entries_computed"] = static_cast<double>(entries);
   result.stats["config_scans"] = static_cast<double>(scans);
   result.stats["configs_pruned"] = static_cast<double>(pruned);
+  result.stats["simd_blocks"] = static_cast<double>(simd_blocks);
+  result.stats["scalar_fallbacks"] = static_cast<double>(scalar_fallbacks);
   result.stats["max_table_size"] = static_cast<double>(max_table);
   result.stats["final_long_jobs"] = static_cast<double>(at.rounded.total_long_jobs);
   result.stats["final_levels"] = static_cast<double>(at.space.max_level() + 1);
+
+  // The kernel the runs actually used (post resolve_dp_kernel), for result
+  // consumers and the metrics export.
+  const char* kernel_used = dp_kernel_name(at.run.stats.kernel);
+  result.notes["dp_kernel"] = kernel_used;
+  if (obs::Metrics* metrics = obs::current()) {
+    metrics->note("dp.kernel", kernel_used);
+  }
 
   if (options_.keep_trace) {
     result.bisection = std::move(bisection);

@@ -43,10 +43,13 @@ struct PtasOptions {
   /// Thread count for the kSpmd engine.
   unsigned spmd_threads = 1;
   /// Per-entry kernel. kGlobalConfigs (default) scans a precomputed global
-  /// configuration set — this library's optimisation. kPerEntryEnum
-  /// re-enumerates C_v per entry exactly as the paper's Algorithm 3 does,
-  /// reproducing the cost profile behind the paper's speedup figures.
-  /// Ignored by kTopDown (global only). Results are identical either way.
+  /// configuration set with the fastest fits-test kernel the host supports
+  /// (runtime-dispatched: AVX2 > AVX-512 > SWAR); kScalar/kSwar/kAvx2/
+  /// kAvx512 force a specific one (unsupported vector kernels degrade down
+  /// the chain). kPerEntryEnum re-enumerates C_v per entry exactly as the
+  /// paper's Algorithm 3 does, reproducing the cost profile behind the
+  /// paper's speedup figures (kTopDown maps it to the auto-selected scan).
+  /// Results are identical for every kernel.
   DpKernel kernel = DpKernel::kGlobalConfigs;
   /// Level enumeration of the kParallelBucketed/kSpmd engines: LevelWalker
   /// rank/unrank slicing (kWalker, the fast path) or the legacy precomputed
@@ -64,6 +67,9 @@ struct PtasOptions {
   /// bisection/multisection only read OPT(N), so the choice array is dead
   /// weight there. The final reconstruction run always keeps choices.
   bool values_only_probes = true;
+  /// Backing store of the DP tables; kHugePage requests transparent huge
+  /// pages for tables of at least 2 MiB (advisory — see TableBuffer).
+  TableAlloc table_alloc = TableAlloc::kDefault;
   /// Resource budgets for each DP probe.
   DpLimits limits;
   /// Concurrent probes per search round (extension beyond the paper):

@@ -74,6 +74,9 @@ PtasOptions ptas_options_from(const SolverBuild& build, DpEngine engine) {
   options.executor = build.executor;
   options.spmd_threads = std::max(1u, build.threads);
   options.sync_mode = dp_sync_from(build.dp_sync);
+  options.kernel = dp_kernel_from_name(build.dp_kernel);
+  options.table_alloc =
+      build.dp_huge_pages ? TableAlloc::kHugePage : TableAlloc::kDefault;
   return options;
 }
 

@@ -21,6 +21,8 @@ const char* counter_name(Counter counter) {
     case Counter::kDpConfigScans: return "dp.config_scans";
     case Counter::kDpConfigsPruned: return "dp.configs_pruned";
     case Counter::kDpChunkWaits: return "dp.chunk_waits";
+    case Counter::kDpSimdBlocks: return "dp.simd_blocks";
+    case Counter::kDpScalarFallbacks: return "dp.scalar_fallbacks";
     case Counter::kBisectionProbes: return "bisection.probes";
     case Counter::kLpSolves: return "lp.solves";
     case Counter::kMipNodes: return "mip.nodes";
@@ -180,7 +182,9 @@ void DpRunRecorder::level_end(int level, std::uint64_t entries,
 }
 
 void DpRunRecorder::add_worker(unsigned worker, std::uint64_t entries,
-                               std::uint64_t scans, std::uint64_t pruned) {
+                               std::uint64_t scans, std::uint64_t pruned,
+                               std::uint64_t simd_blocks,
+                               std::uint64_t scalar_fallbacks) {
   if (metrics_ == nullptr) return;
   record_.per_worker_entries.push_back(entries);
   record_.per_worker_scans.push_back(scans);
@@ -188,6 +192,12 @@ void DpRunRecorder::add_worker(unsigned worker, std::uint64_t entries,
   metrics_->add(worker, Counter::kDpEntries, entries);
   metrics_->add(worker, Counter::kDpConfigScans, scans);
   metrics_->add(worker, Counter::kDpConfigsPruned, pruned);
+  if (simd_blocks > 0) {
+    metrics_->add(worker, Counter::kDpSimdBlocks, simd_blocks);
+  }
+  if (scalar_fallbacks > 0) {
+    metrics_->add(worker, Counter::kDpScalarFallbacks, scalar_fallbacks);
+  }
 }
 
 void DpRunRecorder::finish() {

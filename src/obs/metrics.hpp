@@ -59,6 +59,8 @@ enum class Counter : unsigned {
   kDpConfigScans,      ///< configuration candidates inspected by this worker
   kDpConfigsPruned,    ///< candidates skipped via the level-prefix bound
   kDpChunkWaits,       ///< counter-mode dependency decrements that kept a chunk waiting
+  kDpSimdBlocks,       ///< full-width vector blocks processed by AVX kernels
+  kDpScalarFallbacks,  ///< entries where a vector kernel degraded to SWAR/scalar
   kBisectionProbes,    ///< DP probes issued by bisection/multisection
   kLpSolves,           ///< simplex invocations
   kMipNodes,           ///< branch-and-bound nodes expanded
@@ -83,7 +85,7 @@ enum class Counter : unsigned {
   kPortfolioIncumbentUpdates,  ///< improving IncumbentBoard publishes
   kPortfolioBoundTightenings,  ///< bisection UBs clamped by the incumbent
 };
-inline constexpr std::size_t kCounterCount = 36;
+inline constexpr std::size_t kCounterCount = 38;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);
@@ -303,8 +305,11 @@ class DpRunRecorder {
   void level_end(int level, std::uint64_t entries, std::uint64_t begin_ns);
 
   /// Records one worker's entry/scan/pruned totals (call once per worker).
+  /// simd_blocks/scalar_fallbacks feed the dp.simd_blocks and
+  /// dp.scalar_fallbacks counters; they default to 0 for scalar kernels.
   void add_worker(unsigned worker, std::uint64_t entries, std::uint64_t scans,
-                  std::uint64_t pruned);
+                  std::uint64_t pruned, std::uint64_t simd_blocks = 0,
+                  std::uint64_t scalar_fallbacks = 0);
 
   /// Publishes the record (run counters, timer, span, structured record).
   void finish();

@@ -215,6 +215,60 @@ TEST(ConfigEnum, WideDigitsAreNotPackable) {
   EXPECT_GT(configs.count(), 0u);
 }
 
+TEST(ConfigEnum, PackableExactlyUpToTheByteBoundary) {
+  // 127 is the widest packable digit (the SWAR test needs the high bit
+  // spare); 128 is one too many. The packed mirror must stay faithful right
+  // at the boundary.
+  const RoundedInstance at = make_rounded({2}, {127}, 254);
+  const StateSpace at_space({127}, kBig);
+  const ConfigSet at_configs = enumerate_configs(at, at_space, kBig);
+  EXPECT_TRUE(at_configs.packable);
+  ASSERT_EQ(at_configs.packed.size(), at_configs.count());
+  EXPECT_EQ(at_configs.packed.back(), 127u);  // largest config, one dim
+
+  const RoundedInstance over = make_rounded({2}, {128}, 256);
+  const StateSpace over_space({128}, kBig);
+  const ConfigSet over_configs = enumerate_configs(over, over_space, kBig);
+  EXPECT_FALSE(over_configs.packable);
+  EXPECT_TRUE(over_configs.packed.empty());
+}
+
+TEST(ConfigEnum, MoreThanEightDimsAreNotPackable) {
+  // Nine classes cannot share one 64-bit word at a byte per digit.
+  const std::vector<Time> sizes(9, 5);
+  const std::vector<int> counts(9, 1);
+  const RoundedInstance rounded = make_rounded(sizes, counts, 45);
+  const StateSpace space(counts, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  EXPECT_FALSE(configs.packable);
+  EXPECT_TRUE(configs.packed.empty());
+  EXPECT_GT(configs.count(), 0u);
+
+  // Eight dims still pack (one byte each, no spare room needed beyond the
+  // top byte of the last dimension).
+  const std::vector<Time> sizes8(8, 5);
+  const std::vector<int> counts8(8, 1);
+  const RoundedInstance rounded8 = make_rounded(sizes8, counts8, 40);
+  const StateSpace space8(counts8, kBig);
+  const ConfigSet configs8 = enumerate_configs(rounded8, space8, kBig);
+  EXPECT_TRUE(configs8.packable);
+}
+
+TEST(ConfigEnum, PrefixClampsAcrossMissingTopLevels) {
+  // With size 7 and T = 15 only 1- and 2-job configs exist; prefix queries
+  // above the top populated level must clamp to the full count instead of
+  // walking an empty level.
+  const RoundedInstance rounded = make_rounded({7}, {3}, 15);
+  const StateSpace space({3}, kBig);
+  const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+  ASSERT_EQ(configs.count(), 2u);  // (1) and (2); (3) weighs 21 > 15
+  EXPECT_EQ(configs.prefix_count(0), 0u);
+  EXPECT_EQ(configs.prefix_count(1), 1u);
+  EXPECT_EQ(configs.prefix_count(2), 2u);
+  EXPECT_EQ(configs.prefix_count(3), 2u);  // the missing level clamps
+  EXPECT_EQ(configs.prefix_count(100), 2u);
+}
+
 TEST(ConfigEnum, EmptySetHasEmptyPrefix) {
   const RoundedInstance rounded = make_rounded({}, {}, 30);
   const StateSpace space({}, kBig);

@@ -369,6 +369,96 @@ TEST(DpCrossCheck, SyncModePoolThreadMatrixMatchesSequential) {
   }
 }
 
+TEST(DpCrossCheck, AllKernelsMatchAcrossEnginesIterationSyncAndTableModes) {
+  // The kernel axis of the determinism matrix: forcing every fits-test
+  // kernel (auto, scalar, SWAR, AVX2, AVX-512 — unsupported vector kernels
+  // degrade down the chain, which is itself part of the contract) under
+  // every engine x iteration x sync x table-mode combination must reproduce
+  // the sequential bottom-up reference byte for byte. The work-stealing
+  // executor keeps the bucketed+counters cell admissible.
+  constexpr DpKernel kKernels[] = {DpKernel::kGlobalConfigs, DpKernel::kScalar,
+                                   DpKernel::kSwar, DpKernel::kAvx2,
+                                   DpKernel::kAvx512};
+  Xoshiro256StarStar rng(0x51D3);
+  WorkStealingExecutor executor(4);
+  for (int round = 0; round < 2; ++round) {
+    const Time target = uniform_int(rng, 25, 60);
+    const int dims = static_cast<int>(uniform_int(rng, 2, 3));
+    std::vector<Time> sizes;
+    std::vector<int> counts;
+    for (int d = 0; d < dims; ++d) {
+      sizes.push_back(uniform_int(rng, target / 4 + 1, target));
+      counts.push_back(static_cast<int>(uniform_int(rng, 2, 6)));
+    }
+    const RoundedInstance rounded = make_rounded(sizes, counts, target);
+    const StateSpace space(counts, kBig);
+    const ConfigSet configs = enumerate_configs(rounded, space, kBig);
+    const DpRun reference = dp_bottom_up(rounded, space, configs);
+
+    for (const DpKernel kernel : kKernels) {
+      const std::string kname = dp_kernel_name(kernel);
+
+      // Sequential engines.
+      DpOptions seq;
+      seq.kernel = kernel;
+      const DpRun bottom_up = dp_bottom_up(rounded, space, configs, seq);
+      expect_identical_tables(reference, bottom_up,
+                              "bottom-up/" + kname + " round " +
+                                  std::to_string(round));
+      const DpRun top_down = dp_top_down(rounded, space, configs, seq);
+      EXPECT_EQ(top_down.machines_needed, reference.machines_needed)
+          << "top-down/" << kname;
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        if (top_down.table.value(i) == DpTable::kUnset) continue;
+        ASSERT_EQ(top_down.table.value(i), reference.table.value(i))
+            << "top-down/" << kname << " entry " << i;
+      }
+
+      // Parallel engines: variant x iteration x sync x table mode.
+      for (const ParallelDpVariant variant :
+           {ParallelDpVariant::kBucketed, ParallelDpVariant::kSpmd}) {
+        for (const LevelIteration iteration :
+             {LevelIteration::kWalker, LevelIteration::kIndexed}) {
+          for (const DpSyncMode sync :
+               {DpSyncMode::kBarrier, DpSyncMode::kCounters}) {
+            for (const DpTableMode mode :
+                 {DpTableMode::kValuesAndChoices, DpTableMode::kValuesOnly}) {
+              ParallelDpOptions options;
+              options.executor = &executor;
+              options.variant = variant;
+              options.spmd_threads = 4;
+              options.kernel = kernel;
+              options.iteration = iteration;
+              options.sync_mode = sync;
+              options.table_mode = mode;
+              const DpRun run = dp_parallel(rounded, space, configs, options);
+              const std::string what =
+                  parallel_dp_variant_name(variant) + "/" +
+                  level_iteration_name(iteration) + "/" +
+                  dp_sync_mode_name(sync) + "/" + kname +
+                  (mode == DpTableMode::kValuesOnly ? "/values-only" : "") +
+                  " round " + std::to_string(round);
+              if (mode == DpTableMode::kValuesAndChoices) {
+                expect_identical_tables(reference, run, what);
+              } else {
+                EXPECT_FALSE(run.table.has_choices()) << what;
+                EXPECT_EQ(run.machines_needed, reference.machines_needed)
+                    << what;
+                for (std::size_t i = 0; i < space.size(); ++i) {
+                  ASSERT_EQ(run.table.value(i), reference.table.value(i))
+                      << what << " entry " << i;
+                }
+              }
+              EXPECT_EQ(run.stats.entries_computed, space.size()) << what;
+              EXPECT_EQ(run.stats.kernel, resolve_dp_kernel(kernel)) << what;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(DpCrossCheck, ChunkWaitsTotalIsDeterministic) {
   if constexpr (!obs::kMetricsEnabled) GTEST_SKIP() << "PCMAX_METRICS is OFF";
   // dp.chunk_waits counts the dependency decrements that did NOT release a

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Full verification sweep: a Release tree running the whole test suite, plus
-# a ThreadSanitizer tree running the concurrency-heavy tests (ctest label
-# `sanitize`). Usage:
+# Full verification sweep: a Release tree running the whole test suite, a
+# ThreadSanitizer tree running the concurrency-heavy tests (ctest label
+# `sanitize`), and a pair of SIMD configuration trees exercising the DP
+# kernel family at both extremes. Usage:
 #
-#   tools/check.sh            # both trees
+#   tools/check.sh            # all trees
 #   tools/check.sh release    # Release tree + full suite only
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
+#   tools/check.sh simd       # forced -mavx2 tree + PCMAX_DISABLE_SIMD tree
 #
 # The Release run repeats the `bench-smoke`, `service`, `chaos`, and
 # `headers` labels explicitly at the end so bench bit-rot (flag parsing,
@@ -18,8 +20,8 @@
 # tree picks the chaos soak up twice: it carries both the `chaos` and
 # `sanitize` labels.
 #
-# Build trees live in build-check/ and build-tsan/ so they never clobber a
-# developer's main build/ directory.
+# Build trees live in build-check/, build-simd/, build-nosimd/, and
+# build-tsan/ so they never clobber a developer's main build/ directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +43,29 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -L headers
 }
 
+run_simd() {
+  # Two trees at the extremes of the kernel-dispatch matrix (see
+  # docs/performance.md): one compiled with an explicit -mavx2 so the AVX2
+  # scan kernel is definitely built, and one with PCMAX_DISABLE_SIMD=ON so
+  # every vector kernel is compiled out and `auto` resolves to SWAR. Both
+  # run the kernel-sensitive tests — the crosscheck matrix asserts every
+  # kernel x engine x iteration x sync x table-mode combination is
+  # byte-identical, so these trees catch miscompiled kernels and broken
+  # degradation chains respectively.
+  local simd_tests=(ptas_dp_crosscheck_test ptas_kernel_dispatch_test
+                    ptas_config_enum_test ptas_dp_test)
+  echo "== SIMD tree (-mavx2): DP kernel tests =="
+  cmake -B build-simd -S . -DCMAKE_BUILD_TYPE=Release \
+    -DPCMAX_SIMD_FLAGS=-mavx2
+  cmake --build build-simd -j "$jobs" --target "${simd_tests[@]}"
+  for t in "${simd_tests[@]}"; do "./build-simd/tests/$t"; done
+  echo "== No-SIMD tree (PCMAX_DISABLE_SIMD=ON): DP kernel tests =="
+  cmake -B build-nosimd -S . -DCMAKE_BUILD_TYPE=Release \
+    -DPCMAX_DISABLE_SIMD=ON
+  cmake --build build-nosimd -j "$jobs" --target "${simd_tests[@]}"
+  for t in "${simd_tests[@]}"; do "./build-nosimd/tests/$t"; done
+}
+
 run_tsan() {
   echo "== ThreadSanitizer tree: ctest -L sanitize =="
   # PCMAX_SANITIZE=thread force-disables the OpenMP backend (libgomp is not
@@ -52,10 +77,11 @@ run_tsan() {
 }
 
 case "$mode" in
-  all) run_release; run_tsan ;;
+  all) run_release; run_simd; run_tsan ;;
   release) run_release ;;
   tsan) run_tsan ;;
-  *) echo "usage: tools/check.sh [all|release|tsan]" >&2; exit 2 ;;
+  simd) run_simd ;;
+  *) echo "usage: tools/check.sh [all|release|tsan|simd]" >&2; exit 2 ;;
 esac
 
 echo "check.sh: all requested suites passed"
