@@ -30,15 +30,27 @@
 // makespan AND the same schedule as the reference (responses are pure
 // functions of the canonical problem, loaded or not).
 //
+// The scale section (enabled with --scale-requests > 0) is the 10^6-request
+// arm: a duplicate-heavy Poisson mix flooded through a windowed async
+// dispatcher (at most --scale-window futures in flight, harvested oldest-
+// first and discarded, so memory stays bounded at any request count). It
+// runs twice — one shard, then --shards shards, equal total workers — and
+// reports per-shard p50/p99/p999 latency, the shard imbalance ratio
+// (max/mean requests per shard), and the sharded-over-single throughput
+// ratio. Every non-shed response is cross-checked against a precomputed
+// unloaded reference solve of its pool entry.
+//
 // `--json <path>` writes a pcmax.bench.storm.v1 document; the tracked
 // snapshot is BENCH_storm.json in the repo root.
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -49,6 +61,7 @@
 #include "obs/metrics.hpp"
 #include "service/solve_service.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
@@ -90,7 +103,7 @@ StormOutcome run_storm(const std::string& name,
                        const ServiceOptions& options,
                        std::vector<SolveResponse>* responses_out = nullptr) {
   SolveService service(options);
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   futures.reserve(arrivals.size());
   const std::uint64_t start = obs::monotonic_ns();
   for (const Arrival& arrival : arrivals) {
@@ -105,7 +118,7 @@ StormOutcome run_storm(const std::string& name,
   responses.reserve(futures.size());
   std::vector<double> latencies_ms;
   latencies_ms.reserve(futures.size());
-  for (std::future<SolveResponse>& future : futures) {
+  for (SolveFuture& future : futures) {
     responses.push_back(future.get());
     latencies_ms.push_back(responses.back().seconds * 1e3);
   }
@@ -230,6 +243,169 @@ int crosscheck(const std::vector<SolveResponse>& got,
   return mismatches;
 }
 
+/// Per-shard latency/traffic breakdown for one scale arm.
+struct ShardBreakdown {
+  int shard = 0;
+  std::uint64_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+/// One scale arm: a full windowed-async storm at a fixed shard count.
+struct ScaleArm {
+  StormOutcome outcome;
+  std::vector<ShardBreakdown> shards;
+  double imbalance = 0.0;  // max/mean requests per shard (1.0 = perfect)
+  int crosscheck_failures = 0;
+};
+
+/// The 10^6-request arm: floods `arrivals` through submit_async from
+/// `submitters` parallel client threads, each keeping at most
+/// `window / submitters` futures in flight. Futures are harvested
+/// oldest-first and DISCARDED after recording latency, shard, and a
+/// cross-check against the precomputed per-pool-entry reference — memory
+/// stays bounded at any request count. The cache is warmed (one pass over
+/// the pool) before the clock starts, so the arm measures serving-path
+/// contention, not first-solve cost.
+ScaleArm run_scale_arm(const std::string& name,
+                       const std::vector<Instance>& pool,
+                       const std::vector<SolveResponse>& reference,
+                       const std::vector<Arrival>& arrivals,
+                       const ServiceOptions& options, std::size_t window,
+                       unsigned submitters) {
+  SolveService service(options);
+  {
+    std::vector<SolveRequest> warm;
+    warm.reserve(pool.size());
+    for (const Instance& instance : pool) warm.push_back(SolveRequest{instance});
+    (void)service.solve_batch(std::move(warm));
+  }
+
+  // Per-client state, merged after the join: no sharing during the run.
+  struct ClientState {
+    std::vector<double> latencies_ms;
+    std::vector<std::vector<double>> shard_latencies_ms;
+    int mismatches = 0;
+  };
+  std::vector<ClientState> clients(submitters);
+  const std::size_t client_window =
+      std::max<std::size_t>(1, window / submitters);
+
+  const std::uint64_t start = obs::monotonic_ns();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (unsigned c = 0; c < submitters; ++c) {
+      threads.emplace_back([&, c] {
+        ClientState& state = clients[c];
+        state.shard_latencies_ms.resize(service.shard_count());
+        state.latencies_ms.reserve(arrivals.size() / submitters + 1);
+        std::deque<std::pair<SolveFuture, std::size_t>> inflight;
+        const auto harvest_one = [&] {
+          auto [future, pool_index] = std::move(inflight.front());
+          inflight.pop_front();
+          const SolveResponse response = future.get();
+          state.latencies_ms.push_back(response.seconds * 1e3);
+          if (response.shard >= 0 && static_cast<std::size_t>(response.shard) <
+                                         state.shard_latencies_ms.size()) {
+            state.shard_latencies_ms[static_cast<std::size_t>(response.shard)]
+                .push_back(response.seconds * 1e3);
+          }
+          if (!response.shed &&
+              (response.makespan != reference[pool_index].makespan ||
+               !(response.schedule == reference[pool_index].schedule))) {
+            ++state.mismatches;
+          }
+        };
+        // Client c owns every (submitters)-th arrival, on the original
+        // poisson schedule.
+        for (std::size_t i = c; i < arrivals.size(); i += submitters) {
+          const Arrival& arrival = arrivals[i];
+          const std::uint64_t target = start + arrival.offset_ns;
+          const std::uint64_t now = obs::monotonic_ns();
+          if (target > now && target - now > 1'000'000) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(target - now));
+          }
+          inflight.emplace_back(
+              service.submit_async(SolveRequest{pool[arrival.pool_index]}),
+              arrival.pool_index);
+          while (inflight.size() >= client_window) harvest_one();
+        }
+        while (!inflight.empty()) harvest_one();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double seconds =
+      static_cast<double>(obs::monotonic_ns() - start) * 1e-9;
+  const ServiceStats stats = service.stats();
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(arrivals.size());
+  std::vector<std::vector<double>> shard_latencies_ms(service.shard_count());
+  int mismatches = 0;
+  for (ClientState& state : clients) {
+    latencies_ms.insert(latencies_ms.end(), state.latencies_ms.begin(),
+                        state.latencies_ms.end());
+    for (std::size_t shard = 0; shard < state.shard_latencies_ms.size();
+         ++shard) {
+      shard_latencies_ms[shard].insert(shard_latencies_ms[shard].end(),
+                                       state.shard_latencies_ms[shard].begin(),
+                                       state.shard_latencies_ms[shard].end());
+    }
+    mismatches += state.mismatches;
+  }
+
+  ScaleArm arm;
+  arm.outcome.name = name;
+  arm.outcome.requests = static_cast<std::uint64_t>(arrivals.size());
+  arm.outcome.seconds = seconds;
+  arm.outcome.rps =
+      seconds > 0.0 ? static_cast<double>(arrivals.size()) / seconds : 0.0;
+  arm.outcome.p50_ms = percentile(latencies_ms, 50.0);
+  arm.outcome.p99_ms = percentile(latencies_ms, 99.0);
+  arm.outcome.p999_ms = percentile(latencies_ms, 99.9);
+  const double total = static_cast<double>(stats.requests);
+  if (total > 0.0) {
+    arm.outcome.shed_rate =
+        static_cast<double>(stats.shed_quota + stats.shed_overload) / total;
+    arm.outcome.coalesce_rate = static_cast<double>(stats.coalesced) / total;
+  }
+  const std::uint64_t probes = stats.cache.hits + stats.cache.misses;
+  arm.outcome.cache_hit_rate =
+      probes > 0
+          ? static_cast<double>(stats.cache.hits) / static_cast<double>(probes)
+          : 0.0;
+  arm.outcome.breaker_trips = stats.breaker.trips;
+  arm.outcome.degraded = stats.degraded;
+  arm.outcome.internal_errors = stats.internal_errors;
+  arm.crosscheck_failures = mismatches;
+
+  std::uint64_t max_requests = 0;
+  std::uint64_t sum_requests = 0;
+  for (const ShardStats& shard : stats.shards) {
+    ShardBreakdown breakdown;
+    breakdown.shard = shard.shard;
+    breakdown.requests = shard.requests;
+    const std::vector<double>& lat =
+        shard_latencies_ms[static_cast<std::size_t>(shard.shard)];
+    breakdown.p50_ms = percentile(lat, 50.0);
+    breakdown.p99_ms = percentile(lat, 99.0);
+    breakdown.p999_ms = percentile(lat, 99.9);
+    max_requests = std::max(max_requests, shard.requests);
+    sum_requests += shard.requests;
+    arm.shards.push_back(breakdown);
+  }
+  const double mean = stats.shards.empty()
+                          ? 0.0
+                          : static_cast<double>(sum_requests) /
+                                static_cast<double>(stats.shards.size());
+  arm.imbalance = mean > 0.0 ? static_cast<double>(max_requests) / mean : 0.0;
+  return arm;
+}
+
 std::vector<std::string> outcome_row(const StormOutcome& o) {
   return {o.name,
           TablePrinter::fmt(o.seconds, 3),
@@ -269,6 +445,25 @@ int main(int argc, char** argv) {
       "throughput comparison cross-checked against an unloaded reference.");
   cli.add_int("requests", 100000, "requests per mix");
   cli.add_int("workers", 8, "service worker threads (both coalescing arms)");
+  cli.add_int("shards", 1,
+              "service shards for every mix; the scale section compares "
+              "this against a single-shard arm at equal total workers");
+  cli.add_int("scale-requests", 0,
+              "scale section: requests per arm (0 disables; the tracked "
+              "BENCH_storm.json uses 1000000)");
+  cli.add_int("scale-uniques", 512,
+              "scale section: distinct problems in the pool");
+  cli.add_double("scale-rate", 500000.0,
+                 "scale section: nominal poisson arrival rate, req/s (set "
+                 "above capacity so the run is throughput-bound)");
+  cli.add_int("scale-window", 4096,
+              "scale section: max futures in flight (bounds both memory "
+              "and queue depth)");
+  cli.add_int("scale-submitters", 4,
+              "scale section: parallel client threads per arm");
+  cli.add_double("min-shard-speedup", 0.0,
+                 "fail unless the sharded scale arm beats single-shard by "
+                 "this factor (0 = report only)");
   cli.add_double("rate", 40000.0, "poisson/bursty arrival rate, req/s");
   cli.add_int("uniques", 256, "distinct problems in the poisson/bursty pool");
   cli.add_int("burst", 1024, "bursty mix: requests per burst");
@@ -305,9 +500,11 @@ int main(int argc, char** argv) {
   const double heavy_epsilon = cli.get_double("heavy-epsilon");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double min_speedup = cli.get_double("min-coalesce-speedup");
+  const unsigned shards = static_cast<unsigned>(cli.get_int("shards"));
 
   // The shedding mixes: tiered admission over a deliberately small queue.
   ServiceOptions tiered;
+  tiered.shards = shards;
   tiered.workers = workers;
   tiered.queue_capacity = queue;
   tiered.cache_capacity = 4096;
@@ -316,8 +513,8 @@ int main(int argc, char** argv) {
 
   const std::vector<Instance> pool = build_pool(uniques, m, n, seed);
   std::cout << "=== service storm: " << requests << " requests/mix, workers="
-            << workers << ", rate=" << rate << "/s, queue=" << queue
-            << ", eps=" << epsilon << " ===\n";
+            << workers << ", shards=" << shards << ", rate=" << rate
+            << "/s, queue=" << queue << ", eps=" << epsilon << " ===\n";
 
   const StormOutcome poisson = run_storm(
       "poisson", pool,
@@ -332,6 +529,7 @@ int main(int argc, char** argv) {
   const auto [heavy_pool, heavy_arrivals] =
       duplicate_heavy_mix(requests, wave, heavy_m, heavy_n, seed);
   ServiceOptions flood;
+  flood.shards = shards;
   flood.workers = workers;
   flood.queue_capacity = heavy_pool.size() + 1;  // never block, never shed
   flood.cache_capacity = 4096;
@@ -376,6 +574,89 @@ int main(int argc, char** argv) {
             << TablePrinter::fmt(coalesce_speedup, 2)
             << "x   cross-check failures: " << mismatches << "\n";
 
+  // --- scale section: single-shard vs sharded at equal total workers ---
+  const int scale_requests = static_cast<int>(cli.get_int("scale-requests"));
+  std::optional<ScaleArm> scale_single;
+  std::optional<ScaleArm> scale_sharded;
+  double shard_speedup = 0.0;
+  if (scale_requests > 0) {
+    const int scale_uniques = static_cast<int>(cli.get_int("scale-uniques"));
+    const double scale_rate = cli.get_double("scale-rate");
+    const auto scale_window =
+        static_cast<std::size_t>(cli.get_int("scale-window"));
+    PCMAX_REQUIRE(scale_window >= 1, "--scale-window must be at least 1");
+    const auto scale_submitters =
+        static_cast<unsigned>(cli.get_int("scale-submitters"));
+    PCMAX_REQUIRE(scale_submitters >= 1,
+                  "--scale-submitters must be at least 1");
+    const std::vector<Instance> scale_pool =
+        build_pool(scale_uniques, m, n, seed ^ 0x5ca1eULL);
+    const std::vector<Arrival> scale_arrivals = poisson_arrivals(
+        scale_requests, scale_pool.size(), scale_rate, seed ^ 0x5ca1eULL);
+
+    // The unloaded per-pool-entry reference every streamed response is
+    // cross-checked against.
+    ServiceOptions scale_unloaded;
+    scale_unloaded.workers = 1;
+    scale_unloaded.queue_capacity = scale_pool.size() + 1;
+    scale_unloaded.cache_capacity = scale_pool.size() + 1;
+    scale_unloaded.epsilon = epsilon;
+    std::vector<SolveRequest> scale_reference_batch;
+    scale_reference_batch.reserve(scale_pool.size());
+    for (const Instance& instance : scale_pool) {
+      scale_reference_batch.push_back(SolveRequest{instance});
+    }
+    SolveService scale_reference_service(scale_unloaded);
+    const std::vector<SolveResponse> scale_reference =
+        scale_reference_service.solve_batch(std::move(scale_reference_batch));
+
+    ServiceOptions scale_options;
+    scale_options.workers = workers;
+    scale_options.queue_capacity = 2 * scale_window;
+    scale_options.cache_capacity = 4 * static_cast<std::size_t>(scale_uniques);
+    scale_options.epsilon = epsilon;
+    std::cout << "=== scale: " << scale_requests << " requests/arm, "
+              << scale_uniques << " uniques, window=" << scale_window
+              << ", 1 vs " << shards << " shards ===\n";
+    scale_options.shards = 1;
+    scale_single =
+        run_scale_arm("scale(1 shard)", scale_pool, scale_reference,
+                      scale_arrivals, scale_options, scale_window,
+                      scale_submitters);
+    scale_options.shards = shards;
+    scale_sharded = run_scale_arm(
+        "scale(" + std::to_string(shards) + " shards)", scale_pool,
+        scale_reference, scale_arrivals, scale_options, scale_window,
+        scale_submitters);
+    shard_speedup = scale_single->outcome.rps > 0.0
+                        ? scale_sharded->outcome.rps / scale_single->outcome.rps
+                        : 0.0;
+
+    TablePrinter scale_table({"arm", "seconds", "req/s", "p50 ms", "p99 ms",
+                              "p999 ms", "shed", "coalesced", "cache hit",
+                              "trips"});
+    scale_table.add_row(outcome_row(scale_single->outcome));
+    scale_table.add_row(outcome_row(scale_sharded->outcome));
+    std::cout << scale_table.to_string();
+    TablePrinter shard_table(
+        {"shard", "requests", "p50 ms", "p99 ms", "p999 ms"});
+    for (const ShardBreakdown& breakdown : scale_sharded->shards) {
+      shard_table.add_row({std::to_string(breakdown.shard),
+                           std::to_string(breakdown.requests),
+                           TablePrinter::fmt(breakdown.p50_ms, 3),
+                           TablePrinter::fmt(breakdown.p99_ms, 3),
+                           TablePrinter::fmt(breakdown.p999_ms, 3)});
+    }
+    std::cout << shard_table.to_string() << "shard speedup: "
+              << TablePrinter::fmt(shard_speedup, 2)
+              << "x   imbalance: "
+              << TablePrinter::fmt(scale_sharded->imbalance, 3)
+              << "   scale cross-check failures: "
+              << (scale_single->crosscheck_failures +
+                  scale_sharded->crosscheck_failures)
+              << "\n";
+  }
+
   const std::string json_path = cli.get_string("json");
   if (!json_path.empty()) {
     JsonValue root = JsonValue::make_object();
@@ -395,6 +676,12 @@ int main(int argc, char** argv) {
     params["epsilon"] = epsilon;
     params["heavy_epsilon"] = heavy_epsilon;
     params["seed"] = static_cast<std::int64_t>(seed);
+    // Sharding converts shared-structure contention into per-shard
+    // parallelism; on a single-core host the wall-clock headroom is limited
+    // to the contention overhead itself, so record the core count the
+    // numbers were taken on.
+    params["hardware_concurrency"] =
+        static_cast<std::int64_t>(std::thread::hardware_concurrency());
     JsonValue& mixes = root["mixes"];
     mixes["poisson"] = outcome_json(poisson);
     mixes["bursty"] = outcome_json(bursty);
@@ -402,6 +689,38 @@ int main(int argc, char** argv) {
     mixes["duplicate_heavy_coalesce_off"] = outcome_json(dup_off);
     root["coalesce_speedup"] = coalesce_speedup;
     root["crosscheck_failures"] = mismatches;
+    if (scale_single.has_value() && scale_sharded.has_value()) {
+      // Re-fetch: the `params` reference above is invalidated by the
+      // root["mixes"]/root["scale"] insertions.
+      JsonValue& scale_params = root["params"];
+      scale_params["shards"] = shards;
+      scale_params["scale_requests"] = scale_requests;
+      scale_params["scale_uniques"] = cli.get_int("scale-uniques");
+      scale_params["scale_rate_rps"] = cli.get_double("scale-rate");
+      scale_params["scale_window"] = cli.get_int("scale-window");
+      scale_params["scale_submitters"] = cli.get_int("scale-submitters");
+      JsonValue& scale = root["scale"];
+      const auto arm_json = [](const ScaleArm& arm) {
+        JsonValue value = outcome_json(arm.outcome);
+        value["imbalance"] = arm.imbalance;
+        value["crosscheck_failures"] = arm.crosscheck_failures;
+        JsonValue per_shard = JsonValue::make_array();
+        for (const ShardBreakdown& breakdown : arm.shards) {
+          JsonValue entry = JsonValue::make_object();
+          entry["shard"] = breakdown.shard;
+          entry["requests"] = breakdown.requests;
+          entry["p50_ms"] = breakdown.p50_ms;
+          entry["p99_ms"] = breakdown.p99_ms;
+          entry["p999_ms"] = breakdown.p999_ms;
+          per_shard.append(std::move(entry));
+        }
+        value["per_shard"] = std::move(per_shard);
+        return value;
+      };
+      scale["single_shard"] = arm_json(*scale_single);
+      scale["sharded"] = arm_json(*scale_sharded);
+      scale["shard_speedup"] = shard_speedup;
+    }
     std::ofstream out(json_path);
     if (!out.good()) {
       std::cerr << "cannot open --json output file '" << json_path << "'\n";
@@ -415,6 +734,19 @@ int main(int argc, char** argv) {
     std::cerr << "coalesce speedup " << coalesce_speedup << " below required "
               << min_speedup << "\n";
     return 1;
+  }
+  if (scale_single.has_value() && scale_sharded.has_value()) {
+    if (scale_single->crosscheck_failures + scale_sharded->crosscheck_failures
+        != 0) {
+      std::cerr << "scale cross-check failures\n";
+      return 1;
+    }
+    const double min_shard_speedup = cli.get_double("min-shard-speedup");
+    if (min_shard_speedup > 0.0 && shard_speedup < min_shard_speedup) {
+      std::cerr << "shard speedup " << shard_speedup << " below required "
+                << min_shard_speedup << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -73,6 +73,16 @@ add_test(NAME bench_smoke_storm
                  --burst 96 --queue 64 --wave 16 --heavy-m 4 --heavy-n 16
                  --heavy-epsilon 0.3 --workers 2
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_storm.json)
+# The sharded arm: same storm at 4 shards plus a scaled-down pass through
+# the 10^6-request scale section (windowed async dispatch, per-shard
+# latency breakdown, shard-vs-single cross-check).
+add_test(NAME bench_smoke_storm_sharded
+         COMMAND service_storm --requests 192 --rate 100000 --uniques 24
+                 --burst 96 --queue 64 --wave 16 --heavy-m 4 --heavy-n 16
+                 --heavy-epsilon 0.3 --workers 4 --shards 4
+                 --scale-requests 4096 --scale-uniques 48 --scale-window 256
+                 --scale-submitters 2
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_storm_sharded.json)
 add_test(NAME bench_smoke_portfolio
          COMMAND portfolio_race --limit-sizes 1 --exact-seconds 1
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_portfolio.json)
@@ -82,6 +92,6 @@ add_test(NAME bench_smoke_micro_pool
 set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
                      bench_smoke_ablation_schema
                      bench_smoke_micro_dp bench_smoke_service
-                     bench_smoke_storm bench_smoke_portfolio
-                     bench_smoke_micro_pool
+                     bench_smoke_storm bench_smoke_storm_sharded
+                     bench_smoke_portfolio bench_smoke_micro_pool
                      PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

@@ -151,4 +151,16 @@ Fingerprint request_fingerprint(const CanonicalInstance& canonical,
   return fp.finish();
 }
 
+std::size_t shard_index(const Fingerprint& fingerprint,
+                        std::size_t shard_count) {
+  PCMAX_REQUIRE(shard_count >= 1, "shard count must be at least 1");
+  if (shard_count == 1) return 0;
+  // Fold both lanes through one avalanche so every fingerprint bit can move
+  // the shard choice; plain modulo keeps the mapping obvious and exact.
+  const std::uint64_t folded =
+      mix64(fingerprint.hi ^ std::rotl(fingerprint.lo, 32));
+  return static_cast<std::size_t>(folded %
+                                  static_cast<std::uint64_t>(shard_count));
+}
+
 }  // namespace pcmax

@@ -112,4 +112,14 @@ class CanonicalInstance {
 Fingerprint request_fingerprint(const CanonicalInstance& canonical,
                                 double epsilon);
 
+/// Deterministic shard selection over a fingerprint: a PURE function of
+/// (fingerprint, shard_count) in [0, shard_count). Both 64-bit lanes feed
+/// the choice through one more avalanche round, so shard populations stay
+/// balanced even for key sets that collide in the low bits of `lo`.
+/// shard_count must be >= 1. The sharded solve service routes every request
+/// with this — permuted duplicates share a fingerprint, hence a shard, which
+/// is what makes per-shard caches and coalescing maps exhaustive.
+[[nodiscard]] std::size_t shard_index(const Fingerprint& fingerprint,
+                                      std::size_t shard_count);
+
 }  // namespace pcmax

@@ -46,6 +46,11 @@ const char* counter_name(Counter counter) {
     case Counter::kPortfolioRacersCancelled: return "portfolio.racers_cancelled";
     case Counter::kPortfolioIncumbentUpdates: return "portfolio.incumbent_updates";
     case Counter::kPortfolioBoundTightenings: return "portfolio.bound_tightenings";
+    case Counter::kServiceShardDispatches: return "service.shard.dispatches";
+    case Counter::kServiceFuturesResolved: return "service.futures_resolved";
+    case Counter::kServiceFuturesContinuations:
+      return "service.futures_continuations";
+    case Counter::kServiceFuturesExpired: return "service.futures_expired";
   }
   throw InvalidArgumentError("unknown counter");
 }

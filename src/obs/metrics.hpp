@@ -84,8 +84,12 @@ enum class Counter : unsigned {
   kPortfolioRacersCancelled,   ///< racers stopped by the race controller
   kPortfolioIncumbentUpdates,  ///< improving IncumbentBoard publishes
   kPortfolioBoundTightenings,  ///< bisection UBs clamped by the incumbent
+  kServiceShardDispatches,     ///< requests routed to a shard by fingerprint
+  kServiceFuturesResolved,     ///< SolveFuture deliveries (value set)
+  kServiceFuturesContinuations,///< then() continuations executed
+  kServiceFuturesExpired,      ///< deadline-expired waits answered shed:deadline
 };
-inline constexpr std::size_t kCounterCount = 38;
+inline constexpr std::size_t kCounterCount = 42;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);

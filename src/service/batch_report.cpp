@@ -23,6 +23,9 @@ JsonValue batch_report(const ServiceOptions& options,
       options.shed_policy == ShedPolicy::kTiered ? "tiered" : "static";
   config["coalesce"] = options.coalesce;
   config["breaker_enabled"] = options.breaker_enabled;
+  // Appended (PR 9) so pre-existing fields keep their byte-exact positions
+  // in golden files.
+  config["shards"] = options.shards;
 
   std::set<std::string> unique;
   for (const SolveResponse& response : responses) {
@@ -75,6 +78,7 @@ JsonValue batch_report(const ServiceOptions& options,
     entry["tenant"] = response.tenant;
     entry["shed"] = response.shed;
     entry["coalesced"] = response.coalesced;
+    entry["shard"] = response.shard;
     requests.append(std::move(entry));
   }
   report["requests"] = std::move(requests);

@@ -12,70 +12,22 @@ namespace pcmax {
 
 namespace {
 
-double ns_to_seconds(std::uint64_t begin_ns, std::uint64_t end_ns) {
-  return static_cast<double>(end_ns - begin_ns) * 1e-9;
-}
-
 void bump(obs::Counter counter) {
   obs::Metrics* metrics = obs::current();
   if (metrics != nullptr) metrics->add(0, counter);
 }
 
-/// Outcomes a full-fidelity attempt can report to the breaker.
-bool breaker_failure(const std::string& reason) {
-  return reason == "deadline" || reason.rfind("resource-limit", 0) == 0;
+/// This shard's slice of a service-wide capacity: an even split, never
+/// below 1 (a shard with a zero-capacity queue could not serve at all).
+std::size_t slice(std::size_t total, unsigned shards) {
+  return std::max<std::size_t>(1, total / shards);
 }
-
-/// RAII over one breaker consultation. Every admitted attempt must report
-/// exactly one verdict (see CircuitBreaker::on_abandon) or a half-open key
-/// wedges with its probe slot held forever; the destructor backstops every
-/// exit path — a request parked as a coalescing follower, a non-resource
-/// exception out of the solver — by reporting abandon when the scope unwinds
-/// with no explicit verdict.
-class BreakerAttempt {
- public:
-  BreakerAttempt(CircuitBreaker& breaker, const char* key)
-      : breaker_(breaker), key_(key) {}
-  ~BreakerAttempt() {
-    if (admitted_ && !reported_) breaker_.on_abandon(key_);
-  }
-  BreakerAttempt(const BreakerAttempt&) = delete;
-  BreakerAttempt& operator=(const BreakerAttempt&) = delete;
-
-  /// Consults CircuitBreaker::allow (hits fault site "breaker.allow", may
-  /// throw). True = this attempt is admitted and owes a verdict.
-  [[nodiscard]] bool allow() {
-    admitted_ = breaker_.allow(key_);
-    return admitted_;
-  }
-  void success() {
-    if (take()) breaker_.on_success(key_);
-  }
-  void failure() {
-    if (take()) breaker_.on_failure(key_);
-  }
-  void abandon() {
-    if (take()) breaker_.on_abandon(key_);
-  }
-
- private:
-  /// Claims the single verdict; false when not admitted or already reported.
-  bool take() {
-    if (!admitted_ || reported_) return false;
-    reported_ = true;
-    return true;
-  }
-
-  CircuitBreaker& breaker_;
-  const char* key_;
-  bool admitted_ = false;
-  bool reported_ = false;
-};
 
 }  // namespace
 
 SolveService::SolveService(ServiceOptions options)
     : options_(std::move(options)) {
+  PCMAX_REQUIRE(options_.shards >= 1, "service needs at least one shard");
   PCMAX_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   PCMAX_REQUIRE(options_.lane_width >= 1, "lane width must be at least 1");
   PCMAX_REQUIRE(options_.epsilon > 0, "service default epsilon must be > 0");
@@ -88,41 +40,64 @@ SolveService::SolveService(ServiceOptions options)
   PCMAX_REQUIRE(options_.heavy_pressure >= options_.lite_pressure &&
                     options_.shed_pressure >= options_.heavy_pressure,
                 "pressure thresholds must be non-decreasing");
-  queue_ = std::make_unique<BoundedQueue<Pending>>(options_.queue_capacity);
-  const unsigned lanes =
-      options_.lanes == 0 ? options_.workers : options_.lanes;
-  lanes_ = std::make_unique<ExecutorLanes>(lanes, options_.lane_width);
-  if (options_.cache_capacity > 0) {
-    cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+
+  const unsigned shards = options_.shards;
+  // Worker distribution: an even split with the remainder on the first
+  // shards, and at least one worker per shard (a worker-less shard would
+  // never drain). With workers < shards the effective total grows to
+  // `shards` — documented on ServiceOptions::workers.
+  std::vector<unsigned> shard_workers(shards);
+  unsigned total_workers = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    shard_workers[s] = std::max(1u, options_.workers / shards +
+                                        (s < options_.workers % shards));
+    total_workers += shard_workers[s];
   }
-  breaker_ = std::make_unique<CircuitBreaker>(options_.breaker);
+  const unsigned lanes = options_.lanes == 0 ? total_workers : options_.lanes;
+  lanes_ = std::make_unique<ExecutorLanes>(lanes, options_.lane_width);
+
   if (!options_.tenant_weights.empty()) {
     unsigned total_weight = 0;
     for (const auto& [tenant, weight] : options_.tenant_weights) {
       PCMAX_REQUIRE(weight >= 1, "tenant weights must be at least 1");
       total_weight += weight;
     }
+    // Quotas are GLOBAL (counted across shards) against the TOTAL queue
+    // capacity, so tenant shares do not depend on the shard count.
     for (const auto& [tenant, weight] : options_.tenant_weights) {
       tenant_caps_[tenant] = std::max<std::size_t>(
           1, options_.queue_capacity * weight / total_weight);
     }
   }
-  workers_.reserve(options_.workers);
-  for (unsigned w = 0; w < options_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+
+  const std::size_t shard_queue = slice(options_.queue_capacity, shards);
+  const std::size_t shard_cache =
+      options_.cache_capacity == 0 ? 0
+                                   : slice(options_.cache_capacity, shards);
+  const std::size_t shard_watermark =
+      options_.saturation_watermark == 0
+          ? 0
+          : slice(options_.saturation_watermark, shards);
+  shards_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<ServiceShard>(
+        static_cast<int>(s), options_, shard_queue, shard_cache,
+        shard_watermark, shard_workers[s], lanes_.get(),
+        [this](const std::string& tenant) { release_tenant_slot(tenant); }));
   }
 }
 
 SolveService::~SolveService() {
   shutting_down_.store(true, std::memory_order_relaxed);
-  queue_->close();  // drain semantics: queued requests still get answers
-  for (std::thread& worker : workers_) worker.join();
+  // Close every queue first so all shards drain concurrently, then join.
+  for (auto& shard : shards_) shard->close();
+  for (auto& shard : shards_) shard->join();
 }
 
-std::future<SolveResponse> SolveService::submit(SolveRequest request) {
+SolveFuture SolveService::submit_async(SolveRequest request) {
   PCMAX_REQUIRE(!shutting_down_.load(std::memory_order_relaxed),
                 "service is shutting down");
-  Pending pending{std::move(request)};
+  ServiceShard::Pending pending{std::move(request)};
   pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   // The per-request budget starts at ADMISSION: time spent waiting in the
   // queue is spent budget, which is what lets the dispatch-time admission
@@ -137,12 +112,41 @@ std::future<SolveResponse> SolveService::submit(SolveRequest request) {
   } else {
     pending.token = pending.request.cancel;
   }
+
+  // Routing: canonical form, fingerprint, and shard are computed HERE, on
+  // the caller's thread — shard workers never re-canonicalize, and the
+  // shard choice is a pure function of the fingerprint.
+  pending.epsilon = effective_epsilon(pending.request);
+  pending.canonical.emplace(pending.request.instance);
+  pending.key = request_fingerprint(*pending.canonical, pending.epsilon);
+  const std::size_t shard = shard_index(pending.key, shards_.size());
+  pending.shard = static_cast<int>(shard);
   pending.enqueue_ns = obs::monotonic_ns();
-  std::future<SolveResponse> future = pending.promise.get_future();
+  pending.promise.stamp(pending.id, pending.request.instance.machines(),
+                        pending.request.instance.jobs(),
+                        pending.request.tenant, pending.key, pending.shard);
+  SolveFuture future = pending.promise.get_future();
+  bump(obs::Counter::kServiceShardDispatches);
+
+  try {
+    fault_hit("service.shard.dispatch");
+  } catch (const ResourceLimitError& e) {
+    // An injected routing fault must neither lose the request nor leak a
+    // queue slot it never took: answer with a structured shed.
+    SolveResponse shed =
+        shards_[shard]->make_shed_response(pending.request,
+                                           "shed:dispatch-fault",
+                                           /*overload=*/true);
+    shed.fingerprint = pending.key;
+    shed.notes["dispatch_fault"] = e.what();
+    shards_[shard]->finish(pending, std::move(shed), pending.enqueue_ns);
+    return future;
+  }
 
   // Tenant quota: a capped tenant may hold only its weighted share of the
-  // queue. The check-and-increment is atomic under tenant_mutex_; the slot
-  // is returned when a worker pops the request (worker_loop).
+  // total queue capacity, counted across shards. The check-and-increment is
+  // atomic under tenant_mutex_; the slot is returned when a shard worker
+  // pops the request.
   const std::string& tenant = pending.request.tenant;
   const auto cap = tenant_caps_.find(tenant);
   if (cap != tenant_caps_.end()) {
@@ -150,28 +154,34 @@ std::future<SolveResponse> SolveService::submit(SolveRequest request) {
     std::size_t& queued = tenant_queued_[tenant];
     if (queued >= cap->second) {
       SolveResponse shed =
-          make_shed_response(pending.request, "shed:tenant-quota",
-                             /*overload=*/false);
-      finish(pending, std::move(shed), pending.enqueue_ns);
+          shards_[shard]->make_shed_response(pending.request,
+                                             "shed:tenant-quota",
+                                             /*overload=*/false);
+      shed.fingerprint = pending.key;
+      shards_[shard]->finish(pending, std::move(shed), pending.enqueue_ns);
       return future;
     }
     ++queued;
   }
 
   if (options_.shed_policy == ShedPolicy::kTiered) {
-    // Open-loop admission: a full queue sheds instead of blocking the
+    // Open-loop admission: a full shard queue sheds instead of blocking the
     // submitter, so the arrival loop stays responsive under a storm.
-    std::optional<Pending> rejected = queue_->try_push(std::move(pending));
+    std::optional<ServiceShard::Pending> rejected =
+        shards_[shard]->try_push(std::move(pending));
     if (rejected.has_value()) {
       release_tenant_slot(rejected->request.tenant);
       SolveResponse shed =
-          make_shed_response(rejected->request, "shed:queue-full",
-                             /*overload=*/true);
-      finish(*rejected, std::move(shed), rejected->enqueue_ns);
+          shards_[shard]->make_shed_response(rejected->request,
+                                             "shed:queue-full",
+                                             /*overload=*/true);
+      shed.fingerprint = rejected->key;
+      shards_[shard]->finish(*rejected, std::move(shed),
+                             rejected->enqueue_ns);
     }
     return future;
   }
-  if (!queue_->push(std::move(pending))) {
+  if (!shards_[shard]->push_blocking(std::move(pending))) {
     release_tenant_slot(tenant);
     throw Error("service is shutting down");
   }
@@ -180,14 +190,14 @@ std::future<SolveResponse> SolveService::submit(SolveRequest request) {
 
 std::vector<SolveResponse> SolveService::solve_batch(
     std::vector<SolveRequest> requests) {
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   futures.reserve(requests.size());
   for (SolveRequest& request : requests) {
-    futures.push_back(submit(std::move(request)));
+    futures.push_back(submit_async(std::move(request)));
   }
   std::vector<SolveResponse> responses;
   responses.reserve(futures.size());
-  for (std::future<SolveResponse>& future : futures) {
+  for (SolveFuture& future : futures) {
     responses.push_back(future.get());
   }
   return responses;
@@ -195,410 +205,38 @@ std::vector<SolveResponse> SolveService::solve_batch(
 
 ServiceStats SolveService::stats() const {
   ServiceStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.degraded = degraded_.load(std::memory_order_relaxed);
-  stats.shed_quota = shed_quota_.load(std::memory_order_relaxed);
-  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
-  if (cache_ != nullptr) stats.cache = cache_->stats();
-  stats.breaker = breaker_->totals();
-  stats.queue_high_watermark = queue_->high_watermark();
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s = shard->stats();
+    stats.requests += s.requests;
+    stats.degraded += s.degraded;
+    stats.shed_quota += s.shed_quota;
+    stats.shed_overload += s.shed_overload;
+    stats.coalesced += s.coalesced;
+    stats.internal_errors += s.internal_errors;
+    stats.cache.hits += s.cache.hits;
+    stats.cache.misses += s.cache.misses;
+    stats.cache.evictions += s.cache.evictions;
+    stats.cache.collisions += s.cache.collisions;
+    stats.cache.size += s.cache.size;
+    stats.breaker.trips += s.breaker.trips;
+    stats.breaker.rejects += s.breaker.rejects;
+    stats.breaker.probes += s.breaker.probes;
+    stats.breaker.closes += s.breaker.closes;
+    stats.breaker.failures += s.breaker.failures;
+    stats.breaker.successes += s.breaker.successes;
+    stats.breaker.abandons += s.breaker.abandons;
+    stats.breaker.consecutive_failures =
+        std::max(stats.breaker.consecutive_failures,
+                 s.breaker.consecutive_failures);
+    // Each shard's watermark is bounded by its own capacity, hence by the
+    // configured total — the max preserves the PR 4 invariant
+    // (watermark <= queue_capacity) at any shard count.
+    stats.queue_high_watermark =
+        std::max(stats.queue_high_watermark, s.queue_high_watermark);
+    stats.shards.push_back(std::move(s));
+  }
   return stats;
-}
-
-void SolveService::worker_loop() {
-  while (auto pending = queue_->pop()) {
-    // The quota counts QUEUED requests; the slot frees at dispatch. Done
-    // here (not in process) so coalescing re-dispatch cannot double-free.
-    release_tenant_slot(pending->request.tenant);
-    process(std::move(*pending));
-  }
-}
-
-void SolveService::process(Pending pending) {
-  const std::uint64_t dispatch_ns = obs::monotonic_ns();
-  SolveResponse response;
-  try {
-    try {
-      std::optional<SolveResponse> handled = handle(pending);
-      // A parked coalescing follower: its promise now belongs to the
-      // in-flight leader, which will resolve it on completion.
-      if (!handled.has_value()) return;
-      response = std::move(*handled);
-    } catch (const ResourceLimitError& e) {
-      // A budget (or injected fault) tripped outside the resilient solver's
-      // own rungs: answer with the degraded path, never with an exception.
-      try {
-        response =
-            cheap_solve(pending, std::string("resource-limit: ") + e.what());
-      } catch (const ResourceLimitError& inner) {
-        // Even the degraded rung tripped: shed with provenance rather than
-        // drop the request or retry a path that just proved unavailable.
-        response = make_shed_response(pending.request,
-                                      "shed:resource-exhausted",
-                                      /*overload=*/true);
-        response.notes["resource_limit"] = inner.what();
-      }
-    }
-  } catch (const Error&) {
-    // Typed pcmax errors (InvalidArgumentError, InternalError, ...) are
-    // bugs or caller errors; deliver them through the future unchanged —
-    // the service never converts a bug into a result.
-    pending.promise.set_exception(std::current_exception());
-    return;
-  } catch (const std::exception& e) {
-    // Unknown exceptions must not kill the worker or hang the future:
-    // answer with a structured internal-error response.
-    response = internal_error_response(pending.request, e.what());
-  } catch (...) {
-    response = internal_error_response(pending.request, "unknown exception");
-  }
-  finish(pending, std::move(response), dispatch_ns);
-}
-
-std::optional<SolveResponse> SolveService::handle(Pending& pending) {
-  fault_hit("service.request");
-  const double epsilon = effective_epsilon(pending.request);
-  const CanonicalInstance canonical(pending.request.instance);
-  const Fingerprint key = request_fingerprint(canonical, epsilon);
-
-  std::string cache_note = cache_ != nullptr ? "miss" : "disabled";
-  if (cache_ != nullptr) {
-    std::optional<CacheEntry> entry;
-    try {
-      fault_hit("service.cache");
-      entry = cache_->lookup(key, canonical.instance());
-    } catch (const ResourceLimitError& e) {
-      // A failing cache must cost a recompute, never availability.
-      cache_note = std::string("lookup-bypassed: ") + e.what();
-    }
-    if (entry.has_value()) {
-      SolveResponse response;
-      response.fingerprint = key;
-      response.cache_hit = true;
-      response.makespan = entry->makespan;
-      response.algorithm = entry->algorithm;
-      response.proven_optimal = entry->proven_optimal;
-      // Lift the canonical-space assignment through THIS request's sort
-      // permutation: valid for its job numbering, same makespan.
-      response.schedule = canonical.lift(entry->assignment);
-      response.schedule.validate(pending.request.instance);
-      response.notes["cache"] = "hit";
-      return response;
-    }
-  }
-
-  // Admission decision: map the pressure signal (queue depth, deadline
-  // headroom, breaker state) onto a solver tier — or shed outright.
-  Tier tier = Tier::kFull;
-  std::string forced_reason;
-  bool breaker_blocked = false;
-  BreakerAttempt attempt(*breaker_, solver_key());
-  const std::size_t depth = queue_->size();
-  const bool deadline_near =
-      pending.deadline.has_limit() &&
-      pending.deadline.remaining_seconds() * 1000.0 <
-          static_cast<double>(options_.deadline_near_ms);
-  if (options_.shed_policy == ShedPolicy::kStatic) {
-    // PR 4 semantics: a saturated queue or a nearly-spent deadline sends
-    // the request down the cheap path instead of starting a doomed PTAS.
-    const std::size_t watermark = options_.saturation_watermark == 0
-                                      ? options_.queue_capacity
-                                      : options_.saturation_watermark;
-    if (depth >= watermark) {
-      tier = Tier::kLite;
-      forced_reason = "queue-saturated";
-    } else if (deadline_near) {
-      tier = Tier::kLite;
-      forced_reason = "deadline-near";
-    } else if (options_.breaker_enabled && !attempt.allow()) {
-      breaker_blocked = true;
-      tier = Tier::kLite;
-      forced_reason = std::string("breaker-open:") + solver_key();
-    }
-  } else {
-    double pressure = static_cast<double>(depth) /
-                      static_cast<double>(options_.queue_capacity);
-    // A nearly spent budget is weighted at the lite threshold, never less:
-    // a full PTAS launched against it is doomed, and its certain "deadline"
-    // failure would feed the breaker's streak — a storm of tiny-deadline
-    // requests must degrade themselves (as under the static policy), not
-    // trip the breaker for everyone else.
-    if (deadline_near) pressure += options_.lite_pressure;
-    // The breaker is only consulted when the request would otherwise take
-    // the full-fidelity rung: its reject count mirrors skipped attempts.
-    if (options_.breaker_enabled && pressure < options_.lite_pressure &&
-        !attempt.allow()) {
-      breaker_blocked = true;
-      pressure += 0.5;
-    }
-    if (pressure >= options_.shed_pressure) {
-      SolveResponse shed = make_shed_response(pending.request, "shed:pressure",
-                                              /*overload=*/true);
-      shed.fingerprint = key;
-      return shed;
-    }
-    if (pressure >= options_.heavy_pressure) {
-      tier = Tier::kHeuristic;
-      forced_reason = breaker_blocked
-                          ? std::string("breaker-open:") + solver_key()
-                          : "pressure-heavy";
-    } else if (pressure >= options_.lite_pressure || breaker_blocked) {
-      tier = Tier::kLite;
-      if (breaker_blocked) {
-        forced_reason = std::string("breaker-open:") + solver_key();
-      } else {
-        forced_reason = deadline_near ? "deadline-near" : "pressure-lite";
-      }
-    }
-  }
-
-  // Coalescing gate (full-fidelity tier only): the first miss of a
-  // fingerprint leads; concurrent duplicates park behind it and receive
-  // the leader's canonical-space result instead of racing redundant solves.
-  bool leader = false;
-  if (tier == Tier::kFull && options_.coalesce) {
-    std::lock_guard lock(inflight_mutex_);
-    const auto it = inflight_.find(key);
-    if (it != inflight_.end()) {
-      // The in-flight leader owns the solve and its breaker verdict; this
-      // request's own admission ends verdict-less. Release it (a half-open
-      // probe slot must not wedge behind a parked follower).
-      attempt.abandon();
-      it->second.followers.push_back(std::move(pending));
-      return std::nullopt;
-    }
-    inflight_.emplace(key, Inflight{});
-    leader = true;
-  }
-
-  SolveResponse response;
-  try {
-    try {
-      response = run_solver(pending, canonical, tier, forced_reason);
-    } catch (const ResourceLimitError&) {
-      attempt.failure();
-      throw;
-    }
-    // Every admitted full-fidelity attempt reports exactly one verdict
-    // (the BreakerAttempt destructor abandons any path missed here, e.g. a
-    // non-resource exception). "cancelled" is the caller's doing, not the
-    // solver's — it must not feed the failure streak, but it must release
-    // a probe slot.
-    const std::string& reason = response.degradation_reason;
-    if (reason == "none") {
-      attempt.success();
-    } else if (breaker_failure(reason)) {
-      attempt.failure();
-    } else {
-      attempt.abandon();
-    }
-    if (breaker_blocked) response.notes["breaker"] = "open-rerouted";
-    response.fingerprint = key;
-    response.notes["cache"] = cache_note;
-
-    // Only full-fidelity results enter the cache: a degraded answer must
-    // never be served to a future caller with a healthy budget.
-    if (cache_ != nullptr && response.degradation_reason == "none") {
-      try {
-        fault_hit("service.cache");
-        CacheEntry entry{canonical.instance(),
-                         canonical.project(response.schedule),
-                         response.makespan, response.algorithm,
-                         response.proven_optimal};
-        cache_->insert(key, std::move(entry));
-      } catch (const ResourceLimitError& e) {
-        response.notes["cache"] = std::string("store-skipped: ") + e.what();
-      }
-    }
-  } catch (...) {
-    // Leadership must not leak: hand parked followers back to the pipeline
-    // (there is no shareable result) before the error propagates.
-    if (leader) conclude_leadership(key, canonical, nullptr);
-    throw;
-  }
-  if (leader) conclude_leadership(key, canonical, &response);
-  return response;
-}
-
-void SolveService::conclude_leadership(const Fingerprint& key,
-                                       const CanonicalInstance& canonical,
-                                       const SolveResponse* response) {
-  std::vector<Pending> followers;
-  {
-    std::lock_guard lock(inflight_mutex_);
-    const auto it = inflight_.find(key);
-    if (it == inflight_.end()) return;
-    followers = std::move(it->second.followers);
-    inflight_.erase(it);
-  }
-  if (followers.empty()) return;
-
-  // Degraded (or absent) leader results are never shared: a follower with a
-  // healthy budget must not inherit a neighbour's degradation.
-  if (response == nullptr || response->degradation_reason != "none") {
-    for (Pending& follower : followers) process(std::move(follower));
-    return;
-  }
-
-  // Share the result in CANONICAL space: each follower lifts it through its
-  // OWN sort permutation, so its response is exactly what a fresh solve or
-  // cache hit of its submitted ordering would have produced.
-  const std::vector<int> assignment = canonical.project(response->schedule);
-  for (Pending& follower : followers) {
-    const std::uint64_t delivery_ns = obs::monotonic_ns();
-    try {
-      SolveResponse shared;
-      shared.fingerprint = response->fingerprint;
-      shared.makespan = response->makespan;
-      shared.algorithm = response->algorithm;
-      shared.proven_optimal = response->proven_optimal;
-      shared.coalesced = true;
-      const CanonicalInstance follower_canonical(follower.request.instance);
-      shared.schedule = follower_canonical.lift(assignment);
-      shared.schedule.validate(follower.request.instance);
-      shared.notes["cache"] = "coalesced";
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
-      bump(obs::Counter::kServiceCoalesced);
-      finish(follower, std::move(shared), delivery_ns);
-    } catch (...) {
-      follower.promise.set_exception(std::current_exception());
-    }
-  }
-}
-
-SolveResponse SolveService::cheap_solve(Pending& pending,
-                                        const std::string& reason) {
-  const double epsilon = effective_epsilon(pending.request);
-  const CanonicalInstance canonical(pending.request.instance);
-  SolveResponse response =
-      run_solver(pending, canonical, Tier::kLite, reason);
-  response.fingerprint = request_fingerprint(canonical, epsilon);
-  response.notes["cache"] = "skipped-degraded";
-  return response;
-}
-
-SolveResponse SolveService::run_solver(Pending& pending,
-                                       const CanonicalInstance& canonical,
-                                       Tier tier,
-                                       const std::string& forced_reason) {
-  // API v2: the stop signal rides in a SolveContext instead of the solver
-  // option structs (whose cancel fields are deprecated — using them here
-  // would stamp deprecation notes into every response).
-  SolveContext context = SolveContext::with_token(pending.token);
-
-  const ExecutorLanes::Lease lease = lanes_->acquire();
-  // Solve the CANONICAL twin, not the submitted ordering. The PTAS maps
-  // concrete jobs into rounded value classes in job order, and two jobs in
-  // one class have different true times — so its makespan is not
-  // permutation-invariant. Solving in canonical space and lifting through
-  // the request's sort permutation makes every response a pure function of
-  // the problem (machines + job multiset + epsilon), so cache hits, misses
-  // and coalesced deliveries for one fingerprint are indistinguishable.
-  SolverResult result;
-  if (options_.mode == ServiceMode::kPortfolio && tier == Tier::kFull) {
-    PortfolioOptions portfolio;
-    portfolio.build.epsilon = effective_epsilon(pending.request);
-    portfolio.build.multifit_iterations = options_.multifit_iterations;
-    portfolio.build.local_search_rounds = options_.local_search_rounds;
-    // Sequential race on this worker: deterministic winner (responses must
-    // stay pure functions of the problem for cache coherence), and no
-    // competition with other workers for the leased lane.
-    portfolio.max_concurrent = 1;
-    if (options_.lane_width > 1) {
-      // Auto-selection adds the parallel-ptas racer on the leased lane;
-      // bit-compatible with the sequential fill, so responses still do not
-      // depend on the lane width.
-      portfolio.build.executor = &lease.executor();
-    }
-    result = PortfolioSolver(portfolio).solve(canonical.instance(), context);
-  } else {
-    ResilientOptions resilient;
-    resilient.ptas.epsilon = effective_epsilon(pending.request);
-    resilient.ptas_enabled = tier == Tier::kFull;
-    resilient.multifit_iterations = options_.multifit_iterations;
-    // The heuristic tier drops the local-search polish too: MULTIFIT/LPT
-    // only, the cheapest rung that still returns a valid schedule.
-    resilient.local_search_rounds =
-        tier == Tier::kHeuristic ? 0 : options_.local_search_rounds;
-    if (options_.lane_width > 1) {
-      // Parallel engine on the leased lane; bit-compatible with the
-      // sequential bottom-up fill (see tests/ptas_dp_crosscheck_test.cpp),
-      // so cache entries and responses do not depend on the lane width.
-      resilient.ptas.engine = DpEngine::kParallelBucketed;
-      resilient.ptas.executor = &lease.executor();
-    }
-    result = ResilientSolver(resilient).solve(canonical.instance(), context);
-  }
-
-  SolveResponse response;
-  response.makespan = result.makespan;
-  response.schedule = canonical.lift(
-      result.schedule.assignment(canonical.instance()));
-  response.algorithm = result.notes["algorithm_used"];
-  response.degradation_reason = forced_reason.empty()
-                                    ? result.notes["degradation_reason"]
-                                    : forced_reason;
-  response.degraded = response.degradation_reason != "none";
-  response.proven_optimal = result.proven_optimal;
-  return response;
-}
-
-void SolveService::finish(Pending& pending, SolveResponse response,
-                          std::uint64_t dispatch_ns) {
-  obs::Metrics* metrics = obs::current();
-  const std::uint64_t done_ns = obs::monotonic_ns();
-  response.id = pending.id;
-  response.machines = pending.request.instance.machines();
-  response.jobs = pending.request.instance.jobs();
-  response.tenant = pending.request.tenant;
-  response.queue_seconds = ns_to_seconds(pending.enqueue_ns, dispatch_ns);
-  response.solve_seconds = ns_to_seconds(dispatch_ns, done_ns);
-  response.seconds = ns_to_seconds(pending.enqueue_ns, done_ns);
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  if (response.degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
-  if (metrics != nullptr) {
-    metrics->add(0, obs::Counter::kServiceRequests);
-    if (response.degraded) metrics->add(0, obs::Counter::kServiceDegraded);
-    metrics->add_timer(obs::Timer::kServiceRequest, done_ns - dispatch_ns);
-    metrics->add_span("service.request", 0, pending.enqueue_ns, done_ns);
-  }
-  pending.promise.set_value(std::move(response));
-}
-
-SolveResponse SolveService::make_shed_response(const SolveRequest& request,
-                                               const std::string& reason,
-                                               bool overload) {
-  SolveResponse response;
-  response.schedule = Schedule(std::max(1, request.instance.machines()));
-  response.algorithm = "none";
-  response.degradation_reason = reason;
-  response.degraded = true;
-  response.shed = true;
-  response.notes["shed"] = overload ? "overload" : "tenant-quota";
-  if (overload) {
-    shed_overload_.fetch_add(1, std::memory_order_relaxed);
-    bump(obs::Counter::kServiceShedOverload);
-  } else {
-    shed_quota_.fetch_add(1, std::memory_order_relaxed);
-    bump(obs::Counter::kServiceShedQuota);
-  }
-  return response;
-}
-
-SolveResponse SolveService::internal_error_response(
-    const SolveRequest& request, const std::string& what) {
-  SolveResponse response;
-  response.schedule = Schedule(std::max(1, request.instance.machines()));
-  response.algorithm = "none";
-  response.degradation_reason = "internal-error";
-  response.degraded = true;
-  response.shed = true;
-  response.notes["internal_error"] = what;
-  internal_errors_.fetch_add(1, std::memory_order_relaxed);
-  bump(obs::Counter::kServiceInternalErrors);
-  return response;
 }
 
 void SolveService::release_tenant_slot(const std::string& tenant) {

@@ -1,47 +1,40 @@
-// Batch solve service: admission-controlled, deduplicating, degradation-
-// aware, overload-hardened front end over the solver stack.
+// Sharded, asynchronous batch solve service: admission-controlled,
+// deduplicating, degradation-aware, overload-hardened front end over the
+// solver stack.
 //
 // One-instance-at-a-time Solver::solve() makes every caller pay full PTAS
 // cost, even for a request someone else just solved, and gives concurrent
 // callers nothing to share. SolveService turns the library into a serving
-// tier:
+// tier. Since PR 9 that tier is SHARDED and FULLY ASYNCHRONOUS:
 //
-//  * submissions enter a BOUNDED QUEUE — under the default (static) shed
-//    policy producers block while it is full (backpressure); under the
-//    tiered policy a full queue SHEDS instead (a structured reject response,
-//    never an exception), keeping the arrival loop open under storms;
-//  * every request is CANONICALIZED and FINGERPRINTED (core/fingerprint):
-//    permuted duplicates share one 128-bit key, and an LRU RESULT CACHE
-//    short-circuits them — a hit lifts the cached canonical-space schedule
-//    through the request's own sort permutation. Misses solve the CANONICAL
-//    twin and lift too, so a response is a pure function of the problem
-//    (machines, job multiset, epsilon), the same whether it was computed
-//    fresh, served from cache, or shared via coalescing;
-//  * CONCURRENT DUPLICATES COALESCE: the first full-fidelity miss of a
-//    fingerprint becomes the LEADER; duplicates dispatched while it solves
-//    park as FOLLOWERS and receive the leader's canonical-space result
-//    (lifted through their own permutation) instead of racing the cache
-//    with redundant solves. Degraded leader results are never shared —
-//    followers re-solve;
-//  * the ADMISSION layer degrades per request instead of failing. A
-//    PRESSURE SIGNAL (queue depth + deadline headroom + breaker state)
-//    selects a tier: full fidelity (PTAS/portfolio) → lite
-//    (MULTIFIT/LPT + local-search polish) → heuristic (MULTIFIT/LPT only)
-//    → structured shed-reject. The static policy reproduces the PR 4
-//    behavior bit-for-bit (degrade only on a saturated queue or a nearly
-//    spent deadline); the tiered policy turns the same signals into
-//    graduated load shedding. PER-TENANT WEIGHTED QUOTAS bound how much of
-//    the queue one tenant may hold; the default tenant is never capped;
-//  * a CIRCUIT BREAKER (core/breaker) keyed by the full-fidelity solver
-//    ("ptas" or "portfolio") remembers consecutive resource-shaped
-//    failures (ResourceLimitError, deadline exceedance): while open, the
-//    doomed rung is skipped up front and requests route straight to the
-//    ladder's next rung; after a cooldown (counted in rejected attempts,
-//    deterministic) a half-open probe decides whether to close;
+//  * every request is CANONICALIZED and FINGERPRINTED at submission
+//    (core/fingerprint): permuted duplicates share one 128-bit key, and
+//    shard_index(key, N) ROUTES the request to one of N INDEPENDENT SHARDS
+//    (service/shard.hpp). Each shard owns its own bounded queue, workers,
+//    result-cache slice, coalescing map, circuit breaker, and tiered shed
+//    state — there is no cross-shard lock on the serving path, so shards
+//    scale throughput with cores. Duplicates always land on one shard, so
+//    per-shard caches and coalescing maps lose no matches, and responses
+//    stay byte-identical to the 1-shard (PR 7) service
+//    (tests/service_shard_equivalence_test.cpp);
+//  * submit_async returns a SolveFuture (service/solve_future.hpp):
+//    value-or-structured-shed, then() continuations that run exactly once,
+//    and deadline-aware get_within_ms that answers "shed:deadline" instead
+//    of hanging. submit is a thin wrapper returning the same future;
+//  * within a shard the PR 7 pipeline is unchanged: an LRU RESULT CACHE
+//    short-circuits fingerprint duplicates (hits lift the cached canonical
+//    schedule through the request's own sort permutation — a response is a
+//    pure function of machines + job multiset + epsilon); CONCURRENT
+//    DUPLICATES COALESCE behind one leader; the ADMISSION layer degrades
+//    per request (full -> lite -> heuristic -> structured shed) from a
+//    pressure signal over the shard's queue depth, deadline headroom and
+//    breaker state; a CIRCUIT BREAKER per shard skips a rung that keeps
+//    failing; PER-TENANT WEIGHTED QUOTAS are enforced GLOBALLY (across
+//    shards) at submission;
 //  * solver parallelism comes from a SHARED set of persistent executor
-//    lanes (parallel/executor_lanes): per-request parallelism is capped at
-//    the lane width, so one big PTAS solve can never starve small requests,
-//    and no threads are spawned per request.
+//    lanes (parallel/executor_lanes) spanning all shards: per-request
+//    parallelism is capped at the lane width, so one big PTAS solve can
+//    never starve small requests, and no threads are spawned per request.
 //
 // Worker-thread errors: resource-shaped ones degrade (and if even the
 // degraded rung trips, the request is shed with provenance, never dropped);
@@ -52,297 +45,96 @@
 // solver path cannot silently kill a worker or hang a future.
 //
 // Results that DEGRADED are never cached: a cache must only ever serve the
-// full-fidelity answer for a key. Fault sites "service.request",
-// "service.cache" and "breaker.allow" (util/fault) let tests trip any path
-// deterministically; the chaos harness (ChaosInjector) storms all of them.
+// full-fidelity answer for a key. Fault sites "service.shard.dispatch"
+// (routing), "service.request", "service.cache", "breaker.allow", and
+// "service.future" (delivery) let tests trip any path deterministically;
+// the chaos harness (ChaosInjector) storms all of them.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
-#include <thread>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "core/breaker.hpp"
-#include "core/fingerprint.hpp"
-#include "core/instance.hpp"
-#include "core/portfolio.hpp"
-#include "core/resilient_solver.hpp"
-#include "core/schedule.hpp"
-#include "parallel/bounded_queue.hpp"
 #include "parallel/executor_lanes.hpp"
-#include "service/result_cache.hpp"
-#include "util/deadline.hpp"
+#include "service/service_types.hpp"
+#include "service/shard.hpp"
+#include "service/solve_future.hpp"
 
 namespace pcmax {
-
-/// Which solver stack answers full-fidelity (non-degraded) requests.
-enum class ServiceMode {
-  /// The graceful-degradation ladder: PTAS -> MULTIFIT/LPT + polish.
-  kResilient,
-  /// The portfolio racing engine (core/portfolio.hpp) in sequential mode:
-  /// racers share an incumbent board and run in deterministic list order,
-  /// so responses stay pure functions of the problem and remain cacheable.
-  /// Degraded requests (admission or budget) still take the cheap
-  /// resilient path.
-  kPortfolio,
-};
-
-/// How admission maps pressure onto the solver ladder.
-enum class ShedPolicy {
-  /// PR 4 semantics, bit-for-bit: block in submit() while the queue is
-  /// full; degrade to the lite tier when the queue is saturated at
-  /// dispatch or the deadline is nearly spent. Never sheds.
-  kStatic,
-  /// Graduated overload handling: submit() sheds (structured reject) when
-  /// the queue is full; at dispatch a pressure score over queue depth,
-  /// deadline headroom, and breaker state selects
-  /// full -> lite -> heuristic -> shed.
-  kTiered,
-};
-
-/// Static configuration of a SolveService.
-struct ServiceOptions {
-  /// Solver stack for full-fidelity requests.
-  ServiceMode mode = ServiceMode::kResilient;
-
-  /// Solver worker threads draining the queue (>= 1).
-  unsigned workers = 2;
-
-  /// Per-request parallelism cap: width of each executor lane. 1 = fully
-  /// sequential solves (lanes degenerate to inline execution).
-  unsigned lane_width = 1;
-
-  /// Number of shared executor lanes; 0 = one per worker. Fewer lanes than
-  /// workers adds a second admission gate below the queue.
-  unsigned lanes = 0;
-
-  /// Bounded request-queue capacity (backpressure threshold).
-  std::size_t queue_capacity = 64;
-
-  /// Result-cache capacity in entries; 0 disables caching.
-  std::size_t cache_capacity = 1024;
-
-  /// PTAS accuracy for requests that do not set their own.
-  double epsilon = 0.3;
-
-  /// Wall-clock budget applied to requests that do not set their own, in
-  /// milliseconds from ADMISSION (queue wait spends budget); 0 = unlimited.
-  std::int64_t default_time_limit_ms = 0;
-
-  /// Queue depth at dispatch at/above which a request degrades to the cheap
-  /// path ("queue-saturated"). 0 = queue_capacity, i.e. degrade only while
-  /// the queue is completely full behind this request. Static policy only.
-  std::size_t saturation_watermark = 0;
-
-  /// A request whose remaining budget is below this at dispatch degrades to
-  /// the cheap path ("deadline-near") instead of starting a doomed PTAS.
-  std::int64_t deadline_near_ms = 5;
-
-  /// Admission policy; kStatic preserves the PR 4 behavior exactly.
-  ShedPolicy shed_policy = ShedPolicy::kStatic;
-
-  /// Tiered-policy thresholds over the pressure score
-  /// (queue_depth/capacity, +0.5 when the breaker blocked full fidelity,
-  /// +lite_pressure when the deadline is near — a nearly spent budget
-  /// always degrades to at least the lite tier, so doomed full-fidelity
-  /// attempts never feed the breaker). Must be non-decreasing.
-  double lite_pressure = 1.0;
-  double heavy_pressure = 1.4;
-  double shed_pressure = 1.9;
-
-  /// Share one in-flight solve among concurrent duplicates of a
-  /// fingerprint (full-fidelity tier only).
-  bool coalesce = true;
-
-  /// Circuit breaker over the full-fidelity rung; disabled = PR 4 behavior
-  /// (every request retries the PTAS no matter how many just failed).
-  bool breaker_enabled = true;
-  BreakerOptions breaker;
-
-  /// Per-tenant admission weights; empty = no quotas (every tenant,
-  /// including the default "", is uncapped — the PR 4 behavior). A listed
-  /// tenant may hold at most max(1, queue_capacity * weight / total_weight)
-  /// queued requests; beyond that, submissions are shed with reason
-  /// "shed:tenant-quota". Unlisted tenants stay uncapped.
-  std::map<std::string, unsigned> tenant_weights;
-
-  /// Fallback-rung tuning forwarded to ResilientSolver.
-  int multifit_iterations = 10;
-  std::uint64_t local_search_rounds = 10'000;
-};
-
-/// One solve request. Copyable value; the instance is taken by value.
-struct SolveRequest {
-  explicit SolveRequest(Instance problem) : instance(std::move(problem)) {}
-
-  Instance instance;
-  /// PTAS accuracy; <= 0 uses the service default.
-  double epsilon = 0.0;
-  /// Wall-clock budget in ms from admission; < 0 uses the service default,
-  /// 0 means unlimited.
-  std::int64_t time_limit_ms = -1;
-  /// Tenant identity for admission quotas; "" is the default tenant.
-  std::string tenant;
-  /// Optional external cancellation, observed in addition to the deadline.
-  CancellationToken cancel;
-};
-
-/// One solve response, with full provenance.
-struct SolveResponse {
-  std::uint64_t id = 0;            ///< submission sequence number
-  int machines = 0;                ///< m of the submitted instance
-  int jobs = 0;                    ///< n of the submitted instance
-  Time makespan = 0;
-  Schedule schedule{1};            ///< complete valid schedule (empty if shed)
-  std::string algorithm;           ///< rung that produced the result
-  std::string degradation_reason = "none";  ///< "none" when full fidelity
-  bool degraded = false;
-  bool shed = false;               ///< structured reject: no schedule computed
-  bool coalesced = false;          ///< shared another request's in-flight solve
-  bool cache_hit = false;
-  bool proven_optimal = false;
-  std::string tenant;              ///< echo of the request's tenant id
-  Fingerprint fingerprint;         ///< request fingerprint (dedup key)
-  double queue_seconds = 0.0;      ///< admission -> dispatch
-  double solve_seconds = 0.0;      ///< dispatch -> response
-  double seconds = 0.0;            ///< admission -> response (end-to-end)
-  std::map<std::string, std::string> notes;  ///< extra textual provenance
-};
-
-/// Counter snapshot of a running service.
-struct ServiceStats {
-  std::uint64_t requests = 0;   ///< responses produced (shed ones included)
-  std::uint64_t degraded = 0;   ///< responses answered via a degraded path
-  std::uint64_t shed_quota = 0;     ///< rejects by a tenant quota
-  std::uint64_t shed_overload = 0;  ///< rejects by queue-full / pressure
-  std::uint64_t coalesced = 0;      ///< responses served off a shared solve
-  std::uint64_t internal_errors = 0;  ///< unknown exceptions structured away
-  CacheStats cache;             ///< zeroed when caching is disabled
-  BreakerKeyStats breaker;      ///< totals across breaker keys
-  std::size_t queue_high_watermark = 0;
-};
 
 class SolveService {
  public:
   explicit SolveService(ServiceOptions options = {});
 
-  /// Closes admission, drains every queued request (all futures resolve),
-  /// and joins the workers.
+  /// Closes admission, drains every queued request on every shard (all
+  /// futures resolve), and joins the workers.
   ~SolveService();
 
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
-  /// Submits one request. Under the static policy, blocks while the queue
-  /// is full (backpressure); under the tiered policy, resolves immediately
-  /// with a structured shed response instead. Tenant-quota rejects resolve
-  /// the same way under either policy. Throws Error once the service is
-  /// shutting down.
-  std::future<SolveResponse> submit(SolveRequest request);
+  /// Submits one request and returns its SolveFuture. Routing (canonical
+  /// form, fingerprint, shard) happens here, on the caller's thread. Under
+  /// the static policy, blocks while the destination shard's queue is full
+  /// (backpressure); under the tiered policy, the future resolves
+  /// immediately with a structured shed response instead. Tenant-quota
+  /// rejects resolve the same way under either policy. Throws Error once
+  /// the service is shutting down.
+  [[nodiscard]] SolveFuture submit_async(SolveRequest request);
+
+  /// Thin wrapper over submit_async, kept for the PR 4-7 call shape:
+  /// `service.submit(r).get()`. Identical semantics (the returned
+  /// SolveFuture blocks only when the caller asks it to).
+  [[nodiscard]] SolveFuture submit(SolveRequest request) {
+    return submit_async(std::move(request));
+  }
 
   /// Submits a whole batch and waits for every response. Responses are
   /// returned in request order. Exceptions from individual requests
   /// propagate when their response is collected.
   std::vector<SolveResponse> solve_batch(std::vector<SolveRequest> requests);
 
+  /// Aggregated over every shard (sums; queue_high_watermark is the max),
+  /// with the per-shard breakdown in `.shards`.
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
-  /// The breaker over the full-fidelity rung (for tests and reports).
-  [[nodiscard]] const CircuitBreaker& breaker() const { return *breaker_; }
-
- private:
-  /// The solver rung a request is admitted to.
-  enum class Tier { kFull, kLite, kHeuristic };
-
-  struct Pending {
-    explicit Pending(SolveRequest r) : request(std::move(r)) {}
-
-    SolveRequest request;
-    std::promise<SolveResponse> promise;
-    std::uint64_t id = 0;
-    std::uint64_t enqueue_ns = 0;
-    CancellationToken token;  ///< request cancel + admission-time deadline
-    Deadline deadline;        ///< the admission-time deadline itself
-  };
-
-  /// Followers parked behind one in-flight full-fidelity solve.
-  struct Inflight {
-    std::vector<Pending> followers;
-  };
-
-  void worker_loop();
-  void process(Pending pending);
-  /// The full pipeline: fingerprint, cache probe, admission decision, solve,
-  /// cache store, coalesced delivery. Returns nullopt when the request was
-  /// parked as a coalescing follower (the leader will resolve its promise).
-  /// May throw ResourceLimitError from a fault site.
-  [[nodiscard]] std::optional<SolveResponse> handle(Pending& pending);
-  /// The degraded path: MULTIFIT/LPT + polish, never the PTAS, no caching.
-  [[nodiscard]] SolveResponse cheap_solve(Pending& pending,
-                                          const std::string& reason);
-  /// Runs the tier's solver on a leased lane — always on the CANONICAL
-  /// twin, lifting the schedule back through the request's permutation, so
-  /// the response is a pure function of (machines, job multiset, epsilon).
-  /// `forced_reason` non-empty means the admission layer picked a degraded
-  /// tier and names why.
-  [[nodiscard]] SolveResponse run_solver(Pending& pending,
-                                         const CanonicalInstance& canonical,
-                                         Tier tier,
-                                         const std::string& forced_reason);
-  /// Stamps ids/timing, bumps counters/metrics, resolves the promise.
-  void finish(Pending& pending, SolveResponse response,
-              std::uint64_t dispatch_ns);
-  /// A structured reject (no schedule). `overload` selects which shed
-  /// counter is charged (overload vs tenant quota).
-  [[nodiscard]] SolveResponse make_shed_response(const SolveRequest& request,
-                                                 const std::string& reason,
-                                                 bool overload);
-  /// An unknown worker exception turned into a structured response
-  /// (counter service.internal_errors, note "internal_error").
-  [[nodiscard]] SolveResponse internal_error_response(
-      const SolveRequest& request, const std::string& what);
-  /// Returns a capped tenant's queue slot (no-op for uncapped tenants).
-  void release_tenant_slot(const std::string& tenant);
-  /// Hands the leader's canonical-space result to every parked follower
-  /// (or re-dispatches them when there is no shareable result).
-  void conclude_leadership(const Fingerprint& key,
-                           const CanonicalInstance& canonical,
-                           const SolveResponse* response);
-  [[nodiscard]] double effective_epsilon(const SolveRequest& request) const;
-  [[nodiscard]] const char* solver_key() const {
-    return options_.mode == ServiceMode::kPortfolio ? "portfolio" : "ptas";
+  /// Shard 0's breaker (with the default shards = 1, THE breaker) — for
+  /// tests and reports.
+  [[nodiscard]] const CircuitBreaker& breaker() const {
+    return shards_[0]->breaker();
+  }
+  /// Shard `index`'s breaker.
+  [[nodiscard]] const CircuitBreaker& breaker(std::size_t index) const {
+    return shards_[index]->breaker();
+  }
+  /// Number of shards actually running.
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// The shard submit_async would route this fingerprint to.
+  [[nodiscard]] std::size_t shard_of(const Fingerprint& key) const {
+    return shard_index(key, shards_.size());
   }
 
-  ServiceOptions options_;
-  std::unique_ptr<BoundedQueue<Pending>> queue_;
-  std::unique_ptr<ExecutorLanes> lanes_;
-  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
-  std::unique_ptr<CircuitBreaker> breaker_;
-  std::vector<std::thread> workers_;
+ private:
+  /// Returns a capped tenant's queue slot (no-op for uncapped tenants).
+  /// Passed to every shard; shard workers call it at pop.
+  void release_tenant_slot(const std::string& tenant);
+  [[nodiscard]] double effective_epsilon(const SolveRequest& request) const;
 
-  std::mutex inflight_mutex_;
-  std::unordered_map<Fingerprint, Inflight, FingerprintHasher> inflight_;
+  ServiceOptions options_;
+  std::unique_ptr<ExecutorLanes> lanes_;  ///< shared by all shards
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
 
   std::mutex tenant_mutex_;
   std::map<std::string, std::size_t> tenant_queued_;
   std::map<std::string, std::size_t> tenant_caps_;  // immutable after ctor
 
   std::atomic<std::uint64_t> next_id_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> shed_quota_{0};
-  std::atomic<std::uint64_t> shed_overload_{0};
-  std::atomic<std::uint64_t> coalesced_{0};
-  std::atomic<std::uint64_t> internal_errors_{0};
   std::atomic<bool> shutting_down_{false};
 };
 

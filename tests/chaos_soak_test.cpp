@@ -132,8 +132,9 @@ TEST(ChaosInjector, DifferentSeedsProduceDifferentSchedules) {
 
 TEST(ChaosSoak, ServiceSurvivesAStormAcrossEveryRegisteredSite) {
   // Warm the site registry: one clean pass through the service touches
-  // every site on the serving path (service.request, service.cache,
-  // breaker.allow, and the solver-internal sites below them).
+  // every site on the serving path (service.shard.dispatch, service.request,
+  // service.cache, breaker.allow, service.future, and the solver-internal
+  // sites below them).
   {
     ServiceOptions options;
     options.workers = 2;
@@ -148,8 +149,9 @@ TEST(ChaosSoak, ServiceSurvivesAStormAcrossEveryRegisteredSite) {
     }
   }
   const std::vector<std::string> sites = fault_sites();
-  for (const char* required : {"service.request", "service.cache",
-                               "breaker.allow", "bisection.probe"}) {
+  for (const char* required :
+       {"service.request", "service.cache", "breaker.allow",
+        "bisection.probe", "service.shard.dispatch", "service.future"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
         << "missing site " << required;
   }
@@ -163,6 +165,7 @@ TEST(ChaosSoak, ServiceSurvivesAStormAcrossEveryRegisteredSite) {
   FaultScope scope(chaos);
 
   ServiceOptions options;
+  options.shards = 4;  // soak the sharded dispatch path, not just one shard
   options.workers = 4;
   options.queue_capacity = 32;
   options.cache_capacity = 64;

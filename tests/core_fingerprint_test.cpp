@@ -163,6 +163,53 @@ TEST(RequestFingerprint, BindsEpsilonIntoTheKey) {
   EXPECT_NE(eps03, canonical.fingerprint());
 }
 
+TEST(ShardIndex, IsDeterministicAndInRange) {
+  for (int m = 2; m <= 5; ++m) {
+    for (std::uint64_t variant = 0; variant < 16; ++variant) {
+      const Instance instance = generate_instance(
+          InstanceFamily::kUniform1To100, m, 4 * m, 59, variant);
+      const Fingerprint key =
+          request_fingerprint(CanonicalInstance(instance), 0.2);
+      for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u, 16u, 64u}) {
+        const std::size_t shard = shard_index(key, shards);
+        EXPECT_LT(shard, shards);
+        EXPECT_EQ(shard, shard_index(key, shards));  // pure function
+      }
+      EXPECT_EQ(shard_index(key, 1), 0u);
+    }
+  }
+}
+
+TEST(ShardIndex, SpreadsKeysAcrossShards) {
+  // Not a uniformity proof — just a tripwire against a broken fold that
+  // collapses the 128-bit key onto a few residues (e.g. using only the low
+  // bits of one lane). 256 distinct keys over 8 shards: every shard must
+  // see a healthy share.
+  constexpr std::size_t kShards = 8;
+  std::vector<int> population(kShards, 0);
+  for (std::uint64_t variant = 0; variant < 256; ++variant) {
+    const Instance instance = generate_instance(
+        InstanceFamily::kUniform1To100, 4, 16, 83, variant);
+    const Fingerprint key =
+        request_fingerprint(CanonicalInstance(instance), 0.2);
+    ++population[shard_index(key, kShards)];
+  }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(population[shard], 8) << "shard " << shard << " starved";
+    EXPECT_LT(population[shard], 64) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ShardIndex, PinnedReferenceValues) {
+  // shard_index routes live traffic: a silent change would strand every
+  // recorded per-shard trace. Pin it alongside the fingerprint itself.
+  const CanonicalInstance canonical(Instance(3, {4, 8, 15, 16, 23, 42}));
+  const Fingerprint key = request_fingerprint(canonical, 0.3);
+  EXPECT_EQ(shard_index(key, 2), 1u);
+  EXPECT_EQ(shard_index(key, 8), 5u);
+  EXPECT_EQ(shard_index(key, 16), 13u);
+}
+
 TEST(Fingerprint, PinnedReferenceValues) {
   // Golden files embed fingerprints, so the hash must never change silently.
   // These values pin the algorithm (fixed seeds, two-lane splitmix64); if

@@ -323,7 +323,7 @@ TEST(FaultInjection, ServiceQueueDrainsUnderARequestFault) {
   int degraded = 0;
   {
     SolveService service(options);
-    std::vector<std::future<SolveResponse>> futures;
+    std::vector<SolveFuture> futures;
     for (int i = 0; i < 6; ++i) {
       futures.push_back(service.submit(SolveRequest{instance}));
     }
@@ -335,6 +335,71 @@ TEST(FaultInjection, ServiceQueueDrainsUnderARequestFault) {
   }
   EXPECT_TRUE(injector.fired());
   EXPECT_EQ(degraded, 1);
+}
+
+TEST(FaultInjection, ServiceShardDispatchFaultShedsStructurally) {
+  // Site "service.shard.dispatch" fires on the SUBMITTER thread, after the
+  // request is fingerprinted and routed but before it takes a queue slot. The
+  // future must resolve to a structured shed carrying the routing identity —
+  // and the shard must stay fully serviceable afterwards (no leaked slot, no
+  // poisoned state).
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 1;
+  FaultInjector injector("service.shard.dispatch", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  SolveService service(options);
+  const SolveResponse shed = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(injector.fired());
+  EXPECT_TRUE(shed.shed);
+  EXPECT_EQ(shed.degradation_reason, "shed:dispatch-fault");
+  ASSERT_TRUE(shed.notes.count("dispatch_fault"));
+  // The shed response carries the identity the router computed.
+  EXPECT_EQ(shed.fingerprint,
+            request_fingerprint(CanonicalInstance(instance), options.epsilon));
+  EXPECT_EQ(static_cast<std::size_t>(shed.shard),
+            service.shard_of(shed.fingerprint));
+  // The injector is spent: the identical follow-up flows through the full
+  // pipeline, misses (the shed was never cached), solves, and seeds the
+  // cache — proving no queue slot or coalescing entry leaked.
+  const SolveResponse fresh = service.submit(SolveRequest{instance}).get();
+  EXPECT_FALSE(fresh.shed);
+  EXPECT_FALSE(fresh.degraded) << fresh.degradation_reason;
+  EXPECT_FALSE(fresh.cache_hit);
+  fresh.schedule.validate(instance);
+  EXPECT_TRUE(service.submit(SolveRequest{instance}).get().cache_hit);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.shed_overload, 1);
+}
+
+TEST(FaultInjection, ServiceFutureFaultNeverLosesTheResponse) {
+  // Site "service.future" fires inside promise delivery, AFTER the response
+  // has been computed. Losing the answer there would strand the waiter — the
+  // fault must be absorbed into provenance, with the full-fidelity response
+  // still delivered.
+  const Instance instance = fault_instance();
+  ServiceOptions options;
+  options.workers = 1;
+  FaultInjector injector("service.future", /*fire_at=*/1,
+                         FaultInjector::Action::kThrow);
+  FaultScope scope(injector);
+  SolveService service(options);
+  const SolveResponse survived = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(injector.fired());
+  survived.schedule.validate(instance);
+  EXPECT_FALSE(survived.shed);
+  EXPECT_FALSE(survived.degraded) << survived.degradation_reason;
+  ASSERT_TRUE(survived.notes.count("future_fault"));
+  EXPECT_EQ(survived.notes.at("future_fault").find("survived"), 0u)
+      << survived.notes.at("future_fault");
+  // Delivery completed normally: the future is repeatable and the cache was
+  // seeded by the same healthy pipeline pass.
+  const SolveResponse hit = service.submit(SolveRequest{instance}).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.makespan, survived.makespan);
+  EXPECT_FALSE(hit.notes.count("future_fault"));
 }
 
 TEST(FaultInjection, PortfolioRacerFaultDegradesToTheSurvivors) {
@@ -419,7 +484,8 @@ TEST(FaultSiteRegistry, EnumeratesEverySiteTheSubsystemsHit) {
     PcmaxIpSolver(MipOptions{}).solve(small).schedule.validate(small);
   }
   {
-    // Service front end: service.request, service.cache, breaker.allow.
+    // Service front end: service.shard.dispatch, service.request,
+    // service.cache, breaker.allow, service.future.
     SolveService service(ServiceOptions{});
     (void)service.submit(SolveRequest{instance}).get();
   }
@@ -436,8 +502,9 @@ TEST(FaultSiteRegistry, EnumeratesEverySiteTheSubsystemsHit) {
   const std::vector<std::string> sites = fault_sites();
   for (const char* expected :
        {"dp.level", "bisection.probe", "pool.task", "mip.node",
-        "service.request", "service.cache", "portfolio.racer",
-        "portfolio.incumbent", "breaker.allow"}) {
+        "service.request", "service.cache", "service.shard.dispatch",
+        "service.future", "portfolio.racer", "portfolio.incumbent",
+        "breaker.allow"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << "site '" << expected << "' missing from the registry";
   }

@@ -1,0 +1,312 @@
+// SolveFuture semantics: the asynchronous request lifecycle of the sharded
+// service. then() continuations run exactly once (before OR after delivery,
+// from any thread); deadline-expired waits return the structured
+// "shed:deadline" response instead of hanging (and never cancel the
+// underlying request); futures outliving the service drain cleanly; and a
+// sanitize-labelled stress (many submitters, tiny queues, continuations
+// racing deliveries) is TSan-clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/instance_gen.hpp"
+#include "obs/metrics.hpp"
+#include "service/solve_future.hpp"
+#include "service/solve_service.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance small_instance(std::uint64_t index) {
+  return generate_instance(InstanceFamily::kUniform1To100, 3, 12, 131, index);
+}
+
+/// Parks any worker entering handle() (the "service.request" fault site)
+/// until release() — a deterministic guarantee that a request submitted
+/// while the gate is closed cannot have been delivered yet, with no timing
+/// assumptions about how fast the worker drains the queue.
+class WorkerGate : public FaultHandler {
+ public:
+  void on_hit(const char* site) override {
+    if (std::string_view(site) != "service.request") return;
+    std::unique_lock lock(mutex_);
+    parked_ = true;
+    parked_cv_.notify_all();
+    release_cv_.wait(lock, [&] { return released_; });
+  }
+
+  /// Blocks until a worker is parked inside the gate.
+  void wait_until_parked() {
+    std::unique_lock lock(mutex_);
+    parked_cv_.wait(lock, [&] { return parked_; });
+  }
+
+  /// Opens the gate permanently (parked and future hits pass through).
+  void release() {
+    std::lock_guard lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable parked_cv_;
+  std::condition_variable release_cv_;
+  bool parked_ = false;
+  bool released_ = false;
+};
+
+TEST(SolveFutureApi, DefaultConstructedFutureIsInvalid) {
+  SolveFuture future;
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(SolveFutureApi, GetIsRepeatableAndMatchesThen) {
+  SolveService service;
+  SolveFuture future =
+      service.submit_async(SolveRequest{small_instance(0)});
+  const SolveResponse first = future.get();
+  const SolveResponse again = future.get();  // repeatable, same content
+  EXPECT_EQ(first.makespan, again.makespan);
+  EXPECT_EQ(first.schedule, again.schedule);
+  EXPECT_EQ(first.fingerprint, again.fingerprint);
+  // Attached after delivery: runs inline, sees the same response.
+  std::optional<Time> seen;
+  future.then([&](const SolveResponse& response) {
+    seen = response.makespan;
+  });
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, first.makespan);
+}
+
+TEST(SolveFutureApi, ContinuationsRunExactlyOnceEach) {
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  {
+    SolveService service;
+    SolveFuture future =
+        service.submit_async(SolveRequest{small_instance(1)});
+    // Attached (possibly) before delivery: exactly one run on delivery.
+    future.then([&](const SolveResponse&) { before.fetch_add(1); });
+    future.then([&](const SolveResponse&) { before.fetch_add(1); });
+    const SolveResponse response = future.get();
+    EXPECT_FALSE(response.shed);
+    // Attached strictly after delivery: exactly one inline run.
+    future.then([&](const SolveResponse&) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 1);
+    // get() returning does not guarantee the pre-delivery continuations have
+    // finished on the delivering worker; service teardown joins it.
+  }
+  EXPECT_EQ(before.load(), 2);
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(SolveFutureApi, DeadlineExpiredWaitReturnsStructuredShedNotAHang) {
+  WorkerGate gate;
+  FaultScope fault_scope(gate);
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  SolveService service(options);
+  // Park the single worker inside the first request's handle(); the second
+  // request then provably sits queued — undelivered — while we probe it.
+  SolveFuture first = service.submit_async(SolveRequest{
+      generate_instance(InstanceFamily::kUniform1To100, 4, 24, 7, 0)});
+  gate.wait_until_parked();
+  SolveFuture last = service.submit_async(SolveRequest{
+      generate_instance(InstanceFamily::kUniform1To100, 4, 24, 7, 1)});
+  const SolveResponse expired = last.get_within_ms(0);
+  EXPECT_TRUE(expired.shed);
+  EXPECT_TRUE(expired.degraded);
+  EXPECT_EQ(expired.degradation_reason, "shed:deadline");
+  EXPECT_EQ(expired.algorithm, "none");
+  EXPECT_EQ(expired.machines, 4);
+  EXPECT_EQ(expired.jobs, 24);
+
+  // The expired WAIT did not shed the REQUEST: once the worker resumes, the
+  // real response arrives, fully solved, with the identity the synthetic
+  // shed carried.
+  gate.release();
+  const SolveResponse real = last.get();
+  EXPECT_FALSE(real.shed);
+  EXPECT_EQ(real.id, expired.id);
+  EXPECT_EQ(real.fingerprint, expired.fingerprint);
+  EXPECT_EQ(real.shard, expired.shard);
+  EXPECT_GT(real.makespan, 0);
+  // A delivered future answers get_within_ms with the real response.
+  const SolveResponse again = last.get_within_ms(0);
+  EXPECT_FALSE(again.shed);
+  EXPECT_EQ(again.makespan, real.makespan);
+  EXPECT_FALSE(first.get().shed);
+}
+
+TEST(SolveFutureApi, FuturesOutliveTheServiceAndDrainCleanly) {
+  std::vector<SolveFuture> futures;
+  {
+    ServiceOptions options;
+    options.shards = 4;
+    options.workers = 4;
+    SolveService service(options);
+    for (std::uint64_t index = 0; index < 16; ++index) {
+      futures.push_back(
+          service.submit_async(SolveRequest{small_instance(index)}));
+    }
+    // Service destroyed here: drain semantics resolve every future first.
+  }
+  for (SolveFuture& future : futures) {
+    ASSERT_TRUE(future.valid());
+    EXPECT_TRUE(future.ready()) << "teardown left an unresolved future";
+    const SolveResponse response = future.get();
+    EXPECT_FALSE(response.shed) << response.degradation_reason;
+    EXPECT_GT(response.makespan, 0);
+  }
+}
+
+TEST(SolveFutureApi, BrokenPromiseDeliversAnErrorNotAHang) {
+  SolveFuture future;
+  {
+    SolvePromise promise;
+    future = promise.get_future();
+    // Promise destroyed undelivered.
+  }
+  ASSERT_TRUE(future.ready());
+  EXPECT_THROW((void)future.get(), Error);
+}
+
+TEST(SolveFutureApi, ExceptionalDeliveryDropsContinuations) {
+  SolvePromise promise;
+  SolveFuture future = promise.get_future();
+  std::atomic<int> runs{0};
+  future.then([&](const SolveResponse&) { runs.fetch_add(1); });
+  promise.set_exception(
+      std::make_exception_ptr(Error("solver exploded")));
+  future.then([&](const SolveResponse&) { runs.fetch_add(1); });
+  EXPECT_THROW((void)future.get(), Error);
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(SolveFutureApi, ResolutionCountersTrackDeliveries) {
+  obs::Metrics metrics(1);
+  obs::MetricsScope scope(metrics);
+  std::atomic<int> continuations{0};
+  {
+    SolveService service;
+    std::vector<SolveFuture> futures;
+    for (std::uint64_t index = 0; index < 6; ++index) {
+      SolveFuture future =
+          service.submit_async(SolveRequest{small_instance(index)});
+      future.then([&](const SolveResponse&) { continuations.fetch_add(1); });
+      futures.push_back(std::move(future));
+    }
+    for (SolveFuture& future : futures) (void)future.get();
+    // Teardown joins the workers: every delivery, continuation run, and
+    // counter bump is complete once the destructor returns.
+  }
+  EXPECT_EQ(continuations.load(), 6);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kServiceShardDispatches), 6u);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kServiceFuturesResolved), 6u);
+  EXPECT_EQ(
+      metrics.counter_total(obs::Counter::kServiceFuturesContinuations), 6u);
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kServiceFuturesExpired), 0u);
+}
+
+TEST(SolveFutureApi, ExpiredWaitsBumpTheExpiryCounter) {
+  obs::Metrics metrics(1);
+  obs::MetricsScope scope(metrics);
+  WorkerGate gate;
+  FaultScope fault_scope(gate);
+  ServiceOptions options;
+  options.workers = 1;
+  SolveService service(options);
+  SolveFuture first = service.submit_async(SolveRequest{
+      generate_instance(InstanceFamily::kUniform1To100, 4, 24, 11, 0)});
+  gate.wait_until_parked();
+  SolveFuture last = service.submit_async(SolveRequest{
+      generate_instance(InstanceFamily::kUniform1To100, 4, 24, 11, 1)});
+  const SolveResponse expired = last.get_within_ms(0);
+  EXPECT_EQ(expired.degradation_reason, "shed:deadline");
+  EXPECT_EQ(metrics.counter_total(obs::Counter::kServiceFuturesExpired), 1u);
+  gate.release();
+  (void)first.get();
+  (void)last.get();
+}
+
+// The TSan-clean async stress: many submitters on tiny sharded queues under
+// the tiered policy, every future carrying a continuation that races the
+// delivering worker, every future harvested through a mix of get(),
+// get_within_ms, and then(). Exactly-once per continuation; every request
+// resolves.
+TEST(SolveFutureStress, ManySubmittersTinyQueuesExactlyOnceDelivery) {
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 40;
+  constexpr int kTotal = kSubmitters * kPerSubmitter;
+  std::vector<std::atomic<int>> continuation_runs(kTotal);
+  std::atomic<std::uint64_t> responses_seen{0};
+  {
+    ServiceOptions options;
+    options.shards = 4;
+    options.workers = 4;
+    options.queue_capacity = 8;   // 2 per shard: constant overflow
+    options.cache_capacity = 32;
+    options.shed_policy = ShedPolicy::kTiered;
+    SolveService service(options);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        for (int i = 0; i < kPerSubmitter; ++i) {
+          const int slot = s * kPerSubmitter + i;
+          SolveFuture future = service.submit_async(SolveRequest{
+              generate_instance(InstanceFamily::kUniform1To100, 3, 10, 173,
+                                static_cast<std::uint64_t>((s + i) % 6))});
+          future.then([&, slot](const SolveResponse&) {
+            continuation_runs[static_cast<std::size_t>(slot)].fetch_add(1);
+            responses_seen.fetch_add(1);
+          });
+          switch (slot % 3) {
+            case 0: {
+              // Every harvested response is valid-or-structured: a real
+              // solve (positive makespan) or an explicit shed.
+              const SolveResponse response = future.get();
+              EXPECT_TRUE(response.shed || response.makespan > 0)
+                  << response.degradation_reason;
+              break;
+            }
+            case 1: {
+              // A 0 ms wait either sees the real response or a synthetic
+              // shed; both are structured, neither hangs.
+              const SolveResponse response = future.get_within_ms(0);
+              EXPECT_TRUE(response.shed || response.makespan > 0)
+                  << response.degradation_reason;
+              break;
+            }
+            default:
+              break;  // fire-and-forget: the continuation is the harvest
+          }
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    // Service teardown drains every queue and joins every worker: when the
+    // destructor returns, every delivery (and its continuations) is done.
+  }
+  EXPECT_EQ(responses_seen.load(), static_cast<std::uint64_t>(kTotal));
+  for (int slot = 0; slot < kTotal; ++slot) {
+    EXPECT_EQ(continuation_runs[static_cast<std::size_t>(slot)].load(), 1)
+        << "continuation " << slot << " did not run exactly once";
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -141,7 +141,7 @@ TEST(ServiceOverload, TieredPressureWalksTheWholeLadder) {
   options.breaker_enabled = false;  // isolate the pressure signal
   SolveService service(options);
 
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   futures.push_back(service.submit(SolveRequest{overload_instance(1)}));
   gate.wait_until_blocked();  // r0 is out of the queue, frozen in handle()
   for (int seed = 2; seed <= 5; ++seed) {  // r1..r4 fill the queue exactly
@@ -192,12 +192,12 @@ TEST(ServiceOverload, TenantQuotaShedsOnlyTheCappedTenant) {
     request.tenant = tenant;
     return service.submit(std::move(request));
   };
-  std::vector<std::future<SolveResponse>> kept;
+  std::vector<SolveFuture> kept;
   kept.push_back(submit(1, "burst"));
   gate.wait_until_blocked();  // the first burst request left the queue
   kept.push_back(submit(2, "burst"));
   kept.push_back(submit(3, "burst"));  // burst now holds its 2 slots
-  std::future<SolveResponse> over_quota = submit(4, "burst");
+  SolveFuture over_quota = submit(4, "burst");
   SolveResponse shed = over_quota.get();  // resolved without queueing
   EXPECT_TRUE(shed.shed);
   EXPECT_EQ(shed.degradation_reason, "shed:tenant-quota");
@@ -208,7 +208,7 @@ TEST(ServiceOverload, TenantQuotaShedsOnlyTheCappedTenant) {
   kept.push_back(submit(6, ""));
 
   gate.release();
-  for (std::future<SolveResponse>& future : kept) {
+  for (SolveFuture& future : kept) {
     const SolveResponse response = future.get();
     EXPECT_FALSE(response.shed);
     EXPECT_GT(response.makespan, 0);
@@ -244,7 +244,7 @@ TEST(ServiceOverload, CoalescingSharesOneInflightSolve) {
   options.queue_capacity = 32;
   SolveService service(options);
 
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   futures.push_back(service.submit(SolveRequest{instance}));
   gate.wait_until_blocked();
   constexpr int kFollowers = 7;
@@ -260,7 +260,7 @@ TEST(ServiceOverload, CoalescingSharesOneInflightSolve) {
   gate.release();
 
   int coalesced = 0;
-  for (std::future<SolveResponse>& future : futures) {
+  for (SolveFuture& future : futures) {
     const SolveResponse response = future.get();
     EXPECT_EQ(response.degradation_reason, "none");
     EXPECT_EQ(response.makespan, canonical_response.makespan);
@@ -289,12 +289,12 @@ TEST(ServiceOverload, CoalescingOffSolvesEveryDuplicate) {
   options.coalesce = false;
   options.cache_capacity = 0;  // no dedup at all: every request solves
   SolveService service(options);
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   futures.push_back(service.submit(SolveRequest{instance}));
   gate.wait_until_blocked();
   futures.push_back(service.submit(SolveRequest{instance}));
   gate.release();
-  for (std::future<SolveResponse>& future : futures) {
+  for (SolveFuture& future : futures) {
     const SolveResponse response = future.get();
     EXPECT_FALSE(response.coalesced);
     EXPECT_EQ(response.degradation_reason, "none");
@@ -452,7 +452,7 @@ TEST(ServiceOverload, ParkedFollowerReleasesItsHalfOpenProbeSlot) {
   // The leader is admitted while the breaker is CLOSED and freezes inside
   // its solve, holding leadership of its fingerprint.
   const Instance shared = ptas_instance(50);
-  std::future<SolveResponse> leader = service.submit(SolveRequest{shared});
+  SolveFuture leader = service.submit(SolveRequest{shared});
   handler.wait_until_blocked();
 
   // Two resource failures behind it trip the breaker...
@@ -473,7 +473,7 @@ TEST(ServiceOverload, ParkedFollowerReleasesItsHalfOpenProbeSlot) {
 
   // The duplicate is admitted as probe #1, finds the frozen leader in
   // flight, and parks — abandoning the probe slot on the way.
-  std::future<SolveResponse> follower = service.submit(SolveRequest{shared});
+  SolveFuture follower = service.submit(SolveRequest{shared});
   while (service.breaker().stats("ptas").abandons == 0) {
     std::this_thread::yield();
   }

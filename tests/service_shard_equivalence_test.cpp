@@ -1,0 +1,429 @@
+// Sharding-equivalence blitz: the headline contract of the sharded service.
+//
+// A sharded SolveService (any shard count) must produce responses
+// BYTE-IDENTICAL to the single-shard (PR 7) service for every request in a
+// recorded trace. The foundation is purity: a response is a function of
+// (machines, job multiset, epsilon) only — shard routing moves WHERE a
+// request is served, never WHAT it is answered. These tests hold that
+// contract for N in {1, 2, 8} under both shed policies, over
+// permuted/duplicate-heavy traces, for coalescing followers, for structured
+// sheds under a tiered storm, and with chaos injection armed on every
+// registered fault site — plus the property that shard selection is a pure
+// function of the fingerprint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/instance_gen.hpp"
+#include "core/resilient_solver.hpp"
+#include "service/solve_service.hpp"
+#include "util/fault.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance permuted(const Instance& instance, std::uint64_t seed) {
+  std::vector<Time> times(instance.times().begin(), instance.times().end());
+  std::mt19937_64 rng(seed);
+  std::shuffle(times.begin(), times.end(), rng);
+  return Instance(instance.machines(), std::move(times));
+}
+
+/// A permuted/duplicate-heavy trace: unique problems across families, each
+/// followed (later, shuffled deterministically) by permuted twins and exact
+/// duplicates.
+std::vector<Instance> recorded_trace() {
+  std::vector<Instance> trace;
+  std::uint64_t index = 0;
+  for (const InstanceFamily family : all_families()) {
+    for (const auto& [m, n] : {std::pair{3, 12}, std::pair{4, 18}}) {
+      const Instance original = generate_instance(family, m, n, 71, index++);
+      trace.push_back(original);
+      trace.push_back(permuted(original, index));      // permuted twin
+      trace.push_back(original);                       // exact duplicate
+    }
+  }
+  std::mt19937_64 rng(2026);
+  std::shuffle(trace.begin(), trace.end(), rng);
+  return trace;
+}
+
+/// Generous admission so nothing degrades; coalescing off and sequential
+/// submission make the hit/miss pattern (and therefore EVERY response byte)
+/// deterministic.
+ServiceOptions deterministic_options(unsigned shards) {
+  ServiceOptions options;
+  options.shards = shards;
+  options.workers = shards;  // one worker per shard
+  options.queue_capacity = 256;
+  options.cache_capacity = 256;
+  options.coalesce = false;
+  return options;
+}
+
+/// Byte-by-byte equality of everything except WHERE and WHEN the response
+/// was computed (shard index, wall-clock timings).
+void expect_byte_identical(const SolveResponse& reference,
+                           const SolveResponse& sharded,
+                           const std::string& label) {
+  EXPECT_EQ(reference.id, sharded.id) << label;
+  EXPECT_EQ(reference.machines, sharded.machines) << label;
+  EXPECT_EQ(reference.jobs, sharded.jobs) << label;
+  EXPECT_EQ(reference.makespan, sharded.makespan) << label;
+  EXPECT_EQ(reference.schedule, sharded.schedule) << label;
+  EXPECT_EQ(reference.algorithm, sharded.algorithm) << label;
+  EXPECT_EQ(reference.degradation_reason, sharded.degradation_reason) << label;
+  EXPECT_EQ(reference.degraded, sharded.degraded) << label;
+  EXPECT_EQ(reference.shed, sharded.shed) << label;
+  EXPECT_EQ(reference.coalesced, sharded.coalesced) << label;
+  EXPECT_EQ(reference.cache_hit, sharded.cache_hit) << label;
+  EXPECT_EQ(reference.proven_optimal, sharded.proven_optimal) << label;
+  EXPECT_EQ(reference.tenant, sharded.tenant) << label;
+  EXPECT_EQ(reference.fingerprint, sharded.fingerprint) << label;
+  EXPECT_EQ(reference.notes, sharded.notes) << label;
+}
+
+/// Replays `trace` sequentially (submit, harvest, repeat) so the response
+/// stream is deterministic: ids, hit/miss pattern, everything.
+std::vector<SolveResponse> replay(const std::vector<Instance>& trace,
+                                  ServiceOptions options) {
+  SolveService service(std::move(options));
+  std::vector<SolveResponse> responses;
+  responses.reserve(trace.size());
+  for (const Instance& instance : trace) {
+    responses.push_back(service.submit_async(SolveRequest{instance}).get());
+  }
+  return responses;
+}
+
+/// The pure-function reference: fresh single-threaded resilient solve of the
+/// canonical twin, lifted back through the request's permutation.
+SolveResponse reference_content(const Instance& instance, double epsilon) {
+  const CanonicalInstance canonical(instance);
+  ResilientOptions resilient;
+  resilient.ptas.epsilon = epsilon;
+  SolverResult result = ResilientSolver(resilient).solve(canonical.instance());
+  SolveResponse reference;
+  reference.makespan = result.makespan;
+  reference.schedule =
+      canonical.lift(result.schedule.assignment(canonical.instance()));
+  reference.algorithm = result.notes.at("algorithm_used");
+  return reference;
+}
+
+TEST(ServiceShardEquivalence, ShardedTraceIsByteIdenticalToSingleShard) {
+  const std::vector<Instance> trace = recorded_trace();
+  for (const ShedPolicy policy : {ShedPolicy::kStatic, ShedPolicy::kTiered}) {
+    ServiceOptions baseline_options = deterministic_options(1);
+    baseline_options.shed_policy = policy;
+    const std::vector<SolveResponse> baseline =
+        replay(trace, baseline_options);
+    for (const SolveResponse& response : baseline) {
+      ASSERT_FALSE(response.degraded) << response.degradation_reason;
+    }
+    for (const unsigned shards : {2u, 8u}) {
+      ServiceOptions options = deterministic_options(shards);
+      options.shed_policy = policy;
+      const std::vector<SolveResponse> sharded = replay(trace, options);
+      ASSERT_EQ(baseline.size(), sharded.size());
+      for (std::size_t i = 0; i < baseline.size(); ++i) {
+        expect_byte_identical(
+            baseline[i], sharded[i],
+            "request " + std::to_string(i) + " shards=" +
+                std::to_string(shards) +
+                (policy == ShedPolicy::kTiered ? " tiered" : " static"));
+      }
+    }
+  }
+}
+
+TEST(ServiceShardEquivalence, ShardSelectionIsAPureFunctionOfTheFingerprint) {
+  // Property test over every family: permuted twins share a fingerprint,
+  // hence a shard, at every shard count; the index is always in range; and
+  // the choice depends on nothing but (fingerprint, shard_count).
+  std::uint64_t index = 0;
+  for (const InstanceFamily family : all_families()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Instance instance = generate_instance(family, 3, 14, 83, index++);
+      const CanonicalInstance canonical(instance);
+      const Fingerprint key = request_fingerprint(canonical, 0.3);
+      for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u, 16u}) {
+        const std::size_t chosen = shard_index(key, shards);
+        EXPECT_LT(chosen, shards);
+        EXPECT_EQ(chosen, shard_index(key, shards)) << "not deterministic";
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+          const CanonicalInstance twin_canonical(permuted(instance, seed));
+          const Fingerprint twin_key = request_fingerprint(twin_canonical, 0.3);
+          ASSERT_EQ(key, twin_key);
+          EXPECT_EQ(chosen, shard_index(twin_key, shards))
+              << "one instance on two shards";
+        }
+      }
+    }
+  }
+}
+
+TEST(ServiceShardEquivalence, ResponsesReportTheShardTheFingerprintSelects) {
+  ServiceOptions options = deterministic_options(8);
+  SolveService service(options);
+  ASSERT_EQ(service.shard_count(), 8u);
+  std::set<int> seen;
+  for (std::uint64_t index = 0; index < 24; ++index) {
+    const Instance instance = generate_instance(
+        InstanceFamily::kUniform1To100, 3, 12, 59, index);
+    const SolveResponse response =
+        service.submit_async(SolveRequest{instance}).get();
+    EXPECT_EQ(static_cast<std::size_t>(response.shard),
+              service.shard_of(response.fingerprint));
+    const SolveResponse duplicate =
+        service.submit_async(SolveRequest{permuted(instance, index + 1)}).get();
+    EXPECT_EQ(duplicate.shard, response.shard) << "duplicate changed shards";
+    EXPECT_TRUE(duplicate.cache_hit);
+    seen.insert(response.shard);
+  }
+  // 24 distinct fingerprints over 8 shards: the spread must actually spread.
+  EXPECT_GE(seen.size(), 3u) << "shard selection is degenerate";
+}
+
+TEST(ServiceShardEquivalence, CoalescedFollowersMatchTheReferenceAtEveryShardCount) {
+  // Concurrent duplicates share one in-flight solve; a follower's response
+  // must still be exactly what a fresh solve of its own ordering would have
+  // produced — at any shard count.
+  for (const unsigned shards : {1u, 2u, 8u}) {
+    ServiceOptions options;
+    options.shards = shards;
+    options.workers = 4;
+    options.queue_capacity = 256;
+    options.cache_capacity = 0;  // no cache: every duplicate must coalesce
+                                 // or solve, never short-circuit
+    options.coalesce = true;
+    SolveService service(options);
+    std::vector<Instance> submitted;
+    std::vector<SolveFuture> futures;
+    for (std::uint64_t unique = 0; unique < 4; ++unique) {
+      const Instance original = generate_instance(
+          InstanceFamily::kUniform1To100, 3, 14, 97, unique);
+      for (std::uint64_t copy = 0; copy < 8; ++copy) {
+        const Instance instance =
+            copy == 0 ? original : permuted(original, copy);
+        submitted.push_back(instance);
+        futures.push_back(service.submit_async(SolveRequest{instance}));
+      }
+    }
+    std::uint64_t coalesced = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const SolveResponse response = futures[i].get();
+      ASSERT_FALSE(response.shed) << response.degradation_reason;
+      ASSERT_FALSE(response.degraded) << response.degradation_reason;
+      const SolveResponse expected =
+          reference_content(submitted[i], options.epsilon);
+      EXPECT_EQ(response.makespan, expected.makespan) << i;
+      EXPECT_EQ(response.schedule, expected.schedule) << i;
+      EXPECT_EQ(response.algorithm, expected.algorithm) << i;
+      if (response.coalesced) ++coalesced;
+    }
+    EXPECT_EQ(service.stats().coalesced, coalesced);
+  }
+}
+
+TEST(ServiceShardEquivalence, TieredStormShedsStructuredAndSolvesPure) {
+  // Under a burst that overflows the (tiny, sharded) queues, every response
+  // is either a structured shed or byte-identical in content to the
+  // reference — a shed on one shard never corrupts a solve on another.
+  for (const unsigned shards : {1u, 2u, 8u}) {
+    ServiceOptions options;
+    options.shards = shards;
+    options.workers = shards;
+    options.queue_capacity = 8;
+    options.cache_capacity = 0;
+    options.coalesce = false;
+    options.shed_policy = ShedPolicy::kTiered;
+    options.lite_pressure = 0.25;   // degrade early,
+    options.heavy_pressure = 0.5;
+    options.shed_pressure = 0.75;   // shed often
+    SolveService service(options);
+    std::vector<Instance> submitted;
+    std::vector<SolveFuture> futures;
+    for (std::uint64_t index = 0; index < 96; ++index) {
+      const Instance instance = generate_instance(
+          InstanceFamily::kUniform1To100, 3, 12, 13, index % 12);
+      submitted.push_back(instance);
+      futures.push_back(service.submit_async(SolveRequest{instance}));
+    }
+    std::uint64_t sheds = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const SolveResponse response = futures[i].get();
+      if (response.shed) {
+        EXPECT_EQ(response.degradation_reason.rfind("shed:", 0), 0u)
+            << response.degradation_reason;
+        ++sheds;
+        continue;
+      }
+      response.schedule.validate(submitted[i]);
+      EXPECT_GT(response.makespan, 0);
+      if (!response.degraded) {
+        const SolveResponse expected =
+            reference_content(submitted[i], options.epsilon);
+        EXPECT_EQ(response.makespan, expected.makespan) << i;
+        EXPECT_EQ(response.schedule, expected.schedule) << i;
+      }
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, futures.size());
+    EXPECT_EQ(stats.shed_overload, sheds);
+    // Aggregates really are the shard sums.
+    std::uint64_t shard_requests = 0;
+    for (const ShardStats& shard : stats.shards) {
+      shard_requests += shard.requests;
+    }
+    EXPECT_EQ(shard_requests, stats.requests);
+    EXPECT_EQ(stats.shards.size(), static_cast<std::size_t>(shards));
+  }
+}
+
+TEST(ServiceShardEquivalence, ChaosReplayIsByteIdenticalAcrossShardCounts) {
+  // The headline claim with chaos ON: replaying the same trace through a
+  // fresh, identically-seeded chaos schedule produces byte-identical
+  // responses at every shard count — the same requests fault, degrade, and
+  // recover the same way, because sequential replay makes the global
+  // per-site hit ordinals independent of where each request ran.
+  {
+    // Warm the registry so every pipeline site (including the PR 9
+    // submission-path sites service.shard.dispatch / service.future) is
+    // registered BEFORE the site list is captured — every arm must arm the
+    // exact same schedule over the exact same sites.
+    SolveService warm{deterministic_options(2)};
+    (void)warm
+        .submit_async(SolveRequest{generate_instance(
+            InstanceFamily::kUniform1To100, 3, 10, 7, 0)})
+        .get();
+  }
+  const std::vector<std::string> sites = fault_sites();
+  const std::vector<Instance> trace = recorded_trace();
+
+  auto chaos_replay = [&](unsigned shards) {
+    ChaosOptions chaos_options;
+    chaos_options.seed = 929;
+    chaos_options.min_gap = 6;
+    chaos_options.max_gap = 48;
+    ChaosInjector chaos(chaos_options, sites);
+    FaultScope scope(chaos);
+    ServiceOptions options = deterministic_options(shards);
+    // Breaker memory is deliberately shard-local (failures on one shard
+    // never open another shard's breaker), so breaker-armed chaos is only
+    // structurally — not byte — equivalent across shard counts. The storm
+    // test below covers the breaker-armed case.
+    options.breaker_enabled = false;
+    std::vector<SolveResponse> responses = replay(trace, options);
+    EXPECT_GT(chaos.total_fires(), 0u) << "shards=" << shards;
+    return responses;
+  };
+
+  const std::vector<SolveResponse> baseline = chaos_replay(1);
+  for (const unsigned shards : {2u, 8u}) {
+    const std::vector<SolveResponse> sharded = chaos_replay(shards);
+    ASSERT_EQ(baseline.size(), sharded.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      expect_byte_identical(baseline[i], sharded[i],
+                            "chaos request " + std::to_string(i) +
+                                " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ServiceShardEquivalence, ChaosArmedShardsStaySoundUnderStorm) {
+  // Concurrent chaos storm, breaker armed: every response is
+  // valid-or-structured. Full-fidelity content is NOT byte-compared here —
+  // a fault inside solver internals can flip which engine wins without
+  // degrading the response — but every delivered schedule must validate
+  // against its instance and carry a positive makespan.
+  {
+    SolveService warm{deterministic_options(2)};
+    (void)warm
+        .submit_async(SolveRequest{generate_instance(
+            InstanceFamily::kUniform1To100, 3, 10, 7, 0)})
+        .get();
+  }
+  ChaosOptions chaos_options;
+  chaos_options.seed = 929;
+  chaos_options.min_gap = 6;
+  chaos_options.max_gap = 64;
+  ChaosInjector chaos(chaos_options, fault_sites());
+  FaultScope scope(chaos);
+
+  for (const unsigned shards : {1u, 8u}) {
+    ServiceOptions options;
+    options.shards = shards;
+    options.workers = shards;
+    options.queue_capacity = 64;
+    options.cache_capacity = 64;
+    options.shed_policy = ShedPolicy::kTiered;
+    SolveService service(options);
+    std::vector<Instance> submitted;
+    std::vector<SolveFuture> futures;
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      const Instance instance = generate_instance(
+          InstanceFamily::kUniform1To100, 3, 12, 41, index % 8);
+      submitted.push_back(instance);
+      futures.push_back(service.submit_async(SolveRequest{instance}));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const SolveResponse response = futures[i].get();
+      if (response.shed) {
+        EXPECT_TRUE(response.degradation_reason.rfind("shed:", 0) == 0 ||
+                    response.degradation_reason == "internal-error")
+            << response.degradation_reason;
+        continue;
+      }
+      response.schedule.validate(submitted[i]);
+      EXPECT_GT(response.makespan, 0) << i;
+      EXPECT_FALSE(response.algorithm.empty()) << i;
+    }
+  }
+  EXPECT_GT(chaos.total_fires(), 0u);
+}
+
+TEST(ServiceShardEquivalence, AggregateHitRateDoesNotRegressWhenSharded) {
+  // The per-shard cache slices (capacity total/N) partition the key space:
+  // on a 50%-duplicate trace every duplicate must hit in aggregate, exactly
+  // as the unsharded cache would — the PR 9 capacity fix under test.
+  constexpr std::uint64_t kUniques = 32;
+  std::vector<Instance> originals;
+  std::vector<Instance> duplicates;
+  for (std::uint64_t index = 0; index < kUniques; ++index) {
+    originals.push_back(generate_instance(
+        InstanceFamily::kUniform1To100, 3, 12, 113, index));
+    duplicates.push_back(permuted(originals.back(), index + 1));
+  }
+  std::vector<std::uint64_t> hits;
+  for (const unsigned shards : {1u, 8u}) {
+    ServiceOptions options = deterministic_options(shards);
+    SolveService service(options);
+    for (const Instance& instance : originals) {
+      const SolveResponse response =
+          service.submit_async(SolveRequest{instance}).get();
+      ASSERT_FALSE(response.cache_hit);
+    }
+    for (const Instance& instance : duplicates) {
+      const SolveResponse response =
+          service.submit_async(SolveRequest{instance}).get();
+      EXPECT_TRUE(response.cache_hit) << "shards=" << shards;
+    }
+    const ServiceStats stats = service.stats();
+    hits.push_back(stats.cache.hits);
+    EXPECT_EQ(stats.cache.misses, kUniques) << "shards=" << shards;
+    // Entries really are partitioned: the slices together hold every unique.
+    EXPECT_EQ(stats.cache.size, kUniques) << "shards=" << shards;
+  }
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], kUniques);        // single shard: every duplicate hit
+  EXPECT_EQ(hits[1], hits[0]) << "sharded aggregate hit rate regressed";
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -60,7 +60,7 @@ TEST(ServiceStress, ConcurrentSubmittersLoseNoResponses) {
     submitters.reserve(kSubmitters);
     for (int t = 0; t < kSubmitters; ++t) {
       submitters.emplace_back([&, t] {
-        std::vector<std::pair<std::size_t, std::future<SolveResponse>>> local;
+        std::vector<std::pair<std::size_t, SolveFuture>> local;
         for (int i = 0; i < kPerSubmitter; ++i) {
           const std::size_t pool_index =
               static_cast<std::size_t>(t * kPerSubmitter + i) % pool.size();
@@ -126,7 +126,7 @@ TEST(ServiceStress, DestructionDrainsEveryQueuedRequest) {
   options.queue_capacity = 32;
   options.epsilon = 0.5;
   const std::vector<Instance> pool = instance_pool();
-  std::vector<std::future<SolveResponse>> futures;
+  std::vector<SolveFuture> futures;
   {
     SolveService service(options);
     for (int i = 0; i < 16; ++i) {
@@ -171,7 +171,7 @@ TEST(ServiceStress, TinyBudgetsAlwaysResolveWithValidSchedules) {
   options.deadline_near_ms = 1'000'000;  // any finite budget is "near"
   const std::vector<Instance> pool = instance_pool();
   SolveService service(options);
-  std::vector<std::pair<std::size_t, std::future<SolveResponse>>> futures;
+  std::vector<std::pair<std::size_t, SolveFuture>> futures;
   for (int i = 0; i < 12; ++i) {
     const std::size_t pool_index =
         static_cast<std::size_t>(i) % pool.size();

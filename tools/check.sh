@@ -9,16 +9,20 @@
 #   tools/check.sh tsan       # TSan tree + `ctest -L sanitize` only
 #   tools/check.sh simd       # forced -mavx2 tree + PCMAX_DISABLE_SIMD tree
 #
-# The Release run repeats the `bench-smoke`, `service`, `chaos`, and
-# `headers` labels explicitly at the end so bench bit-rot (flag parsing,
-# JSON export), batch-service regressions, chaos-harness drift (the soak in
-# tests/chaos_soak_test.cpp storms every registered fault site), and
-# non-self-contained public headers (tools/check_headers.sh) fail loudly
-# even when someone trims the main ctest invocation. bench-smoke includes
-# micro_pool (the work-stealing microbench behind BENCH_executor.json) and
-# service_storm (the overload harness behind BENCH_storm.json). The TSan
-# tree picks the chaos soak up twice: it carries both the `chaos` and
-# `sanitize` labels.
+# The Release run repeats the `bench-smoke`, `service`, `service-sharded`,
+# `chaos`, and `headers` labels explicitly at the end so bench bit-rot
+# (flag parsing, JSON export), batch-service regressions, sharding
+# equivalence drift (the differential byte-equality blitz in
+# tests/service_shard_equivalence_test.cpp plus the SolveFuture suite),
+# chaos-harness drift (the soak in tests/chaos_soak_test.cpp storms every
+# registered fault site), and non-self-contained public headers
+# (tools/check_headers.sh) fail loudly even when someone trims the main
+# ctest invocation. bench-smoke includes micro_pool (the work-stealing
+# microbench behind BENCH_executor.json) and service_storm — both the
+# single-shard arm and the sharded arm with its scale section — behind
+# BENCH_storm.json. The TSan tree picks the chaos soak and the async
+# SolveFuture stress up twice: they carry `sanitize` alongside their own
+# labels.
 #
 # Build trees live in build-check/, build-simd/, build-nosimd/, and
 # build-tsan/ so they never clobber a developer's main build/ directory.
@@ -37,6 +41,8 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -L bench-smoke
   echo "== Release tree: service suite =="
   ctest --test-dir build-check --output-on-failure -L service
+  echo "== Release tree: sharding equivalence + async futures =="
+  ctest --test-dir build-check --output-on-failure -L service-sharded
   echo "== Release tree: chaos soak =="
   ctest --test-dir build-check --output-on-failure -L chaos
   echo "== Release tree: header self-containment =="
@@ -74,6 +80,8 @@ run_tsan() {
     -DPCMAX_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
+  echo "== ThreadSanitizer tree: sharding equivalence + async futures =="
+  ctest --test-dir build-tsan --output-on-failure -L service-sharded
 }
 
 case "$mode" in

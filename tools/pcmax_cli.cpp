@@ -361,6 +361,13 @@ int cmd_batch(int argc, const char* const* argv) {
       "(fingerprint dedup cache, bounded queue, admission control).");
   cli.add_string("file", "", "instance file (required)");
   cli.add_int("workers", 2, "service worker threads");
+  cli.add_int("shards", 1,
+              "independent service shards (fingerprint-routed queues, "
+              "caches, breakers)");
+  cli.add_int("async-window", 0,
+              "submit through submit_async with at most N requests in "
+              "flight, harvesting futures in submission order (0 = "
+              "blocking solve_batch)");
   cli.add_int("lane-width", 1, "per-request parallelism cap (executor lane width)");
   cli.add_int("lanes", 0, "shared executor lanes (0 = one per worker)");
   cli.add_int("queue", 64, "bounded request-queue capacity");
@@ -429,6 +436,10 @@ int cmd_batch(int argc, const char* const* argv) {
   options.mode =
       mode == "portfolio" ? ServiceMode::kPortfolio : ServiceMode::kResilient;
   options.workers = static_cast<unsigned>(cli.get_int("workers"));
+  PCMAX_REQUIRE(cli.get_int("shards") >= 1, "--shards must be at least 1");
+  PCMAX_REQUIRE(cli.get_int("async-window") >= 0,
+                "--async-window must be non-negative");
+  options.shards = static_cast<unsigned>(cli.get_int("shards"));
   options.lane_width = static_cast<unsigned>(cli.get_int("lane-width"));
   options.lanes = static_cast<unsigned>(cli.get_int("lanes"));
   options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
@@ -462,7 +473,28 @@ int cmd_batch(int argc, const char* const* argv) {
   double total_seconds = 0.0;
   {
     SolveService service(options);
-    responses = service.solve_batch(std::move(requests));
+    const std::size_t window =
+        static_cast<std::size_t>(cli.get_int("async-window"));
+    if (window == 0) {
+      responses = service.solve_batch(std::move(requests));
+    } else {
+      // Windowed async submission: keep at most `window` requests in
+      // flight, harvesting in submission order so the report stays aligned
+      // with the input file.
+      std::vector<SolveFuture> futures;
+      futures.reserve(requests.size());
+      responses.reserve(requests.size());
+      std::size_t harvested = 0;
+      for (SolveRequest& request : requests) {
+        futures.push_back(service.submit_async(std::move(request)));
+        while (futures.size() - harvested >= window) {
+          responses.push_back(futures[harvested++].get());
+        }
+      }
+      while (harvested < futures.size()) {
+        responses.push_back(futures[harvested++].get());
+      }
+    }
     total_seconds =
         static_cast<double>(obs::monotonic_ns() - begin_ns) * 1e-9;
     stats = service.stats();
