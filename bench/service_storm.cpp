@@ -50,6 +50,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <random>
 #include <string>
@@ -91,6 +92,10 @@ struct StormOutcome {
   std::uint64_t breaker_trips = 0;
   std::uint64_t degraded = 0;
   std::uint64_t internal_errors = 0;
+  // Responses per variant tag; empty when every response was classic (the
+  // JSON omits the breakdown in that case so pre-variant reports keep
+  // their exact shape).
+  std::map<std::string, std::uint64_t> variant_counts;
 };
 
 /// Drives one open-loop storm: submits `arrivals` against a fresh service
@@ -150,6 +155,13 @@ StormOutcome run_storm(const std::string& name,
   outcome.breaker_trips = stats.breaker.trips;
   outcome.degraded = stats.degraded;
   outcome.internal_errors = stats.internal_errors;
+  for (const SolveResponse& response : responses) {
+    ++outcome.variant_counts[response.variant];
+  }
+  if (outcome.variant_counts.size() == 1 &&
+      outcome.variant_counts.count("classic") == 1) {
+    outcome.variant_counts.clear();
+  }
   if (responses_out != nullptr) *responses_out = std::move(responses);
   return outcome;
 }
@@ -433,6 +445,10 @@ JsonValue outcome_json(const StormOutcome& o) {
   mix["breaker_trips"] = o.breaker_trips;
   mix["degraded"] = o.degraded;
   mix["internal_errors"] = o.internal_errors;
+  if (!o.variant_counts.empty()) {
+    JsonValue& variants = mix["variants"];
+    for (const auto& [name, count] : o.variant_counts) variants[name] = count;
+  }
   return mix;
 }
 
@@ -479,6 +495,12 @@ int main(int argc, char** argv) {
                  "--epsilon so one full solve dwarfs a cache probe and "
                  "redundant concurrent solves actually cost something");
   cli.add_int("seed", 42, "base RNG seed");
+  cli.add_string("variant-mix", "",
+                 "tag the poisson/bursty pool with problem variants, "
+                 "round-robin by weight, e.g. "
+                 "'classic=2,capacity=1,incremental=1' (empty = all classic; "
+                 "the duplicate-heavy and scale arms stay classic so their "
+                 "coalescing/sharding comparisons are unchanged)");
   cli.add_double("min-coalesce-speedup", 0.0,
                  "fail unless coalescing-on beats coalescing-off by this "
                  "factor on the duplicate-heavy mix (0 = report only)");
@@ -511,10 +533,20 @@ int main(int argc, char** argv) {
   tiered.epsilon = epsilon;
   tiered.shed_policy = ShedPolicy::kTiered;
 
-  const std::vector<Instance> pool = build_pool(uniques, m, n, seed);
+  std::vector<Instance> pool = build_pool(uniques, m, n, seed);
+  const std::string variant_mix_spec = cli.get_string("variant-mix");
+  if (!variant_mix_spec.empty()) {
+    const VariantMix mix = parse_variant_mix(variant_mix_spec);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      pool[i] = apply_variant_mix(mix, pool[i], seed, i);
+    }
+  }
   std::cout << "=== service storm: " << requests << " requests/mix, workers="
             << workers << ", shards=" << shards << ", rate=" << rate
-            << "/s, queue=" << queue << ", eps=" << epsilon << " ===\n";
+            << "/s, queue=" << queue << ", eps=" << epsilon
+            << (variant_mix_spec.empty() ? ""
+                                         : ", variant-mix=" + variant_mix_spec)
+            << " ===\n";
 
   const StormOutcome poisson = run_storm(
       "poisson", pool,
@@ -676,6 +708,7 @@ int main(int argc, char** argv) {
     params["epsilon"] = epsilon;
     params["heavy_epsilon"] = heavy_epsilon;
     params["seed"] = static_cast<std::int64_t>(seed);
+    if (!variant_mix_spec.empty()) params["variant_mix"] = variant_mix_spec;
     // Sharding converts shared-structure contention into per-shard
     // parallelism; on a single-core host the wall-clock headroom is limited
     // to the contention overhead itself, so record the core count the

@@ -83,6 +83,16 @@ add_test(NAME bench_smoke_storm_sharded
                  --scale-requests 4096 --scale-uniques 48 --scale-window 256
                  --scale-submitters 2
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_storm_sharded.json)
+# The variant-mix arm: the same tiny storm with the poisson/bursty pool
+# tagged classic/capacity/incremental, so `ctest -L bench-smoke` exercises
+# the variant plumbing end to end (reduction solves, variant-aware cache
+# keys, per-mix variant breakdown in the JSON report).
+add_test(NAME bench_smoke_storm_variants
+         COMMAND service_storm --requests 192 --rate 100000 --uniques 24
+                 --burst 96 --queue 64 --wave 16 --heavy-m 4 --heavy-n 16
+                 --heavy-epsilon 0.3 --workers 2
+                 --variant-mix classic=2,capacity=1,incremental=1
+                 --json ${CMAKE_BINARY_DIR}/bench/smoke_storm_variants.json)
 add_test(NAME bench_smoke_portfolio
          COMMAND portfolio_race --limit-sizes 1 --exact-seconds 1
                  --json ${CMAKE_BINARY_DIR}/bench/smoke_portfolio.json)
@@ -93,5 +103,6 @@ set_tests_properties(bench_smoke_ablation bench_smoke_ablation_json
                      bench_smoke_ablation_schema
                      bench_smoke_micro_dp bench_smoke_service
                      bench_smoke_storm bench_smoke_storm_sharded
+                     bench_smoke_storm_variants
                      bench_smoke_portfolio bench_smoke_micro_pool
                      PROPERTIES LABELS "bench-smoke" TIMEOUT 120)

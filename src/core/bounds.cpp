@@ -2,19 +2,30 @@
 
 #include <algorithm>
 
+#include "core/variant.hpp"
+
 namespace pcmax {
 
 namespace {
 Time ceil_div(Time a, Time b) { return (a + b - 1) / b; }
+
+/// Machine count the bounds are taken over. Classic instances use m
+/// unchanged; capacity-restricted instances use min(m, B), the machine count
+/// of their classic twin, so LB <= OPT_B <= UB holds for the restricted
+/// optimum as well (see the reduction note in core/variant.hpp).
+Time bound_machines(const Instance& instance) {
+  return static_cast<Time>(variant_effective_machines(instance));
+}
 }  // namespace
 
 Time makespan_lower_bound(const Instance& instance) {
-  return std::max(ceil_div(instance.total_time(), instance.machines()),
+  return std::max(ceil_div(instance.total_time(), bound_machines(instance)),
                   instance.max_time());
 }
 
 Time makespan_upper_bound(const Instance& instance) {
-  return ceil_div(instance.total_time(), instance.machines()) + instance.max_time();
+  return ceil_div(instance.total_time(), bound_machines(instance)) +
+         instance.max_time();
 }
 
 }  // namespace pcmax

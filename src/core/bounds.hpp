@@ -1,16 +1,21 @@
 // Lower and upper bounds on the optimal makespan (paper Eq. 1 and 2).
+//
+// Variant-aware: capacity-restricted instances are bounded over their
+// effective machine count min(m, B) — the machine count of the classic twin
+// they reduce to (core/variant.hpp) — so both bounds bracket the restricted
+// optimum. Classic instances are computed exactly as before.
 #pragma once
 
 #include "core/instance.hpp"
 
 namespace pcmax {
 
-/// LB = max( ceil(sum t_j / m), max t_j )  — Eq. (1).
+/// LB = max( ceil(sum t_j / m'), max t_j )  — Eq. (1), m' effective machines.
 /// Any schedule has some machine loaded to at least the average load, and
 /// the longest job must run somewhere, so LB <= OPT.
 Time makespan_lower_bound(const Instance& instance);
 
-/// UB = ceil(sum t_j / m) + max t_j  — Eq. (2).
+/// UB = ceil(sum t_j / m') + max t_j  — Eq. (2), m' effective machines.
 /// List scheduling never exceeds this value, so OPT <= UB.
 Time makespan_upper_bound(const Instance& instance);
 

@@ -96,16 +96,76 @@ Instance sorted_instance(const Instance& instance,
   std::vector<Time> times;
   times.reserve(order.size());
   for (const int job : order) times.push_back(instance.time(job));
-  return Instance(instance.machines(), std::move(times));
+  // The canonical twin keeps the variant tag + payload: variant-tagged
+  // instances must canonicalize (and therefore cache/coalesce/route) as
+  // their variant, never as the classic problem over the same multiset.
+  return Instance(instance.machines(), std::move(times), instance.variant(),
+                  instance.payload());
+}
+
+// Commutative-lane constants for the incremental multiset hash: the sponge's
+// fixed seeds reused as per-lane tweaks so the two sums stay independent.
+constexpr std::uint64_t kLaneA = 0x6a09e667f3bcc908ULL;
+constexpr std::uint64_t kLaneB = 0xbb67ae8584caa73bULL;
+
+std::uint64_t lane_a_term(Time t) {
+  return mix64(static_cast<std::uint64_t>(t) ^ kLaneA);
+}
+
+std::uint64_t lane_b_term(Time t) {
+  return mix64(static_cast<std::uint64_t>(t) + kLaneB);
+}
+
+/// Folds the commutative lane sums under the v2 incremental domain. Shared
+/// by full canonicalization and IncrementalFingerprint so the O(1) update
+/// path and the from-scratch path agree bit-for-bit.
+Fingerprint incremental_fold(int machines, std::int64_t jobs,
+                             std::uint64_t sum_a, std::uint64_t sum_b) {
+  Fingerprinter fp;
+  fp.absorb_bytes("pcmax.instance.v2");
+  fp.absorb_bytes("incremental");
+  fp.absorb_int(machines);
+  fp.absorb_int(jobs);
+  fp.absorb(sum_a);
+  fp.absorb(sum_b);
+  return fp.finish();
 }
 
 Fingerprint canonical_fingerprint(const Instance& canonical) {
-  Fingerprinter fp;
-  fp.absorb_bytes("pcmax.instance.v1");
-  fp.absorb_int(canonical.machines());
-  fp.absorb_int(canonical.jobs());
-  for (const Time t : canonical.times()) fp.absorb_int(t);
-  return fp.finish();
+  switch (canonical.variant()) {
+    case ProblemVariant::kClassic: {
+      // Byte-identical to every pre-variant release: same domain string,
+      // same absorb sequence.
+      Fingerprinter fp;
+      fp.absorb_bytes("pcmax.instance.v1");
+      fp.absorb_int(canonical.machines());
+      fp.absorb_int(canonical.jobs());
+      for (const Time t : canonical.times()) fp.absorb_int(t);
+      return fp.finish();
+    }
+    case ProblemVariant::kCapacity: {
+      Fingerprinter fp;
+      fp.absorb_bytes("pcmax.instance.v2");
+      fp.absorb_bytes("capacity");
+      fp.absorb_int(canonical.capacity());
+      fp.absorb_int(canonical.machines());
+      fp.absorb_int(canonical.jobs());
+      for (const Time t : canonical.times()) fp.absorb_int(t);
+      return fp.finish();
+    }
+    case ProblemVariant::kIncremental: {
+      std::uint64_t sum_a = 0;
+      std::uint64_t sum_b = 0;
+      for (const Time t : canonical.times()) {
+        sum_a += lane_a_term(t);
+        sum_b += lane_b_term(t);
+      }
+      return incremental_fold(canonical.machines(), canonical.jobs(), sum_a,
+                              sum_b);
+    }
+  }
+  PCMAX_CHECK(false, "unknown ProblemVariant value");
+  return Fingerprint{};  // unreachable
 }
 
 }  // namespace
@@ -118,6 +178,27 @@ CanonicalInstance::CanonicalInstance(const Instance& instance,
     : canonical_(sorted_instance(instance, order)),
       perm_(std::move(order)),
       fingerprint_(canonical_fingerprint(canonical_)) {}
+
+CanonicalInstance::CanonicalInstance(Instance canonical, std::vector<int> perm,
+                                     Fingerprint fingerprint)
+    : canonical_(std::move(canonical)),
+      perm_(std::move(perm)),
+      fingerprint_(fingerprint) {}
+
+CanonicalInstance CanonicalInstance::presorted(Instance sorted,
+                                               Fingerprint fingerprint) {
+  const std::span<const Time> times = sorted.times();
+  PCMAX_REQUIRE(std::is_sorted(times.begin(), times.end()),
+                "presorted canonical instance must have ascending times");
+  std::vector<int> identity(times.size());
+  std::iota(identity.begin(), identity.end(), 0);
+#ifndef NDEBUG
+  PCMAX_CHECK(canonical_fingerprint(sorted) == fingerprint,
+              "presorted fingerprint does not match a full recompute");
+#endif
+  return CanonicalInstance(std::move(sorted), std::move(identity),
+                           fingerprint);
+}
 
 Schedule CanonicalInstance::lift(const std::vector<int>& assignment) const {
   PCMAX_REQUIRE(assignment.size() == perm_.size(),
@@ -138,6 +219,35 @@ std::vector<int> CanonicalInstance::project(const Schedule& schedule) const {
     by_rank[rank] = by_job[static_cast<std::size_t>(perm_[rank])];
   }
   return by_rank;
+}
+
+IncrementalFingerprint::IncrementalFingerprint(int machines,
+                                               std::span<const Time> times)
+    : machines_(machines) {
+  PCMAX_REQUIRE(machines_ >= 1, "instance needs at least one machine");
+  PCMAX_REQUIRE(!times.empty(), "instance needs at least one job");
+  for (const Time t : times) add_job(t);
+}
+
+IncrementalFingerprint::IncrementalFingerprint(const Instance& instance)
+    : IncrementalFingerprint(instance.machines(), instance.times()) {}
+
+void IncrementalFingerprint::add_job(Time t) {
+  PCMAX_REQUIRE(t >= 1, "processing times must be positive integers");
+  sum_a_ += lane_a_term(t);
+  sum_b_ += lane_b_term(t);
+  ++jobs_;
+}
+
+void IncrementalFingerprint::remove_job(Time t) {
+  PCMAX_REQUIRE(jobs_ >= 2, "cannot remove the last job of an instance");
+  sum_a_ -= lane_a_term(t);
+  sum_b_ -= lane_b_term(t);
+  --jobs_;
+}
+
+Fingerprint IncrementalFingerprint::fingerprint() const {
+  return incremental_fold(machines_, jobs_, sum_a_, sum_b_);
 }
 
 Fingerprint request_fingerprint(const CanonicalInstance& canonical,

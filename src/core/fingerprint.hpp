@@ -12,6 +12,15 @@
 // The hash is a fixed-seed two-lane splitmix64 sponge: pure 64-bit integer
 // arithmetic, no platform or endianness dependence, so fingerprints are
 // stable across runs and machines and safe to use in golden files.
+//
+// Variant awareness: classic instances hash under the original
+// "pcmax.instance.v1" domain, byte-identically to every pre-variant release.
+// Variant-tagged instances hash under "pcmax.instance.v2" with the variant
+// tag and payload folded in, so the same job multiset under different
+// variants can never collide by construction. The incremental variant uses a
+// commutative two-lane multiset hash inside that domain, which is what lets
+// IncrementalFingerprint maintain the cache key under add/remove-job deltas
+// in O(1) instead of re-canonicalizing the whole multiset.
 #pragma once
 
 #include <compare>
@@ -77,6 +86,15 @@ class CanonicalInstance {
  public:
   explicit CanonicalInstance(const Instance& instance);
 
+  /// Wraps an ALREADY-SORTED instance as its own canonical form: identity
+  /// permutation, `fingerprint` taken on trust (debug-verified against a
+  /// full recompute in assertion-enabled builds). The incremental service
+  /// path uses this to skip the O(n log n) sort and O(n) rehash per
+  /// re-solve — IncrementalFingerprint maintains the fingerprint across
+  /// add/remove deltas instead. Throws InvalidArgumentError if `sorted` is
+  /// not ascending.
+  static CanonicalInstance presorted(Instance sorted, Fingerprint fingerprint);
+
   /// The canonical twin: same machines, times sorted ascending.
   [[nodiscard]] const Instance& instance() const { return canonical_; }
 
@@ -100,10 +118,54 @@ class CanonicalInstance {
 
  private:
   CanonicalInstance(const Instance& instance, std::vector<int> order);
+  CanonicalInstance(Instance canonical, std::vector<int> perm,
+                    Fingerprint fingerprint);
 
   Instance canonical_;
   std::vector<int> perm_;
   Fingerprint fingerprint_;
+};
+
+/// O(1) add/remove-job maintenance of the canonical fingerprint of an
+/// incremental-arrivals instance (ProblemVariant::kIncremental).
+///
+/// The incremental canonical fingerprint is a pure function of
+/// (machines, job multiset): two commutative lanes sum an avalanche hash of
+/// each processing time, so adding or removing one job is one mix and one
+/// wrapping add/sub per lane. fingerprint() folds the lanes, the machine
+/// count, and the job count under the "pcmax.instance.v2" incremental
+/// domain and equals CanonicalInstance(instance).fingerprint() for the
+/// instance holding the same multiset — the randomized differential test in
+/// tests/variant_differential_test.cpp locks that equality.
+///
+/// The class tracks only the lane sums and the job count; the caller owns
+/// the multiset itself and must only remove times that are actually present
+/// (removing an absent time silently corrupts the lanes — the service
+/// session validates membership before calling remove_job).
+class IncrementalFingerprint {
+ public:
+  /// Starts from an existing job multiset (O(n)).
+  IncrementalFingerprint(int machines, std::span<const Time> times);
+  /// Convenience: seeds from an instance's machines + times.
+  explicit IncrementalFingerprint(const Instance& instance);
+
+  /// Folds one arriving job into the lanes. O(1).
+  void add_job(Time t);
+  /// Removes one departing job from the lanes. O(1). The time must be
+  /// present in the multiset and at least one job must remain afterwards.
+  void remove_job(Time t);
+
+  [[nodiscard]] int machines() const { return machines_; }
+  [[nodiscard]] int jobs() const { return static_cast<int>(jobs_); }
+
+  /// Canonical fingerprint of the current multiset (O(1)).
+  [[nodiscard]] Fingerprint fingerprint() const;
+
+ private:
+  int machines_;
+  std::int64_t jobs_ = 0;
+  std::uint64_t sum_a_ = 0;
+  std::uint64_t sum_b_ = 0;
 };
 
 /// Fingerprint of a solve REQUEST: the canonical instance plus the solve

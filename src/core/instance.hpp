@@ -16,6 +16,38 @@ namespace pcmax {
 /// assumption that all t_j are positive integers.
 using Time = std::int64_t;
 
+/// Which scheduling problem an Instance describes. Classic `P || C_max` is
+/// the zero-cost default: a default-constructed tag plus empty payload, so
+/// every pre-variant code path (equality, fingerprints, wire format, caches)
+/// behaves byte-identically for classic instances.
+enum class ProblemVariant : std::uint8_t {
+  kClassic = 0,      ///< offline P || C_max (the paper's problem)
+  kCapacity = 1,     ///< cluster-capacity restriction: at most B jobs may be
+                     ///< in process during any unit time interval
+                     ///< (Jaykrishnan & Levin's parameter B)
+  kIncremental = 2,  ///< drifting job multiset solved repeatedly as jobs
+                     ///< arrive/depart; same per-epoch problem as classic,
+                     ///< but fingerprinted commutatively so add/remove
+                     ///< deltas update cache keys in O(1)
+};
+
+/// Stable lowercase tag used in the wire format, registry declarations and
+/// service reports ("classic", "capacity", "incremental").
+const char* variant_name(ProblemVariant variant);
+
+/// Inverse of variant_name. Throws InvalidArgumentError on unknown names.
+ProblemVariant variant_from_name(const std::string& name);
+
+/// Variant-specific parameters carried by an Instance. Classic and
+/// incremental instances carry the empty payload; capacity-restricted
+/// instances carry B >= 1.
+struct VariantPayload {
+  /// Capacity B for ProblemVariant::kCapacity; must be 0 otherwise.
+  Time capacity = 0;
+
+  friend bool operator==(const VariantPayload&, const VariantPayload&) = default;
+};
+
 /// An instance of the minimum-makespan scheduling problem P || C_max.
 ///
 /// Immutable after construction; construction validates m >= 1, n >= 1 and
@@ -23,8 +55,27 @@ using Time = std::int64_t;
 /// processing time (used by the LB/UB bounds of paper Eq. 1-2).
 class Instance {
  public:
-  /// Builds and validates an instance.
+  /// Builds and validates a classic P || C_max instance.
   Instance(int machines, std::vector<Time> processing_times);
+
+  /// Builds and validates a variant-tagged instance. The payload is checked
+  /// against the tag: kCapacity requires payload.capacity >= 1, every other
+  /// variant requires the empty payload.
+  Instance(int machines, std::vector<Time> processing_times,
+           ProblemVariant variant, VariantPayload payload = {});
+
+  /// Convenience factory for the capacity-restricted variant: at most
+  /// `capacity` jobs may be in process during any unit time interval.
+  static Instance capacity_restricted(int machines,
+                                      std::vector<Time> processing_times,
+                                      Time capacity);
+
+  /// Convenience factory for the incremental-arrivals variant.
+  static Instance incremental(int machines, std::vector<Time> processing_times);
+
+  /// Copies `base` under a different variant tag (same machines and times).
+  static Instance with_variant(const Instance& base, ProblemVariant variant,
+                               VariantPayload payload = {});
 
   /// Number of machines m.
   [[nodiscard]] int machines() const { return machines_; }
@@ -39,10 +90,25 @@ class Instance {
   /// Largest single processing time.
   [[nodiscard]] Time max_time() const { return max_time_; }
 
-  /// Serialises as `m n t_1 ... t_n` on one line.
+  /// The problem variant this instance describes (kClassic by default).
+  [[nodiscard]] ProblemVariant variant() const { return variant_; }
+  /// Variant parameters (the empty payload for classic instances).
+  [[nodiscard]] const VariantPayload& payload() const { return payload_; }
+  /// Capacity B for kCapacity instances; 0 otherwise.
+  [[nodiscard]] Time capacity() const { return payload_.capacity; }
+  /// True iff this is a plain P || C_max instance.
+  [[nodiscard]] bool is_classic() const {
+    return variant_ == ProblemVariant::kClassic;
+  }
+
+  /// Serialises on one line. Classic instances keep the legacy
+  /// `m n t_1 ... t_n` form byte-identically; variant-tagged instances use
+  /// the versioned `pcmax.instance.v2 <variant> [B] m n t_1 ... t_n` form.
   [[nodiscard]] std::string to_string() const;
 
-  /// Parses the `to_string` format. Throws InvalidArgumentError on bad input.
+  /// Parses both wire forms: a leading `pcmax.instance.v2` token selects the
+  /// versioned variant-tagged format, anything else is the legacy classic
+  /// format. Throws InvalidArgumentError on bad input.
   static Instance parse(const std::string& text);
 
   friend bool operator==(const Instance&, const Instance&) = default;
@@ -52,6 +118,8 @@ class Instance {
   std::vector<Time> times_;
   Time total_time_;
   Time max_time_;
+  ProblemVariant variant_ = ProblemVariant::kClassic;
+  VariantPayload payload_{};
 };
 
 std::ostream& operator<<(std::ostream& os, const Instance& instance);

@@ -68,6 +68,117 @@ Instance generate_instance(InstanceFamily family, int machines, int jobs,
   return generate_instance(family, machines, jobs, rng);
 }
 
+Instance generate_variant_instance(ProblemVariant variant,
+                                   InstanceFamily family, int machines,
+                                   int jobs, std::uint64_t seed,
+                                   std::uint64_t index) {
+  Instance base = generate_instance(family, machines, jobs, seed, index);
+  switch (variant) {
+    case ProblemVariant::kClassic:
+      return base;
+    case ProblemVariant::kIncremental:
+      return Instance::with_variant(base, ProblemVariant::kIncremental);
+    case ProblemVariant::kCapacity: {
+      // An independent stream for the payload draw, mixed like the times
+      // stream but domain-separated, so adding the capacity draw never
+      // perturbs the classic processing-time sequence.
+      SplitMix64 mixer(seed ^ 0xd6e8feb86659fd93ULL);
+      std::uint64_t stream = mixer.next();
+      stream ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(family) + 1);
+      stream ^= 0xc2b2ae3d27d4eb4fULL *
+                static_cast<std::uint64_t>(static_cast<unsigned>(machines));
+      stream ^= 0x165667b19e3779f9ULL *
+                static_cast<std::uint64_t>(static_cast<unsigned>(jobs));
+      stream ^= 0x27d4eb2f165667c5ULL * (index + 1);
+      Xoshiro256StarStar rng(stream);
+      const Time capacity = uniform_int(rng, 1, static_cast<Time>(machines));
+      return Instance::with_variant(base, ProblemVariant::kCapacity,
+                                    VariantPayload{capacity});
+    }
+  }
+  throw InvalidArgumentError("unknown problem variant");
+}
+
+std::string variant_family_name(ProblemVariant variant,
+                                InstanceFamily family) {
+  switch (variant) {
+    case ProblemVariant::kClassic: return family_name(family);
+    case ProblemVariant::kCapacity: return "cap[" + family_name(family) + "]";
+    case ProblemVariant::kIncremental:
+      return "inc[" + family_name(family) + "]";
+  }
+  throw InvalidArgumentError("unknown problem variant");
+}
+
+ProblemVariant VariantMix::pick(std::uint64_t index) const {
+  PCMAX_REQUIRE(cycle() >= 1, "variant mix needs at least one positive weight");
+  const auto pos = static_cast<int>(index % static_cast<std::uint64_t>(cycle()));
+  if (pos < classic) return ProblemVariant::kClassic;
+  if (pos < classic + capacity) return ProblemVariant::kCapacity;
+  return ProblemVariant::kIncremental;
+}
+
+VariantMix parse_variant_mix(const std::string& spec) {
+  VariantMix mix;
+  mix.classic = 0;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    const std::size_t eq = entry.find('=');
+    PCMAX_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < entry.size(),
+                  "variant mix entry '" + entry +
+                      "' is not of the form name=weight");
+    const ProblemVariant variant = variant_from_name(entry.substr(0, eq));
+    int weight = 0;
+    try {
+      std::size_t consumed = 0;
+      weight = std::stoi(entry.substr(eq + 1), &consumed);
+      PCMAX_REQUIRE(consumed == entry.size() - eq - 1,
+                    "trailing characters after weight in '" + entry + "'");
+    } catch (const InvalidArgumentError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw InvalidArgumentError("variant mix weight in '" + entry +
+                                 "' is not an integer");
+    }
+    PCMAX_REQUIRE(weight >= 0, "variant mix weights must be non-negative");
+    switch (variant) {
+      case ProblemVariant::kClassic: mix.classic = weight; break;
+      case ProblemVariant::kCapacity: mix.capacity = weight; break;
+      case ProblemVariant::kIncremental: mix.incremental = weight; break;
+    }
+    begin = end + 1;
+  }
+  PCMAX_REQUIRE(mix.cycle() >= 1,
+                "variant mix '" + spec + "' needs at least one positive weight");
+  return mix;
+}
+
+Instance apply_variant_mix(const VariantMix& mix, const Instance& base,
+                           std::uint64_t seed, std::uint64_t index) {
+  switch (mix.pick(index)) {
+    case ProblemVariant::kClassic:
+      return base;
+    case ProblemVariant::kIncremental:
+      return Instance::with_variant(base, ProblemVariant::kIncremental);
+    case ProblemVariant::kCapacity: {
+      // Keyed on (seed, index) only — NOT the times — so the same pool
+      // position draws the same capacity whatever instance occupies it.
+      SplitMix64 mixer(seed ^ 0xa24baed4963ee407ULL);
+      std::uint64_t stream = mixer.next();
+      stream ^= 0x27d4eb2f165667c5ULL * (index + 1);
+      Xoshiro256StarStar rng(stream);
+      const Time capacity =
+          uniform_int(rng, 1, static_cast<Time>(base.machines()));
+      return Instance::with_variant(base, ProblemVariant::kCapacity,
+                                    VariantPayload{capacity});
+    }
+  }
+  throw InvalidArgumentError("unknown problem variant");
+}
+
 std::vector<Instance> generate_instances(InstanceFamily family, int machines,
                                          int jobs, std::uint64_t seed, int count) {
   PCMAX_REQUIRE(count >= 0, "instance count must be non-negative");

@@ -62,4 +62,52 @@ Instance generate_instance(InstanceFamily family, int machines, int jobs,
 std::vector<Instance> generate_instances(InstanceFamily family, int machines,
                                          int jobs, std::uint64_t seed, int count);
 
+/// Variant generator families: the same six uniform time distributions,
+/// tagged with a problem variant. kClassic returns generate_instance
+/// unchanged (identical stream, identical times). kIncremental re-tags the
+/// classic draw. kCapacity additionally draws the capacity B uniformly from
+/// [1, machines] out of an independent deterministic stream, so the family
+/// sweeps the whole restriction range from serialized (B = 1) to vacuous
+/// (B = m) — reproducible from (variant, family, m, n, seed, index) alone.
+Instance generate_variant_instance(ProblemVariant variant,
+                                   InstanceFamily family, int machines,
+                                   int jobs, std::uint64_t seed,
+                                   std::uint64_t index);
+
+/// Report label of a variant family: "U(1,100)" stays bare for classic,
+/// variants wrap it as "cap[U(1,100)]" / "inc[U(1,100)]".
+std::string variant_family_name(ProblemVariant variant, InstanceFamily family);
+
+/// A deterministic variant mix over an instance pool: non-negative integer
+/// weights per variant, assigned round-robin over a cycle of sum(weights)
+/// positions (classic slots first, then capacity, then incremental). Index
+/// `i` of a pool always lands on the same variant, so a mix is reproducible
+/// across runs, shards, and repeat passes.
+struct VariantMix {
+  int classic = 1;
+  int capacity = 0;
+  int incremental = 0;
+
+  /// Positions per round-robin cycle.
+  [[nodiscard]] int cycle() const { return classic + capacity + incremental; }
+
+  /// The variant pool position `index` is tagged with.
+  [[nodiscard]] ProblemVariant pick(std::uint64_t index) const;
+};
+
+/// Parses a mix spec like "classic=2,capacity=1,incremental=1". Omitted
+/// variants get weight 0; at least one weight must be positive. Throws
+/// InvalidArgumentError on unknown variant names, malformed entries, or
+/// negative weights.
+VariantMix parse_variant_mix(const std::string& spec);
+
+/// Tags pool entry `index` with the mix's variant for that position.
+/// Classic positions return `base` unchanged (byte-identical — an
+/// all-classic mix is a no-op by construction). Capacity positions draw
+/// B uniformly from [1, base.machines()] out of a deterministic stream
+/// keyed on (seed, index) only, so the processing times are never
+/// perturbed and a re-run reproduces the same payloads.
+Instance apply_variant_mix(const VariantMix& mix, const Instance& base,
+                           std::uint64_t seed, std::uint64_t index);
+
 }  // namespace pcmax

@@ -32,7 +32,8 @@ std::vector<Instance> read_instances_file(const std::string& path) {
 }
 
 void write_instances(std::ostream& os, const std::vector<Instance>& instances) {
-  os << "# pcmax instance set: one instance per line, 'm n t_1 ... t_n'\n";
+  os << "# pcmax instance set: one instance per line, 'm n t_1 ... t_n' or "
+        "'pcmax.instance.v2 <variant> [B] m n t_1 ... t_n'\n";
   for (const Instance& instance : instances) {
     os << instance.to_string() << '\n';
   }

@@ -2,8 +2,10 @@
 //
 // Text formats, chosen for hand-editability and diff-friendliness:
 //
-//  * instance file — one instance per line in Instance::to_string format
-//    (`m n t_1 ... t_n`); blank lines and `#` comments are skipped;
+//  * instance file — one instance per line in Instance::to_string format:
+//    classic `m n t_1 ... t_n`, or the versioned
+//    `pcmax.instance.v2 <variant> [B] m n t_1 ... t_n` form for variant-
+//    tagged instances; blank lines and `#` comments are skipped;
 //  * schedule file — header line `makespan M machines m`, then one line per
 //    machine: `machine i: j_1 j_2 ...` (job indices).
 #pragma once

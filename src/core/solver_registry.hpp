@@ -24,6 +24,7 @@
 
 #include "core/instance.hpp"
 #include "core/solver.hpp"
+#include "core/variant.hpp"
 
 namespace pcmax {
 
@@ -83,34 +84,82 @@ struct SolverBuild {
 };
 
 /// Name -> factory map. Thread-safe; factories must be thread-safe to call.
+///
+/// Variant-aware: every entry declares which ProblemVariants its solver can
+/// serve, and variant-checked creation rejects mismatches with a structured
+/// VariantUnsupportedError (solver name + requested variant + declared set)
+/// instead of silently solving the wrong problem. Entries registered through
+/// the legacy two-argument register_solver default to classic-only.
 class SolverRegistry {
  public:
   using Factory =
       std::function<std::unique_ptr<Solver>(const SolverBuild& build)>;
 
-  /// Registers `factory` under `name`; throws InvalidArgumentError when the
-  /// name is already taken (builtins included).
+  /// Registers `factory` under `name` with classic-only variant support;
+  /// throws InvalidArgumentError when the name is already taken (builtins
+  /// included).
   void register_solver(const std::string& name, Factory factory);
+
+  /// Registers `factory` declaring explicit variant support. When
+  /// `variant_native` is false (the default) the factory builds a classic
+  /// solver and variant-checked creation wraps it in a VariantAdapterSolver
+  /// for capacity-restricted instances (the min(m, B) reduction); when true
+  /// the solver consumes variant-tagged instances itself and is never
+  /// wrapped (e.g. the capacity brute-force reference).
+  void register_solver(const std::string& name, Factory factory,
+                       VariantSet variants, bool variant_native = false);
 
   /// True when `name` is registered.
   [[nodiscard]] bool contains(const std::string& name) const;
 
-  /// Constructs the named solver. Throws InvalidArgumentError for unknown
-  /// names (the message lists what IS registered, for CLI error quality).
+  /// Constructs the named solver for classic P || C_max. Exactly
+  /// create(name, build, ProblemVariant::kClassic); kept as the common-case
+  /// spelling. Throws InvalidArgumentError for unknown names (the message
+  /// lists what IS registered, for CLI error quality) and
+  /// VariantUnsupportedError for classic-incapable solvers.
   [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name,
                                                const SolverBuild& build) const;
+
+  /// Variant-checked construction: rejects entries that do not declare
+  /// `variant` with a VariantUnsupportedError, and wraps non-native solvers
+  /// in the capacity reduction adapter when `variant` is kCapacity.
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name,
+                                               const SolverBuild& build,
+                                               ProblemVariant variant) const;
+
+  /// Convenience: variant-checked construction for a concrete instance.
+  [[nodiscard]] std::unique_ptr<Solver> create_for(
+      const std::string& name, const SolverBuild& build,
+      const Instance& instance) const {
+    return create(name, build, instance.variant());
+  }
+
+  /// The variant set `name` declares. Throws InvalidArgumentError for
+  /// unknown names.
+  [[nodiscard]] VariantSet supported_variants(const std::string& name) const;
 
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Registered names declaring support for `variant`, sorted.
+  [[nodiscard]] std::vector<std::string> names_supporting(
+      ProblemVariant variant) const;
+
   /// The process-wide registry, preloaded with the built-in solvers:
   /// lpt, ls, ldm, multifit, ptas, parallel-ptas, spmd-ptas, subset-dp,
-  /// ip, milp, resilient.
+  /// ip, milp, resilient (all variants, via the reduction adapter), and
+  /// capacity-brute (capacity only, variant-native).
   static SolverRegistry& global();
 
  private:
+  struct Entry {
+    Factory factory;
+    VariantSet variants{ProblemVariant::kClassic};
+    bool variant_native = false;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, Entry> factories_;
 };
 
 }  // namespace pcmax

@@ -24,4 +24,26 @@ class BruteForceSolver final : public Solver {
 /// Convenience: the optimal makespan of a tiny instance.
 Time brute_force_optimum(const Instance& instance);
 
+/// Exhaustive optimal solver for tiny capacity-restricted instances
+/// (ProblemVariant::kCapacity). Deliberately does NOT use the
+/// min(m, B)-machine reduction of core/variant.hpp: it enumerates raw
+/// assignments onto all m machines and prunes branches that would activate
+/// more than B machines — the differential tests check the reduction against
+/// this independent reference.
+class CapacityBruteForceSolver final : public Solver {
+ public:
+  explicit CapacityBruteForceSolver(int max_jobs = 16);
+
+  [[nodiscard]] std::string name() const override {
+    return "CapacityBruteForce";
+  }
+  SolverResult solve(const Instance& instance) override;
+
+ private:
+  int max_jobs_;
+};
+
+/// Convenience: the optimal makespan of a tiny capacity-restricted instance.
+Time capacity_brute_force_optimum(const Instance& instance);
+
 }  // namespace pcmax

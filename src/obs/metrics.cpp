@@ -51,6 +51,8 @@ const char* counter_name(Counter counter) {
     case Counter::kServiceFuturesContinuations:
       return "service.futures_continuations";
     case Counter::kServiceFuturesExpired: return "service.futures_expired";
+    case Counter::kServiceIncrementalResolves:
+      return "service.incremental_resolves";
   }
   throw InvalidArgumentError("unknown counter");
 }

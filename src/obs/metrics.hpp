@@ -88,8 +88,9 @@ enum class Counter : unsigned {
   kServiceFuturesResolved,     ///< SolveFuture deliveries (value set)
   kServiceFuturesContinuations,///< then() continuations executed
   kServiceFuturesExpired,      ///< deadline-expired waits answered shed:deadline
+  kServiceIncrementalResolves, ///< submit_prepared re-solves (canonicalization skipped)
 };
-inline constexpr std::size_t kCounterCount = 42;
+inline constexpr std::size_t kCounterCount = 43;
 
 /// Stable snake-case name used as the JSON key (e.g. "pool.iterations").
 const char* counter_name(Counter counter);

@@ -16,6 +16,7 @@
 #include "core/solve_context.hpp"
 #include "core/solver.hpp"
 #include "core/solver_registry.hpp"
+#include "core/variant.hpp"
 #include "core/resilient_solver.hpp"
 #include "core/portfolio.hpp"
 
@@ -44,6 +45,7 @@
 #include "parallel/parallel_sort.hpp"
 
 #include "service/batch_report.hpp"
+#include "service/incremental.hpp"
 #include "service/result_cache.hpp"
 #include "service/solve_service.hpp"
 

@@ -1,5 +1,6 @@
 #include "service/batch_report.hpp"
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -28,9 +29,14 @@ JsonValue batch_report(const ServiceOptions& options,
   config["shards"] = options.shards;
 
   std::set<std::string> unique;
+  std::map<std::string, std::int64_t> variant_counts;
   for (const SolveResponse& response : responses) {
     unique.insert(response.fingerprint.to_hex());
+    ++variant_counts[response.variant];
   }
+  const bool all_classic =
+      variant_counts.empty() ||
+      (variant_counts.size() == 1 && variant_counts.count("classic") == 1);
 
   JsonValue& summary = report["summary"];
   summary["requests"] = static_cast<std::int64_t>(responses.size());
@@ -57,6 +63,14 @@ JsonValue batch_report(const ServiceOptions& options,
   summary["breaker_open_rejects"] = stats.breaker.rejects;
   summary["breaker_probes"] = stats.breaker.probes;
   summary["breaker_closes"] = stats.breaker.closes;
+  // Variant mix (PR 10). Emitted ONLY when a non-classic variant is present:
+  // all-classic batches — everything the service produced before variants
+  // existed — keep their reports byte-identical, which is what lets the
+  // pcmax_batch_v1 golden file assert the classic path never drifted.
+  if (!all_classic) {
+    JsonValue& mix = summary["variants"];
+    for (const auto& [name, count] : variant_counts) mix[name] = count;
+  }
 
   JsonValue requests = JsonValue::make_array();
   for (std::size_t i = 0; i < responses.size(); ++i) {
@@ -79,6 +93,8 @@ JsonValue batch_report(const ServiceOptions& options,
     entry["shed"] = response.shed;
     entry["coalesced"] = response.coalesced;
     entry["shard"] = response.shard;
+    // Appended, and only for variant-carrying batches (see above).
+    if (!all_classic) entry["variant"] = response.variant;
     requests.append(std::move(entry));
   }
   report["requests"] = std::move(requests);

@@ -1,0 +1,57 @@
+#include "service/incremental.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pcmax {
+
+IncrementalSession::IncrementalSession(SolveService& service, int machines,
+                                       std::vector<Time> initial_times,
+                                       double epsilon, std::string tenant)
+    : service_(service),
+      epsilon_(epsilon),
+      tenant_(std::move(tenant)),
+      times_(initial_times.begin(), initial_times.end()),
+      fingerprint_(machines,
+                   std::span<const Time>(initial_times.data(),
+                                         initial_times.size())) {
+  // IncrementalFingerprint's constructor validated machines >= 1, the job
+  // count >= 1, and every time >= 1.
+}
+
+void IncrementalSession::add_job(Time t) {
+  PCMAX_REQUIRE(t >= 1, "processing times must be positive integers");
+  times_.insert(t);
+  fingerprint_.add_job(t);
+}
+
+void IncrementalSession::remove_job(Time t) {
+  const auto it = times_.find(t);
+  PCMAX_REQUIRE(it != times_.end(),
+                "no job with processing time " + std::to_string(t) +
+                    " to remove");
+  PCMAX_REQUIRE(times_.size() >= 2, "cannot remove the last job of a session");
+  times_.erase(it);
+  fingerprint_.remove_job(t);
+}
+
+Instance IncrementalSession::instance() const {
+  return Instance::incremental(machines(),
+                               std::vector<Time>(times_.begin(), times_.end()));
+}
+
+SolveFuture IncrementalSession::resolve() {
+  // std::multiset iterates in sorted order, so the materialized instance is
+  // already canonical: identity permutation, maintained fingerprint.
+  Instance sorted = instance();
+  CanonicalInstance canonical =
+      CanonicalInstance::presorted(sorted, fingerprint_.fingerprint());
+  SolveRequest request(std::move(sorted));
+  request.epsilon = epsilon_;
+  request.tenant = tenant_;
+  ++resolves_;
+  return service_.submit_prepared(std::move(request), std::move(canonical));
+}
+
+}  // namespace pcmax

@@ -1,0 +1,79 @@
+// Incremental-arrivals sessions over the solve service.
+//
+// An IncrementalSession owns a drifting job multiset (the kIncremental
+// problem variant): jobs arrive and depart between re-solves. The session
+// keeps the multiset sorted (std::multiset, O(log n) per delta) and
+// maintains its canonical fingerprint through the commutative
+// IncrementalFingerprint lanes (core/fingerprint, O(1) per delta), so each
+// resolve() submits through SolveService::submit_prepared with a presorted
+// CanonicalInstance — the service-side O(n log n) sort + O(n) rehash that
+// every submit_async pays is skipped, while the fingerprint (and therefore
+// cache key, coalescing key, and shard route) is bit-identical to what full
+// re-canonicalization of the same multiset would produce (the randomized
+// differential test in tests/variant_differential_test.cpp locks this).
+//
+// Sessions are single-caller: add/remove/resolve are not synchronized.
+// Concurrent sessions over one SolveService are fine — submission itself is
+// thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/instance.hpp"
+#include "service/solve_future.hpp"
+#include "service/solve_service.hpp"
+
+namespace pcmax {
+
+class IncrementalSession {
+ public:
+  /// Starts a session over `service` with an initial job multiset.
+  /// `epsilon` <= 0 uses the service default; `tenant` feeds admission
+  /// quotas as usual. The service must outlive the session.
+  IncrementalSession(SolveService& service, int machines,
+                     std::vector<Time> initial_times, double epsilon = 0.0,
+                     std::string tenant = {});
+
+  /// One job arrives. O(log n).
+  void add_job(Time t);
+
+  /// One job with processing time `t` departs. O(log n). Throws
+  /// InvalidArgumentError when no such job is present or when it would
+  /// leave the instance empty — the fingerprint lanes stay untouched on
+  /// failure, so a rejected delta cannot corrupt the session.
+  void remove_job(Time t);
+
+  [[nodiscard]] int machines() const { return fingerprint_.machines(); }
+  [[nodiscard]] int jobs() const { return fingerprint_.jobs(); }
+
+  /// Canonical fingerprint of the current multiset; equals
+  /// CanonicalInstance(instance()).fingerprint(). O(1).
+  [[nodiscard]] Fingerprint instance_fingerprint() const {
+    return fingerprint_.fingerprint();
+  }
+
+  /// Materializes the current multiset as a sorted incremental-variant
+  /// instance. O(n).
+  [[nodiscard]] Instance instance() const;
+
+  /// Submits a re-solve of the current multiset through the prepared
+  /// (canonicalization-free) entry point and returns its future.
+  [[nodiscard]] SolveFuture resolve();
+
+  /// Number of resolve() submissions this session has made.
+  [[nodiscard]] std::uint64_t resolves() const { return resolves_; }
+
+ private:
+  SolveService& service_;
+  double epsilon_;
+  std::string tenant_;
+  std::multiset<Time> times_;
+  IncrementalFingerprint fingerprint_;
+  std::uint64_t resolves_ = 0;
+};
+
+}  // namespace pcmax

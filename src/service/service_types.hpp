@@ -170,6 +170,9 @@ struct SolveResponse {
   double solve_seconds = 0.0;      ///< dispatch -> response
   double seconds = 0.0;            ///< admission -> response (end-to-end)
   std::map<std::string, std::string> notes;  ///< extra textual provenance
+  /// Variant tag of the submitted instance ("classic" for plain P || C_max;
+  /// appended in PR 10 so pre-existing fields keep their positions).
+  std::string variant = "classic";
 };
 
 /// Counter snapshot of one shard (ServiceStats::shards entry).

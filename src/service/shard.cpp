@@ -6,6 +6,7 @@
 
 #include "core/portfolio.hpp"
 #include "core/resilient_solver.hpp"
+#include "core/variant.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -435,7 +436,11 @@ SolveResponse ServiceShard::run_solver(Pending& pending, Tier tier,
       // depend on the lane width.
       portfolio.build.executor = &lease.executor();
     }
-    result = PortfolioSolver(portfolio).solve(canonical.instance(), context);
+    PortfolioSolver solver(portfolio);
+    // Variant dispatch: capacity-restricted instances are solved on their
+    // classic min(m, B)-machine twin and lifted back (core/variant.hpp);
+    // classic and incremental instances pass through byte-identically.
+    result = solve_variant_with(solver, canonical.instance(), context);
   } else {
     ResilientOptions resilient;
     resilient.ptas.epsilon = pending.epsilon;
@@ -452,7 +457,8 @@ SolveResponse ServiceShard::run_solver(Pending& pending, Tier tier,
       resilient.ptas.engine = DpEngine::kParallelBucketed;
       resilient.ptas.executor = &lease.executor();
     }
-    result = ResilientSolver(resilient).solve(canonical.instance(), context);
+    ResilientSolver solver(resilient);
+    result = solve_variant_with(solver, canonical.instance(), context);
   }
 
   SolveResponse response;
@@ -475,6 +481,7 @@ void ServiceShard::finish(Pending& pending, SolveResponse response,
   response.id = pending.id;
   response.machines = pending.request.instance.machines();
   response.jobs = pending.request.instance.jobs();
+  response.variant = variant_name(pending.request.instance.variant());
   response.tenant = pending.request.tenant;
   response.shard = index_;
   response.queue_seconds = ns_to_seconds(pending.enqueue_ns, dispatch_ns);
@@ -496,6 +503,7 @@ SolveResponse ServiceShard::make_shed_response(const SolveRequest& request,
                                                bool overload) {
   SolveResponse response;
   response.schedule = Schedule(std::max(1, request.instance.machines()));
+  response.variant = variant_name(request.instance.variant());
   response.algorithm = "none";
   response.degradation_reason = reason;
   response.degraded = true;
@@ -515,6 +523,7 @@ SolveResponse ServiceShard::internal_error_response(
     const SolveRequest& request, const std::string& what) {
   SolveResponse response;
   response.schedule = Schedule(std::max(1, request.instance.machines()));
+  response.variant = variant_name(request.instance.variant());
   response.algorithm = "none";
   response.degradation_reason = "internal-error";
   response.degraded = true;

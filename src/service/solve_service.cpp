@@ -94,7 +94,7 @@ SolveService::~SolveService() {
   for (auto& shard : shards_) shard->join();
 }
 
-SolveFuture SolveService::submit_async(SolveRequest request) {
+ServiceShard::Pending SolveService::make_pending(SolveRequest request) {
   PCMAX_REQUIRE(!shutting_down_.load(std::memory_order_relaxed),
                 "service is shutting down");
   ServiceShard::Pending pending{std::move(request)};
@@ -112,12 +112,42 @@ SolveFuture SolveService::submit_async(SolveRequest request) {
   } else {
     pending.token = pending.request.cancel;
   }
+  pending.epsilon = effective_epsilon(pending.request);
+  return pending;
+}
 
+SolveFuture SolveService::submit_async(SolveRequest request) {
+  ServiceShard::Pending pending = make_pending(std::move(request));
   // Routing: canonical form, fingerprint, and shard are computed HERE, on
   // the caller's thread — shard workers never re-canonicalize, and the
   // shard choice is a pure function of the fingerprint.
-  pending.epsilon = effective_epsilon(pending.request);
   pending.canonical.emplace(pending.request.instance);
+  return route_and_enqueue(std::move(pending));
+}
+
+SolveFuture SolveService::submit_prepared(SolveRequest request,
+                                          CanonicalInstance canonical) {
+  // The incremental fast path: the caller (IncrementalSession) maintained
+  // the sorted multiset and its fingerprint across add/remove deltas, so
+  // submission skips the O(n log n) sort + O(n) rehash entirely. The cheap
+  // invariants below catch a canonical form that describes a different
+  // problem; the full multiset equality is the caller's contract.
+  PCMAX_REQUIRE(canonical.instance().machines() == request.instance.machines(),
+                "prepared canonical form disagrees on machine count");
+  PCMAX_REQUIRE(canonical.instance().jobs() == request.instance.jobs(),
+                "prepared canonical form disagrees on job count");
+  PCMAX_REQUIRE(canonical.instance().variant() == request.instance.variant(),
+                "prepared canonical form disagrees on problem variant");
+  PCMAX_REQUIRE(
+      canonical.instance().total_time() == request.instance.total_time(),
+      "prepared canonical form disagrees on total processing time");
+  ServiceShard::Pending pending = make_pending(std::move(request));
+  pending.canonical.emplace(std::move(canonical));
+  bump(obs::Counter::kServiceIncrementalResolves);
+  return route_and_enqueue(std::move(pending));
+}
+
+SolveFuture SolveService::route_and_enqueue(ServiceShard::Pending pending) {
   pending.key = request_fingerprint(*pending.canonical, pending.epsilon);
   const std::size_t shard = shard_index(pending.key, shards_.size());
   pending.shard = static_cast<int>(shard);

@@ -88,6 +88,17 @@ class SolveService {
   /// the service is shutting down.
   [[nodiscard]] SolveFuture submit_async(SolveRequest request);
 
+  /// Incremental fast path: submits a request whose canonical form (and
+  /// therefore fingerprint) the caller already holds, skipping the
+  /// per-request sort + rehash that submit_async pays. IncrementalSession
+  /// (service/incremental.hpp) maintains the canonical form across
+  /// add/remove-job deltas and re-solves through this entry point. The
+  /// canonical form must describe `request.instance` (cheap invariants are
+  /// checked; the multiset equality is the caller's contract — a lying
+  /// canonical form would poison the cache for its fingerprint).
+  [[nodiscard]] SolveFuture submit_prepared(SolveRequest request,
+                                            CanonicalInstance canonical);
+
   /// Thin wrapper over submit_async, kept for the PR 4-7 call shape:
   /// `service.submit(r).get()`. Identical semantics (the returned
   /// SolveFuture blocks only when the caller asks it to).
@@ -125,6 +136,11 @@ class SolveService {
   /// Passed to every shard; shard workers call it at pop.
   void release_tenant_slot(const std::string& tenant);
   [[nodiscard]] double effective_epsilon(const SolveRequest& request) const;
+  /// Shared submission head: id, deadline/token, effective epsilon.
+  [[nodiscard]] ServiceShard::Pending make_pending(SolveRequest request);
+  /// Shared submission tail: fingerprint, shard routing, quota, enqueue.
+  /// `pending.canonical` must already be set.
+  [[nodiscard]] SolveFuture route_and_enqueue(ServiceShard::Pending pending);
 
   ServiceOptions options_;
   std::unique_ptr<ExecutorLanes> lanes_;  ///< shared by all shards

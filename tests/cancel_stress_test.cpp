@@ -15,6 +15,7 @@
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
 #include "core/resilient_solver.hpp"
+#include "core/solve_context.hpp"
 #include "util/deadline.hpp"
 #include "util/error.hpp"
 
@@ -62,13 +63,13 @@ TEST(CancelStress, ConcurrentCancelDuringParallelDpEngines) {
       options.executor = &executor;
       options.spmd_threads = 4;
       options.epsilon = 0.12;  // big enough DP that cancels land mid-flight
-      options.cancel = token;
       std::thread canceller([token, round] {
         std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
         token.request_cancel();
       });
       try {
-        const SolverResult result = PtasSolver(options).solve(instance);
+        const SolverResult result =
+            PtasSolver(options).solve(instance, SolveContext::with_token(token));
         result.schedule.validate(instance);  // raced past the cancel: fine
       } catch (const CancelledError&) {
       } catch (const DeadlineExceededError&) {
@@ -93,10 +94,10 @@ TEST(CancelStress, DeadlineExpiryRacesTheSolve) {
     options.engine = DpEngine::kParallelBucketed;
     options.executor = &executor;
     options.epsilon = 0.12;
-    options.cancel =
-        CancellationToken::with_deadline(Deadline::after_ms(round));
+    SolveContext context;
+    context.deadline = Deadline::after_ms(round);
     try {
-      const SolverResult result = PtasSolver(options).solve(instance);
+      const SolverResult result = PtasSolver(options).solve(instance, context);
       result.schedule.validate(instance);
     } catch (const DeadlineExceededError&) {
     } catch (const CancelledError&) {
@@ -112,12 +113,13 @@ TEST(CancelStress, ResilientSolverUnderConcurrentCancelAlwaysReturns) {
     options.ptas.engine = DpEngine::kSpmd;
     options.ptas.spmd_threads = 4;
     options.ptas.epsilon = 0.12;
-    options.cancel = CancellationToken::make();
-    std::thread canceller([token = options.cancel, round] {
+    const CancellationToken token = CancellationToken::make();
+    std::thread canceller([token, round] {
       std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
       token.request_cancel();
     });
-    const SolverResult result = ResilientSolver(options).solve(instance);
+    const SolverResult result =
+        ResilientSolver(options).solve(instance, SolveContext::with_token(token));
     canceller.join();
     result.schedule.validate(instance);  // never throws, always complete
   }

@@ -1,0 +1,136 @@
+// The v1 -> v2 back-compat shims: every deprecated per-struct cancel /
+// time-limit field must keep WORKING through the legacy solve(instance)
+// entry point, and must stamp its one-time deprecation note — exactly once
+// per process, under exactly its documented field name. The v2
+// solve(instance, context) path must stay silent. docs/api.md records the
+// removal schedule these assertions back.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/ptas/ptas.hpp"
+#include "core/instance.hpp"
+#include "core/resilient_solver.hpp"
+#include "core/solve_context.hpp"
+#include "core/solver.hpp"
+#include "exact/exact.hpp"
+#include "mip/pcmax_ip.hpp"
+#include "util/deadline.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance tiny_instance() { return Instance(2, {3, 5, 4, 6, 2}); }
+
+int deprecation_note_count(const SolverResult& result) {
+  int count = 0;
+  for (const auto& [key, value] : result.notes) {
+    if (key.rfind("deprecation.", 0) == 0) ++count;
+  }
+  return count;
+}
+
+void expect_note(const SolverResult& result, const std::string& field,
+                 const std::string& replacement) {
+  const std::string key = "deprecation." + field;
+  ASSERT_TRUE(result.notes.count(key)) << "missing " << key;
+  const std::string& message = result.notes.at(key);
+  EXPECT_NE(message.find(field), std::string::npos) << message;
+  EXPECT_NE(message.find(replacement), std::string::npos) << message;
+}
+
+TEST(Deprecation, PtasOptionsCancelStampsExactlyOnce) {
+  reset_deprecation_notes_for_testing();
+  PtasOptions options;
+  options.cancel = CancellationToken::make();  // valid, never cancelled
+  const SolverResult first = PtasSolver(options).solve(tiny_instance());
+  expect_note(first, "PtasOptions.cancel", "SolveContext.cancel");
+  const SolverResult second = PtasSolver(options).solve(tiny_instance());
+  EXPECT_EQ(deprecation_note_count(second), 0);
+}
+
+TEST(Deprecation, DpLimitsCancelRidesThePtasShim) {
+  // The limits-level token is the OTHER legacy route into the same shim;
+  // it stamps under the same field name (one warning per mechanism, not
+  // per struct path).
+  reset_deprecation_notes_for_testing();
+  PtasOptions options;
+  options.limits.cancel = CancellationToken::make();
+  const SolverResult first = PtasSolver(options).solve(tiny_instance());
+  expect_note(first, "PtasOptions.cancel", "SolveContext.cancel");
+  const SolverResult second = PtasSolver(options).solve(tiny_instance());
+  EXPECT_EQ(deprecation_note_count(second), 0);
+}
+
+TEST(Deprecation, MipOptionsCancelStampsExactlyOnce) {
+  reset_deprecation_notes_for_testing();
+  MipOptions options;
+  options.cancel = CancellationToken::make();
+  const SolverResult first = PcmaxIpSolver(options).solve(tiny_instance());
+  expect_note(first, "MipOptions.cancel", "SolveContext.cancel");
+  const SolverResult second = PcmaxIpSolver(options).solve(tiny_instance());
+  EXPECT_EQ(deprecation_note_count(second), 0);
+}
+
+TEST(Deprecation, ExactProbeLimitsCancelStampsExactlyOnce) {
+  reset_deprecation_notes_for_testing();
+  ExactSolverOptions options;
+  options.probe_limits.cancel = CancellationToken::make();
+  const SolverResult first = ExactSolver(options).solve(tiny_instance());
+  expect_note(first, "ExactSolverOptions.probe_limits.cancel",
+              "SolveContext.cancel");
+  const SolverResult second = ExactSolver(options).solve(tiny_instance());
+  EXPECT_EQ(deprecation_note_count(second), 0);
+}
+
+TEST(Deprecation, ResilientCancelAndTimeLimitStampExactlyOnceEach) {
+  reset_deprecation_notes_for_testing();
+  ResilientOptions options;
+  options.cancel = CancellationToken::make();
+  options.time_limit_ms = 3'600'000;  // an hour: never trips
+  const SolverResult first = ResilientSolver(options).solve(tiny_instance());
+  expect_note(first, "ResilientOptions.cancel", "SolveContext.cancel");
+  expect_note(first, "ResilientOptions.time_limit_ms", "SolveContext.deadline");
+  EXPECT_EQ(deprecation_note_count(first), 2);
+  const SolverResult second = ResilientSolver(options).solve(tiny_instance());
+  EXPECT_EQ(deprecation_note_count(second), 0);
+}
+
+TEST(Deprecation, ContextPathStampsNothing) {
+  reset_deprecation_notes_for_testing();
+  const SolveContext context =
+      SolveContext::with_token(CancellationToken::make());
+  EXPECT_EQ(deprecation_note_count(
+                PtasSolver(PtasOptions{}).solve(tiny_instance(), context)),
+            0);
+  EXPECT_EQ(deprecation_note_count(
+                PcmaxIpSolver(MipOptions{}).solve(tiny_instance(), context)),
+            0);
+  EXPECT_EQ(deprecation_note_count(ExactSolver(ExactSolverOptions{})
+                                       .solve(tiny_instance(), context)),
+            0);
+  EXPECT_EQ(deprecation_note_count(ResilientSolver(ResilientOptions{})
+                                       .solve(tiny_instance(), context)),
+            0);
+}
+
+TEST(Deprecation, LegacyFieldsStillFunction) {
+  // Deprecated is not broken: a pre-cancelled legacy token must still stop
+  // the PTAS, and a legacy resilient time limit of 0 must mean unlimited.
+  reset_deprecation_notes_for_testing();
+  PtasOptions cancelled;
+  cancelled.cancel = CancellationToken::make();
+  cancelled.cancel.request_cancel();
+  EXPECT_THROW((void)PtasSolver(cancelled).solve(tiny_instance()),
+               CancelledError);
+  ResilientOptions unlimited;
+  unlimited.time_limit_ms = 0;
+  const SolverResult result =
+      ResilientSolver(unlimited).solve(tiny_instance());
+  result.schedule.validate(tiny_instance());
+  EXPECT_FALSE(result.notes.count("deprecation.ResilientOptions.time_limit_ms"));
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -224,6 +225,33 @@ TEST(Fingerprint, PinnedReferenceValues) {
   // Recorded from the reference implementation (see commit introducing it).
   EXPECT_EQ(instance_hex, "687375a7b3626862645667c4fae4b7c3");
   EXPECT_EQ(request_hex, "76a2978c8505f97e9a422775156ac488");
+}
+
+TEST(Fingerprint, PinnedVariantReferenceValues) {
+  // Variant payloads participate in canonicalization: the same multiset
+  // under each variant tag lands on a distinct, stable fingerprint. The
+  // classic value above must stay untouched by the variant layer; these two
+  // pin the capacity (sequential v2 sponge) and incremental (commutative
+  // two-lane) domains.
+  const std::vector<Time> times{4, 8, 15, 16, 23, 42};
+  const CanonicalInstance capped(
+      Instance::capacity_restricted(3, std::vector<Time>(times), 2));
+  const CanonicalInstance incremental(
+      Instance::incremental(3, std::vector<Time>(times)));
+  EXPECT_EQ(capped.fingerprint().to_hex(),
+            "11a614078643df555b4adb362085731c");
+  EXPECT_EQ(incremental.fingerprint().to_hex(),
+            "3a7defe5d1a6da49bc16813d5e6dd3f8");
+  // The capacity payload is part of identity: a different B is a different
+  // canonical instance.
+  EXPECT_NE(CanonicalInstance(
+                Instance::capacity_restricted(3, std::vector<Time>(times), 1))
+                .fingerprint(),
+            capped.fingerprint());
+  // The O(1) accumulator and the full canonicalization share one domain.
+  EXPECT_EQ(IncrementalFingerprint(3, std::span<const Time>(times))
+                .fingerprint(),
+            incremental.fingerprint());
 }
 
 }  // namespace

@@ -62,6 +62,22 @@ TEST(Instance, ParseRejectsMalformedInput) {
   EXPECT_THROW((void)Instance::parse("0 1 5"), InvalidArgumentError);        // m = 0
 }
 
+TEST(Instance, VersionedWireFormatRoundTrips) {
+  // Classic instances stay on the legacy "m n t..." line forever; variant
+  // instances serialize to the self-describing pcmax.instance.v2 form and
+  // parse() accepts both. (Golden strings pinned in core_variant_test.)
+  EXPECT_EQ(Instance(2, {3, 4}).to_string(), "2 2 3 4");
+  const Instance capped = Instance::capacity_restricted(3, {5, 6, 7}, 2);
+  const Instance incremental = Instance::incremental(2, {8, 9});
+  EXPECT_EQ(Instance::parse(capped.to_string()), capped);
+  EXPECT_EQ(Instance::parse(incremental.to_string()), incremental);
+  // A v2 line that spells out "classic" parses to a plain instance too.
+  EXPECT_EQ(Instance::parse("pcmax.instance.v2 classic 2 2 3 4"),
+            Instance(2, {3, 4}));
+  EXPECT_THROW((void)Instance::parse("pcmax.instance.v3 classic 2 2 3 4"),
+               InvalidArgumentError);
+}
+
 TEST(Instance, StreamOutputMatchesToString) {
   const Instance instance(2, {3, 4});
   std::ostringstream os;

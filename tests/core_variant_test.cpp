@@ -1,0 +1,338 @@
+// The problem-variant layer (ctest label: variants): tags and payloads on
+// Instance, the versioned wire format, VariantSet + the structured
+// VariantUnsupportedError on registry lookup, the capacity min(m, B)
+// reduction with schedule lift, variant-aware bounds, and the deterministic
+// variant generators / mixes. The classic path is asserted byte-identical
+// throughout — pre-variant golden strings must never move.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/instance.hpp"
+#include "core/instance_gen.hpp"
+#include "core/schedule.hpp"
+#include "core/solver_registry.hpp"
+#include "core/variant.hpp"
+#include "exact/brute_force.hpp"
+#include "util/error.hpp"
+
+namespace pcmax {
+namespace {
+
+// --- tags and payloads ---
+
+TEST(Variant, NamesRoundTrip) {
+  for (const ProblemVariant v : kAllVariants) {
+    EXPECT_EQ(variant_from_name(variant_name(v)), v);
+  }
+  EXPECT_THROW((void)variant_from_name("p||cmax"), InvalidArgumentError);
+  EXPECT_THROW((void)variant_from_name(""), InvalidArgumentError);
+}
+
+TEST(Variant, ClassicInstancesAreZeroCostDefault) {
+  const Instance instance(3, {4, 8, 15, 16, 23, 42});
+  EXPECT_TRUE(instance.is_classic());
+  EXPECT_EQ(instance.variant(), ProblemVariant::kClassic);
+  EXPECT_EQ(instance.payload(), VariantPayload{});
+  // The pre-variant wire line, byte for byte.
+  EXPECT_EQ(instance.to_string(), "3 6 4 8 15 16 23 42");
+}
+
+TEST(Variant, CapacityConstructionAndValidation) {
+  const Instance instance = Instance::capacity_restricted(4, {5, 7, 9}, 2);
+  EXPECT_FALSE(instance.is_classic());
+  EXPECT_EQ(instance.variant(), ProblemVariant::kCapacity);
+  EXPECT_EQ(instance.capacity(), 2);
+  EXPECT_THROW((void)Instance::capacity_restricted(4, {5, 7, 9}, 0),
+               InvalidArgumentError);
+  // Non-capacity variants reject a payload.
+  EXPECT_THROW(Instance(4, {5, 7, 9}, ProblemVariant::kClassic,
+                        VariantPayload{2}),
+               InvalidArgumentError);
+  EXPECT_THROW(Instance(4, {5, 7, 9}, ProblemVariant::kIncremental,
+                        VariantPayload{2}),
+               InvalidArgumentError);
+}
+
+// --- wire format v2 ---
+
+TEST(Variant, WireFormatGoldenRoundTripBothForms) {
+  // Golden strings: the legacy classic line and the versioned variant lines.
+  const Instance classic(3, {4, 8, 15, 16, 23, 42});
+  const Instance capacity = Instance::capacity_restricted(3, {5, 7, 9}, 2);
+  const Instance incremental = Instance::incremental(3, {5, 7, 9});
+  EXPECT_EQ(classic.to_string(), "3 6 4 8 15 16 23 42");
+  EXPECT_EQ(capacity.to_string(), "pcmax.instance.v2 capacity 2 3 3 5 7 9");
+  EXPECT_EQ(incremental.to_string(), "pcmax.instance.v2 incremental 3 3 5 7 9");
+  for (const Instance* instance : {&classic, &capacity, &incremental}) {
+    const Instance parsed = Instance::parse(instance->to_string());
+    EXPECT_EQ(parsed, *instance);
+    EXPECT_EQ(parsed.variant(), instance->variant());
+    EXPECT_EQ(parsed.payload(), instance->payload());
+  }
+  // The legacy line still parses as classic.
+  const Instance legacy = Instance::parse("3 6 4 8 15 16 23 42");
+  EXPECT_TRUE(legacy.is_classic());
+  EXPECT_EQ(legacy, classic);
+}
+
+TEST(Variant, WireFormatRejectsMalformedLines) {
+  EXPECT_THROW((void)Instance::parse("pcmax.instance.v2"),
+               InvalidArgumentError);
+  EXPECT_THROW((void)Instance::parse("pcmax.instance.v2 warp 3 3 5 7 9"),
+               InvalidArgumentError);
+  // Capacity needs its B before m.
+  EXPECT_THROW((void)Instance::parse("pcmax.instance.v2 capacity"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      (void)Instance::parse("pcmax.instance.v2 incremental 3 3 5 7 9 11"),
+      InvalidArgumentError);
+  EXPECT_THROW((void)Instance::parse("pcmax.instance.v2 capacity 0 3 3 5 7 9"),
+               InvalidArgumentError);
+}
+
+// --- VariantSet ---
+
+TEST(Variant, VariantSetBasics) {
+  const VariantSet none;
+  EXPECT_TRUE(none.empty());
+  const VariantSet classic_only{ProblemVariant::kClassic};
+  EXPECT_TRUE(classic_only.contains(ProblemVariant::kClassic));
+  EXPECT_FALSE(classic_only.contains(ProblemVariant::kCapacity));
+  EXPECT_EQ(classic_only.to_string(), "classic");
+  EXPECT_EQ(VariantSet::all().to_string(), "classic|capacity|incremental");
+  for (const ProblemVariant v : kAllVariants) {
+    EXPECT_TRUE(VariantSet::all().contains(v));
+  }
+  EXPECT_EQ((VariantSet{ProblemVariant::kClassic, ProblemVariant::kClassic}),
+            classic_only);
+}
+
+// --- the capacity reduction ---
+
+TEST(Variant, EffectiveMachinesAndClassicTwin) {
+  const Instance tight = Instance::capacity_restricted(5, {5, 7, 9}, 2);
+  EXPECT_EQ(variant_effective_machines(tight), 2);
+  const Instance twin = variant_classic_twin(tight);
+  EXPECT_TRUE(twin.is_classic());
+  EXPECT_EQ(twin.machines(), 2);
+  ASSERT_EQ(twin.jobs(), tight.jobs());
+  // A vacuous restriction (B >= m) reduces to the same machine count.
+  const Instance loose = Instance::capacity_restricted(3, {5, 7, 9}, 8);
+  EXPECT_EQ(variant_effective_machines(loose), 3);
+  // Classic and incremental pass through.
+  const Instance classic(4, {5, 7, 9});
+  EXPECT_EQ(variant_effective_machines(classic), 4);
+  EXPECT_EQ(variant_classic_twin(classic), classic);
+  EXPECT_EQ(variant_effective_machines(Instance::incremental(4, {5, 7, 9})), 4);
+}
+
+TEST(Variant, BoundsAdaptToTheEffectiveMachineCount) {
+  const std::vector<Time> times = {9, 8, 7, 6, 5, 4, 3};
+  const Instance capped = Instance::capacity_restricted(6, times, 2);
+  const Instance twin(2, times);
+  EXPECT_EQ(makespan_lower_bound(capped), makespan_lower_bound(twin));
+  EXPECT_EQ(makespan_upper_bound(capped), makespan_upper_bound(twin));
+  // The capped LB must exceed the unrestricted 6-machine LB here: 42 total
+  // over 2 active machines forces at least 21.
+  EXPECT_GE(makespan_lower_bound(capped), 21);
+  EXPECT_GT(makespan_lower_bound(capped),
+            makespan_lower_bound(Instance(6, times)));
+}
+
+TEST(Variant, ValidateVariantScheduleEnforcesTheCap) {
+  const Instance instance = Instance::capacity_restricted(3, {5, 7, 9}, 2);
+  Schedule spread(3);
+  spread.assign(0, 0);
+  spread.assign(1, 1);
+  spread.assign(2, 2);  // three active machines > B = 2
+  EXPECT_FALSE(variant_schedule_feasible(instance, spread));
+  EXPECT_THROW(validate_variant_schedule(instance, spread),
+               InvalidArgumentError);
+  Schedule packed(3);
+  packed.assign(0, 0);
+  packed.assign(0, 1);
+  packed.assign(1, 2);
+  EXPECT_TRUE(variant_schedule_feasible(instance, packed));
+  validate_variant_schedule(instance, packed);  // must not throw
+}
+
+TEST(Variant, SolveVariantWithLiftsToTheOriginalMachineCount) {
+  const Instance instance =
+      Instance::capacity_restricted(5, {9, 8, 7, 6, 5, 4}, 2);
+  std::unique_ptr<Solver> lpt =
+      SolverRegistry::global().create("lpt", SolverBuild{});
+  const SolverResult result = solve_variant_with(*lpt, instance);
+  EXPECT_EQ(result.schedule.machines(), 5);
+  validate_variant_schedule(instance, result.schedule);
+  EXPECT_EQ(result.makespan, result.schedule.makespan(instance));
+  ASSERT_TRUE(result.notes.count("variant"));
+  EXPECT_EQ(result.notes.at("variant"), "capacity");
+  EXPECT_EQ(result.notes.at("variant.effective_machines"), "2");
+}
+
+// --- registry declarations and the structured mismatch error ---
+
+TEST(Variant, BuiltinsDeclareFullSupportAndCapacityBruteIsCapacityOnly) {
+  const SolverRegistry& registry = SolverRegistry::global();
+  for (const std::string name : {"lpt", "multifit", "ptas", "resilient"}) {
+    EXPECT_EQ(registry.supported_variants(name), VariantSet::all()) << name;
+  }
+  EXPECT_EQ(registry.supported_variants("capacity-brute"),
+            (VariantSet{ProblemVariant::kCapacity}));
+  const std::vector<std::string> capacity_names =
+      registry.names_supporting(ProblemVariant::kCapacity);
+  EXPECT_TRUE(std::find(capacity_names.begin(), capacity_names.end(),
+                        "capacity-brute") != capacity_names.end());
+  const std::vector<std::string> classic_names =
+      registry.names_supporting(ProblemVariant::kClassic);
+  EXPECT_TRUE(std::find(classic_names.begin(), classic_names.end(),
+                        "capacity-brute") == classic_names.end());
+}
+
+TEST(Variant, MismatchThrowsTheStructuredError) {
+  const SolverRegistry& registry = SolverRegistry::global();
+  try {
+    (void)registry.create("capacity-brute", SolverBuild{},
+                          ProblemVariant::kClassic);
+    FAIL() << "expected VariantUnsupportedError";
+  } catch (const VariantUnsupportedError& e) {
+    EXPECT_EQ(e.solver(), "capacity-brute");
+    EXPECT_EQ(e.requested(), ProblemVariant::kClassic);
+    EXPECT_EQ(e.supported(), (VariantSet{ProblemVariant::kCapacity}));
+    const std::string message = e.what();
+    EXPECT_NE(message.find("capacity-brute"), std::string::npos);
+    EXPECT_NE(message.find("classic"), std::string::npos);
+  }
+  // The structured error is still an InvalidArgumentError for callers that
+  // only handle the base hierarchy.
+  EXPECT_THROW((void)registry.create("capacity-brute", SolverBuild{},
+                                     ProblemVariant::kIncremental),
+               InvalidArgumentError);
+}
+
+TEST(Variant, LegacyRegistrationDefaultsToClassicOnly) {
+  SolverRegistry registry;
+  registry.register_solver("twin-lpt", [](const SolverBuild& build) {
+    return SolverRegistry::global().create("lpt", build);
+  });
+  EXPECT_EQ(registry.supported_variants("twin-lpt"),
+            (VariantSet{ProblemVariant::kClassic}));
+  EXPECT_THROW((void)registry.create("twin-lpt", SolverBuild{},
+                                     ProblemVariant::kCapacity),
+               VariantUnsupportedError);
+  const Instance classic(3, {4, 8, 15});
+  EXPECT_NE(registry.create_for("twin-lpt", SolverBuild{}, classic), nullptr);
+}
+
+TEST(Variant, CreateForCapacityWrapsInTheReductionAdapter) {
+  const Instance instance =
+      Instance::capacity_restricted(4, {9, 8, 7, 6, 5}, 2);
+  std::unique_ptr<Solver> solver =
+      SolverRegistry::global().create_for("lpt", SolverBuild{}, instance);
+  const SolverResult result = solver->solve(instance);
+  EXPECT_EQ(result.schedule.machines(), 4);
+  validate_variant_schedule(instance, result.schedule);
+  EXPECT_EQ(solver->name(), "LPT");  // the adapter is transparent by name
+}
+
+TEST(Variant, CapacityBruteForceRespectsTheCapAndIsOptimal) {
+  const Instance instance =
+      Instance::capacity_restricted(4, {5, 4, 3, 3, 2}, 2);
+  std::unique_ptr<Solver> brute = SolverRegistry::global().create_for(
+      "capacity-brute", SolverBuild{}, instance);
+  const SolverResult result = brute->solve(instance);
+  validate_variant_schedule(instance, result.schedule);
+  EXPECT_TRUE(result.proven_optimal);
+  // Two active machines over 17 total work: optimum is 9 (5+4 | 3+3+2).
+  EXPECT_EQ(result.makespan, 9);
+  EXPECT_EQ(capacity_brute_force_optimum(instance), 9);
+}
+
+// --- generators and mixes ---
+
+TEST(Variant, ClassicGeneratorStreamIsUntouched) {
+  for (std::uint64_t index = 0; index < 4; ++index) {
+    const Instance classic = generate_instance(InstanceFamily::kUniform1To100,
+                                               5, 12, 42, index);
+    const Instance tagged = generate_variant_instance(
+        ProblemVariant::kClassic, InstanceFamily::kUniform1To100, 5, 12, 42,
+        index);
+    EXPECT_EQ(tagged, classic);
+    EXPECT_TRUE(tagged.is_classic());
+  }
+}
+
+TEST(Variant, VariantGeneratorsAreDeterministicAndInRange) {
+  for (std::uint64_t index = 0; index < 8; ++index) {
+    const Instance capacity = generate_variant_instance(
+        ProblemVariant::kCapacity, InstanceFamily::kUniform1To10, 6, 10, 7,
+        index);
+    EXPECT_EQ(capacity.variant(), ProblemVariant::kCapacity);
+    EXPECT_GE(capacity.capacity(), 1);
+    EXPECT_LE(capacity.capacity(), 6);
+    // Same coordinates, same instance (times AND payload).
+    EXPECT_EQ(capacity, generate_variant_instance(
+                            ProblemVariant::kCapacity,
+                            InstanceFamily::kUniform1To10, 6, 10, 7, index));
+    // The times match the classic draw: the payload stream is independent.
+    const Instance classic = generate_instance(InstanceFamily::kUniform1To10,
+                                               6, 10, 7, index);
+    ASSERT_EQ(capacity.jobs(), classic.jobs());
+    for (int j = 0; j < classic.jobs(); ++j) {
+      EXPECT_EQ(capacity.time(j), classic.time(j));
+    }
+    const Instance incremental = generate_variant_instance(
+        ProblemVariant::kIncremental, InstanceFamily::kUniform1To10, 6, 10, 7,
+        index);
+    EXPECT_EQ(incremental.variant(), ProblemVariant::kIncremental);
+  }
+  EXPECT_EQ(variant_family_name(ProblemVariant::kClassic,
+                                InstanceFamily::kUniform1To100),
+            "U(1,100)");
+  EXPECT_EQ(variant_family_name(ProblemVariant::kCapacity,
+                                InstanceFamily::kUniform1To100),
+            "cap[U(1,100)]");
+  EXPECT_EQ(variant_family_name(ProblemVariant::kIncremental,
+                                InstanceFamily::kUniform1To10),
+            "inc[U(1,10)]");
+}
+
+TEST(Variant, VariantMixParsesAndAssignsRoundRobin) {
+  const VariantMix mix = parse_variant_mix("classic=2,capacity=1,incremental=1");
+  EXPECT_EQ(mix.classic, 2);
+  EXPECT_EQ(mix.capacity, 1);
+  EXPECT_EQ(mix.incremental, 1);
+  EXPECT_EQ(mix.cycle(), 4);
+  EXPECT_EQ(mix.pick(0), ProblemVariant::kClassic);
+  EXPECT_EQ(mix.pick(1), ProblemVariant::kClassic);
+  EXPECT_EQ(mix.pick(2), ProblemVariant::kCapacity);
+  EXPECT_EQ(mix.pick(3), ProblemVariant::kIncremental);
+  EXPECT_EQ(mix.pick(4), ProblemVariant::kClassic);  // cycle repeats
+  EXPECT_THROW((void)parse_variant_mix(""), InvalidArgumentError);
+  EXPECT_THROW((void)parse_variant_mix("classic"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_variant_mix("warp=1"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_variant_mix("classic=-1"), InvalidArgumentError);
+  EXPECT_THROW((void)parse_variant_mix("classic=0,capacity=0"),
+               InvalidArgumentError);
+  EXPECT_THROW((void)parse_variant_mix("classic=1x"), InvalidArgumentError);
+}
+
+TEST(Variant, ApplyVariantMixIsDeterministicAndClassicIsIdentity) {
+  const VariantMix mix = parse_variant_mix("classic=1,capacity=1");
+  const Instance base(5, {9, 8, 7, 6});
+  // Position 0 is classic: byte-identical passthrough.
+  EXPECT_EQ(apply_variant_mix(mix, base, 42, 0), base);
+  const Instance tagged = apply_variant_mix(mix, base, 42, 1);
+  EXPECT_EQ(tagged.variant(), ProblemVariant::kCapacity);
+  EXPECT_GE(tagged.capacity(), 1);
+  EXPECT_LE(tagged.capacity(), 5);
+  EXPECT_EQ(tagged, apply_variant_mix(mix, base, 42, 1));  // reproducible
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -15,6 +15,7 @@
 #include "algo/ptas/ptas.hpp"
 #include "core/instance_gen.hpp"
 #include "core/portfolio.hpp"
+#include "core/solve_context.hpp"
 #include "mip/pcmax_ip.hpp"
 #include "service/solve_service.hpp"
 #include "util/error.hpp"
@@ -151,8 +152,9 @@ TEST(FaultInjection, CancelAtNthDpLevelAbortsTheSolve) {
     options.engine = engine;
     options.executor = &executor;
     options.spmd_threads = 2;
-    options.cancel = token;
-    EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError)
+    EXPECT_THROW((void)PtasSolver(options).solve(
+                     instance, SolveContext::with_token(token)),
+                 CancelledError)
         << "engine " << static_cast<int>(engine);
     EXPECT_TRUE(injector.fired());
   }
@@ -165,8 +167,9 @@ TEST(FaultInjection, CancelAtNthBisectionProbeAbortsTheSolve) {
                          FaultInjector::Action::kCancel, token);
   FaultScope scope(injector);
   PtasOptions options;
-  options.cancel = token;
-  EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError);
+  EXPECT_THROW((void)PtasSolver(options).solve(instance,
+                                               SolveContext::with_token(token)),
+               CancelledError);
   EXPECT_TRUE(injector.fired());
 }
 
@@ -202,8 +205,9 @@ TEST(FaultInjection, CancelMidDpLeavesThePoolReusable) {
     PtasOptions options;
     options.engine = DpEngine::kParallelBucketed;
     options.executor = &executor;
-    options.cancel = token;
-    EXPECT_THROW((void)PtasSolver(options).solve(instance), CancelledError);
+    EXPECT_THROW((void)PtasSolver(options).solve(
+                     instance, SolveContext::with_token(token)),
+                 CancelledError);
   }
   PtasOptions options;
   options.engine = DpEngine::kParallelBucketed;
@@ -222,8 +226,8 @@ TEST(FaultInjection, CancelAtNthMipNodeReturnsIncumbent) {
                          FaultInjector::Action::kCancel, token);
   FaultScope scope(injector);
   MipOptions options;
-  options.cancel = token;
-  const SolverResult result = PcmaxIpSolver(options).solve(instance);
+  const SolverResult result =
+      PcmaxIpSolver(options).solve(instance, SolveContext::with_token(token));
   EXPECT_TRUE(injector.fired());
   EXPECT_FALSE(result.proven_optimal);
   result.schedule.validate(instance);

@@ -11,6 +11,7 @@
 
 #include "algo/lpt.hpp"
 #include "core/instance_gen.hpp"
+#include "core/solve_context.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -52,12 +53,13 @@ TEST(ResilientSolver, ResourceLimitDegradesToAValidFallback) {
 
 TEST(ResilientSolver, ExpiredDeadlineStillReturnsAValidSchedule) {
   const Instance instance = small_instance();
-  ResilientOptions options;
-  options.time_limit_ms = 0;  // 0 = unlimited ...
-  options.cancel = CancellationToken::with_deadline(Deadline::after_ms(0));
-  // ... but the external token's deadline is already expired: the PTAS must
-  // abort promptly and the fallback must still produce a schedule.
-  const SolverResult result = ResilientSolver(options).solve(instance);
+  // The context carries no own deadline, but the external token's deadline
+  // is already expired: the PTAS must abort promptly and the fallback must
+  // still produce a schedule.
+  const SolveContext context = SolveContext::with_token(
+      CancellationToken::with_deadline(Deadline::after_ms(0)));
+  const SolverResult result =
+      ResilientSolver(ResilientOptions{}).solve(instance, context);
   result.schedule.validate(instance);
   EXPECT_EQ(result.notes.at("degradation_reason"), "deadline");
   const SolverResult lpt = LptSolver().solve(instance);
@@ -75,10 +77,10 @@ TEST(ResilientSolver, TimeLimitOptionLayersADeadline) {
 
 TEST(ResilientSolver, ExternalCancelBeforeSolveFallsBack) {
   const Instance instance = small_instance();
-  ResilientOptions options;
-  options.cancel = CancellationToken::make();
-  options.cancel.request_cancel();
-  const SolverResult result = ResilientSolver(options).solve(instance);
+  CancellationToken token = CancellationToken::make();
+  token.request_cancel();
+  const SolverResult result = ResilientSolver(ResilientOptions{})
+                                  .solve(instance, SolveContext::with_token(token));
   result.schedule.validate(instance);
   EXPECT_EQ(result.notes.at("degradation_reason"), "cancelled");
   const SolverResult lpt = LptSolver().solve(instance);
@@ -97,8 +99,8 @@ TEST(ResilientSolver, FaultMidDpDegradesWithCorrectReason) {
   ResilientOptions options;
   options.ptas.engine = DpEngine::kParallelBucketed;
   options.ptas.executor = &executor;
-  options.cancel = token;
-  const SolverResult result = ResilientSolver(options).solve(instance);
+  const SolverResult result =
+      ResilientSolver(options).solve(instance, SolveContext::with_token(token));
   EXPECT_TRUE(injector.fired());
   result.schedule.validate(instance);
   EXPECT_EQ(result.notes.at("degradation_reason"), "cancelled");
@@ -114,9 +116,8 @@ TEST(ResilientSolver, FaultMidBisectionDegradesGracefully) {
   FaultInjector injector("bisection.probe", /*fire_at=*/3,
                          FaultInjector::Action::kCancel, token);
   FaultScope scope(injector);
-  ResilientOptions options;
-  options.cancel = token;
-  const SolverResult result = ResilientSolver(options).solve(instance);
+  const SolverResult result = ResilientSolver(ResilientOptions{})
+                                  .solve(instance, SolveContext::with_token(token));
   EXPECT_TRUE(injector.fired());
   result.schedule.validate(instance);
   EXPECT_EQ(result.notes.at("degradation_reason"), "cancelled");

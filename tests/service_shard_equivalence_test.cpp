@@ -190,6 +190,48 @@ TEST(ServiceShardEquivalence, ResponsesReportTheShardTheFingerprintSelects) {
   EXPECT_GE(seen.size(), 3u) << "shard selection is degenerate";
 }
 
+TEST(ServiceShardEquivalence, PinnedVariantRoutingReferenceValues) {
+  // Variant-tagged requests route by the same (fingerprint, shard_count)
+  // pure function as classic ones, off their OWN fingerprints. Pinning the
+  // request keys (and where they land at 8 shards) makes any silent change
+  // to variant canonicalization show up here before it strands a recorded
+  // per-shard trace.
+  const std::vector<Time> times{4, 8, 15, 16, 23, 42};
+  const Fingerprint capacity_key = request_fingerprint(
+      CanonicalInstance(
+          Instance::capacity_restricted(3, std::vector<Time>(times), 2)),
+      0.3);
+  const Fingerprint incremental_key = request_fingerprint(
+      CanonicalInstance(Instance::incremental(3, std::vector<Time>(times))),
+      0.3);
+  EXPECT_EQ(capacity_key.to_hex(), "4c81e719102e34942694727dbffe37e9");
+  EXPECT_EQ(incremental_key.to_hex(), "6e0d3e81f7a5b4fbfa04fc72d3031a19");
+  EXPECT_EQ(shard_index(capacity_key, 8), 2u);
+  EXPECT_EQ(shard_index(incremental_key, 8), 6u);
+  // A live 8-shard service agrees, and stamps the variant on the response.
+  ServiceOptions options = deterministic_options(8);
+  options.epsilon = 0.3;
+  SolveService service(options);
+  const SolveResponse capacity_response =
+      service
+          .submit_async(SolveRequest{
+              Instance::capacity_restricted(3, std::vector<Time>(times), 2)})
+          .get();
+  EXPECT_EQ(capacity_response.variant, "capacity");
+  EXPECT_EQ(capacity_response.fingerprint, capacity_key);
+  EXPECT_EQ(static_cast<std::size_t>(capacity_response.shard),
+            shard_index(capacity_key, 8));
+  const SolveResponse incremental_response =
+      service
+          .submit_async(
+              SolveRequest{Instance::incremental(3, std::vector<Time>(times))})
+          .get();
+  EXPECT_EQ(incremental_response.variant, "incremental");
+  EXPECT_EQ(incremental_response.fingerprint, incremental_key);
+  EXPECT_EQ(static_cast<std::size_t>(incremental_response.shard),
+            shard_index(incremental_key, 8));
+}
+
 TEST(ServiceShardEquivalence, CoalescedFollowersMatchTheReferenceAtEveryShardCount) {
   // Concurrent duplicates share one in-flight solve; a follower's response
   // must still be exactly what a fresh solve of its own ordering would have

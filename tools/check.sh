@@ -10,7 +10,8 @@
 #   tools/check.sh simd       # forced -mavx2 tree + PCMAX_DISABLE_SIMD tree
 #
 # The Release run repeats the `bench-smoke`, `service`, `service-sharded`,
-# `chaos`, and `headers` labels explicitly at the end so bench bit-rot
+# `chaos`, `variants`, and `headers` labels explicitly at the end so bench
+# bit-rot
 # (flag parsing, JSON export), batch-service regressions, sharding
 # equivalence drift (the differential byte-equality blitz in
 # tests/service_shard_equivalence_test.cpp plus the SolveFuture suite),
@@ -45,6 +46,8 @@ run_release() {
   ctest --test-dir build-check --output-on-failure -L service-sharded
   echo "== Release tree: chaos soak =="
   ctest --test-dir build-check --output-on-failure -L chaos
+  echo "== Release tree: problem variants (capacity + incremental) =="
+  ctest --test-dir build-check --output-on-failure -L variants
   echo "== Release tree: header self-containment =="
   ctest --test-dir build-check --output-on-failure -L headers
 }
@@ -82,6 +85,10 @@ run_tsan() {
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L sanitize
   echo "== ThreadSanitizer tree: sharding equivalence + async futures =="
   ctest --test-dir build-tsan --output-on-failure -L service-sharded
+  echo "== ThreadSanitizer tree: problem variants =="
+  # The variant differential suite drives IncrementalSession's prepared
+  # submissions and the capacity adapter through live service threads.
+  ctest --test-dir build-tsan --output-on-failure -L variants
 }
 
 case "$mode" in

@@ -39,6 +39,10 @@ InstanceFamily family_by_name(const std::string& name) {
 int cmd_generate(int argc, const char* const* argv) {
   CliParser cli("pcmax generate: write a random instance set to a file.");
   cli.add_string("family", "U(1,100)", "distribution family (paper notation)");
+  cli.add_string("variant", "classic",
+                 "problem variant to tag instances with: classic, capacity "
+                 "(draws B from U(1,m) per instance), or incremental; "
+                 "non-classic sets serialize in the pcmax.instance.v2 form");
   cli.add_int("m", 10, "machines per instance");
   cli.add_int("n", 50, "jobs per instance");
   cli.add_int("count", 20, "number of instances");
@@ -46,11 +50,19 @@ int cmd_generate(int argc, const char* const* argv) {
   cli.add_string("out", "", "output path (empty = stdout)");
   if (!cli.parse(argc, argv)) return 0;
 
-  const auto instances = generate_instances(
-      family_by_name(cli.get_string("family")), static_cast<int>(cli.get_int("m")),
-      static_cast<int>(cli.get_int("n")),
-      static_cast<std::uint64_t>(cli.get_int("seed")),
-      static_cast<int>(cli.get_int("count")));
+  const ProblemVariant variant = variant_from_name(cli.get_string("variant"));
+  const InstanceFamily family = family_by_name(cli.get_string("family"));
+  const int count = static_cast<int>(cli.get_int("count"));
+  PCMAX_REQUIRE(count >= 0, "instance count must be non-negative");
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    instances.push_back(generate_variant_instance(
+        variant, family, static_cast<int>(cli.get_int("m")),
+        static_cast<int>(cli.get_int("n")),
+        static_cast<std::uint64_t>(cli.get_int("seed")),
+        static_cast<std::uint64_t>(i)));
+  }
   if (cli.get_string("out").empty()) {
     write_instances(std::cout, instances);
   } else {
@@ -395,6 +407,10 @@ int cmd_batch(int argc, const char* const* argv) {
               "submit the file N times; repeats permute each job vector, so "
               "they dedup against the first pass via the fingerprint cache");
   cli.add_int("seed", 42, "RNG seed for the repeat permutations");
+  cli.add_string("variant-mix", "",
+                 "tag the instance pool with problem variants, round-robin "
+                 "by weight, e.g. 'classic=2,capacity=1,incremental=1' "
+                 "(empty = leave instances as loaded)");
   cli.add_string("json", "", "write the pcmax.batch.v1 report to this path");
   cli.add_string("metrics", "",
                  "write a JSON runtime-metrics profile to this path");
@@ -409,6 +425,14 @@ int cmd_batch(int argc, const char* const* argv) {
         instances.begin() + static_cast<std::ptrdiff_t>(cli.get_int("limit")),
         instances.end());
   }
+  if (!cli.get_string("variant-mix").empty()) {
+    const VariantMix mix = parse_variant_mix(cli.get_string("variant-mix"));
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      instances[i] =
+          apply_variant_mix(mix, instances[i],
+                            static_cast<std::uint64_t>(cli.get_int("seed")), i);
+    }
+  }
   std::vector<SolveRequest> requests;
   requests.reserve(instances.size() *
                    static_cast<std::size_t>(cli.get_int("repeat")));
@@ -419,12 +443,16 @@ int cmd_batch(int argc, const char* const* argv) {
         requests.push_back(SolveRequest{instance});
       } else {
         // A permuted twin: same job multiset, different order — exercises
-        // the canonicalization layer, hits the cache.
+        // the canonicalization layer, hits the cache. The variant tag and
+        // payload carry over so the twin coalesces with pass 0 (variant is
+        // part of the canonical identity: a permuted capacity twin must
+        // dedup against its original, never against a classic sibling).
         std::vector<Time> times(instance.times().begin(),
                                 instance.times().end());
         std::shuffle(times.begin(), times.end(), rng);
-        requests.push_back(
-            SolveRequest{Instance(instance.machines(), std::move(times))});
+        requests.push_back(SolveRequest{Instance::with_variant(
+            Instance(instance.machines(), std::move(times)),
+            instance.variant(), instance.payload())});
       }
     }
   }
@@ -514,16 +542,23 @@ int cmd_batch(int argc, const char* const* argv) {
     std::cerr << "wrote batch report to " << cli.get_string("json") << "\n";
   }
 
-  TablePrinter table({"#", "m", "n", "makespan", "algorithm", "cache",
-                      "degraded", "seconds"});
+  const bool show_variant =
+      std::any_of(responses.begin(), responses.end(),
+                  [](const SolveResponse& r) { return r.variant != "classic"; });
+  std::vector<std::string> header = {"#", "m", "n", "makespan", "algorithm",
+                                     "cache", "degraded", "seconds"};
+  if (show_variant) header.insert(header.begin() + 3, "variant");
+  TablePrinter table(header);
   for (std::size_t i = 0; i < responses.size(); ++i) {
     const SolveResponse& response = responses[i];
-    table.add_row({std::to_string(i), std::to_string(response.machines),
-                   std::to_string(response.jobs),
-                   std::to_string(response.makespan), response.algorithm,
-                   response.cache_hit ? "hit" : "miss",
-                   response.degraded ? response.degradation_reason : "-",
-                   TablePrinter::fmt(response.seconds, 4)});
+    std::vector<std::string> row = {
+        std::to_string(i), std::to_string(response.machines),
+        std::to_string(response.jobs), std::to_string(response.makespan),
+        response.algorithm, response.cache_hit ? "hit" : "miss",
+        response.degraded ? response.degradation_reason : "-",
+        TablePrinter::fmt(response.seconds, 4)};
+    if (show_variant) row.insert(row.begin() + 3, response.variant);
+    table.add_row(row);
   }
   std::cout << table.to_string();
   const JsonValue& summary = report.at("summary");
